@@ -1,0 +1,119 @@
+//! Integer linear systems via Smith normal form.
+//!
+//! The H1-level contractibility obstruction of the solvability pipeline
+//! reduces to feasibility of `A·x = b` over the integers: "can the boundary
+//! of some 2-chain, plus integer combinations of cycle-basis shifts, equal
+//! the given loop?" (paper, §5 and §6.2).
+
+use crate::matrix::IntMatrix;
+use crate::smith::smith_normal_form;
+
+/// Solves `a · x = b` over the integers.
+///
+/// Returns a solution vector if one exists, `None` otherwise.
+///
+/// # Panics
+///
+/// Panics if `b.len() != a.rows()`.
+///
+/// # Examples
+///
+/// ```
+/// use chromata_algebra::{solve_integer, IntMatrix};
+///
+/// let a = IntMatrix::from_rows(2, 2, vec![2, 0, 0, 3]);
+/// assert_eq!(solve_integer(&a, &[4, 9]), Some(vec![2, 3]));
+/// assert_eq!(solve_integer(&a, &[1, 0]), None); // 2 ∤ 1
+/// ```
+#[must_use]
+pub fn solve_integer(a: &IntMatrix, b: &[i64]) -> Option<Vec<i64>> {
+    assert_eq!(b.len(), a.rows(), "right-hand side length mismatch");
+    let s = smith_normal_form(a);
+    // a x = b  ⟺  d y = u b with x = v y.
+    let c = s.u.mul_vec(b);
+    let n = a.cols();
+    let mut y = vec![0i64; n];
+    let diag = a.rows().min(n);
+    for i in 0..diag {
+        let d = s.d.get(i, i);
+        if d == 0 {
+            if c[i] != 0 {
+                return None;
+            }
+        } else {
+            if c[i] % d != 0 {
+                return None;
+            }
+            y[i] = c[i] / d;
+        }
+    }
+    if c.iter().skip(diag).any(|&ci| ci != 0) {
+        return None;
+    }
+    Some(s.v.mul_vec(&y))
+}
+
+/// Whether `a · x = b` has an integer solution.
+#[must_use]
+pub fn is_feasible(a: &IntMatrix, b: &[i64]) -> bool {
+    solve_integer(a, b).is_some()
+}
+
+/// Whether the vector `b` lies in the integer column span (lattice) of `a`.
+///
+/// This is the same predicate as [`is_feasible`], provided under the name
+/// used by the homology code ("is this cycle a boundary?").
+#[must_use]
+pub fn in_column_lattice(a: &IntMatrix, b: &[i64]) -> bool {
+    is_feasible(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_solution_verified() {
+        let a = IntMatrix::from_rows(3, 2, vec![1, 2, 3, 4, 5, 6]);
+        let b = vec![5, 11, 17];
+        let x = solve_integer(&a, &b).expect("feasible");
+        assert_eq!(a.mul_vec(&x), b);
+    }
+
+    #[test]
+    fn infeasible_parity() {
+        // x + y even can't hit odd targets with the doubled matrix.
+        let a = IntMatrix::from_rows(1, 2, vec![2, 2]);
+        assert!(!is_feasible(&a, &[3]));
+        assert!(is_feasible(&a, &[4]));
+    }
+
+    #[test]
+    fn underdetermined_system() {
+        let a = IntMatrix::from_rows(1, 3, vec![3, 5, 7]);
+        let x = solve_integer(&a, &[1]).expect("gcd(3,5,7)=1 so all targets reachable");
+        assert_eq!(a.mul_vec(&x), vec![1]);
+    }
+
+    #[test]
+    fn overdetermined_inconsistent() {
+        let a = IntMatrix::from_rows(2, 1, vec![1, 1]);
+        assert!(!is_feasible(&a, &[1, 2]));
+        assert!(is_feasible(&a, &[2, 2]));
+    }
+
+    #[test]
+    fn zero_matrix_cases() {
+        let a = IntMatrix::zeros(2, 2);
+        assert_eq!(solve_integer(&a, &[0, 0]), Some(vec![0, 0]));
+        assert!(!is_feasible(&a, &[0, 1]));
+    }
+
+    #[test]
+    fn lattice_membership() {
+        // Columns (2,0) and (0,2) span the even lattice.
+        let a = IntMatrix::from_rows(2, 2, vec![2, 0, 0, 2]);
+        assert!(in_column_lattice(&a, &[4, -6]));
+        assert!(!in_column_lattice(&a, &[1, 0]));
+    }
+}

@@ -1,0 +1,269 @@
+//! Finite group presentations and Tietze simplification.
+//!
+//! The edge-path fundamental groups of the output complexes (paper, §5) are
+//! handed to this module as presentations `⟨ g₁ … gₙ | r₁ … rₘ ⟩`. Tietze
+//! moves shrink them enough to *recognize* the decidable regimes: trivial
+//! groups, free groups, and evidently-abelian groups.
+
+use crate::matrix::IntMatrix;
+use crate::word::{
+    cyclic_reduce, delete_generator, exponent_vector, free_reduce, invert, substitute, Word,
+};
+
+/// A finite presentation of a group.
+///
+/// # Examples
+///
+/// ```
+/// use chromata_algebra::Presentation;
+///
+/// // ⟨ a | a² ⟩ = Z/2.
+/// let p = Presentation::new(1, vec![vec![1, 1]]);
+/// assert!(!p.simplified().is_trivial_group());
+/// // ⟨ a | a ⟩ = 1.
+/// let q = Presentation::new(1, vec![vec![1]]);
+/// assert!(q.simplified().is_trivial_group());
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Presentation {
+    generators: usize,
+    relators: Vec<Word>,
+}
+
+impl Presentation {
+    /// Creates a presentation with `generators` generators and the given
+    /// relators (freely and cyclically reduced on construction).
+    #[must_use]
+    pub fn new(generators: usize, relators: Vec<Word>) -> Self {
+        let mut p = Presentation {
+            generators,
+            relators,
+        };
+        p.cleanup();
+        p
+    }
+
+    /// Number of generators.
+    #[must_use]
+    pub fn generator_count(&self) -> usize {
+        self.generators
+    }
+
+    /// The relators (freely and cyclically reduced, deduplicated).
+    #[must_use]
+    pub fn relators(&self) -> &[Word] {
+        &self.relators
+    }
+
+    /// Whether the presentation has no generators (the trivial group,
+    /// syntactically).
+    #[must_use]
+    pub fn is_trivial_group(&self) -> bool {
+        self.generators == 0
+    }
+
+    /// Whether the presentation has no relators (a free group of rank
+    /// [`Presentation::generator_count`]).
+    #[must_use]
+    pub fn is_free(&self) -> bool {
+        self.relators.is_empty()
+    }
+
+    /// The exponent matrix of the relators (rows = abelianized relators,
+    /// columns = generators): presentation matrix of H₁ = Gᵃᵇ.
+    #[must_use]
+    pub fn relator_matrix(&self) -> IntMatrix {
+        let mut m = IntMatrix::zeros(self.relators.len(), self.generators);
+        for (i, r) in self.relators.iter().enumerate() {
+            for (j, e) in exponent_vector(r, self.generators).into_iter().enumerate() {
+                m.set(i, j, e);
+            }
+        }
+        m
+    }
+
+    /// Normalizes relators: free+cyclic reduction, drop empties, dedup
+    /// (up to inversion).
+    fn cleanup(&mut self) {
+        let mut rs: Vec<Word> = self
+            .relators
+            .iter()
+            .map(|r| cyclic_reduce(&free_reduce(r)))
+            .filter(|r| !r.is_empty())
+            .collect();
+        // Canonical representative: min over rotations of the word and its
+        // inverse, so duplicates in disguise collapse.
+        for r in &mut rs {
+            *r = canonical_cyclic(r);
+        }
+        rs.sort();
+        rs.dedup();
+        self.relators = rs;
+    }
+
+    /// Applies Tietze simplification until a fixed point (or a size guard):
+    /// eliminates generators that occur exactly once in a single relator,
+    /// substitutes length-1 and length-2 relators, and re-normalizes.
+    /// The result presents an isomorphic group.
+    #[must_use]
+    pub fn simplified(&self) -> Presentation {
+        const MAX_TOTAL_LENGTH: usize = 100_000;
+        let mut p = self.clone();
+        loop {
+            p.cleanup();
+            let Some((gen, rep, ridx)) = p.find_elimination() else {
+                return p;
+            };
+            // Substitute gen := rep in all other relators, drop relator
+            // ridx and renumber generators.
+            let mut new_relators = Vec::new();
+            for (i, r) in p.relators.iter().enumerate() {
+                if i == ridx {
+                    continue;
+                }
+                let s = substitute(r, gen, &rep);
+                new_relators.push(delete_generator(&s, gen));
+            }
+            let total: usize = new_relators.iter().map(Vec::len).sum();
+            if total > MAX_TOTAL_LENGTH {
+                return p; // size guard: give up on further elimination
+            }
+            p = Presentation::new(p.generators - 1, new_relators);
+        }
+    }
+
+    /// Finds a generator eliminable by a Tietze move: a relator in which
+    /// some generator occurs exactly once (so the relator can be solved for
+    /// it). Returns `(generator, replacement word, relator index)`.
+    fn find_elimination(&self) -> Option<(i32, Word, usize)> {
+        for (ridx, r) in self.relators.iter().enumerate() {
+            for g in 1..=self.generators as i32 {
+                let occurrences = r.iter().filter(|&&x| x.abs() == g).count();
+                if occurrences != 1 {
+                    continue;
+                }
+                // Rotate r so the unique occurrence of ±g is first:
+                // r = g^ε · w  ⇒  g^ε = w⁻¹  ⇒  g = w⁻¹ (ε=1) or w (ε=-1).
+                let pos = r.iter().position(|&x| x.abs() == g).expect("present");
+                let mut rot = r[pos..].to_vec();
+                rot.extend_from_slice(&r[..pos]);
+                let eps = rot[0].signum();
+                let w = &rot[1..];
+                let rep = if eps > 0 { invert(w) } else { free_reduce(w) };
+                return Some((g, rep, ridx));
+            }
+        }
+        None
+    }
+
+    /// Whether the presented *group* is certifiably abelian: after Tietze
+    /// simplification the presentation has at most one generator, or every
+    /// pair of generators has its commutator among the relators. Sufficient
+    /// but not necessary ("evidently abelian").
+    #[must_use]
+    pub fn is_evidently_abelian(&self) -> bool {
+        let p = self.simplified();
+        if p.generators <= 1 {
+            return true;
+        }
+        // All pairwise commutators present?
+        (1..=p.generators as i32).all(|a| {
+            (a + 1..=p.generators as i32).all(|b| {
+                let comm = canonical_cyclic(&[a, b, -a, -b]);
+                p.relators.contains(&comm)
+            })
+        })
+    }
+}
+
+/// Canonical representative of a cyclic word up to rotation and inversion.
+fn canonical_cyclic(w: &[i32]) -> Word {
+    let w = cyclic_reduce(w);
+    if w.is_empty() {
+        return w;
+    }
+    let mut best: Option<Word> = None;
+    for cand in [w.clone(), invert(&w)] {
+        for k in 0..cand.len() {
+            let mut rot = cand[k..].to_vec();
+            rot.extend_from_slice(&cand[..k]);
+            if best.as_ref().is_none_or(|b| rot < *b) {
+                best = Some(rot);
+            }
+        }
+    }
+    best.expect("non-empty word has a canonical form")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cleanup_dedups_rotations_and_inverses() {
+        let p = Presentation::new(2, vec![vec![1, 2], vec![2, 1], vec![-2, -1], vec![1, -1]]);
+        assert_eq!(p.relators().len(), 1);
+    }
+
+    #[test]
+    fn trivial_group_recognized() {
+        // ⟨ a, b | a, b ⟩ = 1.
+        let p = Presentation::new(2, vec![vec![1], vec![2]]);
+        assert!(p.simplified().is_trivial_group());
+        // ⟨ a, b | ab, b ⟩ = 1.
+        let q = Presentation::new(2, vec![vec![1, 2], vec![2]]);
+        assert!(q.simplified().is_trivial_group());
+    }
+
+    #[test]
+    fn free_group_stays_free() {
+        let p = Presentation::new(3, vec![]);
+        let s = p.simplified();
+        assert!(s.is_free());
+        assert_eq!(s.generator_count(), 3);
+    }
+
+    #[test]
+    fn z2_is_not_trivial_but_is_abelian() {
+        let p = Presentation::new(1, vec![vec![1, 1]]);
+        let s = p.simplified();
+        assert!(!s.is_trivial_group());
+        assert_eq!(s.generator_count(), 1);
+        assert!(p.is_evidently_abelian());
+    }
+
+    #[test]
+    fn torus_presentation_is_abelian() {
+        // ⟨ a, b | [a,b] ⟩ = Z².
+        let p = Presentation::new(2, vec![vec![1, 2, -1, -2]]);
+        assert!(p.is_evidently_abelian());
+        assert!(!p.simplified().is_trivial_group());
+    }
+
+    #[test]
+    fn surface_genus2_not_evidently_abelian() {
+        // ⟨ a,b,c,d | [a,b][c,d] ⟩: not abelian; our sufficient check must
+        // not claim otherwise.
+        let p = Presentation::new(4, vec![vec![1, 2, -1, -2, 3, 4, -3, -4]]);
+        assert!(!p.is_evidently_abelian());
+    }
+
+    #[test]
+    fn elimination_collapses_chain() {
+        // ⟨ a, b, c | a b⁻¹, b c⁻¹ ⟩ ≅ Z (one generator, free).
+        let p = Presentation::new(3, vec![vec![1, -2], vec![2, -3]]);
+        let s = p.simplified();
+        assert_eq!(s.generator_count(), 1);
+        assert!(s.is_free());
+    }
+
+    #[test]
+    fn relator_matrix_abelianization() {
+        // ⟨ a, b | a²b ⟩ abelianized: ±[2, 1] (canonicalization may invert
+        // the relator, which spans the same lattice).
+        let p = Presentation::new(2, vec![vec![1, 1, 2]]);
+        let m = p.relator_matrix();
+        let row = (m.get(0, 0), m.get(0, 1));
+        assert!(row == (2, 1) || row == (-2, -1), "got {row:?}");
+    }
+}

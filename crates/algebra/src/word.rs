@@ -1,0 +1,165 @@
+//! Words in finitely generated free groups.
+//!
+//! A word is a sequence of non-zero `i32` letters: `+k` denotes generator
+//! `k-1`, `-k` its inverse. Words represent edge-loops in the edge-path
+//! fundamental group (paper, §5: contractibility of loops in output
+//! complexes).
+
+/// A word over generators `1..=n` and their inverses (`-1..=-n`).
+pub type Word = Vec<i32>;
+
+/// Freely reduces a word by cancelling adjacent inverse pairs.
+///
+/// # Examples
+///
+/// ```
+/// use chromata_algebra::free_reduce;
+///
+/// assert_eq!(free_reduce(&[1, 2, -2, -1, 3]), vec![3]);
+/// assert!(free_reduce(&[1, -1]).is_empty());
+/// ```
+#[must_use]
+pub fn free_reduce(w: &[i32]) -> Word {
+    let mut out: Word = Vec::with_capacity(w.len());
+    for &x in w {
+        debug_assert!(x != 0, "0 is not a letter");
+        if out.last().is_some_and(|&y| y == -x) {
+            out.pop();
+        } else {
+            out.push(x);
+        }
+    }
+    out
+}
+
+/// Cyclically reduces a freely reduced word (cancels matching first/last
+/// letters).
+#[must_use]
+pub fn cyclic_reduce(w: &[i32]) -> Word {
+    let mut v = free_reduce(w);
+    while v.len() >= 2 && v[0] == -v[v.len() - 1] {
+        v.pop();
+        v.remove(0);
+    }
+    v
+}
+
+/// The inverse word.
+#[must_use]
+pub fn invert(w: &[i32]) -> Word {
+    w.iter().rev().map(|&x| -x).collect()
+}
+
+/// Concatenates and freely reduces.
+#[must_use]
+pub fn concat(a: &[i32], b: &[i32]) -> Word {
+    let mut w = a.to_vec();
+    w.extend_from_slice(b);
+    free_reduce(&w)
+}
+
+/// The exponent-sum vector of a word over `n` generators (its image in the
+/// abelianization ℤⁿ).
+///
+/// # Panics
+///
+/// Panics if a letter references a generator `≥ n`.
+#[must_use]
+pub fn exponent_vector(w: &[i32], n: usize) -> Vec<i64> {
+    let mut v = vec![0i64; n];
+    for &x in w {
+        let g = (x.unsigned_abs() as usize) - 1;
+        assert!(g < n, "letter {x} out of range for {n} generators");
+        v[g] += i64::from(x.signum());
+    }
+    v
+}
+
+/// Substitutes generator `g` (1-based) by the word `rep` throughout `w`
+/// (occurrences of `-g` get the inverse of `rep`), then freely reduces.
+#[must_use]
+pub fn substitute(w: &[i32], g: i32, rep: &[i32]) -> Word {
+    debug_assert!(g > 0);
+    let inv = invert(rep);
+    let mut out = Vec::new();
+    for &x in w {
+        if x == g {
+            out.extend_from_slice(rep);
+        } else if x == -g {
+            out.extend_from_slice(&inv);
+        } else {
+            out.push(x);
+        }
+    }
+    free_reduce(&out)
+}
+
+/// Renumbers letters after deleting generator `g` (1-based): letters above
+/// `g` shift down by one. The word must not contain `±g`.
+///
+/// # Panics
+///
+/// Panics if the word still mentions `g`.
+#[must_use]
+pub fn delete_generator(w: &[i32], g: i32) -> Word {
+    w.iter()
+        .map(|&x| {
+            assert!(x.abs() != g, "delete_generator: word still mentions {g}");
+            if x.abs() > g {
+                x - x.signum()
+            } else {
+                x
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_reduction_nested() {
+        assert_eq!(free_reduce(&[1, 2, 3, -3, -2, -1]), Vec::<i32>::new());
+        assert_eq!(free_reduce(&[1, 1, -1]), vec![1]);
+    }
+
+    #[test]
+    fn cyclic_reduction() {
+        assert_eq!(cyclic_reduce(&[1, 2, -1]), vec![2]);
+        assert_eq!(cyclic_reduce(&[1, 2, 3]), vec![1, 2, 3]);
+        assert_eq!(cyclic_reduce(&[-2, 1, 2]), vec![1]);
+    }
+
+    #[test]
+    fn inversion_and_concat() {
+        let w = vec![1, -2, 3];
+        assert_eq!(invert(&w), vec![-3, 2, -1]);
+        assert!(concat(&w, &invert(&w)).is_empty());
+    }
+
+    #[test]
+    fn exponents() {
+        assert_eq!(exponent_vector(&[1, 1, -2, 3, -1], 3), vec![1, -1, 1]);
+        assert_eq!(exponent_vector(&[], 2), vec![0, 0]);
+    }
+
+    #[test]
+    fn substitution() {
+        // Replace g2 by g1^2: word g2 g1 -> g1 g1 g1.
+        assert_eq!(substitute(&[2, 1], 2, &[1, 1]), vec![1, 1, 1]);
+        // Inverse occurrences use the inverse replacement.
+        assert_eq!(substitute(&[-2], 2, &[1, 3]), vec![-3, -1]);
+    }
+
+    #[test]
+    fn generator_deletion_renumbers() {
+        assert_eq!(delete_generator(&[1, 3, -3], 2), vec![1, 2, -2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "still mentions")]
+    fn deletion_of_present_generator_panics() {
+        let _ = delete_generator(&[2], 2);
+    }
+}

@@ -1,0 +1,60 @@
+//! F3/F4 — the canonical-form transformation (§3): cost and output size
+//! across the task library.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use chromata_task::library::{
+    consensus, hourglass, majority_consensus, pinwheel, simple_example_task, two_set_agreement,
+};
+use chromata_task::{canonicalize, is_canonical, Task};
+
+fn library() -> Vec<Task> {
+    vec![
+        simple_example_task(),
+        hourglass(),
+        pinwheel(),
+        two_set_agreement(),
+        majority_consensus(),
+        consensus(3),
+    ]
+}
+
+fn bench_canonicalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("canonicalize");
+    for t in library() {
+        let canonical = canonicalize(&t);
+        println!(
+            "[series] {}: |O| {} -> |O*| {} facets (canonical: {})",
+            t.name(),
+            t.output().facet_count(),
+            canonical.output().facet_count(),
+            is_canonical(&canonical),
+        );
+        group.bench_function(t.name().to_owned(), |b| {
+            b.iter(|| canonicalize(black_box(&t)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_canonicity_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("is_canonical");
+    for t in library() {
+        let canonical = canonicalize(&t);
+        group.bench_function(t.name().to_owned(), |b| {
+            b.iter(|| is_canonical(black_box(&canonical)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: the series shapes matter, not σ.
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_canonicalize, bench_canonicity_check
+}
+criterion_main!(benches);

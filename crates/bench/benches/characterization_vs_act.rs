@@ -1,0 +1,104 @@
+//! E5 — the headline comparison: deciding solvability with the paper's
+//! pipeline (canonicalize → split → continuous check, Theorem 5.1) versus
+//! the bounded Herlihy–Shavit ACT search the paper supersedes.
+//!
+//! The *shape* reproduced: the pipeline answers with a fixed amount of
+//! combinatorial work per task, while the ACT baseline must search maps
+//! from `Ch^r(I)` whose size grows `13^r` — and for unsolvable tasks an
+//! exhausted search at round `r` is still inconclusive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use chromata::{analyze, solve_act, PipelineOptions};
+use chromata_task::library::{
+    adaptive_renaming, approximate_agreement, consensus, hourglass, identity_task, leader_election,
+    majority_consensus, pinwheel, two_set_agreement,
+};
+use chromata_task::Task;
+
+fn library() -> Vec<Task> {
+    vec![
+        identity_task(3),
+        hourglass(),
+        pinwheel(),
+        two_set_agreement(),
+        majority_consensus(),
+        consensus(3),
+        leader_election(),
+        approximate_agreement(1),
+        adaptive_renaming(),
+    ]
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decide/pipeline");
+    group.sample_size(10);
+    for t in library() {
+        let v = analyze(&t, PipelineOptions::default()).verdict;
+        println!(
+            "[series] pipeline {}: {}",
+            t.name(),
+            if v.is_solvable() {
+                "solvable"
+            } else if v.is_unsolvable() {
+                "unsolvable"
+            } else {
+                "unknown"
+            }
+        );
+        group.bench_function(t.name().to_owned(), |b| {
+            b.iter(|| {
+                analyze(black_box(&t), PipelineOptions::default())
+                    .verdict
+                    .is_solvable()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_act_rounds(c: &mut Criterion) {
+    // The baseline at increasing round budgets on one solvable and one
+    // unsolvable task: the unsolvable side shows the exhaustive blow-up.
+    let mut group = c.benchmark_group("decide/act");
+    group.sample_size(10);
+    for t in [identity_task(3), hourglass()] {
+        for r in 0..=1usize {
+            group.bench_with_input(BenchmarkId::new(t.name().to_owned(), r), &r, |b, &r| {
+                b.iter(|| solve_act(black_box(&t), r).is_solvable());
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_act_library(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decide/act-r1");
+    group.sample_size(10);
+    for t in library() {
+        println!(
+            "[series] act(r≤1) {}: {}",
+            t.name(),
+            if solve_act(&t, 1).is_solvable() {
+                "map found"
+            } else {
+                "exhausted (inconclusive)"
+            }
+        );
+        group.bench_function(t.name().to_owned(), |b| {
+            b.iter(|| solve_act(black_box(&t), 1).is_solvable());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: the series shapes matter, not σ.
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_pipeline, bench_act_rounds, bench_act_library
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E3/§5 — the continuous-map checker's tiers, timed on tasks that
+//! exercise each one: simply-connected images (adaptive renaming),
+//! the base-loop word problem (4-renaming), the joint H1 system on
+//! free-abelian (torus), torsion (RP², Klein) and infeasible (2-set
+//! agreement) instances, and the undecidable residue (Klein doubled).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use chromata::{continuous_map_exists, ContinuousOutcome};
+use chromata_task::library::{
+    adaptive_renaming, klein_bottle_doubled_loop, klein_bottle_single_loop, loop_agreement,
+    projective_plane_complex, renaming, torus_complex, two_set_agreement,
+};
+use chromata_task::Task;
+
+fn tier_tasks() -> Vec<(&'static str, Task)> {
+    vec![
+        ("simply-connected", adaptive_renaming()),
+        ("word-problem", renaming(4)),
+        ("h1-infeasible", two_set_agreement()),
+        ("h1-torus", loop_agreement("torus", torus_complex())),
+        ("h1-rp2", loop_agreement("rp2", projective_plane_complex())),
+        (
+            "h1-klein-torsion",
+            loop_agreement("klein-t", klein_bottle_single_loop()),
+        ),
+        (
+            "undecidable-residue",
+            loop_agreement("klein-2", klein_bottle_doubled_loop()),
+        ),
+    ]
+}
+
+fn bench_tiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("continuous/tiers");
+    group.sample_size(10);
+    for (label, task) in tier_tasks() {
+        let outcome = match continuous_map_exists(&task) {
+            ContinuousOutcome::Exists { .. } => "exists",
+            ContinuousOutcome::Impossible { .. } => "impossible",
+            ContinuousOutcome::Undetermined { .. } => "undetermined",
+        };
+        println!("[series] {label}: {outcome}");
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                matches!(
+                    continuous_map_exists(black_box(&task)),
+                    ContinuousOutcome::Exists { .. }
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: the series shapes matter, not σ.
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_tiers
+}
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! F7 — the Figure 7 algorithm (§5.2): cost of exhaustive verification
+//! and of single random schedules, plus negotiation length versus link
+//! size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use chromata_runtime::{explore, initial_memory, processes_for, run_random, Fig7Config};
+use chromata_task::library::{constant_task, identity_task, two_set_agreement};
+use chromata_task::Task;
+use chromata_topology::{Complex, Simplex, Vertex};
+
+/// A "cycle task": the two non-pivot colors negotiate along an `n`-cycle
+/// link around the hub vertex `(0, 0)` — negotiation paths grow with `n`.
+fn cycle_task(n: i64) -> Task {
+    let facet = Simplex::from_iter((0..3).map(|i| Vertex::of(i, 0)));
+    let input = Complex::from_facets([facet]);
+    let hub = Vertex::of(0, 0);
+    // Triangles {hub, (1,k), (2,k)} and {hub, (1,k+1), (2,k)}: the link of
+    // the hub is a 2n-cycle.
+    let mut triangles = Vec::new();
+    for k in 0..n {
+        triangles.push(Simplex::from_iter([
+            hub.clone(),
+            Vertex::of(1, k),
+            Vertex::of(2, k),
+        ]));
+        triangles.push(Simplex::from_iter([
+            hub.clone(),
+            Vertex::of(1, (k + 1) % n),
+            Vertex::of(2, k),
+        ]));
+    }
+    Task::from_facet_delta("cycle", input, move |_| triangles.clone()).expect("valid")
+}
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure7/exhaustive");
+    group.sample_size(10);
+    for t in [identity_task(3), constant_task(3)] {
+        let sigma = t.input().facets().next().unwrap().clone();
+        let config = Fig7Config { task: t.clone() };
+        let r = explore(
+            processes_for(&sigma),
+            initial_memory(),
+            &config,
+            5_000_000,
+            500,
+        )
+        .expect("budget");
+        println!(
+            "[series] {}: {} states, {} outcomes",
+            t.name(),
+            r.states,
+            r.outcomes.len()
+        );
+        group.bench_function(t.name().to_owned(), |b| {
+            b.iter(|| {
+                explore(
+                    processes_for(black_box(&sigma)),
+                    initial_memory(),
+                    &config,
+                    5_000_000,
+                    500,
+                )
+                .map(|r| r.states)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure7/random-schedule");
+    for t in [identity_task(3), two_set_agreement()] {
+        let sigma = t.input().facets().next().unwrap().clone();
+        let config = Fig7Config { task: t.clone() };
+        group.bench_function(t.name().to_owned(), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_random(
+                    processes_for(black_box(&sigma)),
+                    initial_memory(),
+                    &config,
+                    seed,
+                    100_000,
+                )
+                .expect("terminates")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_negotiation_scaling(c: &mut Criterion) {
+    // Termination is proportional to the longest link path (§5.2): random
+    // schedules on growing cycle links.
+    let mut group = c.benchmark_group("figure7/link-cycle");
+    for n in [3i64, 6, 12] {
+        let t = cycle_task(n);
+        let sigma = t.input().facets().next().unwrap().clone();
+        let config = Fig7Config { task: t.clone() };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_random(
+                    processes_for(&sigma),
+                    initial_memory(),
+                    &config,
+                    seed,
+                    1_000_000,
+                )
+                .expect("terminates")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: the series shapes matter, not σ.
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_exhaustive,
+    bench_random_schedules,
+    bench_negotiation_scaling
+}
+criterion_main!(benches);

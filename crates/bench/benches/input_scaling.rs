@@ -1,0 +1,55 @@
+//! Scaling of the pipeline with input-complex size: multi-valued
+//! consensus has `v³` input facets, approximate agreement scales its
+//! output strips with the resolution `k`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use chromata::{analyze, PipelineOptions};
+use chromata_task::library::{approximate_agreement, multi_valued_consensus};
+
+fn bench_input_facets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/input-facets");
+    group.sample_size(10);
+    for v in [2i64, 3] {
+        let t = multi_valued_consensus(v);
+        println!(
+            "[series] consensus-3x{v}: {} input facets",
+            t.input().facet_count()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, _| {
+            b.iter(|| {
+                analyze(black_box(&t), PipelineOptions::default())
+                    .verdict
+                    .is_unsolvable()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_output_resolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/output-resolution");
+    group.sample_size(10);
+    for k in [1i64, 2, 4] {
+        let t = approximate_agreement(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                analyze(black_box(&t), PipelineOptions::default())
+                    .verdict
+                    .is_solvable()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: the series shapes matter, not σ.
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_input_facets, bench_output_resolution
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! F5 — the splitting deformation (§4): LAP detection and full
+//! elimination (Theorem 4.3) across the library and on synthetic fans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use chromata::{laps, split_all};
+use chromata_task::library::{hourglass, majority_consensus, pinwheel};
+use chromata_task::{canonicalize, Task};
+use chromata_topology::{Complex, Simplex, Vertex};
+
+/// A synthetic "fan" task: `n` triangles sharing the single vertex
+/// `(0, 0)` — one articulation point with `n` link components, the
+/// worst case for a single split.
+fn fan_task(n: i64) -> Task {
+    let facet = Simplex::from_iter((0..3).map(|i| Vertex::of(i, 0)));
+    let input = Complex::from_facets([facet]);
+    let hub = Vertex::of(0, 0);
+    let triangles: Vec<Simplex> = (0..n)
+        .map(|k| Simplex::from_iter([hub.clone(), Vertex::of(1, k), Vertex::of(2, k)]))
+        .collect();
+    Task::from_facet_delta("fan", input, move |_| triangles.clone()).expect("valid")
+}
+
+fn bench_lap_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("laps/detect");
+    for t in [hourglass(), pinwheel(), majority_consensus()] {
+        let canonical = canonicalize(&t);
+        println!("[series] {}: {} LAPs", t.name(), laps(&canonical).len());
+        group.bench_function(t.name().to_owned(), |b| {
+            b.iter(|| laps(black_box(&canonical)).len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_split_all_library(c: &mut Criterion) {
+    let mut group = c.benchmark_group("laps/split_all");
+    group.sample_size(20);
+    for t in [hourglass(), pinwheel(), majority_consensus()] {
+        let canonical = canonicalize(&t);
+        let out = split_all(&canonical);
+        println!(
+            "[series] {}: {} split steps, O' {} facets, {} components",
+            t.name(),
+            out.steps.len(),
+            out.task.output().facet_count(),
+            out.task.output().connected_components().len()
+        );
+        group.bench_function(t.name().to_owned(), |b| {
+            b.iter(|| split_all(black_box(&canonical)).steps.len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_split_fan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("laps/fan");
+    group.sample_size(20);
+    for n in [2i64, 4, 8, 16] {
+        let canonical = canonicalize(&fan_task(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| split_all(black_box(&canonical)).steps.len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: the series shapes matter, not σ.
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_lap_detection,
+    bench_split_all_library,
+    bench_split_fan
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! S11 — substrate microbenchmarks: the multi-threaded double-collect
+//! atomic snapshot and the simulated memory operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use chromata_runtime::{AtomicSnapshot, Cell, Memory};
+
+fn bench_atomic_snapshot_uncontended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot/uncontended");
+    for n in [3usize, 8, 16] {
+        let snap: AtomicSnapshot<u64> = AtomicSnapshot::new(n);
+        for i in 0..n {
+            snap.update(i, i as u64);
+        }
+        group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            b.iter(|| black_box(&snap).scan());
+        });
+        group.bench_with_input(BenchmarkId::new("update", n), &n, |b, _| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k += 1;
+                black_box(&snap).update(0, k);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_atomic_snapshot_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot/contended-scan");
+    group.sample_size(20);
+    let snap: AtomicSnapshot<u64> = AtomicSnapshot::new(3);
+    group.bench_function("3-writers", |b| {
+        b.iter_custom(|iters| {
+            let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let mut writers = Vec::new();
+            for w in 0..3usize {
+                let s = snap.clone();
+                let stop = stop.clone();
+                writers.push(std::thread::spawn(move || {
+                    let mut k = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        k += 1;
+                        s.update(w, k);
+                    }
+                }));
+            }
+            let start = std::time::Instant::now();
+            for _ in 0..iters {
+                let _ = black_box(snap.scan());
+            }
+            let elapsed = start.elapsed();
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            for w in writers {
+                w.join().expect("writer");
+            }
+            elapsed
+        });
+    });
+    group.finish();
+}
+
+fn bench_simulated_memory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory/simulated");
+    let mut m = Memory::with_objects(&["a", "b"], 3);
+    m.update("a", 0, Cell::Int(1));
+    group.bench_function("update", |b| {
+        b.iter(|| {
+            let mut m2 = m.clone();
+            m2.update("a", 1, Cell::Int(7));
+            m2
+        });
+    });
+    group.bench_function("scan", |b| {
+        b.iter(|| black_box(&m).scan("a"));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: the series shapes matter, not σ.
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_atomic_snapshot_uncontended,
+    bench_atomic_snapshot_contended,
+    bench_simulated_memory
+}
+criterion_main!(benches);

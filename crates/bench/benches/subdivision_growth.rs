@@ -1,0 +1,72 @@
+//! E4 — protocol-complex growth: `Ch^r(Δ²)` has `13^r` facets (§2.4).
+//!
+//! Regenerates the growth series behind the paper's complaint about the
+//! original ACT characterization: the object one must search grows
+//! exponentially in the number of rounds `r`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use chromata_subdivision::{chromatic_subdivision, iterated_chromatic_subdivision};
+use chromata_topology::{Complex, Simplex, Vertex};
+
+fn triangle_complex() -> Complex {
+    Complex::from_facets([Simplex::from_iter((0..3).map(|i| Vertex::of(i, 0)))])
+}
+
+fn bench_iterated_subdivision(c: &mut Criterion) {
+    let k = triangle_complex();
+    let mut group = c.benchmark_group("subdivision/iterated");
+    for r in 0..=3usize {
+        // Print the series the paper's Table-free evaluation relies on.
+        let sub = iterated_chromatic_subdivision(&k, r);
+        println!(
+            "[series] Ch^{r}(Δ²): facets={} vertices={}",
+            sub.complex.facet_count(),
+            sub.complex.vertex_count()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| {
+                iterated_chromatic_subdivision(black_box(&k), r)
+                    .complex
+                    .facet_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_round_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subdivision/one-round");
+    let edge = Complex::from_facets([Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 0)])]);
+    let tri = triangle_complex();
+    let two_tri = {
+        let a = Vertex::of(0, 0);
+        let b = Vertex::of(1, 0);
+        Complex::from_facets([
+            Simplex::from_iter([a.clone(), b.clone(), Vertex::of(2, 0)]),
+            Simplex::from_iter([a, b, Vertex::of(2, 1)]),
+        ])
+    };
+    for (name, k) in [
+        ("edge", edge),
+        ("triangle", tri),
+        ("two-triangles", two_tri),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| chromatic_subdivision(black_box(&k)).complex.facet_count());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: the series shapes matter, not σ.
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_iterated_subdivision,
+    bench_single_round_shapes
+}
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Benchmark harness for the chromata workspace; see `benches/`.
+//!
+//! Each bench target regenerates one of the paper's figure-level
+//! quantities (see DESIGN.md §5 and EXPERIMENTS.md): subdivision growth
+//! (E4), canonicalization (F3/F4), LAP elimination (F5),
+//! characterization-vs-ACT (E5), Figure 7 (F7), the continuous checker's
+//! tiers (E3/§5), input/output scaling, and the snapshot substrate
+//! (S11).
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,432 @@
+//! CLI argument parsing and command dispatch (no external parser: the
+//! grammar is four subcommands with a handful of flags).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use chromata::{analyze, laps, solve_act, ActOutcome, PipelineOptions, Verdict};
+use chromata_runtime::verify_figure7;
+use chromata_task::Task;
+
+use crate::registry;
+
+/// A parsed CLI invocation.
+#[derive(Debug, PartialEq)]
+pub enum Command {
+    /// `chromata list`
+    List,
+    /// `chromata analyze <task> [--act-fallback N]`
+    Analyze {
+        /// Registry name or path to a task JSON file.
+        task: String,
+        /// ACT fallback rounds for undetermined verdicts.
+        act_fallback: usize,
+    },
+    /// `chromata act <task> [--rounds N]`
+    Act {
+        /// Registry name or path to a task JSON file.
+        task: String,
+        /// Maximum subdivision rounds to search.
+        rounds: usize,
+    },
+    /// `chromata export <task> [-o FILE]`
+    Export {
+        /// Registry name.
+        task: String,
+        /// Output path (stdout if absent).
+        output: Option<PathBuf>,
+    },
+    /// `chromata inspect <task>`
+    Inspect {
+        /// Registry name or path to a task JSON file.
+        task: String,
+    },
+    /// `chromata verify-fig7 <task> [--max-states N]`
+    VerifyFig7 {
+        /// Registry name or path to a task JSON file.
+        task: String,
+        /// State budget for the model checker.
+        max_states: usize,
+    },
+    /// `chromata help` or `--help`
+    Help,
+}
+
+/// Errors produced by parsing or executing a command.
+#[derive(Debug, PartialEq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses raw arguments (without the binary name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the first malformed argument.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list" => Ok(Command::List),
+        "analyze" => {
+            let task = required(&mut it, "analyze needs a task name or file")?;
+            let mut act_fallback = 0usize;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--act-fallback" => {
+                        act_fallback = parse_number(&mut it, "--act-fallback")?;
+                    }
+                    other => return Err(CliError(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Analyze { task, act_fallback })
+        }
+        "act" => {
+            let task = required(&mut it, "act needs a task name or file")?;
+            let mut rounds = 1usize;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--rounds" => rounds = parse_number(&mut it, "--rounds")?,
+                    other => return Err(CliError(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Act { task, rounds })
+        }
+        "export" => {
+            let task = required(&mut it, "export needs a task name")?;
+            let mut output = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "-o" | "--output" => {
+                        output = Some(PathBuf::from(required(&mut it, "-o needs a path")?));
+                    }
+                    other => return Err(CliError(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Export { task, output })
+        }
+        "inspect" => {
+            let task = required(&mut it, "inspect needs a task name or file")?;
+            if let Some(extra) = it.next() {
+                return Err(CliError(format!("unexpected argument {extra}")));
+            }
+            Ok(Command::Inspect { task })
+        }
+        "verify-fig7" => {
+            let task = required(&mut it, "verify-fig7 needs a task name or file")?;
+            let mut max_states = 5_000_000usize;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--max-states" => max_states = parse_number(&mut it, "--max-states")?,
+                    other => return Err(CliError(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::VerifyFig7 { task, max_states })
+        }
+        other => Err(CliError(format!(
+            "unknown command {other}; try `chromata help`"
+        ))),
+    }
+}
+
+fn required(it: &mut std::slice::Iter<'_, String>, msg: &str) -> Result<String, CliError> {
+    it.next().cloned().ok_or_else(|| CliError(msg.to_owned()))
+}
+
+fn parse_number(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, CliError> {
+    let raw = required(it, &format!("{flag} needs a number"))?;
+    raw.parse()
+        .map_err(|_| CliError(format!("{flag}: `{raw}` is not a number")))
+}
+
+/// Loads a task by registry name or from a JSON file path.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] if neither resolution succeeds.
+pub fn load_task(spec: &str) -> Result<Task, CliError> {
+    if let Some(t) = registry::find(spec) {
+        return Ok(t);
+    }
+    if spec.ends_with(".json") || std::path::Path::new(spec).exists() {
+        let raw = std::fs::read_to_string(spec)
+            .map_err(|e| CliError(format!("cannot read {spec}: {e}")))?;
+        return serde_json::from_str(&raw)
+            .map_err(|e| CliError(format!("cannot parse {spec}: {e}")));
+    }
+    Err(CliError(format!(
+        "`{spec}` is neither a library task nor a readable file; try `chromata list`"
+    )))
+}
+
+/// Executes a command, returning its stdout text.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on any failure (unknown task, I/O, budget).
+pub fn run(cmd: Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(HELP.to_owned()),
+        Command::List => {
+            let mut out = String::new();
+            for e in registry::entries() {
+                let _ = writeln!(out, "{:<24} {}", e.name, e.description);
+            }
+            Ok(out)
+        }
+        Command::Analyze { task, act_fallback } => {
+            let t = load_task(&task)?;
+            let analysis = analyze(
+                &t,
+                PipelineOptions {
+                    act_fallback_rounds: act_fallback,
+                },
+            );
+            let mut out = String::new();
+            let _ = writeln!(out, "{t}");
+            let lap_list = laps(&t);
+            let _ = writeln!(
+                out,
+                "articulation points: {}; split steps: {}; O' components: {}",
+                lap_list.len(),
+                analysis.split.steps.len(),
+                analysis.split.task.output().connected_components().len()
+            );
+            match &analysis.verdict {
+                Verdict::Solvable { certificate } => {
+                    let _ = writeln!(out, "verdict: SOLVABLE\n  {certificate}");
+                }
+                Verdict::Unsolvable { obstruction } => {
+                    let _ = writeln!(out, "verdict: UNSOLVABLE\n  {obstruction}");
+                }
+                Verdict::Unknown { reason } => {
+                    let _ = writeln!(out, "verdict: UNKNOWN\n  {reason}");
+                }
+            }
+            Ok(out)
+        }
+        Command::Act { task, rounds } => {
+            let t = load_task(&task)?;
+            let mut out = String::new();
+            match solve_act(&t, rounds) {
+                ActOutcome::Solvable { rounds, map } => {
+                    let _ = writeln!(
+                        out,
+                        "SOLVABLE: chromatic decision map found at {rounds} round(s) ({} vertex assignments)",
+                        map.len()
+                    );
+                }
+                ActOutcome::Exhausted { max_rounds } => {
+                    let _ = writeln!(
+                        out,
+                        "INCONCLUSIVE: no decision map up to {max_rounds} round(s) — the ACT check is only a semi-decision"
+                    );
+                }
+            }
+            Ok(out)
+        }
+        Command::Export { task, output } => {
+            let t = registry::find(&task)
+                .ok_or_else(|| CliError(format!("unknown library task `{task}`")))?;
+            let json = serde_json::to_string_pretty(&t)
+                .map_err(|e| CliError(format!("serialize: {e}")))?;
+            match output {
+                Some(path) => {
+                    std::fs::write(&path, json)
+                        .map_err(|e| CliError(format!("write {}: {e}", path.display())))?;
+                    Ok(format!("wrote {}\n", path.display()))
+                }
+                None => Ok(json),
+            }
+        }
+        Command::Inspect { task } => {
+            let t = load_task(&task)?;
+            let mut out = String::new();
+            let _ = writeln!(out, "{t}");
+            let _ = writeln!(
+                out,
+                "canonical: {}; link-connected: {}",
+                chromata_task::is_canonical(&t),
+                t.is_link_connected()
+            );
+            for sigma in t.input().facets() {
+                let img = t.delta().image_of(sigma);
+                let h = chromata::algebra::homology(img);
+                let laps = img.disconnected_link_vertices();
+                let _ = writeln!(
+                    out,
+                    "Δ({sigma}): {} facets, {} vertices; H = (b0={}, b1={}, torsion {:?}); LAPs: {}",
+                    img.facet_count(),
+                    img.vertex_count(),
+                    h.betti0,
+                    h.betti1,
+                    h.torsion1,
+                    laps.len()
+                );
+            }
+            Ok(out)
+        }
+        Command::VerifyFig7 { task, max_states } => {
+            let t = load_task(&task)?;
+            if !t.is_link_connected() {
+                return Err(CliError(format!(
+                    "`{}` is not link-connected: Figure 7's hypothesis (Lemma 5.3) fails — \
+                     the model checker would reach a disconnected negotiation",
+                    t.name()
+                )));
+            }
+            let report = verify_figure7(&t, max_states)
+                .map_err(|e| CliError(format!("exploration: {e}")))?;
+            Ok(format!(
+                "verified: {} participant sets, {} outcomes, {} states — all correct\n",
+                report.participant_sets, report.outcomes, report.states
+            ))
+        }
+    }
+}
+
+const HELP: &str = "chromata — wait-free solvability of three-process tasks (PODC 2025)
+
+USAGE:
+    chromata <COMMAND>
+
+COMMANDS:
+    list                         list the built-in task library
+    analyze <task> [--act-fallback N]
+                                 run the paper's decision pipeline
+    inspect <task>               complex statistics, homology, LAP counts
+    act <task> [--rounds N]      run the Herlihy–Shavit ACT baseline
+    export <task> [-o FILE]      dump a library task as JSON
+    verify-fig7 <task> [--max-states N]
+                                 exhaustively verify the Figure 7 algorithm
+    help                         show this message
+
+<task> is a library name (see `list`) or a path to a task JSON file.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| (*x).to_owned()).collect()
+    }
+
+    #[test]
+    fn parse_basic_commands() {
+        assert_eq!(parse(&args(&["list"])).unwrap(), Command::List);
+        assert_eq!(parse(&args(&[])).unwrap(), Command::Help);
+        assert_eq!(parse(&args(&["--help"])).unwrap(), Command::Help);
+        assert_eq!(
+            parse(&args(&["analyze", "hourglass"])).unwrap(),
+            Command::Analyze {
+                task: "hourglass".into(),
+                act_fallback: 0
+            }
+        );
+        assert_eq!(
+            parse(&args(&["act", "consensus", "--rounds", "2"])).unwrap(),
+            Command::Act {
+                task: "consensus".into(),
+                rounds: 2
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse(&args(&["frobnicate"])).is_err());
+        assert!(parse(&args(&["analyze"])).is_err());
+        assert!(parse(&args(&["act", "x", "--rounds", "many"])).is_err());
+        assert!(parse(&args(&["analyze", "x", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn run_list_and_help() {
+        let list = run(Command::List).unwrap();
+        assert!(list.contains("hourglass"));
+        assert!(list.contains("pinwheel"));
+        let help = run(Command::Help).unwrap();
+        assert!(help.contains("USAGE"));
+    }
+
+    #[test]
+    fn run_analyze_library_tasks() {
+        let out = run(Command::Analyze {
+            task: "hourglass".into(),
+            act_fallback: 0,
+        })
+        .unwrap();
+        assert!(out.contains("UNSOLVABLE"), "{out}");
+        let out = run(Command::Analyze {
+            task: "identity".into(),
+            act_fallback: 0,
+        })
+        .unwrap();
+        assert!(out.contains("SOLVABLE"), "{out}");
+    }
+
+    #[test]
+    fn run_act_baseline() {
+        let out = run(Command::Act {
+            task: "consensus-2".into(),
+            rounds: 1,
+        })
+        .unwrap();
+        assert!(out.contains("INCONCLUSIVE"), "{out}");
+    }
+
+    #[test]
+    fn export_and_reload_roundtrip() {
+        let dir = std::env::temp_dir().join("chromata-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hourglass.json");
+        run(Command::Export {
+            task: "hourglass".into(),
+            output: Some(path.clone()),
+        })
+        .unwrap();
+        let out = run(Command::Analyze {
+            task: path.display().to_string(),
+            act_fallback: 0,
+        })
+        .unwrap();
+        assert!(out.contains("UNSOLVABLE"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn run_inspect() {
+        let out = run(Command::Inspect {
+            task: "hourglass".into(),
+        })
+        .unwrap();
+        assert!(out.contains("LAPs: 1"), "{out}");
+        assert!(out.contains("link-connected: false"), "{out}");
+    }
+
+    #[test]
+    fn verify_fig7_rejects_non_link_connected() {
+        let err = run(Command::VerifyFig7 {
+            task: "hourglass".into(),
+            max_states: 1000,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("not link-connected"), "{err}");
+    }
+
+    #[test]
+    fn unknown_task_reported() {
+        let err = load_task("definitely-not-a-task").unwrap_err();
+        assert!(err.0.contains("neither a library task"));
+    }
+}

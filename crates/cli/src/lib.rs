@@ -1,0 +1,13 @@
+//! Library backing the `chromata` command-line tool.
+//!
+//! The binary is a thin wrapper around [`parse`] and [`run`], so every
+//! command is unit-testable without spawning processes. See
+//! `chromata help` for the command grammar.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod app;
+pub mod registry;
+
+pub use app::{load_task, parse, run, CliError, Command};

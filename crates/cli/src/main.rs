@@ -1,0 +1,12 @@
+//! The `chromata` binary: parse, run, print, exit.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match chromata_cli::parse(&args).and_then(chromata_cli::run) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Impossibility corollaries 5.5 and 5.6 (paper, §5.3).
+//!
+//! Both corollaries detect unsolvability directly from local articulation
+//! points, without running the full pipeline: a path (resp. cycle) in the
+//! relevant output subcomplex that cannot avoid *crossing through* a LAP
+//! — entering and leaving through different link components — witnesses
+//! that no carried continuous map can exist after splitting.
+
+use std::collections::BTreeMap;
+
+use chromata_task::Task;
+use chromata_topology::{Complex, Graph, Simplex, Value, Vertex};
+
+use crate::lap::{laps, Lap};
+
+/// The *crossing graph* of a 1-dimensional subcomplex `k` with respect to
+/// the LAPs of an input facet: every LAP vertex is split into one node per
+/// link component, and each edge attaches to the copy determined by its
+/// other endpoint. Paths in this graph are exactly the walks in `k` that
+/// never cross through a LAP.
+#[must_use]
+pub fn crossing_graph(k: &Complex, facet_laps: &[Lap]) -> Graph {
+    let lap_of: BTreeMap<&Vertex, &Lap> = facet_laps.iter().map(|l| (&l.vertex, l)).collect();
+    let copy = |v: &Vertex, other: &Vertex| -> Vertex {
+        match lap_of.get(v) {
+            Some(lap) => {
+                let i = lap
+                    .component_of(other)
+                    .expect("edge endpoint lies in some link component");
+                v.with_value(Value::split(v.value().clone(), i as u32))
+            }
+            None => v.clone(),
+        }
+    };
+    let mut g = Graph::new();
+    for v in k.vertices() {
+        if !lap_of.contains_key(v) {
+            g.add_vertex(v.clone());
+        } else {
+            let lap = lap_of[v];
+            for i in 0..lap.component_count() {
+                g.add_vertex(v.with_value(Value::split(v.value().clone(), i as u32)));
+            }
+        }
+    }
+    for e in k.simplices_of_dim(1) {
+        let vs = e.vertices();
+        let (a, b) = (&vs[0], &vs[1]);
+        g.add_edge(copy(a, b), copy(b, a));
+    }
+    g
+}
+
+/// All crossing-graph copies of a vertex.
+fn copies_of(g: &Graph, v: &Vertex) -> Vec<Vertex> {
+    g.vertices()
+        .filter(|u| *u == v || u.value().unsplit() == v.value() && u.color() == v.color())
+        .cloned()
+        .collect()
+}
+
+/// Corollary 5.5: the task is unsolvable if some input triangle
+/// `σ = {x, x', x''}` has a pair of its vertices such that *every* path in
+/// `Δ(x, x')` between their solo outputs crosses through a LAP w.r.t. `σ`.
+///
+/// Returns the witnessing `(σ, edge)` pair, or `None` if the corollary
+/// does not apply. (Non-applicability says nothing about solvability.)
+///
+/// # Examples
+///
+/// ```
+/// use chromata::corollary_5_5;
+/// use chromata_task::{canonicalize, library::{hourglass, pinwheel}};
+///
+/// assert!(corollary_5_5(&canonicalize(&hourglass())).is_some());
+/// // For the pinwheel, paths avoiding LAP crossings still exist (§6.2).
+/// assert!(corollary_5_5(&canonicalize(&pinwheel())).is_none());
+/// ```
+#[must_use]
+pub fn corollary_5_5(task: &Task) -> Option<(Simplex, Simplex)> {
+    let all = laps(task);
+    for sigma in task.input().facets() {
+        if sigma.dimension() != 2 {
+            continue;
+        }
+        let facet_laps: Vec<Lap> = all.iter().filter(|l| l.facet == *sigma).cloned().collect();
+        if facet_laps.is_empty() {
+            continue;
+        }
+        for e in sigma.boundary_faces() {
+            let img = task.delta().image_of(&e);
+            let g = crossing_graph(img, &facet_laps);
+            let vs = e.vertices();
+            let ys = task.delta().image_of(&Simplex::vertex(vs[0].clone()));
+            let yps = task.delta().image_of(&Simplex::vertex(vs[1].clone()));
+            let mut all_blocked = true;
+            'pairs: for y in ys.vertices() {
+                for yp in yps.vertices() {
+                    for cy in copies_of(&g, y) {
+                        for cyp in copies_of(&g, yp) {
+                            if g.connected(&cy, &cyp) {
+                                all_blocked = false;
+                                break 'pairs;
+                            }
+                        }
+                    }
+                }
+            }
+            if all_blocked {
+                return Some((sigma.clone(), e));
+            }
+        }
+    }
+    None
+}
+
+/// Corollary 5.6 (single input triangle): the task is unsolvable if every
+/// cycle in `Δ(Skel¹ I)` crosses through a LAP — equivalently, the
+/// crossing graph of the skeleton image is a forest *and* the solo-output
+/// consistency check of the split skeleton fails.
+///
+/// This function implements the literal cycle condition: it returns `true`
+/// when the crossing graph of `Δ(Skel¹ I)` is a forest (every cycle
+/// crosses a LAP). Combined with disagreeing solo outputs this certifies
+/// unsolvability; the full skeleton CSP lives in the pipeline.
+#[must_use]
+pub fn every_cycle_crosses_a_lap(task: &Task) -> Option<bool> {
+    let mut facets = task.input().facets();
+    let sigma = facets.next()?.clone();
+    if facets.next().is_some() || sigma.dimension() != 2 {
+        return None; // the corollary is stated for a single input triangle
+    }
+    let facet_laps: Vec<Lap> = laps(task)
+        .into_iter()
+        .filter(|l| l.facet == sigma)
+        .collect();
+    // Δ(Skel¹ I): union of the images of the three input edges.
+    let mut skel = Complex::new();
+    for e in sigma.boundary_faces() {
+        skel = skel.union(task.delta().image_of(&e));
+    }
+    let g = crossing_graph(&skel.skeleton(1), &facet_laps);
+    Some(g.is_forest())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chromata_task::canonicalize;
+    use chromata_task::library::{hourglass, identity_task, pinwheel, two_set_agreement};
+
+    #[test]
+    fn hourglass_blocked_by_corollary_5_5() {
+        let t = canonicalize(&hourglass());
+        let (sigma, edge) = corollary_5_5(&t).expect("hourglass is 5.5-blocked");
+        assert_eq!(sigma.dimension(), 2);
+        assert_eq!(edge.dimension(), 1);
+    }
+
+    #[test]
+    fn pinwheel_not_blocked_by_5_5_but_cycles_cross() {
+        let t = canonicalize(&pinwheel());
+        assert!(corollary_5_5(&t).is_none(), "§6.2: 5.5 does not apply");
+        assert_eq!(
+            every_cycle_crosses_a_lap(&t),
+            Some(true),
+            "§6.2: Corollary 5.6 applies to the pinwheel"
+        );
+    }
+
+    #[test]
+    fn clean_tasks_not_flagged() {
+        let t = canonicalize(&identity_task(3));
+        assert!(corollary_5_5(&t).is_none());
+        assert_eq!(every_cycle_crosses_a_lap(&t), Some(false));
+        let t2 = canonicalize(&two_set_agreement());
+        assert!(corollary_5_5(&t2).is_none());
+    }
+
+    #[test]
+    fn crossing_graph_splits_laps_only() {
+        let t = canonicalize(&hourglass());
+        let sigma = t.input().facets().next().unwrap().clone();
+        let facet_laps: Vec<Lap> = laps(&t).into_iter().filter(|l| l.facet == sigma).collect();
+        assert_eq!(facet_laps.len(), 1);
+        let img = t.delta().image_of(&sigma);
+        let g = crossing_graph(&img.skeleton(1), &facet_laps);
+        // One LAP with two components: one extra node.
+        assert_eq!(g.vertex_count(), img.vertex_count() + 1);
+    }
+
+    #[test]
+    fn multi_facet_tasks_not_handled_by_5_6() {
+        let t = canonicalize(&chromata_task::library::consensus(3));
+        assert_eq!(every_cycle_crosses_a_lap(&t), None);
+    }
+}

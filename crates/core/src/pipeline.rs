@@ -1,0 +1,380 @@
+//! The end-to-end solvability pipeline (paper, Theorem 5.1).
+//!
+//! ```text
+//! T ──validate──▶ restrict to reachable ──§3──▶ T* ──§4──▶ T' ──§5──▶ verdict
+//! ```
+//!
+//! For three-process tasks the pipeline canonicalizes, eliminates local
+//! articulation points, and checks the continuous-map condition on the
+//! link-connected result. Two-process tasks are decided directly by
+//! Proposition 5.4 (no splitting; the continuous check on a 1-dimensional
+//! input is exact). One-process tasks are trivially solvable.
+//!
+//! Because loop contractibility is undecidable in general (§7), the
+//! pipeline can return [`Verdict::Unknown`]; callers may enable the
+//! bounded ACT fallback to turn some unknowns into `Solvable`.
+
+use std::fmt;
+
+use chromata_task::{canonicalize, Task};
+
+use crate::act::{solve_act, ActOutcome};
+use crate::continuous::{continuous_map_exists, ContinuousOutcome, ImpossibilityReason};
+use crate::splitting::{split_all, SplitOutcome};
+
+/// The pipeline's answer.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// The task is wait-free solvable.
+    Solvable {
+        /// How solvability was certified.
+        certificate: String,
+    },
+    /// The task is not wait-free solvable.
+    Unsolvable {
+        /// The obstruction class.
+        obstruction: Obstruction,
+    },
+    /// The decidable tiers were exhausted without an answer.
+    Unknown {
+        /// Why the outcome is undetermined.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// Whether the verdict is `Solvable`.
+    #[must_use]
+    pub fn is_solvable(&self) -> bool {
+        matches!(self, Verdict::Solvable { .. })
+    }
+
+    /// Whether the verdict is `Unsolvable`.
+    #[must_use]
+    pub fn is_unsolvable(&self) -> bool {
+        matches!(self, Verdict::Unsolvable { .. })
+    }
+}
+
+/// The two obstruction classes the paper exposes (§7).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Obstruction {
+    /// After splitting, the skeleton conditions fail: some input edge's
+    /// solo choices cannot be connected in the split output — the
+    /// *chromatic* obstruction created by local articulation points.
+    ArticulationPoints {
+        /// Human-readable witness description.
+        witness: String,
+    },
+    /// The colorless obstruction: the triangle boundary loop is
+    /// non-contractible at the homology level.
+    Contractibility {
+        /// Human-readable witness description.
+        witness: String,
+    },
+}
+
+impl fmt::Display for Obstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Obstruction::ArticulationPoints { witness } => {
+                write!(f, "local-articulation-point obstruction: {witness}")
+            }
+            Obstruction::Contractibility { witness } => {
+                write!(f, "contractibility obstruction: {witness}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Solvable { certificate } => write!(f, "SOLVABLE — {certificate}"),
+            Verdict::Unsolvable { obstruction } => write!(f, "UNSOLVABLE — {obstruction}"),
+            Verdict::Unknown { reason } => write!(f, "UNKNOWN — {reason}"),
+        }
+    }
+}
+
+/// A full analysis record: the intermediate tasks and the verdict.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// The canonical task `T*` (§3).
+    pub canonical: Task,
+    /// The split, link-connected task `T'` and the splitting steps (§4).
+    pub split: SplitOutcome,
+    /// The pipeline verdict (§5).
+    pub verdict: Verdict,
+}
+
+impl fmt::Display for Analysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "canonical |O*| = {} facets; {} split step(s); O' = {} facets in {} component(s)",
+            self.canonical.output().facet_count(),
+            self.split.steps.len(),
+            self.split.task.output().facet_count(),
+            self.split.task.output().connected_components().len(),
+        )?;
+        write!(f, "{}", self.verdict)
+    }
+}
+
+/// Options controlling the pipeline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineOptions {
+    /// If the continuous tier is undetermined, run the bounded ACT search
+    /// with this many rounds (0 disables the fallback).
+    pub act_fallback_rounds: usize,
+}
+
+/// Runs the full pipeline on a (1-, 2- or 3-process) task.
+///
+/// # Panics
+///
+/// Panics if the task has more than three processes — the splitting
+/// deformation is specific to three processes (paper, §7).
+///
+/// # Examples
+///
+/// ```
+/// use chromata::{analyze, PipelineOptions};
+/// use chromata_task::library::{hourglass, identity_task};
+///
+/// assert!(analyze(&identity_task(3), PipelineOptions::default()).verdict.is_solvable());
+/// assert!(analyze(&hourglass(), PipelineOptions::default()).verdict.is_unsolvable());
+/// ```
+#[must_use]
+pub fn analyze(task: &Task, options: PipelineOptions) -> Analysis {
+    assert!(
+        task.process_count() <= 3,
+        "the characterization is specific to at most three processes"
+    );
+    let reachable = task.restricted_to_reachable();
+    let canonical = canonicalize(&reachable);
+    let split = if task.process_count() == 3 {
+        split_all(&canonical)
+    } else {
+        // Proposition 5.4: two-process tasks are decided on the raw task;
+        // one-process tasks trivially.
+        SplitOutcome {
+            task: canonical.clone(),
+            steps: Vec::new(),
+            degenerate: None,
+        }
+    };
+    let verdict = decide(&split, options);
+    Analysis {
+        canonical,
+        split,
+        verdict,
+    }
+}
+
+fn decide(split: &SplitOutcome, options: PipelineOptions) -> Verdict {
+    if let Some(x) = &split.degenerate {
+        return Verdict::Unsolvable {
+            obstruction: Obstruction::ArticulationPoints {
+                witness: format!(
+                    "splitting emptied the solo image of input vertex {x}: \
+                     the incident edges force incompatible link components"
+                ),
+            },
+        };
+    }
+    let t = &split.task;
+    match continuous_map_exists(t) {
+        ContinuousOutcome::Exists { certificates, .. } => Verdict::Solvable {
+            certificate: if certificates.is_empty() {
+                "continuous carried map exists (vertex/edge tiers)".to_owned()
+            } else {
+                certificates.join("; ")
+            },
+        },
+        ContinuousOutcome::Impossible { reason } => {
+            let obstruction = match reason {
+                ImpossibilityReason::SkeletonDisconnected { edge } => {
+                    Obstruction::ArticulationPoints {
+                        witness: format!(
+                            "after {} split step(s), no choice of solo outputs is connected across input edge {edge}",
+                            split.steps.len()
+                        ),
+                    }
+                }
+                ImpossibilityReason::HomologyObstruction { triangle } => {
+                    Obstruction::Contractibility {
+                        witness: format!(
+                            "the boundary loop of input triangle {triangle} is non-contractible (H1 certificate)"
+                        ),
+                    }
+                }
+                ImpossibilityReason::EmptyVertexImage(x) => Obstruction::ArticulationPoints {
+                    witness: format!("input vertex {x} has an empty image"),
+                },
+            };
+            Verdict::Unsolvable { obstruction }
+        }
+        ContinuousOutcome::Undetermined { reason } => {
+            if options.act_fallback_rounds > 0 {
+                if let ActOutcome::Solvable { rounds, .. } =
+                    solve_act(t, options.act_fallback_rounds)
+                {
+                    return Verdict::Solvable {
+                        certificate: format!(
+                            "ACT fallback found a decision map at {rounds} round(s)"
+                        ),
+                    };
+                }
+            }
+            Verdict::Unknown { reason }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chromata_task::library::{
+        adaptive_renaming, approximate_agreement, consensus, constant_task, disk_complex,
+        hourglass, identity_task, leader_election, loop_agreement, majority_consensus, pinwheel,
+        projective_plane_complex, renaming, sphere_complex, torus_complex, two_process_consensus,
+        two_process_leader_election, two_set_agreement,
+    };
+
+    fn verdict(t: &Task) -> Verdict {
+        analyze(t, PipelineOptions::default()).verdict
+    }
+
+    #[test]
+    fn solvable_controls() {
+        assert!(verdict(&identity_task(3)).is_solvable());
+        assert!(verdict(&constant_task(3)).is_solvable());
+        assert!(verdict(&identity_task(2)).is_solvable());
+    }
+
+    #[test]
+    fn hourglass_unsolvable_via_articulation() {
+        let a = analyze(&hourglass(), PipelineOptions::default());
+        assert_eq!(a.split.steps.len(), 1);
+        match a.verdict {
+            Verdict::Unsolvable {
+                obstruction: Obstruction::ArticulationPoints { .. },
+            } => {}
+            other => panic!("expected LAP obstruction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pinwheel_unsolvable() {
+        let a = analyze(&pinwheel(), PipelineOptions::default());
+        assert!(a.verdict.is_unsolvable());
+        assert!(!a.split.steps.is_empty());
+    }
+
+    #[test]
+    fn majority_consensus_unsolvable() {
+        assert!(verdict(&majority_consensus()).is_unsolvable());
+    }
+
+    #[test]
+    fn consensus_unsolvable_three_and_two() {
+        assert!(verdict(&consensus(3)).is_unsolvable());
+        assert!(verdict(&two_process_consensus()).is_unsolvable());
+    }
+
+    #[test]
+    fn two_set_agreement_unsolvable_via_contractibility() {
+        match verdict(&two_set_agreement()) {
+            Verdict::Unsolvable {
+                obstruction: Obstruction::Contractibility { .. },
+            } => {}
+            other => panic!("expected contractibility obstruction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn klein_bottle_loops_span_the_verdict_spectrum() {
+        use chromata_task::library::{klein_bottle_doubled_loop, klein_bottle_single_loop};
+        // Torsion loop: exactly refuted by the H1 tier.
+        let single = loop_agreement("klein-single", klein_bottle_single_loop());
+        match verdict(&single) {
+            Verdict::Unsolvable {
+                obstruction: Obstruction::Contractibility { .. },
+            } => {}
+            other => panic!("expected torsion refutation, got {other:?}"),
+        }
+        // Doubled loop: null-homologous but not null-homotopic in the
+        // infinite non-abelian π1 — the genuinely undecidable residue
+        // (§7); the pipeline must answer Unknown, not guess.
+        let doubled = loop_agreement("klein-doubled", klein_bottle_doubled_loop());
+        match verdict(&doubled) {
+            Verdict::Unknown { reason } => {
+                assert!(reason.contains("contractibility undecided"), "{reason}");
+            }
+            other => panic!("expected the honest Unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_agreement_verdicts_match_contractibility() {
+        // Contractible loops: solvable.
+        assert!(verdict(&loop_agreement("disk", disk_complex())).is_solvable());
+        assert!(verdict(&loop_agreement("sphere", sphere_complex())).is_solvable());
+        // Essential loops: unsolvable (torus: free abelian class; RP²:
+        // torsion class — both caught by the H1 tier exactly).
+        assert!(verdict(&loop_agreement("torus", torus_complex())).is_unsolvable());
+        assert!(verdict(&loop_agreement("rp2", projective_plane_complex())).is_unsolvable());
+    }
+
+    #[test]
+    fn renaming_family_verdicts() {
+        // Task solvability admits identifier-based symmetry breaking, so
+        // every finite renaming task here is solvable.
+        assert!(verdict(&adaptive_renaming()).is_solvable());
+        assert!(verdict(&renaming(5)).is_solvable());
+        assert!(verdict(&renaming(4)).is_solvable());
+        assert!(verdict(&renaming(3)).is_solvable());
+    }
+
+    #[test]
+    fn leader_election_unsolvable_via_articulation() {
+        let a = analyze(&leader_election(), PipelineOptions::default());
+        match a.verdict {
+            Verdict::Unsolvable {
+                obstruction: Obstruction::ArticulationPoints { .. },
+            } => {}
+            other => panic!("expected LAP obstruction, got {other:?}"),
+        }
+        assert_eq!(a.split.steps.len(), 3, "the three loser vertices split");
+        // The two-process variant is 2-consensus in disguise.
+        assert!(verdict(&two_process_leader_election()).is_unsolvable());
+    }
+
+    #[test]
+    fn approximate_agreement_solvable_at_all_resolutions() {
+        for k in 1..=3 {
+            assert!(
+                verdict(&approximate_agreement(k)).is_solvable(),
+                "resolution {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn verdict_predicates() {
+        let v = Verdict::Unknown { reason: "x".into() };
+        assert!(!v.is_solvable());
+        assert!(!v.is_unsolvable());
+        assert!(format!("{v}").contains("UNKNOWN"));
+    }
+
+    #[test]
+    fn analysis_display_summarizes() {
+        let a = analyze(&hourglass(), PipelineOptions::default());
+        let text = format!("{a}");
+        assert!(text.contains("1 split step(s)"), "{text}");
+        assert!(text.contains("UNSOLVABLE"), "{text}");
+    }
+}

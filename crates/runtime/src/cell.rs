@@ -1,0 +1,127 @@
+//! Register contents for the simulated shared memory.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use chromata_topology::Vertex;
+
+/// A value stored in a single-writer register of a simulated snapshot
+/// object. The Figure 7 algorithm writes vertices (`M_in`, `M_cless`),
+/// views (`M_snap`) and decision triples (`M_decisions`); the oracle
+/// object stores registration marks.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Cell {
+    /// A single chromatic vertex.
+    Vertex(Vertex),
+    /// A set of vertices (an immediate-snapshot or scan view).
+    View(BTreeSet<Vertex>),
+    /// A Figure 7 `M_decisions` entry `(vᵢ, v′, V*)`: the anchor vertex
+    /// (set once), the current proposal, and the core.
+    Decision {
+        /// The anchor `vᵢ` — never changes after the first write.
+        anchor: Vertex,
+        /// The process's current proposal `v′`.
+        current: Vertex,
+        /// The core `V*` at the time of writing.
+        core: BTreeSet<Vertex>,
+    },
+    /// An integer payload (used by the immediate-snapshot levels).
+    Int(i64),
+}
+
+impl Cell {
+    /// The vertex payload, if this is a [`Cell::Vertex`].
+    #[must_use]
+    pub fn as_vertex(&self) -> Option<&Vertex> {
+        match self {
+            Cell::Vertex(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The view payload, if this is a [`Cell::View`].
+    #[must_use]
+    pub fn as_view(&self) -> Option<&BTreeSet<Vertex>> {
+        match self {
+            Cell::View(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The decision payload, if this is a [`Cell::Decision`].
+    #[must_use]
+    pub fn as_decision(&self) -> Option<(&Vertex, &Vertex, &BTreeSet<Vertex>)> {
+        match self {
+            Cell::Decision {
+                anchor,
+                current,
+                core,
+            } => Some((anchor, current, core)),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is a [`Cell::Int`].
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Cell::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Vertex(v) => write!(f, "{v}"),
+            Cell::View(vs) => {
+                write!(f, "{{")?;
+                for (k, v) in vs.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Cell::Decision {
+                anchor,
+                current,
+                core,
+            } => {
+                write!(f, "({anchor}, {current}, |core|={})", core.len())
+            }
+            Cell::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = Vertex::of(0, 1);
+        assert_eq!(Cell::Vertex(v.clone()).as_vertex(), Some(&v));
+        assert!(Cell::Int(3).as_vertex().is_none());
+        assert_eq!(Cell::Int(3).as_int(), Some(3));
+        let view: BTreeSet<Vertex> = [v.clone()].into_iter().collect();
+        assert_eq!(Cell::View(view.clone()).as_view(), Some(&view));
+        let d = Cell::Decision {
+            anchor: v.clone(),
+            current: v.clone(),
+            core: view,
+        };
+        assert!(d.as_decision().is_some());
+        assert!(d.as_view().is_none());
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut cells = [Cell::Int(2), Cell::Vertex(Vertex::of(0, 0)), Cell::Int(1)];
+        cells.sort();
+        assert_eq!(cells.len(), 3);
+    }
+}

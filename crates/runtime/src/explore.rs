@@ -1,0 +1,463 @@
+//! Exhaustive and randomized schedulers over asynchronous processes.
+//!
+//! Processes are deterministic state machines taking one atomic shared-
+//! memory operation per step (§2.1); the *exhaustive* scheduler is a
+//! state-memoizing model checker that enumerates every interleaving (and
+//! every internal nondeterministic branch, used by the adversarial
+//! oracle), collecting the set of reachable terminal outcomes. This is
+//! strictly stronger than testing on real hardware: a property checked
+//! here holds on **all** schedules.
+
+use std::collections::BTreeSet;
+
+use chromata_topology::Vertex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::memory::Memory;
+
+/// An asynchronous process: a deterministic (up to explicit branching)
+/// state machine performing one atomic operation per step.
+pub trait Process: Clone + Ord {
+    /// Shared immutable configuration (the task, oracle strategy, …) —
+    /// excluded from the memoized state.
+    type Config;
+
+    /// The decided output, if the process has terminated.
+    fn decided(&self) -> Option<&Vertex>;
+
+    /// Performs one atomic step, returning every possible successor
+    /// (more than one only for nondeterministic steps such as oracle
+    /// calls). Must return an empty vector only when decided.
+    fn step(&self, config: &Self::Config, memory: &Memory) -> Vec<(Self, Memory)>;
+}
+
+/// A terminal outcome: the decided vertex of each process, in process
+/// order.
+pub type Outcome = Vec<Vertex>;
+
+/// The result of exhaustive exploration.
+#[derive(Clone, Debug)]
+pub struct Explored {
+    /// Every reachable terminal outcome.
+    pub outcomes: BTreeSet<Outcome>,
+    /// Number of distinct (process states, memory) system states visited.
+    pub states: usize,
+}
+
+/// Errors from exploration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExploreError {
+    /// The state budget was exhausted.
+    StateBudgetExceeded(usize),
+    /// A process ran for more steps than the bound without deciding
+    /// (possible livelock or runaway).
+    StepBoundExceeded(usize),
+}
+
+impl std::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreError::StateBudgetExceeded(n) => {
+                write!(f, "exploration exceeded the state budget of {n}")
+            }
+            ExploreError::StepBoundExceeded(n) => {
+                write!(f, "a run exceeded {n} steps without terminating")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+/// Exhaustively explores all interleavings (and internal branches) from
+/// the initial system state, memoizing visited states.
+///
+/// # Errors
+///
+/// Returns an error if more than `max_states` distinct states are
+/// visited, or some path exceeds `max_depth` steps without terminating.
+pub fn explore<P: Process>(
+    processes: Vec<P>,
+    memory: Memory,
+    config: &P::Config,
+    max_states: usize,
+    max_depth: usize,
+) -> Result<Explored, ExploreError> {
+    let mut visited: BTreeSet<(Vec<P>, Memory)> = BTreeSet::new();
+    let mut outcomes: BTreeSet<Outcome> = BTreeSet::new();
+    // Depth-first over (state, depth); the visited set makes each state
+    // expand once.
+    let mut stack: Vec<(Vec<P>, Memory, usize)> = vec![(processes, memory, 0)];
+    while let Some((procs, mem, depth)) = stack.pop() {
+        if !visited.insert((procs.clone(), mem.clone())) {
+            continue;
+        }
+        if visited.len() > max_states {
+            return Err(ExploreError::StateBudgetExceeded(max_states));
+        }
+        if procs.iter().all(|p| p.decided().is_some()) {
+            outcomes.insert(
+                procs
+                    .iter()
+                    .map(|p| p.decided().expect("all decided").clone())
+                    .collect(),
+            );
+            continue;
+        }
+        if depth >= max_depth {
+            return Err(ExploreError::StepBoundExceeded(max_depth));
+        }
+        for (i, p) in procs.iter().enumerate() {
+            if p.decided().is_some() {
+                continue;
+            }
+            let successors = p.step(config, &mem);
+            assert!(
+                !successors.is_empty(),
+                "undecided process returned no successors"
+            );
+            for (next_p, next_mem) in successors {
+                let mut next_procs = procs.clone();
+                next_procs[i] = next_p;
+                stack.push((next_procs, next_mem, depth + 1));
+            }
+        }
+    }
+    Ok(Explored {
+        outcomes,
+        states: visited.len(),
+    })
+}
+
+/// One step of a recorded schedule: which process moved and which
+/// nondeterministic branch it took.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceStep {
+    /// Index of the process that took the step.
+    pub process: usize,
+    /// Index of the successor branch chosen (0 for deterministic steps).
+    pub branch: usize,
+}
+
+/// Searches all interleavings for a terminal outcome violating
+/// `acceptable`, returning the exact schedule that produces it — the
+/// model checker's counterexample extractor.
+///
+/// Returns `None` if every reachable terminal outcome is acceptable.
+///
+/// # Errors
+///
+/// Returns an error when the budgets are exceeded (same as [`explore`]).
+pub fn find_violation<P, F>(
+    processes: Vec<P>,
+    memory: Memory,
+    config: &P::Config,
+    max_states: usize,
+    max_depth: usize,
+    mut acceptable: F,
+) -> Result<Option<(Vec<TraceStep>, Outcome)>, ExploreError>
+where
+    P: Process,
+    F: FnMut(&Outcome) -> bool,
+{
+    let mut visited: BTreeSet<(Vec<P>, Memory)> = BTreeSet::new();
+    let mut stack: Vec<(Vec<P>, Memory, Vec<TraceStep>)> = vec![(processes, memory, Vec::new())];
+    while let Some((procs, mem, trace)) = stack.pop() {
+        if !visited.insert((procs.clone(), mem.clone())) {
+            continue;
+        }
+        if visited.len() > max_states {
+            return Err(ExploreError::StateBudgetExceeded(max_states));
+        }
+        if procs.iter().all(|p| p.decided().is_some()) {
+            let outcome: Outcome = procs
+                .iter()
+                .map(|p| p.decided().expect("all decided").clone())
+                .collect();
+            if !acceptable(&outcome) {
+                return Ok(Some((trace, outcome)));
+            }
+            continue;
+        }
+        if trace.len() >= max_depth {
+            return Err(ExploreError::StepBoundExceeded(max_depth));
+        }
+        for (i, p) in procs.iter().enumerate() {
+            if p.decided().is_some() {
+                continue;
+            }
+            for (branch, (next_p, next_mem)) in p.step(config, &mem).into_iter().enumerate() {
+                let mut next_procs = procs.clone();
+                next_procs[i] = next_p;
+                let mut next_trace = trace.clone();
+                next_trace.push(TraceStep { process: i, branch });
+                stack.push((next_procs, next_mem, next_trace));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Replays a recorded trace exactly, returning the outcome.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::StepBoundExceeded`] if the trace ends before
+/// all processes decide.
+///
+/// # Panics
+///
+/// Panics if a trace step references a decided process or an
+/// out-of-range branch (the trace does not belong to this system).
+pub fn replay<P: Process>(
+    mut processes: Vec<P>,
+    mut memory: Memory,
+    config: &P::Config,
+    trace: &[TraceStep],
+) -> Result<Outcome, ExploreError> {
+    for step in trace {
+        let p = &processes[step.process];
+        assert!(p.decided().is_none(), "trace steps a decided process");
+        let mut successors = p.step(config, &memory);
+        assert!(step.branch < successors.len(), "trace branch out of range");
+        let (next_p, next_mem) = successors.swap_remove(step.branch);
+        processes[step.process] = next_p;
+        memory = next_mem;
+    }
+    if processes.iter().all(|p| p.decided().is_some()) {
+        Ok(processes
+            .iter()
+            .map(|p| p.decided().expect("all decided").clone())
+            .collect())
+    } else {
+        Err(ExploreError::StepBoundExceeded(trace.len()))
+    }
+}
+
+/// Runs a single pseudo-random schedule (uniform choice among undecided
+/// processes; nondeterministic branches resolved uniformly), returning
+/// the outcome.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::StepBoundExceeded`] if the run does not
+/// terminate within `max_steps`.
+pub fn run_random<P: Process>(
+    mut processes: Vec<P>,
+    mut memory: Memory,
+    config: &P::Config,
+    seed: u64,
+    max_steps: usize,
+) -> Result<Outcome, ExploreError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..max_steps {
+        let pending: Vec<usize> = processes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.decided().is_none())
+            .map(|(i, _)| i)
+            .collect();
+        if pending.is_empty() {
+            return Ok(processes
+                .iter()
+                .map(|p| p.decided().expect("all decided").clone())
+                .collect());
+        }
+        let i = pending[rng.gen_range(0..pending.len())];
+        let successors = processes[i].step(config, &memory);
+        assert!(!successors.is_empty(), "undecided process stuck");
+        let k = rng.gen_range(0..successors.len());
+        let (p, m) = successors.into_iter().nth(k).expect("in range");
+        processes[i] = p;
+        memory = m;
+    }
+    Err(ExploreError::StepBoundExceeded(max_steps))
+}
+
+/// Runs one specific schedule: at each step the next undecided process in
+/// `schedule` takes a step (entries naming decided processes are
+/// skipped); branches are resolved by always taking the first successor.
+/// Useful for reproducing a particular interleaving.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::StepBoundExceeded`] if the schedule ends
+/// before all processes decide.
+pub fn run_schedule<P: Process>(
+    mut processes: Vec<P>,
+    mut memory: Memory,
+    config: &P::Config,
+    schedule: &[usize],
+) -> Result<Outcome, ExploreError> {
+    for &i in schedule {
+        if processes.iter().all(|p| p.decided().is_some()) {
+            break;
+        }
+        if processes[i].decided().is_some() {
+            continue;
+        }
+        let successors = processes[i].step(config, &memory);
+        let (p, m) = successors
+            .into_iter()
+            .next()
+            .expect("undecided process stuck");
+        processes[i] = p;
+        memory = m;
+    }
+    if processes.iter().all(|p| p.decided().is_some()) {
+        Ok(processes
+            .iter()
+            .map(|p| p.decided().expect("all decided").clone())
+            .collect())
+    } else {
+        Err(ExploreError::StepBoundExceeded(schedule.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Cell;
+
+    /// A toy process: writes its id, scans, decides on the count of
+    /// writers it saw (encoded as a vertex value).
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+    struct Toy {
+        id: usize,
+        phase: u8,
+        decided: Option<Vertex>,
+    }
+
+    impl Process for Toy {
+        type Config = ();
+
+        fn decided(&self) -> Option<&Vertex> {
+            self.decided.as_ref()
+        }
+
+        fn step(&self, (): &(), memory: &Memory) -> Vec<(Self, Memory)> {
+            match self.phase {
+                0 => {
+                    let mut m = memory.clone();
+                    m.update("r", self.id, Cell::Int(1));
+                    vec![(
+                        Toy {
+                            phase: 1,
+                            ..self.clone()
+                        },
+                        m,
+                    )]
+                }
+                _ => {
+                    let seen = memory.present("r").len() as i64;
+                    vec![(
+                        Toy {
+                            decided: Some(Vertex::of(self.id as u8, seen)),
+                            ..self.clone()
+                        },
+                        memory.clone(),
+                    )]
+                }
+            }
+        }
+    }
+
+    fn toys(n: usize) -> (Vec<Toy>, Memory) {
+        (
+            (0..n)
+                .map(|id| Toy {
+                    id,
+                    phase: 0,
+                    decided: None,
+                })
+                .collect(),
+            Memory::with_objects(&["r"], n),
+        )
+    }
+
+    #[test]
+    fn exhaustive_finds_all_view_combinations() {
+        let (procs, mem) = toys(2);
+        let r = explore(procs, mem, &(), 10_000, 100).expect("small system");
+        // Each process sees 1 or 2 writes, but not both seeing 1 (the
+        // later scanner must see both writes).
+        let as_counts: BTreeSet<Vec<i64>> = r
+            .outcomes
+            .iter()
+            .map(|o| o.iter().map(|v| v.value().as_int().unwrap()).collect())
+            .collect();
+        assert!(as_counts.contains(&vec![1, 2]));
+        assert!(as_counts.contains(&vec![2, 1]));
+        assert!(as_counts.contains(&vec![2, 2]));
+        assert!(!as_counts.contains(&vec![1, 1]), "impossible outcome");
+        assert_eq!(as_counts.len(), 3);
+    }
+
+    #[test]
+    fn random_runs_terminate_and_agree_with_exhaustive() {
+        let (procs, mem) = toys(3);
+        let all = explore(procs.clone(), mem.clone(), &(), 100_000, 1000)
+            .expect("small system")
+            .outcomes;
+        for seed in 0..50 {
+            let o = run_random(procs.clone(), mem.clone(), &(), seed, 1000).expect("terminates");
+            assert!(
+                all.contains(&o),
+                "random outcome {o:?} not in exhaustive set"
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_runner_is_deterministic() {
+        let (procs, mem) = toys(2);
+        let sched = [0usize, 0, 1, 1];
+        let a = run_schedule(procs.clone(), mem.clone(), &(), &sched).unwrap();
+        let b = run_schedule(procs, mem, &(), &sched).unwrap();
+        assert_eq!(a, b);
+        // P0 runs solo first: sees only itself.
+        assert_eq!(a[0].value().as_int(), Some(1));
+        assert_eq!(a[1].value().as_int(), Some(2));
+    }
+
+    #[test]
+    fn violation_finder_returns_replayable_traces() {
+        // Ask for an impossible property: "P0 always sees 2 writers" —
+        // the solo-start schedule violates it; the returned trace must
+        // replay to the same outcome.
+        let (procs, mem) = toys(2);
+        let found = find_violation(procs.clone(), mem.clone(), &(), 10_000, 100, |o| {
+            o[0].value().as_int() == Some(2)
+        })
+        .expect("within budget");
+        let (trace, outcome) = found.expect("a violating schedule exists");
+        assert_eq!(outcome[0].value().as_int(), Some(1));
+        let replayed = replay(procs, mem, &(), &trace).expect("trace is complete");
+        assert_eq!(replayed, outcome);
+    }
+
+    #[test]
+    fn violation_finder_confirms_valid_properties() {
+        // "someone sees both writers" holds on every schedule.
+        let (procs, mem) = toys(2);
+        let found = find_violation(procs, mem, &(), 10_000, 100, |o| {
+            o.iter().any(|v| v.value().as_int() == Some(2))
+        })
+        .expect("within budget");
+        assert!(found.is_none());
+    }
+
+    #[test]
+    fn budget_errors() {
+        let (procs, mem) = toys(3);
+        assert!(matches!(
+            explore(procs.clone(), mem.clone(), &(), 2, 100),
+            Err(ExploreError::StateBudgetExceeded(2))
+        ));
+        assert!(matches!(
+            run_schedule(procs, mem, &(), &[0]),
+            Err(ExploreError::StepBoundExceeded(_))
+        ));
+    }
+}

@@ -1,0 +1,226 @@
+//! One-shot immediate snapshot (Borowsky–Gafni) and the empirical
+//! protocol complex.
+//!
+//! The paper's model assumes processes communicate by immediate snapshots
+//! (§2.1), whose one-round executions form the standard chromatic
+//! subdivision (§2.4). This module implements the classic Borowsky–Gafni
+//! *levels* algorithm from update/scan operations and, by running it under
+//! the exhaustive scheduler, regenerates the protocol complex
+//! *empirically* — cross-validated against the combinatorial
+//! `chromata_subdivision::chromatic_subdivision` (13 facets for a
+//! triangle).
+
+use std::collections::BTreeSet;
+
+use chromata_topology::{Complex, Simplex, Value, Vertex};
+
+use crate::cell::Cell;
+use crate::explore::{explore, ExploreError, Process};
+use crate::memory::Memory;
+
+/// The Borowsky–Gafni one-shot immediate snapshot for process `id` with
+/// input `input`, over `n` processes.
+///
+/// Each process descends through levels `n, n-1, …`: at level `ℓ` it
+/// writes its level, scans, and returns the set of processes at level
+/// `≤ ℓ` if that set has at least `ℓ` members.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct ImmediateSnapshot {
+    id: u8,
+    input: Vertex,
+    n: usize,
+    level: usize,
+    pending_scan: bool,
+    decided: Option<Vertex>,
+}
+
+/// Configuration: none needed (inputs are per-process).
+#[derive(Clone, Debug, Default)]
+pub struct IisConfig;
+
+impl ImmediateSnapshot {
+    /// Creates the processes for inputs given as a chromatic simplex.
+    #[must_use]
+    pub fn processes_for(inputs: &Simplex, n: usize) -> Vec<ImmediateSnapshot> {
+        inputs
+            .iter()
+            .map(|x| ImmediateSnapshot {
+                id: x.color().index(),
+                input: x.clone(),
+                n,
+                level: n + 1,
+                pending_scan: false,
+                decided: None,
+            })
+            .collect()
+    }
+
+    /// Initial memory: a `level` object and an `input` object.
+    #[must_use]
+    pub fn initial_memory(n: usize) -> Memory {
+        Memory::with_objects(&["level", "input"], n)
+    }
+}
+
+impl Process for ImmediateSnapshot {
+    type Config = IisConfig;
+
+    fn decided(&self) -> Option<&Vertex> {
+        self.decided.as_ref()
+    }
+
+    fn step(&self, _config: &IisConfig, memory: &Memory) -> Vec<(Self, Memory)> {
+        if !self.pending_scan {
+            // Descend one level: write (input, level).
+            let mut m = memory.clone();
+            let level = self.level - 1;
+            m.update("input", self.id as usize, Cell::Vertex(self.input.clone()));
+            m.update("level", self.id as usize, Cell::Int(level as i64));
+            return vec![(
+                ImmediateSnapshot {
+                    level,
+                    pending_scan: true,
+                    ..self.clone()
+                },
+                m,
+            )];
+        }
+        // Scan: collect the processes at level ≤ mine.
+        let levels = memory.present("level");
+        let at_or_below: Vec<usize> = levels
+            .iter()
+            .filter(|(_, c)| c.as_int().expect("levels are ints") <= self.level as i64)
+            .map(|(slot, _)| *slot)
+            .collect();
+        if at_or_below.len() >= self.level {
+            let view: BTreeSet<Vertex> = at_or_below
+                .iter()
+                .map(|&slot| {
+                    memory
+                        .read("input", slot)
+                        .expect("input written with level")
+                        .as_vertex()
+                        .expect("inputs are vertices")
+                        .clone()
+                })
+                .collect();
+            let out = Vertex::new(chromata_topology::Color::new(self.id), Value::view(view));
+            return vec![(
+                ImmediateSnapshot {
+                    decided: Some(out),
+                    ..self.clone()
+                },
+                memory.clone(),
+            )];
+        }
+        vec![(
+            ImmediateSnapshot {
+                pending_scan: false,
+                ..self.clone()
+            },
+            memory.clone(),
+        )]
+    }
+}
+
+/// Runs all one-round immediate-snapshot executions on `inputs` and
+/// returns the complex of decided view-simplices — the *empirical*
+/// protocol complex `Ch(σ)`.
+///
+/// # Errors
+///
+/// Propagates exploration budget errors.
+pub fn empirical_protocol_complex(inputs: &Simplex) -> Result<Complex, ExploreError> {
+    // Levels descend from the participant count; register slots are
+    // indexed by color, so size them by the largest color present.
+    let n = inputs.colors().len();
+    let slots = inputs
+        .iter()
+        .map(|v| v.color().index() as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let procs = ImmediateSnapshot::processes_for(inputs, n);
+    let explored = explore(
+        procs,
+        ImmediateSnapshot::initial_memory(slots),
+        &IisConfig,
+        5_000_000,
+        10_000,
+    )?;
+    Ok(Complex::from_facets(
+        explored.outcomes.into_iter().map(Simplex::new),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chromata_subdivision::chromatic_subdivision;
+
+    fn sigma(n: u8) -> Simplex {
+        Simplex::from_iter((0..n).map(|i| Vertex::of(i, i64::from(i))))
+    }
+
+    #[test]
+    fn two_process_executions_match_ch() {
+        let s = sigma(2);
+        let empirical = empirical_protocol_complex(&s).expect("small");
+        assert_eq!(empirical.facet_count(), 3, "3 ordered partitions of 2");
+        let combinatorial = chromatic_subdivision(&Complex::from_facets([s]));
+        assert_eq!(empirical, combinatorial.complex);
+    }
+
+    #[test]
+    fn three_process_executions_match_ch() {
+        let s = sigma(3);
+        let empirical = empirical_protocol_complex(&s).expect("within budget");
+        assert_eq!(empirical.facet_count(), 13, "the 13 facets of Ch(Δ²)");
+        let combinatorial = chromatic_subdivision(&Complex::from_facets([s]));
+        assert_eq!(empirical, combinatorial.complex);
+    }
+
+    #[test]
+    fn views_are_immediate_snapshots() {
+        // Self-inclusion and comparability of the decided views.
+        let s = sigma(3);
+        let empirical = empirical_protocol_complex(&s).expect("within budget");
+        for facet in empirical.facets() {
+            for v in facet {
+                let view = v.value().as_view().expect("views");
+                assert!(
+                    view.iter().any(|u| u.color() == v.color()),
+                    "self-inclusion"
+                );
+            }
+            // Views within one execution are totally ordered by inclusion.
+            let mut views: Vec<&[Vertex]> = facet
+                .iter()
+                .map(|v| v.value().as_view().expect("views"))
+                .collect();
+            views.sort_by_key(|v| v.len());
+            for w in views.windows(2) {
+                let small: BTreeSet<&Vertex> = w[0].iter().collect();
+                let big: BTreeSet<&Vertex> = w[1].iter().collect();
+                assert!(small.is_subset(&big), "views form a chain");
+            }
+        }
+    }
+
+    #[test]
+    fn solo_execution_sees_itself_only() {
+        let solo = Simplex::vertex(Vertex::of(1, 1));
+        let procs = ImmediateSnapshot::processes_for(&solo, 3);
+        let explored = explore(
+            procs,
+            ImmediateSnapshot::initial_memory(3),
+            &IisConfig,
+            10_000,
+            1000,
+        )
+        .expect("tiny");
+        assert_eq!(explored.outcomes.len(), 1);
+        let out = explored.outcomes.iter().next().unwrap();
+        let view = out[0].value().as_view().unwrap();
+        assert_eq!(view, &[Vertex::of(1, 1)]);
+    }
+}

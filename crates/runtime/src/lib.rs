@@ -1,0 +1,70 @@
+//! Shared-memory runtime: schedulers, snapshot objects and the paper's
+//! Figure 7 algorithm.
+//!
+//! This crate makes the operational side of *"Solvability
+//! Characterization for General Three-Process Tasks"* (PODC 2025)
+//! executable:
+//!
+//! * [`Memory`] / [`Cell`] — simulated single-writer snapshot objects
+//!   with atomic `update`/`scan` (§2.1);
+//! * [`explore`] — a state-memoizing model checker enumerating **every**
+//!   interleaving (and internal nondeterministic branch) of a set of
+//!   [`Process`] state machines, plus seeded-random and fixed-schedule
+//!   runners;
+//! * [`oracle_register`] / [`oracle_return`] — the late-binding
+//!   adversarial *color-agnostic* oracle standing in for the `A_C` of
+//!   §5.2 (see DESIGN.md, substitutions);
+//! * [`Fig7`] — the paper's Figure 7 algorithm as an explicit state
+//!   machine, with [`verify_figure7`] exhaustively validating Lemma 5.3;
+//! * [`ImmediateSnapshot`] — the Borowsky–Gafni one-shot immediate
+//!   snapshot; [`empirical_protocol_complex`] regenerates `Ch(σ)` from
+//!   actual executions (cross-validated against the combinatorial
+//!   subdivision);
+//! * [`execute_decision_map`] — protocol extraction: a chromatic decision
+//!   map `δ : Ch^r(I) → O` run as an actual `r`-round protocol and
+//!   model-checked against the task;
+//! * [`AtomicSnapshot`] — a real multi-threaded double-collect snapshot
+//!   with embedded scans, stress-tested under true parallelism.
+//!
+//! ```
+//! use chromata_runtime::verify_figure7;
+//! use chromata_task::library::identity_task;
+//!
+//! // Exhaustively verify Lemma 5.3 on the identity task: all participant
+//! // sets, all interleavings, all oracle behaviours.
+//! let report = verify_figure7(&identity_task(3), 1_000_000)?;
+//! assert_eq!(report.participant_sets, 7);
+//! # Ok::<(), chromata_runtime::ExploreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod color_fix;
+mod explore;
+mod iis;
+mod iterated;
+mod memory;
+mod oracle;
+mod protocol;
+mod snapshot;
+mod verify;
+
+pub use cell::Cell;
+pub use color_fix::{initial_memory, processes_for, Fig7, Fig7Config, OBJECTS};
+pub use explore::{
+    explore, find_violation, replay, run_random, run_schedule, ExploreError, Explored, Outcome,
+    Process, TraceStep,
+};
+pub use iis::{empirical_protocol_complex, IisConfig, ImmediateSnapshot};
+pub use iterated::{
+    empirical_iterated_protocol_complex, IteratedConfig, IteratedImmediateSnapshot, MAX_ROUNDS,
+};
+pub use memory::{Memory, ObjectId};
+pub use oracle::{
+    branch_count, oracle_register, oracle_return, ORACLE_PARTICIPANTS, ORACLE_TARGET,
+};
+pub use protocol::{execute_decision_map, DecisionConfig, DecisionProtocol};
+pub use snapshot::AtomicSnapshot;
+pub use verify::{verify_figure7, VerificationReport};

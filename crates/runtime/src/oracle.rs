@@ -1,0 +1,183 @@
+//! Adversarial color-agnostic oracles (the `A_C` of §5.2).
+//!
+//! Lemma 5.3 assumes a *color-agnostic* algorithm `A_C` whose outputs,
+//! across all participants, lie on a single simplex of `Δ(τ)` for the
+//! participating set `τ` — but a process may receive a vertex of the
+//! wrong color. The paper obtains `A_C` from the colorless ACT; here we
+//! *simulate* it with the **maximal adversary** (see DESIGN.md):
+//!
+//! The oracle separates **registration** from **return** — a real `A_C`
+//! is a multi-step protocol, so its output is determined at return time,
+//! when more processes may have registered than at invocation time (late
+//! binding; without it the adversary provably misses real behaviours,
+//! e.g. a first-returned hourglass output already sitting on the pinch
+//! vertex). [`oracle_register`] atomically records the caller; a later
+//! [`oracle_return`] hands the caller *any* vertex `y` such that
+//! `R ∪ {y}` is a simplex of `Δ(τ)`, where `R` is the set of outputs
+//! returned so far and `τ` the inputs registered so far — every choice
+//! is a branch explored by the model checker.
+//!
+//! This is exactly the interface contract of a correct `A_C`: at every
+//! prefix the returned outputs form a simplex of `Δ` of the then-current
+//! participants (the run where nobody else ever joins must be correct),
+//! and by monotonicity of `Δ` the final output set is a simplex of
+//! `Δ(τ_final)`. Every behaviour of every real `A_C` is a branch of this
+//! oracle, so properties verified against it hold against all
+//! color-agnostic solutions — and failures it finds (e.g. the hourglass
+//! negotiation entering a disconnected link) are genuine. Because `Δ`
+//! images are non-empty and face-closed, the oracle is never stuck, even
+//! for tasks with no real `A_C`.
+
+use std::collections::BTreeSet;
+
+use chromata_task::Task;
+use chromata_topology::{Simplex, Vertex};
+
+use crate::cell::Cell;
+use crate::memory::Memory;
+
+/// The memory object holding the oracle's participant registrations.
+pub const ORACLE_PARTICIPANTS: &str = "oracle";
+/// The memory object holding the oracle's output set so far (slot 0).
+pub const ORACLE_TARGET: &str = "otgt";
+
+/// Atomically registers process slot `me` (with input `input`) as an
+/// oracle participant.
+#[must_use]
+pub fn oracle_register(memory: &Memory, me: usize, input: &Vertex) -> Memory {
+    let mut m = memory.clone();
+    m.update(ORACLE_PARTICIPANTS, me, Cell::Vertex(input.clone()));
+    m
+}
+
+/// Atomically completes an oracle call registered earlier: returns every
+/// `(received vertex, successor memory)` branch. The choice is
+/// late-bound: constrained by the outputs returned *so far* and the
+/// participants registered *by now*.
+///
+/// # Panics
+///
+/// Panics if the task has no image for the registered participant set
+/// (impossible for validated tasks).
+#[must_use]
+pub fn oracle_return(task: &Task, memory: &Memory) -> Vec<(Vertex, Memory)> {
+    let tau = Simplex::from_iter(
+        memory
+            .present(ORACLE_PARTICIPANTS)
+            .into_iter()
+            .map(|(_, c)| c.as_vertex().expect("oracle holds inputs").clone()),
+    );
+    let so_far: BTreeSet<Vertex> = memory
+        .read(ORACLE_TARGET, 0)
+        .map(|c| c.as_view().expect("output set is a view").clone())
+        .unwrap_or_default();
+    let img = task.delta().image_of(&tau);
+    let mut out = Vec::new();
+    for y in img.vertices() {
+        let mut joint: Vec<Vertex> = so_far.iter().cloned().collect();
+        joint.push(y.clone());
+        if !img.contains(&Simplex::new(joint)) {
+            continue;
+        }
+        let mut m2 = memory.clone();
+        let mut next = so_far.clone();
+        next.insert(y.clone());
+        m2.update(ORACLE_TARGET, 0, Cell::View(next));
+        out.push((y.clone(), m2));
+    }
+    assert!(
+        !out.is_empty(),
+        "face-closure guarantees an extension of the output set within Δ({tau})"
+    );
+    out
+}
+
+/// The number of first-invocation branches for participants `tau`
+/// (diagnostic helper): the vertices of `Δ(τ)`.
+#[must_use]
+pub fn branch_count(task: &Task, tau: &Simplex) -> usize {
+    task.delta().image_of(tau).vertex_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chromata_task::library::{hourglass, identity_task, two_set_agreement};
+
+    fn oracle_memory() -> Memory {
+        Memory::with_objects(&[ORACLE_PARTICIPANTS, ORACLE_TARGET], 3)
+    }
+
+    #[test]
+    fn identity_oracle_is_deterministic_solo() {
+        let t = identity_task(3);
+        let sigma = t.input().facets().next().unwrap().clone();
+        let x0 = sigma.vertices()[0].clone();
+        let m = oracle_register(&oracle_memory(), 0, &x0);
+        let branches = oracle_return(&t, &m);
+        // Δ(x0) = {x0}: one vertex.
+        assert_eq!(branches.len(), 1);
+        assert_eq!(branches[0].0, x0);
+    }
+
+    #[test]
+    fn outputs_stay_on_a_common_simplex() {
+        let t = two_set_agreement();
+        let sigma = t.input().facets().next().unwrap().clone();
+        let vs = sigma.vertices();
+        // P1 registers and returns solo, then P0, then P2; at each step
+        // the output set must be a simplex of Δ of the participants.
+        let m = oracle_register(&oracle_memory(), 1, &vs[1]);
+        let (y1, m) = oracle_return(&t, &m).remove(0);
+        assert_eq!(y1.value().as_int(), Some(2), "solo decides own value");
+        let m = oracle_register(&m, 0, &vs[0]);
+        for (y0, m2) in oracle_return(&t, &m) {
+            let pair = Simplex::from_iter([y1.clone(), y0.clone()]);
+            let tau01 = Simplex::from_iter([vs[0].clone(), vs[1].clone()]);
+            assert!(t.delta().image_of(&tau01).contains(&pair));
+            let m3 = oracle_register(&m2, 2, &vs[2]);
+            for (y2, _) in oracle_return(&t, &m3) {
+                let all = Simplex::from_iter([y1.clone(), y0.clone(), y2.clone()]);
+                assert!(t.delta().image_of(&sigma).contains(&all));
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_colored_outputs_are_offered() {
+        let t = two_set_agreement();
+        let sigma = t.input().facets().next().unwrap().clone();
+        let vs = sigma.vertices();
+        let m = oracle_register(&oracle_memory(), 1, &vs[1]);
+        let (_, m) = oracle_return(&t, &m).remove(0);
+        let m = oracle_register(&m, 0, &vs[0]);
+        let branches = oracle_return(&t, &m);
+        assert!(branches.iter().any(|(y, _)| y.color() != vs[0].color()));
+        // Duplicates (the exact same vertex again) are also offered.
+        assert!(branches.iter().any(|(y, _)| y.value().as_int() == Some(2)));
+    }
+
+    #[test]
+    fn late_binding_reaches_the_pinch_first() {
+        // Both processes register before either returns: the very first
+        // returned output may already be the hourglass pinch vertex (0,1)
+        // — the seed of the counterexample schedule for Fig. 7 on the
+        // hourglass, unreachable under invocation-time binding.
+        let t = hourglass();
+        let sigma = t.input().facets().next().unwrap().clone();
+        let vs = sigma.vertices();
+        let m = oracle_register(&oracle_memory(), 0, &vs[0]);
+        let m = oracle_register(&m, 1, &vs[1]);
+        let branches = oracle_return(&t, &m);
+        assert!(branches
+            .iter()
+            .any(|(y, _)| *y == chromata_topology::Vertex::of(0, 1)));
+    }
+
+    #[test]
+    fn branch_count_diagnostic() {
+        let t = two_set_agreement();
+        let sigma = t.input().facets().next().unwrap().clone();
+        assert_eq!(branch_count(&t, &sigma), 9, "the 9 vertices of Δ(σ)");
+    }
+}

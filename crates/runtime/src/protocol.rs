@@ -1,0 +1,222 @@
+//! Executing a decision map as a protocol.
+//!
+//! The ACT direction made operational: a chromatic simplicial map
+//! `δ : Ch^r(I) → O` carried by `Δ` *is* an algorithm — run `r` rounds of
+//! iterated immediate snapshot and decide `δ(final view)` (§2.4). This
+//! module wraps a witness map found by the `chromata` core's ACT search
+//! into an executable [`Process`], so solvability witnesses can be
+//! model-checked end-to-end: every interleaving of the extracted protocol
+//! must produce outputs in `Δ(participants)`.
+
+use std::collections::BTreeMap;
+
+use chromata_task::Task;
+use chromata_topology::{Simplex, SimplicialMap, Vertex};
+
+use crate::explore::{explore, ExploreError, Process};
+use crate::iterated::{IteratedConfig, IteratedImmediateSnapshot};
+use crate::memory::Memory;
+
+/// A process executing "`r` rounds of IIS, then apply the decision map".
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct DecisionProtocol {
+    inner: IteratedImmediateSnapshot,
+    decided: Option<Vertex>,
+}
+
+/// Configuration: the decision map (`Ch^r(I)` view vertices → output
+/// vertices).
+#[derive(Clone, Debug)]
+pub struct DecisionConfig {
+    map: BTreeMap<Vertex, Vertex>,
+}
+
+impl DecisionConfig {
+    /// Wraps a witness map. For `rounds = 0` the map is applied directly
+    /// to the input vertices.
+    #[must_use]
+    pub fn new(map: &SimplicialMap) -> Self {
+        DecisionConfig {
+            map: map.iter().map(|(a, b)| (a.clone(), b.clone())).collect(),
+        }
+    }
+}
+
+impl DecisionProtocol {
+    /// Processes for the participants of `inputs` running `rounds` rounds
+    /// before deciding.
+    ///
+    /// For `rounds = 0` processes decide immediately from their input.
+    #[must_use]
+    pub fn processes_for(inputs: &Simplex, n: usize, rounds: usize) -> Vec<Self> {
+        if rounds == 0 {
+            return inputs
+                .iter()
+                .map(|x| DecisionProtocol {
+                    // A dummy inner machine; never stepped.
+                    inner: IteratedImmediateSnapshot::processes_for(
+                        &Simplex::vertex(x.clone()),
+                        n,
+                        1,
+                    )
+                    .remove(0),
+                    decided: Some(x.clone()),
+                })
+                .collect();
+        }
+        IteratedImmediateSnapshot::processes_for(inputs, n, rounds)
+            .into_iter()
+            .map(|inner| DecisionProtocol {
+                inner,
+                decided: None,
+            })
+            .collect()
+    }
+
+    /// Initial memory (same layout as the iterated snapshot).
+    #[must_use]
+    pub fn initial_memory(slots: usize, rounds: usize) -> Memory {
+        IteratedImmediateSnapshot::initial_memory(slots, rounds.max(1))
+    }
+}
+
+impl Process for DecisionProtocol {
+    type Config = DecisionConfig;
+
+    fn decided(&self) -> Option<&Vertex> {
+        self.decided.as_ref()
+    }
+
+    fn step(&self, config: &DecisionConfig, memory: &Memory) -> Vec<(Self, Memory)> {
+        // `decided` pre-set only in the rounds = 0 construction, where the
+        // map is applied below before any step; normal operation drives
+        // the inner IIS machine and applies the map to its final view.
+        self.inner
+            .step(&IteratedConfig, memory)
+            .into_iter()
+            .map(|(inner, m)| {
+                let decided = inner.decided().map(|view_vertex| {
+                    config
+                        .map
+                        .get(view_vertex)
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "decision map has no assignment for protocol vertex {view_vertex}"
+                            )
+                        })
+                        .clone()
+                });
+                (DecisionProtocol { inner, decided }, m)
+            })
+            .collect()
+    }
+}
+
+/// Exhaustively executes the extracted protocol on `participants` and
+/// checks every outcome against `Δ(participants)`.
+///
+/// For `rounds = 0` the map is applied to the inputs directly (no
+/// communication).
+///
+/// # Errors
+///
+/// Propagates exploration budget errors.
+///
+/// # Panics
+///
+/// Panics if some outcome violates the task (i.e. the witness map was not
+/// actually carried by `Δ`), if a process's own color is not preserved, or
+/// if the map is missing a protocol vertex.
+pub fn execute_decision_map(
+    task: &Task,
+    map: &SimplicialMap,
+    rounds: usize,
+    participants: &Simplex,
+    max_states: usize,
+) -> Result<usize, ExploreError> {
+    let n = participants.colors().len();
+    let slots = participants
+        .iter()
+        .map(|v| v.color().index() as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let config = DecisionConfig::new(map);
+    if rounds == 0 {
+        // Decide δ(input) immediately; a single "outcome".
+        let outcome: Vec<Vertex> = participants
+            .iter()
+            .map(|x| {
+                config
+                    .map
+                    .get(x)
+                    .unwrap_or_else(|| panic!("map missing input vertex {x}"))
+                    .clone()
+            })
+            .collect();
+        check_outcome(task, participants, &outcome);
+        return Ok(1);
+    }
+    let explored = explore(
+        DecisionProtocol::processes_for(participants, n, rounds),
+        DecisionProtocol::initial_memory(slots, rounds),
+        &config,
+        max_states,
+        100_000,
+    )?;
+    for outcome in &explored.outcomes {
+        check_outcome(task, participants, outcome);
+    }
+    Ok(explored.outcomes.len())
+}
+
+fn check_outcome(task: &Task, participants: &Simplex, outcome: &[Vertex]) {
+    for (x, v) in participants.iter().zip(outcome) {
+        assert_eq!(
+            x.color(),
+            v.color(),
+            "extracted protocol broke color preservation"
+        );
+    }
+    let s = Simplex::new(outcome.to_vec());
+    assert!(
+        task.delta().carries(participants, &s),
+        "extracted protocol produced {s} outside Δ({participants})"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chromata_task::library::constant_task;
+    use chromata_topology::SimplicialMap;
+
+    #[test]
+    fn constant_map_executes_at_zero_rounds() {
+        let t = constant_task(3);
+        let sigma = t.input().facets().next().unwrap().clone();
+        // δ: input vertex ↦ (color, 0).
+        let map: SimplicialMap = t
+            .input()
+            .vertices()
+            .map(|x| (x.clone(), x.with_value(chromata_topology::Value::Int(0))))
+            .collect();
+        for tau in sigma.faces() {
+            let outcomes = execute_decision_map(&t, &map, 0, &tau, 1_000_000).expect("budget");
+            assert_eq!(outcomes, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside Δ")]
+    fn invalid_maps_are_caught() {
+        let t = constant_task(3);
+        let sigma = t.input().facets().next().unwrap().clone();
+        // δ: everyone outputs 1 — not allowed by the constant-0 task.
+        let map: SimplicialMap = t
+            .input()
+            .vertices()
+            .map(|x| (x.clone(), x.with_value(chromata_topology::Value::Int(1))))
+            .collect();
+        let _ = execute_decision_map(&t, &map, 0, &sigma, 1_000_000);
+    }
+}

@@ -1,0 +1,275 @@
+//! The standard chromatic subdivision and its iterates.
+//!
+//! `Ch(σ)` is the protocol complex of one round of immediate snapshots on
+//! `σ`; `Ch^r(I)` of `r` rounds (paper, §2.4). The Herlihy–Shavit ACT
+//! characterizes solvability through chromatic simplicial maps from
+//! `Ch^r(I)` — the *hard-to-check* side that the paper's new
+//! characterization replaces.
+
+use chromata_topology::{CarrierMap, Complex, Simplex, Vertex};
+
+use crate::schedule::{ordered_partitions, schedule_facet};
+
+/// A subdivided complex together with the carrier map from the original
+/// complex: `carrier.image_of(τ)` is the subdivision of `τ`.
+#[derive(Clone, Debug)]
+pub struct Subdivision {
+    /// The subdivided complex (`Ch^r(K)`).
+    pub complex: Complex,
+    /// Carrier map `K → 2^{Ch^r(K)}`, defined on every simplex of `K`.
+    pub carrier: CarrierMap,
+}
+
+impl Subdivision {
+    /// The trivial (0-round) subdivision: the complex itself, with the
+    /// identity carrier `τ ↦ closure(τ)`.
+    #[must_use]
+    pub fn identity(k: &Complex) -> Self {
+        let carrier = CarrierMap::from_fn(k, |s| vec![s.clone()]);
+        Subdivision {
+            complex: k.clone(),
+            carrier,
+        }
+    }
+
+    /// The carrier (minimal original simplex) of a subdivision simplex:
+    /// the union of the views of its vertices.
+    ///
+    /// Returns `None` if some vertex is not a view vertex.
+    #[must_use]
+    pub fn carrier_of(&self, s: &Simplex) -> Option<Simplex> {
+        carrier_of_simplex(s)
+    }
+}
+
+/// The carrier of a subdivision simplex: union of its vertices' views.
+///
+/// In the standard chromatic subdivision the views of a simplex form a
+/// chain, so the union is the largest view; taking the union is correct in
+/// general and robust to faces shared between subdivided facets.
+#[must_use]
+pub fn carrier_of_simplex(s: &Simplex) -> Option<Simplex> {
+    let mut acc: Option<Simplex> = None;
+    for v in s {
+        let view = v.value().as_view()?;
+        let face = Simplex::new(view.to_vec());
+        acc = Some(match acc {
+            None => face,
+            Some(a) => a.union(&face),
+        });
+    }
+    acc
+}
+
+/// The standard chromatic subdivision `Ch(K)` of a chromatic complex.
+///
+/// Every facet `σ` of `K` contributes one facet of `Ch(K)` per ordered
+/// partition of `id(σ)` (13 for a triangle); subdivisions of shared faces
+/// agree because view vertices are value-identified.
+///
+/// # Examples
+///
+/// ```
+/// use chromata_subdivision::chromatic_subdivision;
+/// use chromata_topology::{Complex, Simplex, Vertex};
+///
+/// let tri = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 0), Vertex::of(2, 0)]);
+/// let ch = chromatic_subdivision(&Complex::from_facets([tri]));
+/// assert_eq!(ch.complex.facet_count(), 13);
+/// ```
+#[must_use]
+pub fn chromatic_subdivision(k: &Complex) -> Subdivision {
+    // Build Ch(τ) for every simplex τ of K; facets of Ch(K) come from
+    // facets of K, and the carrier map records Ch(τ) for all τ.
+    let mut complex = Complex::new();
+    let mut carrier = CarrierMap::new();
+    for tau in k.simplices() {
+        let sub = subdivide_simplex(tau);
+        for f in sub.facets() {
+            complex.add_simplex(f.clone());
+        }
+        carrier.insert(tau.clone(), sub);
+    }
+    Subdivision { complex, carrier }
+}
+
+/// `Ch(τ)` for a single simplex, as a complex.
+fn subdivide_simplex(tau: &Simplex) -> Complex {
+    let colors: Vec<_> = tau.colors().iter().collect();
+    Complex::from_facets(
+        ordered_partitions(&colors)
+            .iter()
+            .map(|sched| schedule_facet(tau, sched)),
+    )
+}
+
+/// The iterated chromatic subdivision `Ch^r(K)` with the composed carrier
+/// map `K → 2^{Ch^r(K)}`.
+///
+/// `r = 0` yields the identity subdivision.
+#[must_use]
+pub fn iterated_chromatic_subdivision(k: &Complex, rounds: usize) -> Subdivision {
+    let mut current = Subdivision::identity(k);
+    for _ in 0..rounds {
+        let next = chromatic_subdivision(&current.complex);
+        current = Subdivision {
+            carrier: current.carrier.then(&next.carrier),
+            complex: next.complex,
+        };
+    }
+    current
+}
+
+/// The *barycentric* subdivision of a ≤2-dimensional complex, with the
+/// standard chromatic structure coloring each barycenter by the dimension
+/// of its face. Used for colorless comparisons and tests.
+#[must_use]
+pub fn barycentric_subdivision(k: &Complex) -> Complex {
+    let mut out = Complex::new();
+    // Facets: chains σ₀ ⊂ σ₁ ⊂ … of simplices of K, maximal ones built
+    // from the facets downward.
+    for facet in k.facets() {
+        let chains = chains_below(facet);
+        for chain in chains {
+            out.add_simplex(Simplex::from_iter(chain.iter().map(barycenter_vertex)));
+        }
+    }
+    out
+}
+
+fn barycenter_vertex(face: &Simplex) -> Vertex {
+    Vertex::new(
+        chromata_topology::Color::new(face.dimension() as u8),
+        chromata_topology::Value::view(face.iter().cloned()),
+    )
+}
+
+/// All maximal chains of faces `σ₀ ⊂ σ₁ ⊂ … ⊂ facet`.
+fn chains_below(facet: &Simplex) -> Vec<Vec<Simplex>> {
+    fn rec(top: &Simplex) -> Vec<Vec<Simplex>> {
+        if top.dimension() == 0 {
+            return vec![vec![top.clone()]];
+        }
+        let mut out = Vec::new();
+        for f in top.boundary_faces() {
+            for mut chain in rec(&f) {
+                chain.push(top.clone());
+                out.push(chain);
+            }
+        }
+        out
+    }
+    rec(facet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chromata_topology::Color;
+
+    fn tri(x: i64) -> Simplex {
+        Simplex::from_iter([Vertex::of(0, x), Vertex::of(1, x), Vertex::of(2, x)])
+    }
+
+    #[test]
+    fn triangle_subdivision_counts() {
+        let k = Complex::from_facets([tri(0)]);
+        let ch = chromatic_subdivision(&k);
+        assert_eq!(ch.complex.facet_count(), 13);
+        assert!(ch.complex.is_pure());
+        assert!(ch.complex.is_chromatic());
+        // Vertices of Ch(Δ²): per color, views containing that color:
+        // central (3 per color: |view| choices) — total: for each color c,
+        // faces containing c: 1 of dim0 + 2 of dim1 + 1 of dim2 = 4. So 12.
+        assert_eq!(ch.complex.vertex_count(), 12);
+    }
+
+    #[test]
+    fn edge_subdivision_counts() {
+        let e = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 0)]);
+        let k = Complex::from_facets([e]);
+        let ch = chromatic_subdivision(&k);
+        assert_eq!(ch.complex.facet_count(), 3, "3 ordered partitions of 2");
+        assert_eq!(ch.complex.vertex_count(), 4);
+    }
+
+    #[test]
+    fn boundary_subdivisions_glue() {
+        // Two triangles sharing an edge: Ch has 26 facets and the shared
+        // edge's subdivision is shared.
+        let shared0 = Vertex::of(0, 0);
+        let shared1 = Vertex::of(1, 0);
+        let k = Complex::from_facets([
+            Simplex::from_iter([shared0.clone(), shared1.clone(), Vertex::of(2, 0)]),
+            Simplex::from_iter([shared0.clone(), shared1.clone(), Vertex::of(2, 1)]),
+        ]);
+        let ch = chromatic_subdivision(&k);
+        assert_eq!(ch.complex.facet_count(), 26);
+        // Shared-edge views appear once: vertex count = 12 + 12 - 4 = 20.
+        assert_eq!(ch.complex.vertex_count(), 20);
+        assert!(ch.complex.is_link_connected());
+    }
+
+    #[test]
+    fn carrier_map_valid_and_boundary_respecting() {
+        let k = Complex::from_facets([tri(0)]);
+        let ch = chromatic_subdivision(&k);
+        ch.carrier.validate_chromatic(&k).expect("valid carrier");
+        // The subdivision of an edge of the triangle is exactly the part of
+        // Ch on that boundary edge.
+        let edge = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 0)]);
+        let sub_edge = ch.carrier.image_of(&edge);
+        assert_eq!(sub_edge.facet_count(), 3);
+        assert!(sub_edge.is_subcomplex_of(&ch.complex));
+    }
+
+    #[test]
+    fn carrier_of_simplex_is_max_view() {
+        let k = Complex::from_facets([tri(0)]);
+        let ch = chromatic_subdivision(&k);
+        for f in ch.complex.facets() {
+            let c = carrier_of_simplex(f).unwrap();
+            assert_eq!(c, tri(0), "facet carriers are the whole triangle");
+        }
+        // A boundary simplex has a boundary carrier.
+        let edge = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 0)]);
+        let sub_edge = ch.carrier.image_of(&edge);
+        for f in sub_edge.facets() {
+            assert_eq!(carrier_of_simplex(f).unwrap(), edge);
+        }
+    }
+
+    #[test]
+    fn iterated_growth() {
+        let k = Complex::from_facets([tri(0)]);
+        let ch2 = iterated_chromatic_subdivision(&k, 2);
+        assert_eq!(ch2.complex.facet_count(), 13 * 13);
+        ch2.carrier
+            .validate_chromatic(&k)
+            .expect("valid composed carrier");
+        // Round 0 is the identity.
+        let ch0 = iterated_chromatic_subdivision(&k, 0);
+        assert_eq!(ch0.complex, k);
+    }
+
+    #[test]
+    fn subdivision_preserves_topology_euler() {
+        let k = Complex::from_facets([tri(0)]);
+        let ch = chromatic_subdivision(&k);
+        assert_eq!(ch.complex.euler_characteristic(), k.euler_characteristic());
+        let circle = k.skeleton(1);
+        let chc = chromatic_subdivision(&circle);
+        assert_eq!(chc.complex.euler_characteristic(), 0);
+    }
+
+    #[test]
+    fn barycentric_counts_and_colors() {
+        let k = Complex::from_facets([tri(0)]);
+        let b = barycentric_subdivision(&k);
+        assert_eq!(b.facet_count(), 6, "3! chains in a triangle");
+        assert!(b.is_chromatic(), "barycenters colored by dimension");
+        assert_eq!(b.colors(), chromata_topology::ColorSet::full(3));
+        assert_eq!(b.euler_characteristic(), 1);
+        let _ = Color::new(0);
+    }
+}

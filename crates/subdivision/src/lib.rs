@@ -1,0 +1,39 @@
+//! Chromatic subdivisions: protocol complexes of immediate-snapshot
+//! executions.
+//!
+//! Wait-free read/write protocols have protocol complexes that are iterated
+//! standard chromatic subdivisions of the input complex (paper, §2.4). This
+//! crate provides:
+//!
+//! * [`ordered_partitions`] — immediate-snapshot schedules (one-round
+//!   executions);
+//! * [`chromatic_subdivision`] / [`iterated_chromatic_subdivision`] —
+//!   `Ch(K)` and `Ch^r(K)` with their carrier maps;
+//! * [`barycentric_subdivision`] — the colorless comparison point;
+//! * [`carrier_of_simplex`] — carriers of subdivision simplices.
+//!
+//! The crate is the substrate of the baseline Herlihy–Shavit ACT checker in
+//! the `chromata` core crate, and is cross-validated against actual
+//! immediate-snapshot executions by `chromata-runtime`.
+//!
+//! ```
+//! use chromata_subdivision::iterated_chromatic_subdivision;
+//! use chromata_topology::{Complex, Simplex, Vertex};
+//!
+//! let tri = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 0), Vertex::of(2, 0)]);
+//! let k = Complex::from_facets([tri]);
+//! let ch2 = iterated_chromatic_subdivision(&k, 2);
+//! assert_eq!(ch2.complex.facet_count(), 169); // 13²
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chromatic;
+mod schedule;
+
+pub use chromatic::{
+    barycentric_subdivision, carrier_of_simplex, chromatic_subdivision,
+    iterated_chromatic_subdivision, Subdivision,
+};
+pub use schedule::{ordered_partitions, schedule_facet, schedule_views, view_vertex, Schedule};

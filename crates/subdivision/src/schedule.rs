@@ -1,0 +1,182 @@
+//! Immediate-snapshot schedules: ordered set partitions.
+//!
+//! A one-round immediate-snapshot execution by the processes of a simplex
+//! `σ` is an *ordered partition* of `id(σ)` into concurrency classes
+//! `B₁, …, B_k`: the processes of `B_t` write together and then snapshot
+//! together, seeing `B₁ ∪ … ∪ B_t` (paper, §2.1, §2.4). The facets of the
+//! standard chromatic subdivision `Ch(σ)` are in bijection with these
+//! schedules.
+
+use chromata_topology::{Color, Simplex, Value, Vertex};
+
+/// An ordered partition of a color set into non-empty concurrency classes.
+pub type Schedule = Vec<Vec<Color>>;
+
+/// Enumerates all ordered set partitions of `colors`.
+///
+/// For `n = 1, 2, 3` there are `1, 3, 13` schedules (the ordered Bell /
+/// Fubini numbers) — hence the 13 facets of the chromatic subdivision of a
+/// triangle.
+///
+/// # Examples
+///
+/// ```
+/// use chromata_subdivision::ordered_partitions;
+/// use chromata_topology::Color;
+///
+/// let colors: Vec<Color> = Color::first(3).collect();
+/// assert_eq!(ordered_partitions(&colors).len(), 13);
+/// ```
+#[must_use]
+pub fn ordered_partitions(colors: &[Color]) -> Vec<Schedule> {
+    let mut out = Vec::new();
+    let mut current: Schedule = Vec::new();
+    enumerate(colors, &mut current, &mut out);
+    out
+}
+
+fn enumerate(rest: &[Color], current: &mut Schedule, out: &mut Vec<Schedule>) {
+    if rest.is_empty() {
+        out.push(current.clone());
+        return;
+    }
+    // Choose the non-empty first block B₁ ⊆ rest, recurse on the remainder.
+    let n = rest.len();
+    for mask in 1u32..(1 << n) {
+        let block: Vec<Color> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| rest[i])
+            .collect();
+        let remainder: Vec<Color> = (0..n)
+            .filter(|i| mask & (1 << i) == 0)
+            .map(|i| rest[i])
+            .collect();
+        current.push(block);
+        enumerate(&remainder, current, out);
+        current.pop();
+    }
+}
+
+/// The views resulting from executing `schedule` on input simplex `sigma`:
+/// for each color, the face of `sigma` it sees (its own block and all
+/// earlier ones).
+///
+/// # Panics
+///
+/// Panics if the schedule's colors do not exactly partition `id(sigma)`.
+#[must_use]
+pub fn schedule_views(sigma: &Simplex, schedule: &[Vec<Color>]) -> Vec<(Color, Simplex)> {
+    let mut seen: Vec<Vertex> = Vec::new();
+    let mut out = Vec::new();
+    let mut covered = chromata_topology::ColorSet::new();
+    for block in schedule {
+        for &c in block {
+            let v = sigma
+                .vertex_of_color(c)
+                .unwrap_or_else(|| panic!("schedule color {c} not in simplex {sigma}"));
+            seen.push(v.clone());
+            assert!(covered.insert(c), "schedule repeats color {c}");
+        }
+        let view = Simplex::new(seen.clone());
+        for &c in block {
+            out.push((c, view.clone()));
+        }
+    }
+    assert_eq!(
+        covered,
+        sigma.colors(),
+        "schedule does not cover all colors of {sigma}"
+    );
+    out
+}
+
+/// The subdivision vertex produced by a view: color `c`, value
+/// `View(vertices of the seen face)`.
+#[must_use]
+pub fn view_vertex(color: Color, view: &Simplex) -> Vertex {
+    Vertex::new(color, Value::view(view.iter().cloned()))
+}
+
+/// The facet of `Ch(σ)` corresponding to a schedule.
+///
+/// # Panics
+///
+/// Panics if the schedule does not partition `id(σ)`.
+#[must_use]
+pub fn schedule_facet(sigma: &Simplex, schedule: &[Vec<Color>]) -> Simplex {
+    Simplex::from_iter(
+        schedule_views(sigma, schedule)
+            .into_iter()
+            .map(|(c, view)| view_vertex(c, &view)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn colors(n: usize) -> Vec<Color> {
+        Color::first(n).collect()
+    }
+
+    #[test]
+    fn fubini_numbers() {
+        assert_eq!(ordered_partitions(&colors(1)).len(), 1);
+        assert_eq!(ordered_partitions(&colors(2)).len(), 3);
+        assert_eq!(ordered_partitions(&colors(3)).len(), 13);
+        assert_eq!(ordered_partitions(&colors(4)).len(), 75);
+    }
+
+    #[test]
+    fn schedules_are_partitions() {
+        for sched in ordered_partitions(&colors(3)) {
+            let mut all: Vec<Color> = sched.iter().flatten().copied().collect();
+            all.sort();
+            assert_eq!(all, colors(3));
+            assert!(sched.iter().all(|b| !b.is_empty()));
+        }
+    }
+
+    #[test]
+    fn sequential_schedule_views_nest() {
+        let sigma = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 1), Vertex::of(2, 2)]);
+        // P0 then P1 then P2.
+        let sched: Schedule = vec![
+            vec![Color::new(0)],
+            vec![Color::new(1)],
+            vec![Color::new(2)],
+        ];
+        let views = schedule_views(&sigma, &sched);
+        assert_eq!(views[0].1.len(), 1);
+        assert_eq!(views[1].1.len(), 2);
+        assert_eq!(views[2].1.len(), 3);
+        assert!(views[0].1.is_face_of(&views[1].1));
+        assert!(views[1].1.is_face_of(&views[2].1));
+    }
+
+    #[test]
+    fn simultaneous_schedule_views_equal() {
+        let sigma = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 1), Vertex::of(2, 2)]);
+        let sched: Schedule = vec![colors(3)];
+        let views = schedule_views(&sigma, &sched);
+        assert!(views.iter().all(|(_, v)| *v == sigma));
+    }
+
+    #[test]
+    fn schedule_facet_is_chromatic_full_dim() {
+        let sigma = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 1), Vertex::of(2, 2)]);
+        for sched in ordered_partitions(&colors(3)) {
+            let f = schedule_facet(&sigma, &sched);
+            assert_eq!(f.dimension(), 2);
+            assert!(f.is_chromatic());
+            assert_eq!(f.colors(), sigma.colors());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in simplex")]
+    fn bad_schedule_panics() {
+        let sigma = Simplex::from_iter([Vertex::of(0, 0)]);
+        let _ = schedule_views(&sigma, &[vec![Color::new(1)]]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the chromatic subdivision.
+
+use proptest::prelude::*;
+
+use chromata_subdivision::{
+    carrier_of_simplex, chromatic_subdivision, iterated_chromatic_subdivision, ordered_partitions,
+};
+use chromata_topology::{Color, Complex, Simplex, Vertex};
+
+/// A random pure chromatic 2-complex (glued triangles over a small pool).
+fn complex_strategy() -> impl Strategy<Value = Complex> {
+    proptest::collection::vec((0i64..3, 0i64..3, 0i64..3), 1..5).prop_map(|triples| {
+        Complex::from_facets(triples.iter().map(|(a, b, c)| {
+            Simplex::from_iter([Vertex::of(0, *a), Vertex::of(1, *b), Vertex::of(2, *c)])
+        }))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn facet_count_is_thirteen_per_triangle(k in complex_strategy()) {
+        let sub = chromatic_subdivision(&k);
+        prop_assert_eq!(
+            sub.complex.facet_count(),
+            13 * k.facet_count(),
+            "one subdivided copy per ordered partition per facet"
+        );
+    }
+
+    #[test]
+    fn subdivision_is_chromatic_and_pure(k in complex_strategy()) {
+        let sub = chromatic_subdivision(&k);
+        prop_assert!(sub.complex.is_chromatic());
+        prop_assert!(sub.complex.is_pure());
+        prop_assert_eq!(sub.complex.dimension(), k.dimension());
+    }
+
+    #[test]
+    fn carrier_map_is_valid_and_boundary_respecting(k in complex_strategy()) {
+        let sub = chromatic_subdivision(&k);
+        prop_assert!(sub.carrier.validate_chromatic(&k).is_ok());
+        for tau in k.simplices() {
+            let part = sub.carrier.image_of(tau);
+            prop_assert!(part.is_subcomplex_of(&sub.complex));
+            for facet in part.facets() {
+                let carrier = carrier_of_simplex(facet);
+                prop_assert_eq!(carrier.as_ref(), Some(tau), "facet carrier mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn views_in_facets_form_chains(k in complex_strategy()) {
+        let sub = chromatic_subdivision(&k);
+        for f in sub.complex.facets() {
+            let mut views: Vec<&[Vertex]> = f
+                .iter()
+                .map(|v| v.value().as_view().expect("view vertices"))
+                .collect();
+            views.sort_by_key(|v| v.len());
+            for w in views.windows(2) {
+                let small: std::collections::BTreeSet<_> = w[0].iter().collect();
+                let big: std::collections::BTreeSet<_> = w[1].iter().collect();
+                prop_assert!(small.is_subset(&big), "views must nest");
+            }
+            // Self-inclusion.
+            for v in f {
+                let view = v.value().as_view().unwrap();
+                prop_assert!(view.iter().any(|u| u.color() == v.color()));
+            }
+        }
+    }
+
+    #[test]
+    fn subdivision_preserves_euler_characteristic(k in complex_strategy()) {
+        let sub = chromatic_subdivision(&k);
+        prop_assert_eq!(
+            sub.complex.euler_characteristic(),
+            k.euler_characteristic()
+        );
+    }
+
+    #[test]
+    fn two_rounds_compose(k in complex_strategy()) {
+        // Bound the size to keep Ch² affordable.
+        if k.facet_count() > 2 {
+            return Ok(());
+        }
+        let two = iterated_chromatic_subdivision(&k, 2);
+        let once = chromatic_subdivision(&k);
+        let again = chromatic_subdivision(&once.complex);
+        prop_assert_eq!(two.complex, again.complex);
+        prop_assert!(two.carrier.validate_chromatic(&k).is_ok());
+    }
+}
+
+#[test]
+fn ordered_partition_counts_match_fubini() {
+    let fubini = [1usize, 1, 3, 13, 75];
+    for (n, &expected) in fubini.iter().enumerate() {
+        let colors: Vec<Color> = Color::first(n).collect();
+        assert_eq!(ordered_partitions(&colors).len(), expected, "n = {n}");
+    }
+}

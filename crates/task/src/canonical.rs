@@ -1,0 +1,211 @@
+//! Canonical tasks (paper, §3).
+//!
+//! A task is transformed into *canonical* form `T* = (I, O*, Δ*)` by making
+//! every process output its input alongside its decision: output vertices
+//! become pairs `(input, output)`. Δ* is then "one-to-one" — each output
+//! vertex has a unique input-vertex pre-image — which is what the splitting
+//! deformation of §4 relies on. Theorem 3.1: `T` is solvable iff `T*` is.
+
+use chromata_topology::{
+    product_simplex, project_first, project_second, CarrierMap, Complex, Simplex, Vertex,
+};
+
+use crate::task::Task;
+
+/// The canonical form `T* = (I, O*, Δ*)` of a task (paper, §3):
+/// `Δ*(X) = { X × Y : Y ∈ Δ(X) }` and `O*` is the union of the images.
+///
+/// # Examples
+///
+/// ```
+/// use chromata_task::{canonicalize, is_canonical, library::consensus};
+///
+/// let t = consensus(3);
+/// assert!(!is_canonical(&t)); // value 0 is decidable from many inputs
+/// let c = canonicalize(&t);
+/// assert!(is_canonical(&c));
+/// assert_eq!(c.input(), t.input());
+/// ```
+///
+/// # Panics
+///
+/// Panics if the task's carrier map is malformed (impossible for validated
+/// [`Task`]s).
+#[must_use]
+pub fn canonicalize(task: &Task) -> Task {
+    let mut delta = CarrierMap::new();
+    for (tau, img) in task.delta().iter() {
+        let facets: Vec<Simplex> = img
+            .facets()
+            .map(|y| {
+                product_simplex(tau, y)
+                    .expect("carrier images have the colors of their domain simplex")
+            })
+            .collect();
+        delta.insert(tau.clone(), Complex::from_facets(facets));
+    }
+    let output = delta.full_image();
+    Task::new(
+        format!("{}*", task.name()),
+        task.input().clone(),
+        output,
+        delta,
+    )
+    .expect("canonicalization preserves task validity")
+}
+
+/// Whether the task is canonical: `Δ` is "one-to-one" in the paper's
+/// sense — for any two *distinct* input simplices of the same dimension
+/// `d`, their images share no `d`-dimensional simplex. (The `d = 0` case
+/// is the unique-pre-image property of output vertices that Claim 1
+/// relies on.)
+#[must_use]
+pub fn is_canonical(task: &Task) -> bool {
+    let simplices: Vec<&Simplex> = task.input().simplices().collect();
+    for (i, t1) in simplices.iter().enumerate() {
+        for t2 in &simplices[i + 1..] {
+            if t1.dimension() != t2.dimension() {
+                continue;
+            }
+            let d = t1.dimension();
+            let img1 = task.delta().image_of(t1);
+            let img2 = task.delta().image_of(t2);
+            if img1.simplices_of_dim(d).any(|s| img2.contains(s)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The unique input vertex of which a canonical output vertex is an
+/// output, recovered from its paired value.
+///
+/// Returns `None` if the vertex does not carry a `Pair` value. Split
+/// copies produced by the §4 deformation keep their pre-image: the split
+/// wrapper is stripped before projecting.
+#[must_use]
+pub fn canonical_preimage(w: &Vertex) -> Option<Vertex> {
+    let base = w.with_value(w.value().unsplit().clone());
+    project_first(&base)
+}
+
+/// The underlying original-task decision of a canonical output vertex.
+///
+/// Returns `None` if the vertex does not carry a `Pair` value.
+#[must_use]
+pub fn canonical_decision(w: &Vertex) -> Option<Vertex> {
+    let base = w.with_value(w.value().unsplit().clone());
+    project_second(&base)
+}
+
+/// Projects a solution of `T*` down to a solution of `T` at the level of
+/// decided simplices: maps each canonical output simplex to the original
+/// output simplex (Theorem 3.1, easy direction).
+///
+/// Returns `None` if some vertex is not canonical.
+#[must_use]
+pub fn project_canonical_simplex(s: &Simplex) -> Option<Simplex> {
+    let verts: Option<Vec<Vertex>> = s.iter().map(canonical_decision).collect();
+    Some(Simplex::new(verts?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chromata_topology::Value;
+
+    fn v(c: u8, x: i64) -> Vertex {
+        Vertex::of(c, x)
+    }
+
+    /// Two-facet task where both inputs can produce the same output facet
+    /// (the Fig. 3 pattern).
+    fn shared_output_task() -> Task {
+        let sigma = Simplex::from_iter([v(0, 0), v(1, 0), v(2, 0)]);
+        let sigma2 = Simplex::from_iter([v(0, 1), v(1, 0), v(2, 0)]);
+        let input = Complex::from_facets([sigma, sigma2]);
+        let g = Simplex::from_iter([v(0, 10), v(1, 10), v(2, 10)]);
+        Task::from_facet_delta("fig3-like", input, |_| vec![g.clone()]).expect("valid")
+    }
+
+    #[test]
+    fn non_canonical_detected() {
+        let t = shared_output_task();
+        assert!(!is_canonical(&t), "g0 is the output of two input vertices");
+    }
+
+    #[test]
+    fn canonicalization_is_canonical_and_separates_facets() {
+        let t = shared_output_task();
+        let c = canonicalize(&t);
+        assert!(is_canonical(&c));
+        // The single output facet g splits into one copy per input facet.
+        assert_eq!(c.output().facet_count(), 2);
+        // Images of distinct facets are facet-disjoint.
+        let facets: Vec<Simplex> = c.input().facets().cloned().collect();
+        let img0 = c.delta().image_of(&facets[0]);
+        let img1 = c.delta().image_of(&facets[1]);
+        assert!(img0.facets().all(|f| !img1.contains(f)));
+        // But they still share the sub-simplices of the shared input face.
+        let shared_edge = Simplex::from_iter([v(1, 0), v(2, 0)]);
+        let edge_img = c.delta().image_of(&shared_edge);
+        assert!(edge_img.is_subcomplex_of(&img0.intersection(img1)));
+    }
+
+    #[test]
+    fn projections_roundtrip() {
+        let t = shared_output_task();
+        let c = canonicalize(&t);
+        for w in c.output().vertices() {
+            let x = canonical_preimage(w).expect("canonical vertex");
+            let y = canonical_decision(w).expect("canonical vertex");
+            assert_eq!(x.color(), w.color());
+            assert_eq!(y.color(), w.color());
+            assert!(t.input().contains_vertex(&x));
+            assert!(t.output().contains_vertex(&y));
+        }
+    }
+
+    #[test]
+    fn projection_of_simplices() {
+        let t = shared_output_task();
+        let c = canonicalize(&t);
+        for (tau, img) in c.delta().iter() {
+            for f in img.facets() {
+                let back = project_canonical_simplex(f).expect("canonical");
+                assert!(t.delta().carries(tau, &back));
+            }
+        }
+    }
+
+    #[test]
+    fn preimage_strips_split_wrappers() {
+        let w = Vertex::new(
+            chromata_topology::Color::new(1),
+            Value::split(Value::pair(Value::Int(7), Value::Int(9)), 2),
+        );
+        assert_eq!(canonical_preimage(&w), Some(v(1, 7)));
+        assert_eq!(canonical_decision(&w), Some(v(1, 9)));
+    }
+
+    #[test]
+    fn canonicalizing_twice_is_still_canonical() {
+        let t = shared_output_task();
+        let cc = canonicalize(&canonicalize(&t));
+        assert!(is_canonical(&cc));
+    }
+
+    #[test]
+    fn idempotent_on_inputless_tasks() {
+        // Single-facet tasks are not automatically canonical unless Δ is
+        // injective at vertices — the identity task is.
+        let tri = Simplex::from_iter([v(0, 0), v(1, 0), v(2, 0)]);
+        let input = Complex::from_facets([tri]);
+        let t = Task::from_delta_fn("identity", input, |s| vec![s.clone()]).unwrap();
+        assert!(is_canonical(&t));
+        let c = canonicalize(&t);
+        assert!(is_canonical(&c));
+        assert_eq!(c.output().facet_count(), 1);
+    }
+}

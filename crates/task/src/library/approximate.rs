@@ -1,0 +1,126 @@
+//! Discrete approximate agreement.
+
+use chromata_topology::{Complex, Simplex, Value, Vertex};
+
+use crate::task::Task;
+
+/// Discrete approximate agreement with binary inputs on a resolution-`k`
+/// grid: processes start with 0 or 1 and decide grid values in
+/// `{0, 1, …, k}` (representing `j/k`) that (a) pairwise differ by at
+/// most one grid step and (b) lie within the interval spanned by the
+/// participants' inputs (scaled: input `b` is grid value `b·k`).
+///
+/// Wait-free solvable for every `k ≥ 1` — the classic positive result
+/// that survives the FLP-style impossibilities; its output complexes are
+/// subdivided strips, so the pipeline certifies solvability through the
+/// simply-connected tier. With `k = 1` the task degenerates into a
+/// solvable relaxation of consensus where mixed outputs `{0, 1}` are
+/// allowed.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use chromata_task::library::approximate_agreement;
+///
+/// let t = approximate_agreement(3);
+/// assert_eq!(t.input().facet_count(), 8);
+/// assert!(t.is_link_connected());
+/// ```
+#[must_use]
+pub fn approximate_agreement(k: i64) -> Task {
+    assert!(k >= 1, "resolution must be positive");
+    let mut input = Complex::new();
+    for mask in 0..8u32 {
+        input.add_simplex(Simplex::from_iter(
+            (0..3).map(|i| Vertex::of(i, i64::from(mask >> i & 1))),
+        ));
+    }
+    Task::from_facet_delta(format!("approx-agreement-{k}"), input, move |sigma| {
+        let inputs: Vec<i64> = sigma
+            .iter()
+            .map(|u| u.value().as_int().expect("binary inputs") * k)
+            .collect();
+        let lo = *inputs.iter().min().expect("non-empty");
+        let hi = *inputs.iter().max().expect("non-empty");
+        // All assignments within [lo, hi], pairwise within one grid step:
+        // values drawn from {base, base+1} for each base.
+        let mut out = Vec::new();
+        for base in lo..=hi {
+            let top = (base + 1).min(hi);
+            // Each process picks base or top.
+            for mask in 0..(1u32 << sigma.len()) {
+                let facet = Simplex::from_iter(sigma.iter().enumerate().map(|(j, u)| {
+                    let v = if mask >> j & 1 == 0 { base } else { top };
+                    u.with_value(Value::Int(v))
+                }));
+                out.push(facet);
+            }
+        }
+        out
+    })
+    .expect("approximate agreement is a valid task")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_inputs_pin_outputs() {
+        let t = approximate_agreement(3);
+        for b in 0..2i64 {
+            let sigma = Simplex::from_iter((0..3).map(|i| Vertex::of(i, b)));
+            let img = t.delta().image_of(&sigma);
+            assert_eq!(img.facet_count(), 1, "all must decide {b}·k");
+            assert!(img.contains_vertex(&Vertex::of(0, b * 3)));
+        }
+    }
+
+    #[test]
+    fn mixed_inputs_span_the_strip() {
+        let t = approximate_agreement(3);
+        let sigma = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 1), Vertex::of(2, 0)]);
+        let img = t.delta().image_of(&sigma);
+        // Values range over the whole grid.
+        assert!(img.contains_vertex(&Vertex::of(0, 0)));
+        assert!(img.contains_vertex(&Vertex::of(0, 3)));
+        // Spread > 1 is forbidden.
+        for f in img.facets() {
+            let vals: Vec<i64> = f.iter().map(|v| v.value().as_int().unwrap()).collect();
+            let lo = vals.iter().min().unwrap();
+            let hi = vals.iter().max().unwrap();
+            assert!(hi - lo <= 1, "spread violated: {f}");
+        }
+    }
+
+    #[test]
+    fn strip_is_link_connected_and_contractible() {
+        let t = approximate_agreement(2);
+        assert!(t.is_link_connected());
+        let sigma = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 1), Vertex::of(2, 1)]);
+        let h = chromata_algebra::homology(t.delta().image_of(&sigma));
+        assert_eq!((h.betti0, h.betti1), (1, 0), "strips are contractible");
+    }
+
+    #[test]
+    fn solo_outputs_own_scaled_input() {
+        let t = approximate_agreement(2);
+        let x = Simplex::vertex(Vertex::of(1, 1));
+        let img = t.delta().image_of(&x);
+        assert_eq!(img.facet_count(), 1);
+        assert!(img.contains_vertex(&Vertex::of(1, 2)));
+    }
+
+    #[test]
+    fn validity_interval_respected() {
+        // With all inputs 1, value 0 must not appear anywhere.
+        let t = approximate_agreement(4);
+        let sigma = Simplex::from_iter((0..3).map(|i| Vertex::of(i, 1)));
+        let img = t.delta().image_of(&sigma);
+        assert!(!img.contains_vertex(&Vertex::of(0, 0)));
+    }
+}

@@ -1,0 +1,178 @@
+//! Binary consensus.
+
+use chromata_topology::{Complex, Simplex, Value, Vertex};
+
+use crate::task::Task;
+
+/// Binary consensus for `n` processes: every process starts with 0 or 1;
+/// all participants must decide the same value, which must be the input of
+/// a participant. Wait-free unsolvable for every `n ≥ 2` (FLP).
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or exceeds the supported color range.
+///
+/// # Examples
+///
+/// ```
+/// use chromata_task::library::consensus;
+///
+/// let t = consensus(3);
+/// assert_eq!(t.input().facet_count(), 8); // all binary input assignments
+/// ```
+#[must_use]
+pub fn consensus(n: usize) -> Task {
+    assert!(n >= 1, "consensus needs at least one process");
+    let input = binary_input_complex(n);
+    Task::from_facet_delta(format!("consensus-{n}"), input, |sigma| {
+        let vals: Vec<i64> = sigma
+            .iter()
+            .map(|u| u.value().as_int().expect("binary inputs"))
+            .collect();
+        let mut out = Vec::new();
+        for d in [0i64, 1] {
+            if vals.contains(&d) {
+                out.push(Simplex::from_iter(
+                    sigma.iter().map(|u| u.with_value(Value::Int(d))),
+                ));
+            }
+        }
+        out
+    })
+    .expect("consensus is a valid task")
+}
+
+/// Two-process binary consensus (used by the Proposition 5.4 decider
+/// tests).
+#[must_use]
+pub fn two_process_consensus() -> Task {
+    consensus(2)
+}
+
+/// Three-process consensus over `v ≥ 2` input values: the input complex
+/// has `v³` facets. Used by the input-scaling benchmarks; unsolvable for
+/// every `v` (consensus is consensus).
+///
+/// # Panics
+///
+/// Panics if `v < 2`.
+#[must_use]
+pub fn multi_valued_consensus(v: i64) -> Task {
+    assert!(v >= 2, "consensus needs at least two values");
+    let mut input = Complex::new();
+    let mut assign = [0i64; 3];
+    loop {
+        input.add_simplex(Simplex::from_iter(
+            (0..3).map(|i| Vertex::of(i as u8, assign[i])),
+        ));
+        let mut i = 0;
+        loop {
+            if i == 3 {
+                let t = Task::from_facet_delta(format!("consensus-3x{v}"), input, |sigma| {
+                    let vals: Vec<i64> = sigma
+                        .iter()
+                        .map(|u| u.value().as_int().expect("int inputs"))
+                        .collect();
+                    let mut distinct = vals.clone();
+                    distinct.sort_unstable();
+                    distinct.dedup();
+                    distinct
+                        .into_iter()
+                        .map(|d| {
+                            Simplex::from_iter(sigma.iter().map(|u| u.with_value(Value::Int(d))))
+                        })
+                        .collect()
+                })
+                .expect("multi-valued consensus is a valid task");
+                return t;
+            }
+            assign[i] += 1;
+            if assign[i] < v {
+                break;
+            }
+            assign[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// The complex of all binary input assignments for `n` processes.
+#[must_use]
+pub(crate) fn binary_input_complex(n: usize) -> Complex {
+    let mut input = Complex::new();
+    for mask in 0..(1u32 << n) {
+        let facet =
+            Simplex::from_iter((0..n).map(|i| Vertex::of(i as u8, i64::from(mask >> i & 1))));
+        input.add_simplex(facet);
+    }
+    input
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_complex_shape() {
+        let t = consensus(3);
+        assert_eq!(t.input().vertex_count(), 6);
+        assert_eq!(t.input().facet_count(), 8);
+        assert!(t.input().is_pure());
+        assert!(t.input().is_chromatic());
+    }
+
+    #[test]
+    fn delta_respects_validity() {
+        let t = consensus(3);
+        // Uniform input: only that value decidable.
+        let all0 = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 0), Vertex::of(2, 0)]);
+        assert_eq!(t.delta().image_of(&all0).facet_count(), 1);
+        // Mixed input: both.
+        let mixed = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 1), Vertex::of(2, 0)]);
+        assert_eq!(t.delta().image_of(&mixed).facet_count(), 2);
+    }
+
+    #[test]
+    fn solo_decides_own_value() {
+        let t = consensus(3);
+        for b in 0..2 {
+            let x = Simplex::vertex(Vertex::of(1, b));
+            let img = t.delta().image_of(&x);
+            assert_eq!(img.facet_count(), 1);
+            assert!(img.contains_vertex(&Vertex::of(1, b)));
+        }
+    }
+
+    #[test]
+    fn agreement_output_is_disconnected_per_facet() {
+        // For a mixed input triangle, Δ(σ) is two disjoint triangles: the
+        // geometric source of consensus impossibility.
+        let t = consensus(3);
+        let mixed = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 1), Vertex::of(2, 0)]);
+        let img = t.delta().image_of(&mixed);
+        assert_eq!(img.connected_components().len(), 2);
+    }
+
+    #[test]
+    fn multi_valued_shapes() {
+        let t = multi_valued_consensus(3);
+        assert_eq!(t.input().facet_count(), 27);
+        assert_eq!(t.input().vertex_count(), 9);
+        // A rainbow input allows all three unanimous decisions.
+        let rainbow = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 1), Vertex::of(2, 2)]);
+        assert_eq!(t.delta().image_of(&rainbow).facet_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two values")]
+    fn multi_valued_needs_two() {
+        let _ = multi_valued_consensus(1);
+    }
+
+    #[test]
+    fn two_process_variant() {
+        let t = two_process_consensus();
+        assert_eq!(t.process_count(), 2);
+        assert_eq!(t.input().facet_count(), 4);
+    }
+}

@@ -1,0 +1,149 @@
+//! The hourglass task (paper, Fig. 2 and §6.1).
+
+use chromata_topology::{Complex, Simplex, Vertex};
+
+use crate::task::Task;
+
+/// The hourglass task: a single input triangle; each process decides 0
+/// when solo; `P0` running with `P1` or `P2` may additionally decide 1 (and
+/// so may the partner); `P1` and `P2` running together may additionally
+/// decide 2; with all three participating, any triangle of the output
+/// complex is legal.
+///
+/// The output complex is the standard chromatic subdivision of a triangle
+/// "pinched at the waist": `P0`'s two edge-interior vertices are
+/// identified, creating a local articulation point at `(P0, 1)` whose link
+/// has two connected components. The task satisfies the colorless ACT but
+/// is wait-free unsolvable (§6.1); after splitting, Corollary 5.5 applies.
+///
+/// # Examples
+///
+/// ```
+/// use chromata_task::library::hourglass;
+///
+/// let t = hourglass();
+/// assert_eq!(t.output().vertex_count(), 8);
+/// assert_eq!(t.output().facet_count(), 5);
+/// assert!(!t.is_link_connected());
+/// ```
+#[must_use]
+pub fn hourglass() -> Task {
+    let x: Vec<Vertex> = (0..3).map(|i| Vertex::of(i, 0)).collect();
+    let sigma = Simplex::from_iter(x.clone());
+    let input = Complex::from_facets([sigma.clone()]);
+
+    // Output vertices (color, value): solos (i, 0); the pinch vertex
+    // (0, 1); partners (1, 1), (2, 1); and the P1/P2 pair vertices
+    // (1, 2), (2, 2).
+    let o = |c: u8, v: i64| Vertex::of(c, v);
+
+    // Top lobe (P0's side of the waist) and bottom lobe.
+    let triangles = vec![
+        Simplex::from_iter([o(0, 0), o(1, 1), o(2, 1)]),
+        Simplex::from_iter([o(0, 1), o(1, 1), o(2, 1)]),
+        Simplex::from_iter([o(0, 1), o(1, 0), o(2, 2)]),
+        Simplex::from_iter([o(0, 1), o(1, 2), o(2, 2)]),
+        Simplex::from_iter([o(0, 1), o(1, 2), o(2, 0)]),
+    ];
+
+    // Two-process executions follow the subdivided-edge paths, with P0's
+    // interior vertex shared between both of its edges (the pinch).
+    let path01 = vec![
+        Simplex::from_iter([o(0, 0), o(1, 1)]),
+        Simplex::from_iter([o(0, 1), o(1, 1)]),
+        Simplex::from_iter([o(0, 1), o(1, 0)]),
+    ];
+    let path02 = vec![
+        Simplex::from_iter([o(0, 0), o(2, 1)]),
+        Simplex::from_iter([o(0, 1), o(2, 1)]),
+        Simplex::from_iter([o(0, 1), o(2, 0)]),
+    ];
+    let path12 = vec![
+        Simplex::from_iter([o(1, 0), o(2, 2)]),
+        Simplex::from_iter([o(1, 2), o(2, 2)]),
+        Simplex::from_iter([o(1, 2), o(2, 0)]),
+    ];
+
+    Task::from_delta_fn("hourglass", input, move |tau| {
+        let colors: Vec<u8> = tau.iter().map(|u| u.color().index()).collect();
+        match colors.as_slice() {
+            [i] => vec![Simplex::vertex(o(*i, 0))],
+            [0, 1] => path01.clone(),
+            [0, 2] => path02.clone(),
+            [1, 2] => path12.clone(),
+            [0, 1, 2] => triangles.clone(),
+            other => unreachable!("unexpected color set {other:?}"),
+        }
+    })
+    .expect("the hourglass is a valid task")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shape() {
+        let t = hourglass();
+        assert_eq!(t.output().vertex_count(), 8);
+        assert_eq!(t.output().facet_count(), 5);
+        assert!(t.output().is_pure());
+        assert!(t.output().is_chromatic());
+    }
+
+    #[test]
+    fn pinch_vertex_is_the_unique_articulation_point() {
+        let t = hourglass();
+        let sigma = t.input().facets().next().unwrap().clone();
+        let img = t.delta().image_of(&sigma);
+        let laps = img.disconnected_link_vertices();
+        assert_eq!(laps, vec![Vertex::of(0, 1)]);
+        let link = img.link(&Vertex::of(0, 1));
+        assert_eq!(link.connected_components().len(), 2);
+    }
+
+    #[test]
+    fn link_components_match_figure2() {
+        // One component is the {(1,1),(2,1)} edge (the top lobe), the
+        // other the 4-vertex path of the bottom lobe.
+        let t = hourglass();
+        let sigma = t.input().facets().next().unwrap().clone();
+        let img = t.delta().image_of(&sigma);
+        let link = img.link(&Vertex::of(0, 1));
+        let comps = link.connected_components();
+        let mut sizes: Vec<usize> = comps.iter().map(std::collections::BTreeSet::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 4]);
+    }
+
+    #[test]
+    fn two_process_paths_are_connected() {
+        let t = hourglass();
+        for pair in [[0u8, 1], [0, 2], [1, 2]] {
+            let e = Simplex::from_iter(pair.iter().map(|&c| Vertex::of(c, 0)));
+            let img = t.delta().image_of(&e);
+            assert_eq!(img.facet_count(), 3, "subdivided edge");
+            assert!(img.is_connected());
+        }
+    }
+
+    #[test]
+    fn solo_values_are_zero() {
+        let t = hourglass();
+        for i in 0..3u8 {
+            let img = t.delta().image_of(&Simplex::vertex(Vertex::of(i, 0)));
+            assert!(img.contains_vertex(&Vertex::of(i, 0)));
+            assert_eq!(img.facet_count(), 1);
+        }
+    }
+
+    #[test]
+    fn output_is_simply_connected_wedge_of_disks() {
+        // The hourglass output is two disks glued at a point: b0 = 1,
+        // b1 = 0 — hence a colorless continuous map exists (checked at the
+        // pipeline level in integration tests).
+        let t = hourglass();
+        let h = chromata_algebra::homology(t.output());
+        assert_eq!((h.betti0, h.betti1), (1, 0));
+    }
+}

@@ -1,0 +1,111 @@
+//! Leader election (test-and-set) as a task.
+
+use chromata_topology::{Complex, Simplex, Value, Vertex};
+
+use crate::task::Task;
+
+/// Leader election for three processes: exactly one participant outputs
+/// 1 ("leader"), all others output 0. A process running solo must elect
+/// itself.
+///
+/// Equivalent in power to test-and-set, whose consensus number is 2: the
+/// task is wait-free unsolvable from read/write registers already for two
+/// processes, and the three-process pipeline exposes the obstruction as
+/// local articulation points — the three facets of `Δ(σ)` meet pairwise
+/// in single vertices, so every output vertex is articulated.
+///
+/// # Examples
+///
+/// ```
+/// use chromata_task::library::leader_election;
+///
+/// let t = leader_election();
+/// assert!(!t.is_link_connected());
+/// ```
+#[must_use]
+pub fn leader_election() -> Task {
+    let facet = Simplex::from_iter((0..3).map(|i| Vertex::of(i, i64::from(i))));
+    let input = Complex::from_facets([facet]);
+    Task::from_delta_fn("leader-election", input, |tau| {
+        // Exactly one participant wins.
+        (0..tau.len())
+            .map(|winner| {
+                Simplex::from_iter(
+                    tau.iter()
+                        .enumerate()
+                        .map(|(k, u)| u.with_value(Value::Int(i64::from(k == winner)))),
+                )
+            })
+            .collect()
+    })
+    .expect("leader election is a valid task")
+}
+
+/// The two-process variant (equivalent to 2-consensus, hence unsolvable).
+#[must_use]
+pub fn two_process_leader_election() -> Task {
+    let facet = Simplex::from_iter((0..2).map(|i| Vertex::of(i, i64::from(i))));
+    let input = Complex::from_facets([facet]);
+    Task::from_delta_fn("leader-election-2", input, |tau| {
+        (0..tau.len())
+            .map(|winner| {
+                Simplex::from_iter(
+                    tau.iter()
+                        .enumerate()
+                        .map(|(k, u)| u.with_value(Value::Int(i64::from(k == winner)))),
+                )
+            })
+            .collect()
+    })
+    .expect("valid task")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        let t = leader_election();
+        let sigma = t.input().facets().next().unwrap().clone();
+        assert_eq!(t.delta().image_of(&sigma).facet_count(), 3);
+        // Solo: self-election forced.
+        for i in 0..3u8 {
+            let img = t
+                .delta()
+                .image_of(&Simplex::vertex(Vertex::of(i, i64::from(i))));
+            assert_eq!(img.facet_count(), 1);
+            assert!(img.contains_vertex(&Vertex::of(i, 1)));
+        }
+    }
+
+    #[test]
+    fn exactly_one_winner_per_facet() {
+        let t = leader_election();
+        let sigma = t.input().facets().next().unwrap().clone();
+        for f in t.delta().image_of(&sigma).facets() {
+            let winners = f.iter().filter(|v| v.value().as_int() == Some(1)).count();
+            assert_eq!(winners, 1);
+        }
+    }
+
+    #[test]
+    fn every_output_vertex_is_articulated() {
+        let t = leader_election();
+        let sigma = t.input().facets().next().unwrap().clone();
+        let img = t.delta().image_of(&sigma);
+        // Facets meet pairwise in single vertices: a "tripod" of
+        // triangles. Every vertex shared by two facets has a
+        // disconnected link.
+        let laps = img.disconnected_link_vertices();
+        assert_eq!(laps.len(), 3, "the three loser vertices, laps = {laps:?}");
+    }
+
+    #[test]
+    fn two_process_variant_shapes() {
+        let t = two_process_leader_election();
+        assert_eq!(t.process_count(), 2);
+        let sigma = t.input().facets().next().unwrap().clone();
+        assert_eq!(t.delta().image_of(&sigma).facet_count(), 2);
+    }
+}

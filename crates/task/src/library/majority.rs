@@ -1,0 +1,106 @@
+//! Majority consensus (paper, Fig. 1).
+
+use chromata_topology::{Simplex, Value};
+
+use crate::library::consensus::binary_input_complex;
+use crate::task::Task;
+
+/// The majority-consensus task of Figure 1: three processes with binary
+/// inputs; each decides a value that appeared as an input of a
+/// participant; when all three participate they either agree, or strictly
+/// more processes decide 0 than 1.
+///
+/// The task satisfies the colorless ACT (a continuous `|I| → |O|` map
+/// exists) yet is wait-free *unsolvable*: after splitting its local
+/// articulation points, the solo output of `P0` and the `(1,1)` edge land
+/// in different components (Corollary 5.5).
+///
+/// # Examples
+///
+/// ```
+/// use chromata_task::library::majority_consensus;
+///
+/// let t = majority_consensus();
+/// assert_eq!(t.process_count(), 3);
+/// ```
+#[must_use]
+pub fn majority_consensus() -> Task {
+    let input = binary_input_complex(3);
+    Task::from_facet_delta("majority-consensus", input, |sigma| {
+        let vals: Vec<i64> = sigma
+            .iter()
+            .map(|u| u.value().as_int().expect("binary inputs"))
+            .collect();
+        let mut out = Vec::new();
+        // Unanimous decisions on any appearing value.
+        for d in [0i64, 1] {
+            if vals.contains(&d) {
+                out.push(Simplex::from_iter(
+                    sigma.iter().map(|u| u.with_value(Value::Int(d))),
+                ));
+            }
+        }
+        // Majority-0 decisions (two 0s, one 1) need both values present.
+        if vals.contains(&0) && vals.contains(&1) {
+            for one_holder in 0..3 {
+                out.push(Simplex::from_iter(sigma.iter().enumerate().map(
+                    |(k, u)| u.with_value(Value::Int(i64::from(k == one_holder))),
+                )));
+            }
+        }
+        out
+    })
+    .expect("majority consensus is a valid task")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chromata_topology::Vertex;
+
+    #[test]
+    fn triangle_images() {
+        let t = majority_consensus();
+        let mixed = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 1), Vertex::of(2, 1)]);
+        // all-0, all-1, and three two-0-one-1 patterns.
+        assert_eq!(t.delta().image_of(&mixed).facet_count(), 5);
+        let all1 = Simplex::from_iter([Vertex::of(0, 1), Vertex::of(1, 1), Vertex::of(2, 1)]);
+        assert_eq!(t.delta().image_of(&all1).facet_count(), 1);
+    }
+
+    #[test]
+    fn mixed_edge_allows_all_combinations() {
+        let t = majority_consensus();
+        let e = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 1)]);
+        assert_eq!(t.delta().image_of(&e).facet_count(), 4);
+    }
+
+    #[test]
+    fn uniform_edge_is_pinned() {
+        let t = majority_consensus();
+        let e = Simplex::from_iter([Vertex::of(1, 1), Vertex::of(2, 1)]);
+        let img = t.delta().image_of(&e);
+        assert_eq!(img.facet_count(), 1);
+        assert!(img.contains(&Simplex::from_iter([Vertex::of(1, 1), Vertex::of(2, 1)])));
+    }
+
+    #[test]
+    fn solo_decides_own_input() {
+        let t = majority_consensus();
+        for b in 0..2 {
+            let img = t.delta().image_of(&Simplex::vertex(Vertex::of(2, b)));
+            assert_eq!(img.facet_count(), 1);
+            assert!(img.contains_vertex(&Vertex::of(2, b)));
+        }
+    }
+
+    #[test]
+    fn majority_one_is_forbidden() {
+        let t = majority_consensus();
+        let mixed = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 1), Vertex::of(2, 1)]);
+        let img = t.delta().image_of(&mixed);
+        // Two 1s and one 0 would be a 1-majority: not allowed.
+        let bad = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 1), Vertex::of(2, 1)]);
+        assert!(!img.contains(&bad));
+    }
+}

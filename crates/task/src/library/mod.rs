@@ -1,0 +1,47 @@
+//! Library of concrete tasks from the paper and the classical literature.
+//!
+//! * [`consensus`] — binary consensus (FLP; unsolvable for any `n ≥ 2`);
+//! * [`two_set_agreement`] — 2-set agreement with fixed distinct inputs
+//!   (unsolvable for 3 processes; the pinwheel's ambient task);
+//! * [`majority_consensus`] — Fig. 1 (chromatic obstruction);
+//! * [`hourglass`] — Fig. 2 / §6.1 (the motivating counterexample);
+//! * [`pinwheel`] — Fig. 8 / §6.2;
+//! * [`loop_agreement`] — §1.3, with stock complexes ([`sphere_complex`],
+//!   [`torus_complex`], [`projective_plane_complex`], [`disk_complex`]);
+//! * [`adaptive_renaming`] / [`renaming`] — the historical chromatic task
+//!   (solvable at 2p−1 names);
+//! * [`leader_election`] — test-and-set as a task (unsolvable from
+//!   registers);
+//! * [`approximate_agreement`] — the classic solvable relaxation;
+//! * [`grid_surface`] / [`klein_bottle_doubled_loop`] — grid-quotient
+//!   surfaces whose loop agreement exercises the undecidable residue;
+//! * [`identity_task`], [`constant_task`] — trivially solvable controls;
+//! * [`simple_example_task`] — Fig. 3's running example.
+
+mod approximate;
+mod consensus;
+mod hourglass;
+mod leader;
+mod loop_agreement;
+mod majority;
+mod pinwheel;
+mod renaming;
+mod set_agreement;
+mod simple;
+mod surfaces;
+mod trivial;
+
+pub use approximate::approximate_agreement;
+pub use consensus::{consensus, multi_valued_consensus, two_process_consensus};
+pub use hourglass::hourglass;
+pub use leader::{leader_election, two_process_leader_election};
+pub use loop_agreement::{
+    disk_complex, loop_agreement, projective_plane_complex, sphere_complex, torus_complex, LoopSpec,
+};
+pub use majority::majority_consensus;
+pub use pinwheel::pinwheel;
+pub use renaming::{adaptive_renaming, renaming};
+pub use set_agreement::two_set_agreement;
+pub use simple::simple_example_task;
+pub use surfaces::{grid_surface, grid_torus, klein_bottle_doubled_loop, klein_bottle_single_loop};
+pub use trivial::{constant_task, identity_task};

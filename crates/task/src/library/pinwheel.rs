@@ -1,0 +1,171 @@
+//! The pinwheel task (paper, Fig. 8 and §6.2).
+
+use chromata_topology::{Complex, Simplex, Vertex};
+
+use crate::library::set_agreement::{input_facet, set_agreement_images};
+use crate::task::Task;
+
+/// The pinwheel task: 2-set agreement with fixed inputs `1, 2, 3`, with
+/// output *triangles* removed (all edges and vertices stay, so one- and
+/// two-process behaviour is unchanged).
+///
+/// The removed triangles create local articulation points; splitting them
+/// disconnects the output complex into three components, and the task is
+/// unsolvable by Corollary 5.6 (Corollary 5.5 does not apply: paths that
+/// avoid crossing articulation points still exist between adjacent solo
+/// outputs, §6.2). As a colorless task it *also* lacks a continuous map —
+/// it is a subtask of 2-set agreement.
+///
+/// The nine kept triangles are three rotation-symmetric orbits of
+/// two-valued triangles (decided values at `(P0, P1, P2)`):
+/// `(1,2,1) (2,2,3) (1,3,3)`, `(1,1,3) (1,2,2) (3,2,3)` and
+/// `(3,1,1) (2,1,2) (3,3,2)`. With this choice every solo output vertex
+/// `(i, i+1)` is a LAP whose partners in each incident edge image straddle
+/// *both* link components, so after splitting each input vertex may decide
+/// two copies — "one copy per connected component" (§6.2).
+///
+/// # Examples
+///
+/// ```
+/// use chromata_task::library::pinwheel;
+///
+/// let t = pinwheel();
+/// let sigma = t.input().facets().next().unwrap().clone();
+/// assert_eq!(t.delta().image_of(&sigma).facet_count(), 9);
+/// assert!(!t.is_link_connected());
+/// ```
+#[must_use]
+pub fn pinwheel() -> Task {
+    let input = Complex::from_facets([input_facet()]);
+    let kept: Vec<[i64; 3]> = vec![
+        // Orbit of (1,2,1) under the color/value rotation.
+        [1, 2, 1],
+        [2, 2, 3],
+        [1, 3, 3],
+        // Orbit of (1,1,3).
+        [1, 1, 3],
+        [1, 2, 2],
+        [3, 2, 3],
+        // Orbit of (3,1,1).
+        [3, 1, 1],
+        [2, 1, 2],
+        [3, 3, 2],
+    ];
+    let triangles: Vec<Simplex> = kept
+        .iter()
+        .map(|vals| {
+            Simplex::from_iter(
+                vals.iter()
+                    .enumerate()
+                    .map(|(i, &v)| Vertex::of(i as u8, v)),
+            )
+        })
+        .collect();
+    Task::from_delta_fn("pinwheel", input, move |tau| {
+        if tau.dimension() == 2 {
+            triangles.clone()
+        } else {
+            // Vertices and edges are untouched 2-set agreement.
+            set_agreement_images(tau, 2)
+        }
+    })
+    .expect("the pinwheel is a valid task")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facet_image() -> Complex {
+        let t = pinwheel();
+        let sigma = t.input().facets().next().unwrap().clone();
+        t.delta().image_of(&sigma).clone()
+    }
+
+    #[test]
+    fn shape() {
+        let img = facet_image();
+        assert_eq!(img.facet_count(), 9);
+        assert_eq!(img.vertex_count(), 9);
+        assert!(img.is_pure());
+    }
+
+    #[test]
+    fn is_a_subtask_of_two_set_agreement() {
+        let t = pinwheel();
+        let full = crate::library::two_set_agreement();
+        for (tau, img) in t.delta().iter() {
+            let big = full.delta().image_of(tau);
+            assert!(
+                img.is_subcomplex_of(big),
+                "Δ_pinwheel(τ) ⊆ Δ_2SA(τ) at {tau}"
+            );
+        }
+    }
+
+    #[test]
+    fn edges_and_vertices_unchanged() {
+        let t = pinwheel();
+        let full = crate::library::two_set_agreement();
+        for (tau, img) in t.delta().iter() {
+            if tau.dimension() < 2 {
+                assert_eq!(img, full.delta().image_of(tau), "lower Δ intact at {tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn articulation_points_exist() {
+        let img = facet_image();
+        let laps = img.disconnected_link_vertices();
+        // Every output vertex is articulated in this construction; the
+        // solo vertices (i, i+1) have exactly two link components.
+        assert!(laps.contains(&Vertex::of(0, 1)), "laps = {laps:?}");
+        assert!(laps.contains(&Vertex::of(1, 2)));
+        assert!(laps.contains(&Vertex::of(2, 3)));
+        assert_eq!(laps.len(), 9);
+        for solo in [Vertex::of(0, 1), Vertex::of(1, 2), Vertex::of(2, 3)] {
+            assert_eq!(img.link(&solo).connected_components().len(), 2);
+        }
+    }
+
+    #[test]
+    fn solo_partners_straddle_both_components() {
+        // §6.2 prerequisite: in each edge image, the solo LAP's partners
+        // hit both of its link components, so both copies remain
+        // decidable by the solo process after splitting.
+        let t = pinwheel();
+        let img = facet_image();
+        for (solo, edge_mates) in [
+            (Vertex::of(0, 1), [Vertex::of(1, 1), Vertex::of(1, 2)]),
+            (Vertex::of(0, 1), [Vertex::of(2, 1), Vertex::of(2, 3)]),
+        ] {
+            let comps = img.link(&solo).connected_components();
+            let idx = |z: &Vertex| comps.iter().position(|c| c.contains(z));
+            assert_ne!(idx(&edge_mates[0]), idx(&edge_mates[1]));
+            let _ = &t;
+        }
+    }
+
+    #[test]
+    fn rotation_symmetry() {
+        // The kept triangle set is invariant under (color +1, value +1).
+        let img = facet_image();
+        let rotate = |s: &Simplex| {
+            Simplex::from_iter(s.iter().map(|u| {
+                let c = (u.color().index() + 1) % 3;
+                let v = u.value().as_int().unwrap() % 3 + 1;
+                Vertex::of(c, v)
+            }))
+        };
+        for f in img.facets() {
+            assert!(img.contains(&rotate(f)), "rotation of {f} missing");
+        }
+    }
+
+    #[test]
+    fn connected_before_splitting() {
+        let img = facet_image();
+        assert!(img.is_connected());
+    }
+}

@@ -1,0 +1,164 @@
+//! Adaptive `(2p − 1)`-renaming for three processes.
+
+use chromata_topology::{Complex, Simplex, Value, Vertex};
+
+use crate::task::Task;
+
+/// Adaptive renaming: when `p` processes participate, they acquire
+/// pairwise-distinct names from `{1, …, 2p − 1}` — a process running solo
+/// must take name 1, two participants share `{1, 2, 3}`, three share
+/// `{1, …, 5}`.
+///
+/// Renaming is the historical motivating *chromatic* task (Attiya et al.,
+/// J.ACM '90; reference \[3\] of the paper): it cannot be stated colorlessly,
+/// yet adaptive `(2p − 1)`-renaming is wait-free solvable — a positive
+/// counterpart to the hourglass/pinwheel obstructions. The relation does
+/// not depend on input values, so a single input facet captures the task.
+///
+/// # Examples
+///
+/// ```
+/// use chromata_task::library::adaptive_renaming;
+///
+/// let t = adaptive_renaming();
+/// let solo = t.input().simplices_of_dim(0).next().unwrap().clone();
+/// assert_eq!(t.delta().image_of(&solo).facet_count(), 1); // name 1 forced
+/// ```
+#[must_use]
+pub fn adaptive_renaming() -> Task {
+    let facet = Simplex::from_iter((0..3).map(|i| Vertex::of(i, i64::from(i))));
+    let input = Complex::from_facets([facet]);
+    Task::from_delta_fn("adaptive-renaming", input, |tau| {
+        let p = tau.len();
+        let names: Vec<i64> = (1..=(2 * p as i64 - 1)).collect();
+        // All injective assignments of names to the participants.
+        let mut out = Vec::new();
+        let mut assignment = Vec::with_capacity(p);
+        injective_assignments(&names, p, &mut assignment, &mut |a| {
+            out.push(Simplex::from_iter(
+                tau.iter()
+                    .zip(a)
+                    .map(|(u, &name)| u.with_value(Value::Int(name))),
+            ));
+        });
+        out
+    })
+    .expect("adaptive renaming is a valid task")
+}
+
+/// Non-adaptive `m`-renaming on a single input facet: all participants
+/// (however many) draw distinct names from `{1, …, m}`.
+///
+/// As a finite *task* this is wait-free solvable for every `m ≥ 3`:
+/// task solvability lets algorithms use process identifiers, so "process
+/// `i` takes name `i + 1`" already works. The celebrated renaming lower
+/// bounds (`2n − 1` in general, `2n − 2` exactly when `n` is not a prime
+/// power) constrain *symmetric / comparison-based* algorithms over
+/// unbounded name spaces — a restriction outside the task formalism, as
+/// the pipeline's `Solvable` verdicts on `m = 3, 4` make tangible.
+///
+/// # Panics
+///
+/// Panics if `m < 3` (no injective naming exists).
+#[must_use]
+pub fn renaming(m: i64) -> Task {
+    assert!(m >= 3, "three processes need at least three names");
+    let facet = Simplex::from_iter((0..3).map(|i| Vertex::of(i, i64::from(i))));
+    let input = Complex::from_facets([facet]);
+    Task::from_delta_fn(format!("renaming-{m}"), input, move |tau| {
+        let names: Vec<i64> = (1..=m).collect();
+        let mut out = Vec::new();
+        let mut assignment = Vec::with_capacity(tau.len());
+        injective_assignments(&names, tau.len(), &mut assignment, &mut |a| {
+            out.push(Simplex::from_iter(
+                tau.iter()
+                    .zip(a)
+                    .map(|(u, &name)| u.with_value(Value::Int(name))),
+            ));
+        });
+        out
+    })
+    .expect("renaming is a valid task")
+}
+
+fn injective_assignments(
+    names: &[i64],
+    p: usize,
+    acc: &mut Vec<i64>,
+    emit: &mut impl FnMut(&[i64]),
+) {
+    if acc.len() == p {
+        emit(acc);
+        return;
+    }
+    for &n in names {
+        if !acc.contains(&n) {
+            acc.push(n);
+            injective_assignments(names, p, acc, emit);
+            acc.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_shapes() {
+        let t = adaptive_renaming();
+        let sigma = t.input().facets().next().unwrap().clone();
+        // 5·4·3 injective triples.
+        assert_eq!(t.delta().image_of(&sigma).facet_count(), 60);
+        let edge = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 1)]);
+        // 3·2 injective pairs from {1,2,3}.
+        assert_eq!(t.delta().image_of(&edge).facet_count(), 6);
+    }
+
+    #[test]
+    fn adaptive_solo_forced_to_one() {
+        let t = adaptive_renaming();
+        for i in 0..3u8 {
+            let x = Simplex::vertex(Vertex::of(i, i64::from(i)));
+            let img = t.delta().image_of(&x);
+            assert_eq!(img.facet_count(), 1);
+            assert!(img.contains_vertex(&Vertex::of(i, 1)));
+        }
+    }
+
+    #[test]
+    fn output_names_always_distinct() {
+        let t = adaptive_renaming();
+        let sigma = t.input().facets().next().unwrap().clone();
+        for f in t.delta().image_of(&sigma).facets() {
+            let mut names: Vec<i64> = f.iter().map(|v| v.value().as_int().unwrap()).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), 3, "duplicate names in {f}");
+        }
+    }
+
+    #[test]
+    fn adaptive_is_link_connected() {
+        // No articulation points: the solvable side of the dichotomy.
+        assert!(adaptive_renaming().is_link_connected());
+    }
+
+    #[test]
+    fn non_adaptive_shapes() {
+        let five = renaming(5);
+        let sigma = five.input().facets().next().unwrap().clone();
+        assert_eq!(five.delta().image_of(&sigma).facet_count(), 60);
+        let four = renaming(4);
+        assert_eq!(four.delta().image_of(&sigma).facet_count(), 24);
+        // Non-adaptive solo may take any of the m names.
+        let x = Simplex::vertex(Vertex::of(0, 0));
+        assert_eq!(four.delta().image_of(&x).facet_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three names")]
+    fn too_few_names_rejected() {
+        let _ = renaming(2);
+    }
+}

@@ -1,0 +1,129 @@
+//! 2-set agreement with fixed distinct inputs.
+
+use chromata_topology::{Complex, Simplex, Value, Vertex};
+
+use crate::task::Task;
+
+/// 2-set agreement for three processes with fixed inputs `1, 2, 3`
+/// (process `Pᵢ` starts with `i + 1`): every process decides the input of
+/// a participant, and at most two distinct values are decided overall.
+///
+/// Wait-free unsolvable (Borowsky–Gafni / Herlihy–Shavit / Saks–Zaharoglou)
+/// — but *not* because of local articulation points: its output complex is
+/// link-connected and the obstruction is the colorless one (the annulus's
+/// essential boundary loop). The pinwheel (Fig. 8) is obtained from this
+/// task by removing output triangles.
+///
+/// # Examples
+///
+/// ```
+/// use chromata_task::library::two_set_agreement;
+///
+/// let t = two_set_agreement();
+/// assert_eq!(t.input().facet_count(), 1);
+/// // 27 chromatic assignments minus 6 rainbow ones.
+/// let sigma = t.input().facets().next().unwrap().clone();
+/// assert_eq!(t.delta().image_of(&sigma).facet_count(), 21);
+/// ```
+#[must_use]
+pub fn two_set_agreement() -> Task {
+    let input = Complex::from_facets([input_facet()]);
+    Task::from_delta_fn("2-set-agreement", input, |tau| set_agreement_images(tau, 2))
+        .expect("2-set agreement is a valid task")
+}
+
+/// The fixed input facet `{(P0,1), (P1,2), (P2,3)}`.
+pub(crate) fn input_facet() -> Simplex {
+    Simplex::from_iter((0..3u8).map(|i| Vertex::of(i, i64::from(i) + 1)))
+}
+
+/// All decision simplices for participants `tau` with at most `k` distinct
+/// decided values, each a participant's input.
+pub(crate) fn set_agreement_images(tau: &Simplex, k: usize) -> Vec<Simplex> {
+    let vals: Vec<i64> = tau
+        .iter()
+        .map(|u| u.value().as_int().expect("integer inputs"))
+        .collect();
+    let m = tau.len();
+    let mut out = Vec::new();
+    // Enumerate all assignments of participant values to participants.
+    let mut idx = vec![0usize; m];
+    loop {
+        let decided: Vec<i64> = idx.iter().map(|&j| vals[j]).collect();
+        let mut distinct = decided.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        if distinct.len() <= k {
+            out.push(Simplex::from_iter(
+                tau.iter()
+                    .zip(&decided)
+                    .map(|(u, &d)| u.with_value(Value::Int(d))),
+            ));
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == m {
+                return out;
+            }
+            idx[i] += 1;
+            if idx[i] < m {
+                break;
+            }
+            idx[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facet_image_excludes_rainbow_triangles() {
+        let t = two_set_agreement();
+        let sigma = t.input().facets().next().unwrap().clone();
+        let img = t.delta().image_of(&sigma);
+        assert_eq!(img.facet_count(), 21);
+        let rainbow = Simplex::from_iter([Vertex::of(0, 1), Vertex::of(1, 2), Vertex::of(2, 3)]);
+        assert!(!img.contains(&rainbow));
+        // ... but permuted rainbow assignments are also excluded.
+        let permuted = Simplex::from_iter([Vertex::of(0, 2), Vertex::of(1, 3), Vertex::of(2, 1)]);
+        assert!(!img.contains(&permuted));
+    }
+
+    #[test]
+    fn edges_allow_all_pairs() {
+        let t = two_set_agreement();
+        let e = Simplex::from_iter([Vertex::of(0, 1), Vertex::of(1, 2)]);
+        assert_eq!(t.delta().image_of(&e).facet_count(), 4);
+    }
+
+    #[test]
+    fn solo_decides_own_input() {
+        let t = two_set_agreement();
+        for i in 0..3u8 {
+            let x = Simplex::vertex(Vertex::of(i, i64::from(i) + 1));
+            let img = t.delta().image_of(&x);
+            assert_eq!(img.facet_count(), 1);
+        }
+    }
+
+    #[test]
+    fn output_is_link_connected() {
+        // No local articulation points: the obstruction is colorless.
+        let t = two_set_agreement();
+        assert!(t.is_link_connected());
+    }
+
+    #[test]
+    fn output_is_an_annulus() {
+        // The ≤2-values subcomplex of the 3×3 chromatic triangle complex
+        // deformation-retracts to a circle: b0 = 1, b1 = 1.
+        let t = two_set_agreement();
+        let h = chromata_algebra::homology(t.output());
+        assert_eq!((h.betti0, h.betti1), (1, 1));
+        assert!(h.torsion1.is_empty());
+    }
+}

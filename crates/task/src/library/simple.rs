@@ -1,0 +1,68 @@
+//! The running-example task of Figure 3.
+
+use chromata_topology::{Complex, Simplex, Vertex};
+
+use crate::task::Task;
+
+/// A small two-facet task in the shape of Figure 3: the input complex has
+/// two triangles sharing an edge, and one output facet (the "green" one)
+/// lies in the image of *both* input facets — so the task is not
+/// canonical, and Figure 4's canonicalization separates the copies.
+///
+/// # Examples
+///
+/// ```
+/// use chromata_task::{is_canonical, library::simple_example_task};
+///
+/// let t = simple_example_task();
+/// assert!(!is_canonical(&t));
+/// ```
+#[must_use]
+pub fn simple_example_task() -> Task {
+    // Input: triangles σ = {a0, b, c} and σ' = {a1, b, c} sharing {b, c}.
+    let a0 = Vertex::of(0, 0);
+    let a1 = Vertex::of(0, 1);
+    let b = Vertex::of(1, 0);
+    let c = Vertex::of(2, 0);
+    let sigma = Simplex::from_iter([a0, b.clone(), c.clone()]);
+    let sigma2 = Simplex::from_iter([a1, b, c]);
+    let input = Complex::from_facets([sigma.clone(), sigma2]);
+
+    // Outputs: the shared "green" facet g and a private facet h for σ'.
+    let g = Simplex::from_iter([Vertex::of(0, 10), Vertex::of(1, 10), Vertex::of(2, 10)]);
+    let h = Simplex::from_iter([Vertex::of(0, 11), Vertex::of(1, 11), Vertex::of(2, 11)]);
+
+    Task::from_facet_delta("fig3-example", input, move |s| {
+        if *s == sigma {
+            vec![g.clone()]
+        } else {
+            vec![g.clone(), h.clone()]
+        }
+    })
+    .expect("the Fig. 3 example is a valid task")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::{canonicalize, is_canonical};
+
+    #[test]
+    fn shares_a_facet_between_images() {
+        let t = simple_example_task();
+        let facets: Vec<Simplex> = t.input().facets().cloned().collect();
+        let img0 = t.delta().image_of(&facets[0]);
+        let img1 = t.delta().image_of(&facets[1]);
+        assert!(img0.facets().any(|f| img1.contains(f)));
+        assert!(!is_canonical(&t));
+    }
+
+    #[test]
+    fn canonical_form_matches_figure4() {
+        let t = simple_example_task();
+        let c = canonicalize(&t);
+        assert!(is_canonical(&c));
+        // g appears once per input facet; h once: 3 facets.
+        assert_eq!(c.output().facet_count(), 3);
+    }
+}

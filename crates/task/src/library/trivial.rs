@@ -1,0 +1,64 @@
+//! Trivially solvable control tasks.
+
+use chromata_topology::{Complex, Simplex, Value, Vertex};
+
+use crate::task::Task;
+
+/// The identity task for `n` processes on a single input facet: every
+/// process outputs its own input. Solvable without communication.
+///
+/// # Examples
+///
+/// ```
+/// use chromata_task::library::identity_task;
+///
+/// let t = identity_task(3);
+/// assert_eq!(t.output(), t.input());
+/// ```
+#[must_use]
+pub fn identity_task(n: usize) -> Task {
+    let facet = Simplex::from_iter((0..n).map(|i| Vertex::of(i as u8, i64::from(i as u8))));
+    let input = Complex::from_facets([facet]);
+    Task::from_delta_fn(format!("identity-{n}"), input, |tau| vec![tau.clone()])
+        .expect("identity is a valid task")
+}
+
+/// The constant task for `n` processes: everyone outputs 0 regardless of
+/// participation. Solvable without communication.
+#[must_use]
+pub fn constant_task(n: usize) -> Task {
+    let facet = Simplex::from_iter((0..n).map(|i| Vertex::of(i as u8, i64::from(i as u8))));
+    let input = Complex::from_facets([facet]);
+    Task::from_delta_fn(format!("constant-{n}"), input, |tau| {
+        vec![Simplex::from_iter(
+            tau.iter().map(|u| u.with_value(Value::Int(0))),
+        )]
+    })
+    .expect("constant is a valid task")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_link_connected() {
+        let t = identity_task(3);
+        assert!(t.is_link_connected());
+        assert_eq!(t.input().facet_count(), 1);
+    }
+
+    #[test]
+    fn constant_output_is_single_facet() {
+        let t = constant_task(3);
+        assert_eq!(t.output().facet_count(), 1);
+        assert_eq!(t.output().vertex_count(), 3);
+        assert!(t.is_link_connected());
+    }
+
+    #[test]
+    fn two_process_variants() {
+        assert_eq!(identity_task(2).process_count(), 2);
+        assert_eq!(constant_task(2).process_count(), 2);
+    }
+}

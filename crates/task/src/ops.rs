@@ -1,0 +1,121 @@
+//! Task combinators.
+//!
+//! Operations deriving new tasks from existing ones; the workhorse is
+//! [`restricted_to_participants`], which produces the sub-task seen by a
+//! subset of the processes — solvability of the whole task implies
+//! solvability of every restriction (run the same protocol), giving a
+//! cheap necessary condition that the test suite cross-checks against the
+//! two-process decider.
+
+use chromata_topology::{CarrierMap, ColorSet, Complex};
+
+use crate::task::Task;
+
+/// The sub-task induced by a set of participating colors: input simplices
+/// whose colors lie in `participants`, with `Δ` restricted accordingly.
+///
+/// # Panics
+///
+/// Panics if no input simplex survives the restriction (the participant
+/// set shares no process with the task).
+///
+/// # Examples
+///
+/// ```
+/// use chromata_task::{library::consensus, restricted_to_participants};
+/// use chromata_topology::{Color, ColorSet};
+///
+/// let two: ColorSet = [Color::new(0), Color::new(2)].into_iter().collect();
+/// let sub = restricted_to_participants(&consensus(3), two);
+/// assert_eq!(sub.process_count(), 2);
+/// assert_eq!(sub.input().facet_count(), 4); // binary inputs for two processes
+/// ```
+#[must_use]
+pub fn restricted_to_participants(task: &Task, participants: ColorSet) -> Task {
+    let input = Complex::from_facets(
+        task.input()
+            .simplices()
+            .filter(|s| s.colors().is_subset_of(participants))
+            .cloned(),
+    );
+    assert!(
+        !input.is_empty(),
+        "no input simplex has colors within {participants}"
+    );
+    let delta: CarrierMap = task
+        .delta()
+        .iter()
+        .filter(|(s, _)| input.contains(s))
+        .map(|(s, img)| (s.clone(), img.clone()))
+        .collect();
+    let output = delta.full_image();
+    Task::new(
+        format!("{}|{participants}", task.name()),
+        input,
+        output,
+        delta,
+    )
+    .expect("restriction of a valid task is valid")
+}
+
+/// All two-process restrictions of a three-process task, one per pair of
+/// colors present in the input complex.
+#[must_use]
+pub fn two_process_restrictions(task: &Task) -> Vec<Task> {
+    let colors: Vec<_> = task.input().colors().iter().collect();
+    let mut out = Vec::new();
+    for (i, &a) in colors.iter().enumerate() {
+        for &b in &colors[i + 1..] {
+            let pair: ColorSet = [a, b].into_iter().collect();
+            out.push(restricted_to_participants(task, pair));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::{consensus, hourglass, identity_task, two_set_agreement};
+    use chromata_topology::Color;
+
+    fn pair(a: u8, b: u8) -> ColorSet {
+        [Color::new(a), Color::new(b)].into_iter().collect()
+    }
+
+    #[test]
+    fn restriction_shapes() {
+        let t = hourglass();
+        let sub = restricted_to_participants(&t, pair(0, 1));
+        assert_eq!(sub.process_count(), 2);
+        assert_eq!(sub.input().facet_count(), 1);
+        // Δ(edge) is the subdivided path of the hourglass.
+        let e = sub.input().facets().next().unwrap().clone();
+        assert_eq!(sub.delta().image_of(&e).facet_count(), 3);
+    }
+
+    #[test]
+    fn restriction_is_validated() {
+        for t in [identity_task(3), consensus(3), two_set_agreement()] {
+            for sub in two_process_restrictions(&t) {
+                sub.delta()
+                    .validate_chromatic(sub.input())
+                    .expect("restriction is a valid carrier map");
+                assert_eq!(sub.process_count(), 2, "{}", sub.name());
+            }
+        }
+    }
+
+    #[test]
+    fn three_pairs_for_three_processes() {
+        assert_eq!(two_process_restrictions(&consensus(3)).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no input simplex")]
+    fn empty_restriction_rejected() {
+        let t = identity_task(3);
+        let far: ColorSet = [Color::new(7)].into_iter().collect();
+        let _ = restricted_to_participants(&t, far);
+    }
+}

@@ -1,0 +1,69 @@
+//! Serde support for [`Task`]: the on-disk task-file format used by the
+//! `chromata` CLI. Deserialization runs the full task validation, so a
+//! loaded task is as trustworthy as a constructed one.
+
+use serde::de::Error as DeError;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use chromata_topology::{CarrierMap, Complex};
+
+use crate::task::Task;
+
+#[derive(Serialize, Deserialize)]
+struct TaskRepr {
+    name: String,
+    input: Complex,
+    output: Complex,
+    delta: CarrierMap,
+}
+
+impl Serialize for Task {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        TaskRepr {
+            name: self.name().to_owned(),
+            input: self.input().clone(),
+            output: self.output().clone(),
+            delta: self.delta().clone(),
+        }
+        .serialize(s)
+    }
+}
+
+impl<'de> Deserialize<'de> for Task {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let r = TaskRepr::deserialize(d)?;
+        Task::new(r.name, r.input, r.output, r.delta)
+            .map_err(|e| D::Error::custom(format!("invalid task: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::library::{hourglass, pinwheel};
+    use crate::Task;
+
+    #[test]
+    fn library_tasks_roundtrip() {
+        for t in [hourglass(), pinwheel()] {
+            let json = serde_json::to_string(&t).expect("serialize");
+            let back: Task = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(back, t);
+        }
+    }
+
+    #[test]
+    fn invalid_tasks_rejected_on_load() {
+        let t = hourglass();
+        let mut json = serde_json::to_value(&t).expect("serialize");
+        // Remove the output complex entirely: images escape the output.
+        json["output"] = serde_json::json!([]);
+        let err = serde_json::from_value::<Task>(json).unwrap_err();
+        assert!(err.to_string().contains("invalid task"), "{err}");
+    }
+
+    #[test]
+    fn format_contains_the_name() {
+        let json = serde_json::to_string(&hourglass()).unwrap();
+        assert!(json.contains("\"hourglass\""));
+    }
+}

@@ -1,0 +1,337 @@
+//! The task model: `(I, O, Δ)` triples (paper, §2.3).
+
+use std::fmt;
+
+use chromata_topology::{CarrierMap, CarrierViolation, Complex, Simplex};
+
+/// Errors raised by task validation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TaskError {
+    /// The input complex is not chromatic.
+    InputNotChromatic,
+    /// The output complex is not chromatic.
+    OutputNotChromatic,
+    /// The carrier map `Δ` is invalid over the input complex.
+    InvalidCarrier(Vec<CarrierViolation>),
+    /// Some image simplex of `Δ` is not a simplex of the output complex.
+    ImageOutsideOutput(Simplex),
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskError::InputNotChromatic => write!(f, "input complex is not chromatic"),
+            TaskError::OutputNotChromatic => write!(f, "output complex is not chromatic"),
+            TaskError::InvalidCarrier(errs) => {
+                write!(
+                    f,
+                    "invalid carrier map ({} violations; first: {})",
+                    errs.len(),
+                    errs.first().map_or_else(String::new, ToString::to_string)
+                )
+            }
+            TaskError::ImageOutsideOutput(s) => {
+                write!(f, "image simplex {s} is not in the output complex")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// A distributed task `(I, O, Δ)`: chromatic input and output complexes
+/// and a carrier map assigning legal outputs to every input simplex
+/// (paper, §2.3).
+///
+/// # Examples
+///
+/// ```
+/// use chromata_task::library::consensus;
+///
+/// let t = consensus(3);
+/// assert_eq!(t.process_count(), 3);
+/// assert_eq!(t.input().dimension(), Some(2));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Task {
+    name: String,
+    input: Complex,
+    output: Complex,
+    delta: CarrierMap,
+}
+
+impl Task {
+    /// Creates a task, validating chromaticity of both complexes, carrier
+    /// map validity over the input and containment of all images in the
+    /// output complex.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TaskError`] describing the first class of violation
+    /// found.
+    pub fn new(
+        name: impl Into<String>,
+        input: Complex,
+        output: Complex,
+        delta: CarrierMap,
+    ) -> Result<Self, TaskError> {
+        if !input.is_chromatic() {
+            return Err(TaskError::InputNotChromatic);
+        }
+        if !output.is_chromatic() {
+            return Err(TaskError::OutputNotChromatic);
+        }
+        delta
+            .validate_chromatic(&input)
+            .map_err(TaskError::InvalidCarrier)?;
+        for (_, img) in delta.iter() {
+            for s in img.facets() {
+                if !output.contains(s) {
+                    return Err(TaskError::ImageOutsideOutput(s.clone()));
+                }
+            }
+        }
+        Ok(Task {
+            name: name.into(),
+            input,
+            output,
+            delta,
+        })
+    }
+
+    /// Builds a task from a facet-level specification, deriving `Δ` on
+    /// lower-dimensional simplices as the *maximal monotone extension*:
+    /// `Δ(τ) = ⋂_{facets σ ⊇ τ} (faces of Δ(σ) with colors id(τ))`.
+    ///
+    /// The output complex is the union of all images (the reachable
+    /// complex). This matches the usual convention for tasks whose
+    /// lower-dimensional behaviour is "anything consistent".
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TaskError`] if the derived task fails validation (e.g.
+    /// the intersection is empty for some face).
+    pub fn from_facet_delta<F>(
+        name: impl Into<String>,
+        input: Complex,
+        mut facet_delta: F,
+    ) -> Result<Self, TaskError>
+    where
+        F: FnMut(&Simplex) -> Vec<Simplex>,
+    {
+        let facets: Vec<Simplex> = input.facets().cloned().collect();
+        let images: Vec<Complex> = facets
+            .iter()
+            .map(|s| Complex::from_facets(facet_delta(s)))
+            .collect();
+        let mut delta = CarrierMap::new();
+        for tau in input.simplices() {
+            let mut acc: Option<Complex> = None;
+            for (sigma, img) in facets.iter().zip(&images) {
+                if !tau.is_face_of(sigma) {
+                    continue;
+                }
+                let restricted = img.filtered(|s| s.colors() == tau.colors());
+                acc = Some(match acc {
+                    None => restricted,
+                    Some(a) => a.intersection(&restricted),
+                });
+            }
+            delta.insert(tau.clone(), acc.unwrap_or_default());
+        }
+        let output = delta.full_image();
+        Task::new(name, input, output, delta)
+    }
+
+    /// Builds a task from an explicit per-simplex specification of the
+    /// facets of `Δ(τ)` for *every* simplex `τ` of the input complex.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TaskError`] if validation fails.
+    pub fn from_delta_fn<F>(
+        name: impl Into<String>,
+        input: Complex,
+        mut delta_fn: F,
+    ) -> Result<Self, TaskError>
+    where
+        F: FnMut(&Simplex) -> Vec<Simplex>,
+    {
+        let delta = CarrierMap::from_fn(&input, &mut delta_fn);
+        let output = delta.full_image();
+        Task::new(name, input, output, delta)
+    }
+
+    /// The task's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The input complex `I`.
+    #[must_use]
+    pub fn input(&self) -> &Complex {
+        &self.input
+    }
+
+    /// The output complex `O`.
+    #[must_use]
+    pub fn output(&self) -> &Complex {
+        &self.output
+    }
+
+    /// The input–output relation `Δ`.
+    #[must_use]
+    pub fn delta(&self) -> &CarrierMap {
+        &self.delta
+    }
+
+    /// Number of processes (colors appearing in the input complex).
+    #[must_use]
+    pub fn process_count(&self) -> usize {
+        self.input.colors().len()
+    }
+
+    /// A copy of the task whose output complex is restricted to the
+    /// reachable part `⋃_σ Δ(σ)` (assumed by the splitting machinery,
+    /// paper §4).
+    #[must_use]
+    pub fn restricted_to_reachable(&self) -> Task {
+        Task {
+            name: self.name.clone(),
+            input: self.input.clone(),
+            output: self.delta.full_image(),
+            delta: self.delta.clone(),
+        }
+    }
+
+    /// Whether every output facet in every `Δ(σ)` image of a facet `σ` is
+    /// link-connected *within that image* — the paper's link-connectivity
+    /// property of tasks (§4.3): no local articulation points w.r.t. any
+    /// input facet.
+    #[must_use]
+    pub fn is_link_connected(&self) -> bool {
+        self.input.facets().all(|sigma| {
+            self.delta
+                .image_of(sigma)
+                .disconnected_link_vertices()
+                .is_empty()
+        })
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Task '{}': |I| = {} facets, |O| = {} facets, {} processes",
+            self.name,
+            self.input.facet_count(),
+            self.output.facet_count(),
+            self.process_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chromata_topology::{Value, Vertex};
+
+    fn v(c: u8, x: i64) -> Vertex {
+        Vertex::of(c, x)
+    }
+
+    /// The identity task: each process outputs its input.
+    fn identity_task() -> Task {
+        let tri = Simplex::from_iter([v(0, 0), v(1, 0), v(2, 0)]);
+        let input = Complex::from_facets([tri]);
+        Task::from_delta_fn("identity", input, |s| vec![s.clone()]).expect("valid")
+    }
+
+    #[test]
+    fn identity_task_valid() {
+        let t = identity_task();
+        assert_eq!(t.process_count(), 3);
+        assert_eq!(t.output(), t.input());
+        assert!(t.is_link_connected());
+        assert!(format!("{t}").contains("identity"));
+    }
+
+    #[test]
+    fn invalid_carrier_rejected() {
+        let tri = Simplex::from_iter([v(0, 0), v(1, 0), v(2, 0)]);
+        let input = Complex::from_facets([tri.clone()]);
+        // Wrong-color image.
+        let mut delta = CarrierMap::from_fn(&input, |s| vec![s.clone()]);
+        delta.insert(
+            Simplex::vertex(v(0, 0)),
+            Complex::from_facets([Simplex::vertex(v(1, 0))]),
+        );
+        let err = Task::new("bad", input, Complex::from_facets([tri]), delta).unwrap_err();
+        assert!(matches!(err, TaskError::InvalidCarrier(_)));
+    }
+
+    #[test]
+    fn image_outside_output_rejected() {
+        let tri = Simplex::from_iter([v(0, 0), v(1, 0), v(2, 0)]);
+        let input = Complex::from_facets([tri.clone()]);
+        let delta = CarrierMap::from_fn(&input, |s| vec![s.clone()]);
+        // Output complex missing the triangle.
+        let small_output = Complex::from_facets([Simplex::from_iter([v(0, 0), v(1, 0)])]);
+        let err = Task::new("bad", input, small_output, delta).unwrap_err();
+        assert!(matches!(err, TaskError::ImageOutsideOutput(_)));
+    }
+
+    #[test]
+    fn non_chromatic_input_rejected() {
+        let bad = Complex::from_facets([Simplex::from_iter([v(0, 0), v(0, 1)])]);
+        let err = Task::new("bad", bad, Complex::new(), CarrierMap::new()).unwrap_err();
+        assert_eq!(err, TaskError::InputNotChromatic);
+    }
+
+    #[test]
+    fn facet_delta_derivation_intersects() {
+        // Two input triangles sharing edge {B, C}; facet images share one
+        // facet G, so the derived Δ on the shared edge is G's edge only
+        // when both images contain it.
+        let a0 = v(0, 0);
+        let a1 = v(0, 1);
+        let b = v(1, 0);
+        let c = v(2, 0);
+        let sigma = Simplex::from_iter([a0.clone(), b.clone(), c.clone()]);
+        let sigma2 = Simplex::from_iter([a1.clone(), b.clone(), c.clone()]);
+        let input = Complex::from_facets([sigma.clone(), sigma2.clone()]);
+        let g = Simplex::from_iter([v(0, 10), v(1, 10), v(2, 10)]);
+        let h = Simplex::from_iter([v(0, 11), v(1, 11), v(2, 11)]);
+        let t = Task::from_facet_delta("shared", input, |s| {
+            if *s == sigma {
+                vec![g.clone()]
+            } else {
+                vec![g.clone(), h.clone()]
+            }
+        })
+        .expect("valid");
+        // Shared edge {b, c}: only g's edge survives the intersection.
+        let shared = Simplex::from_iter([b, c]);
+        let img = t.delta().image_of(&shared);
+        assert_eq!(img.facet_count(), 1);
+        // σ2's own vertex can reach both g and h vertices.
+        let img_a1 = t.delta().image_of(&Simplex::vertex(a1));
+        assert_eq!(img_a1.facet_count(), 2);
+        let _ = Value::Int(0);
+    }
+
+    #[test]
+    fn reachability_restriction() {
+        let tri = Simplex::from_iter([v(0, 0), v(1, 0), v(2, 0)]);
+        let input = Complex::from_facets([tri.clone()]);
+        let delta = CarrierMap::from_fn(&input, |s| vec![s.clone()]);
+        let mut bigger = Complex::from_facets([tri.clone()]);
+        bigger.add_simplex(Simplex::vertex(v(0, 99)));
+        let t = Task::new("padded", input, bigger, delta).expect("valid");
+        let r = t.restricted_to_reachable();
+        assert!(!r.output().contains_vertex(&v(0, 99)));
+        assert_eq!(r.output().facet_count(), 1);
+    }
+}

@@ -1,0 +1,250 @@
+//! Process colors (identifiers) and compact color sets.
+//!
+//! In a chromatic complex every vertex carries a *color*: the identifier of
+//! the process it belongs to (paper, §2.2). Colors are small integers
+//! (`0..n`); for the three-process setting of the paper they range over
+//! `{0, 1, 2}`, but the substrate supports up to 16 colors so that the
+//! machinery generalizes (products, subdivisions and carrier maps are
+//! dimension-agnostic).
+
+use std::fmt;
+
+/// A process identifier, called a *color* in the topological framework.
+///
+/// # Examples
+///
+/// ```
+/// use chromata_topology::Color;
+///
+/// let p0 = Color::new(0);
+/// assert_eq!(p0.index(), 0);
+/// assert_eq!(format!("{p0}"), "P0");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Color(u8);
+
+impl Color {
+    /// Maximum number of distinct colors supported by [`ColorSet`].
+    pub const MAX_COLORS: usize = 16;
+
+    /// Creates a color from a process index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Color::MAX_COLORS`.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < Self::MAX_COLORS,
+            "color index {index} out of range (max {})",
+            Self::MAX_COLORS
+        );
+        Color(index)
+    }
+
+    /// The process index of this color.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Iterator over the first `n` colors, `P0, P1, …, P(n-1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > Color::MAX_COLORS`.
+    pub fn first(n: usize) -> impl Iterator<Item = Color> + Clone {
+        assert!(n <= Self::MAX_COLORS);
+        (0..n as u8).map(Color)
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<u8> for Color {
+    fn from(index: u8) -> Self {
+        Color::new(index)
+    }
+}
+
+/// A set of colors, stored as a 16-bit mask.
+///
+/// Used to compare the id-sets of simplices (`id(σ)` in the paper) and to
+/// validate chromaticity of maps and carrier maps.
+///
+/// # Examples
+///
+/// ```
+/// use chromata_topology::{Color, ColorSet};
+///
+/// let s: ColorSet = [Color::new(0), Color::new(2)].into_iter().collect();
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(Color::new(2)));
+/// assert!(!s.contains(Color::new(1)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ColorSet(u16);
+
+impl ColorSet {
+    /// The empty color set.
+    #[must_use]
+    pub fn new() -> Self {
+        ColorSet(0)
+    }
+
+    /// The set `{P0, …, P(n-1)}` of the first `n` colors.
+    #[must_use]
+    pub fn full(n: usize) -> Self {
+        Color::first(n).collect()
+    }
+
+    /// Inserts a color; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, c: Color) -> bool {
+        let bit = 1u16 << c.0;
+        let fresh = self.0 & bit == 0;
+        self.0 |= bit;
+        fresh
+    }
+
+    /// Removes a color; returns `true` if it was present.
+    pub fn remove(&mut self, c: Color) -> bool {
+        let bit = 1u16 << c.0;
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// Whether `c` is in the set.
+    #[must_use]
+    pub fn contains(self, c: Color) -> bool {
+        self.0 & (1 << c.0) != 0
+    }
+
+    /// Number of colors in the set.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: ColorSet) -> ColorSet {
+        ColorSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(self, other: ColorSet) -> ColorSet {
+        ColorSet(self.0 & other.0)
+    }
+
+    /// Whether `self ⊆ other`.
+    #[must_use]
+    pub fn is_subset_of(self, other: ColorSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterator over the colors in ascending index order.
+    pub fn iter(self) -> impl Iterator<Item = Color> + Clone {
+        (0..Color::MAX_COLORS as u8)
+            .filter(move |i| self.0 & (1 << i) != 0)
+            .map(Color)
+    }
+}
+
+impl FromIterator<Color> for ColorSet {
+    fn from_iter<I: IntoIterator<Item = Color>>(iter: I) -> Self {
+        let mut s = ColorSet::new();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+impl Extend<Color> for ColorSet {
+    fn extend<I: IntoIterator<Item = Color>>(&mut self, iter: I) {
+        for c in iter {
+            self.insert(c);
+        }
+    }
+}
+
+impl fmt::Display for ColorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, c) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn color_roundtrip() {
+        for i in 0..16u8 {
+            assert_eq!(Color::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn color_out_of_range_panics() {
+        let _ = Color::new(16);
+    }
+
+    #[test]
+    fn colorset_basics() {
+        let mut s = ColorSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(Color::new(3)));
+        assert!(!s.insert(Color::new(3)));
+        assert!(s.contains(Color::new(3)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(Color::new(3)));
+        assert!(!s.remove(Color::new(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn colorset_algebra() {
+        let a: ColorSet = [0u8, 1].into_iter().map(Color::new).collect();
+        let b: ColorSet = [1u8, 2].into_iter().map(Color::new).collect();
+        assert_eq!(a.union(b), ColorSet::full(3));
+        assert_eq!(a.intersection(b).iter().count(), 1);
+        assert!(a.intersection(b).is_subset_of(a));
+        assert!(!a.is_subset_of(b));
+        assert!(a.is_subset_of(ColorSet::full(3)));
+    }
+
+    #[test]
+    fn colorset_iter_sorted() {
+        let s: ColorSet = [5u8, 1, 9].into_iter().map(Color::new).collect();
+        let got: Vec<u8> = s.iter().map(Color::index).collect();
+        assert_eq!(got, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s: ColorSet = [0u8, 2].into_iter().map(Color::new).collect();
+        assert_eq!(format!("{s}"), "{P0,P2}");
+        assert_eq!(format!("{}", ColorSet::new()), "{}");
+    }
+}

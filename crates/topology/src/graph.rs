@@ -1,0 +1,418 @@
+//! Graph-theoretic utilities over 1-dimensional complexes.
+//!
+//! Links of vertices in 2-dimensional complexes are graphs (paper, §2.2);
+//! the Figure 7 algorithm navigates the link along the *lexicographically
+//! smallest shortest path*, and the edge-path fundamental group needs
+//! spanning forests and cycle bases. This module provides those primitives
+//! on top of [`Complex`], treating its 1-skeleton as an undirected graph.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::complex::Complex;
+use crate::simplex::Simplex;
+use crate::vertex::Vertex;
+
+/// An undirected graph view of the 1-skeleton of a complex.
+///
+/// # Examples
+///
+/// ```
+/// use chromata_topology::{Complex, Graph, Simplex, Vertex};
+///
+/// let path = Complex::from_facets([
+///     Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 0)]),
+///     Simplex::from_iter([Vertex::of(1, 0), Vertex::of(2, 0)]),
+/// ]);
+/// let g = Graph::from_complex(&path);
+/// let p = g.shortest_path(&Vertex::of(0, 0), &Vertex::of(2, 0)).unwrap();
+/// assert_eq!(p.len(), 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    adjacency: BTreeMap<Vertex, BTreeSet<Vertex>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Builds the graph of the 1-skeleton of `k` (all vertices, all edges).
+    #[must_use]
+    pub fn from_complex(k: &Complex) -> Self {
+        let mut g = Graph::new();
+        for v in k.vertices() {
+            g.adjacency.entry(v.clone()).or_default();
+        }
+        for e in k.simplices_of_dim(1) {
+            let vs = e.vertices();
+            g.add_edge(vs[0].clone(), vs[1].clone());
+        }
+        g
+    }
+
+    /// Adds an undirected edge (inserting endpoints as needed).
+    pub fn add_edge(&mut self, a: Vertex, b: Vertex) {
+        self.adjacency
+            .entry(a.clone())
+            .or_default()
+            .insert(b.clone());
+        self.adjacency.entry(b).or_default().insert(a);
+    }
+
+    /// Adds an isolated vertex if absent.
+    pub fn add_vertex(&mut self, v: Vertex) {
+        self.adjacency.entry(v).or_default();
+    }
+
+    /// Whether `v` is a vertex of the graph.
+    #[must_use]
+    pub fn contains_vertex(&self, v: &Vertex) -> bool {
+        self.adjacency.contains_key(v)
+    }
+
+    /// Whether `{a, b}` is an edge.
+    #[must_use]
+    pub fn has_edge(&self, a: &Vertex, b: &Vertex) -> bool {
+        self.adjacency.get(a).is_some_and(|n| n.contains(b))
+    }
+
+    /// The neighbors of `v`, in sorted order.
+    #[must_use]
+    pub fn neighbors(&self, v: &Vertex) -> Vec<&Vertex> {
+        self.adjacency
+            .get(v)
+            .map(|n| n.iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// Iterator over the vertices, in sorted order.
+    pub fn vertices(&self) -> impl Iterator<Item = &Vertex> + Clone {
+        self.adjacency.keys()
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of (undirected) edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.values().map(BTreeSet::len).sum::<usize>() / 2
+    }
+
+    /// All edges as sorted vertex pairs `(min, max)`.
+    #[must_use]
+    pub fn edges(&self) -> Vec<(Vertex, Vertex)> {
+        let mut out = Vec::new();
+        for (v, ns) in &self.adjacency {
+            for w in ns {
+                if v < w {
+                    out.push((v.clone(), w.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Connected components as sorted vertex sets, ordered by minimum
+    /// vertex.
+    #[must_use]
+    pub fn components(&self) -> Vec<BTreeSet<Vertex>> {
+        let mut seen: BTreeSet<&Vertex> = BTreeSet::new();
+        let mut out = Vec::new();
+        for start in self.adjacency.keys() {
+            if seen.contains(start) {
+                continue;
+            }
+            let mut comp = BTreeSet::new();
+            let mut queue = VecDeque::from([start]);
+            seen.insert(start);
+            while let Some(v) = queue.pop_front() {
+                comp.insert(v.clone());
+                for w in &self.adjacency[v] {
+                    if seen.insert(w) {
+                        queue.push_back(w);
+                    }
+                }
+            }
+            out.push(comp);
+        }
+        out
+    }
+
+    /// Whether the graph is connected (and non-empty).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.components().len() == 1
+    }
+
+    /// Whether `a` and `b` lie in the same connected component.
+    #[must_use]
+    pub fn connected(&self, a: &Vertex, b: &Vertex) -> bool {
+        if !self.contains_vertex(a) || !self.contains_vertex(b) {
+            return false;
+        }
+        self.shortest_path(a, b).is_some()
+    }
+
+    /// A shortest path from `from` to `to` (inclusive), or `None` if
+    /// disconnected. BFS explores neighbors in sorted order, so the result
+    /// is deterministic.
+    #[must_use]
+    pub fn shortest_path(&self, from: &Vertex, to: &Vertex) -> Option<Vec<Vertex>> {
+        if !self.contains_vertex(from) || !self.contains_vertex(to) {
+            return None;
+        }
+        if from == to {
+            return Some(vec![from.clone()]);
+        }
+        let mut pred: BTreeMap<&Vertex, &Vertex> = BTreeMap::new();
+        let mut queue = VecDeque::from([from]);
+        let mut seen: BTreeSet<&Vertex> = BTreeSet::from([from]);
+        while let Some(v) = queue.pop_front() {
+            for w in &self.adjacency[v] {
+                if seen.insert(w) {
+                    pred.insert(w, v);
+                    if w == to {
+                        let mut path = vec![to.clone()];
+                        let mut cur = to;
+                        while let Some(&p) = pred.get(cur) {
+                            path.push(p.clone());
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(w);
+                }
+            }
+        }
+        None
+    }
+
+    /// The lexicographically smallest shortest path from `from` to `to`,
+    /// where paths of equal (minimal) length are compared as the sorted
+    /// *set* of their vertices, using the global vertex order — the paper's
+    /// step (13): "identify each path with the (unordered) set of unique
+    /// numbers of the vertices in the path".
+    ///
+    /// Returns `None` if `from` and `to` are disconnected.
+    #[must_use]
+    pub fn lex_smallest_shortest_path(&self, from: &Vertex, to: &Vertex) -> Option<Vec<Vertex>> {
+        // Distances from `to`, so we can walk greedily from `from`.
+        let dist_to = self.bfs_distances(to);
+        let d0 = *dist_to.get(from)?;
+        // Greedy construction does not directly minimize the *set* order, so
+        // enumerate all shortest paths (links are small) and pick the
+        // set-lexicographically least.
+        let mut best: Option<(Vec<Vertex>, Vec<Vertex>)> = None; // (sorted-set key, path)
+        let mut stack: Vec<Vec<Vertex>> = vec![vec![from.clone()]];
+        while let Some(path) = stack.pop() {
+            let last = path.last().expect("non-empty");
+            let d = dist_to[last];
+            if d == 0 {
+                let mut key = path.clone();
+                key.sort();
+                match &best {
+                    Some((bk, _)) if *bk <= key => {}
+                    _ => best = Some((key, path)),
+                }
+                continue;
+            }
+            if path.len() as i64 - 1 + i64::from(d) > i64::from(d0) {
+                continue;
+            }
+            for w in &self.adjacency[last] {
+                if dist_to.get(w) == Some(&(d - 1)) {
+                    let mut next = path.clone();
+                    next.push(w.clone());
+                    stack.push(next);
+                }
+            }
+        }
+        best.map(|(_, p)| p)
+    }
+
+    fn bfs_distances(&self, from: &Vertex) -> BTreeMap<Vertex, u32> {
+        let mut dist = BTreeMap::new();
+        if !self.contains_vertex(from) {
+            return dist;
+        }
+        dist.insert(from.clone(), 0u32);
+        let mut queue = VecDeque::from([from.clone()]);
+        while let Some(v) = queue.pop_front() {
+            let d = dist[&v];
+            for w in self.adjacency[&v].clone() {
+                if !dist.contains_key(&w) {
+                    dist.insert(w.clone(), d + 1);
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The eccentricity-style longest shortest-path length (diameter) within
+    /// the component of `v`. Used to bound Figure 7's termination time.
+    #[must_use]
+    pub fn component_diameter(&self, v: &Vertex) -> u32 {
+        let d = self.bfs_distances(v);
+        d.keys()
+            .map(|u| self.bfs_distances(u).values().copied().max().unwrap_or(0))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// A spanning forest: for each component, a BFS tree rooted at its
+    /// minimum vertex. Returns the tree edges as `(parent, child)` pairs.
+    #[must_use]
+    pub fn spanning_forest(&self) -> Vec<(Vertex, Vertex)> {
+        let mut seen: BTreeSet<&Vertex> = BTreeSet::new();
+        let mut tree = Vec::new();
+        for root in self.adjacency.keys() {
+            if seen.contains(root) {
+                continue;
+            }
+            seen.insert(root);
+            let mut queue = VecDeque::from([root]);
+            while let Some(v) = queue.pop_front() {
+                for w in &self.adjacency[v] {
+                    if seen.insert(w) {
+                        tree.push((v.clone(), w.clone()));
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        tree
+    }
+
+    /// Whether the graph is a forest (no cycles).
+    #[must_use]
+    pub fn is_forest(&self) -> bool {
+        self.edge_count() + self.components().len() == self.vertex_count()
+    }
+
+    /// The edges not in the spanning forest of [`Graph::spanning_forest`];
+    /// each such edge closes exactly one independent cycle (a basis of the
+    /// cycle space).
+    #[must_use]
+    pub fn non_tree_edges(&self) -> Vec<(Vertex, Vertex)> {
+        let forest: BTreeSet<(Vertex, Vertex)> = self
+            .spanning_forest()
+            .into_iter()
+            .map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+            .collect();
+        self.edges()
+            .into_iter()
+            .filter(|e| !forest.contains(e))
+            .collect()
+    }
+
+    /// Converts back to a 1-dimensional [`Complex`].
+    #[must_use]
+    pub fn to_complex(&self) -> Complex {
+        let mut k = Complex::new();
+        for v in self.adjacency.keys() {
+            k.add_simplex(Simplex::vertex(v.clone()));
+        }
+        for (a, b) in self.edges() {
+            k.add_simplex(Simplex::from_iter([a, b]));
+        }
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(c: u8, x: i64) -> Vertex {
+        Vertex::of(c, x)
+    }
+
+    fn cycle4() -> Graph {
+        // 4-cycle: (0,0) - (1,0) - (0,1) - (1,1) - (0,0)
+        let mut g = Graph::new();
+        g.add_edge(v(0, 0), v(1, 0));
+        g.add_edge(v(1, 0), v(0, 1));
+        g.add_edge(v(0, 1), v(1, 1));
+        g.add_edge(v(1, 1), v(0, 0));
+        g
+    }
+
+    #[test]
+    fn counts_and_membership() {
+        let g = cycle4();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(&v(0, 0), &v(1, 0)));
+        assert!(!g.has_edge(&v(0, 0), &v(0, 1)));
+        assert_eq!(g.neighbors(&v(0, 0)).len(), 2);
+    }
+
+    #[test]
+    fn shortest_paths_on_cycle() {
+        let g = cycle4();
+        let p = g.shortest_path(&v(0, 0), &v(0, 1)).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0], v(0, 0));
+        assert_eq!(p[2], v(0, 1));
+        assert_eq!(g.shortest_path(&v(0, 0), &v(0, 0)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn lex_smallest_among_equal_length() {
+        // Two shortest paths from (0,0) to (0,1): via (1,0) or via (1,1).
+        let g = cycle4();
+        let p = g.lex_smallest_shortest_path(&v(0, 0), &v(0, 1)).unwrap();
+        // Path set {(0,0),(1,0),(0,1)} < {(0,0),(1,1),(0,1)} since
+        // (1,0) < (1,1) and the other elements agree.
+        assert_eq!(p, vec![v(0, 0), v(1, 0), v(0, 1)]);
+    }
+
+    #[test]
+    fn disconnected_behaviour() {
+        let mut g = cycle4();
+        g.add_vertex(v(2, 0));
+        assert_eq!(g.components().len(), 2);
+        assert!(!g.is_connected());
+        assert!(!g.connected(&v(0, 0), &v(2, 0)));
+        assert!(g.shortest_path(&v(0, 0), &v(2, 0)).is_none());
+        assert!(g.lex_smallest_shortest_path(&v(0, 0), &v(2, 0)).is_none());
+    }
+
+    #[test]
+    fn forest_and_cycle_basis() {
+        let g = cycle4();
+        assert!(!g.is_forest());
+        assert_eq!(g.spanning_forest().len(), 3);
+        assert_eq!(g.non_tree_edges().len(), 1, "one independent cycle");
+        let mut path = Graph::new();
+        path.add_edge(v(0, 0), v(1, 0));
+        path.add_edge(v(1, 0), v(2, 0));
+        assert!(path.is_forest());
+        assert!(path.non_tree_edges().is_empty());
+    }
+
+    #[test]
+    fn complex_roundtrip() {
+        let g = cycle4();
+        let k = g.to_complex();
+        assert_eq!(k.dimension(), Some(1));
+        assert_eq!(k.facet_count(), 4);
+        let g2 = Graph::from_complex(&k);
+        assert_eq!(g2.edges(), g.edges());
+    }
+
+    #[test]
+    fn diameter() {
+        let g = cycle4();
+        assert_eq!(g.component_diameter(&v(0, 0)), 2);
+    }
+}

@@ -1,0 +1,221 @@
+//! Simplicial maps between complexes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::complex::Complex;
+use crate::simplex::Simplex;
+use crate::vertex::Vertex;
+
+/// A vertex map between complexes, checked for simpliciality on demand.
+///
+/// A *simplicial map* `f : K → K'` sends vertices to vertices such that the
+/// image of every simplex of `K` is a simplex of `K'`; it is *chromatic* if
+/// it preserves colors (paper, §2.2). Decision maps `δ` from protocol
+/// complexes to output complexes are chromatic simplicial maps (§2.4).
+///
+/// # Examples
+///
+/// ```
+/// use chromata_topology::{Complex, Simplex, SimplicialMap, Vertex};
+///
+/// let edge = |a: Vertex, b: Vertex| Simplex::from_iter([a, b]);
+/// let k = Complex::from_facets([edge(Vertex::of(0, 0), Vertex::of(1, 0))]);
+/// let mut f = SimplicialMap::new();
+/// f.insert(Vertex::of(0, 0), Vertex::of(0, 9));
+/// f.insert(Vertex::of(1, 0), Vertex::of(1, 9));
+/// let image = Complex::from_facets([edge(Vertex::of(0, 9), Vertex::of(1, 9))]);
+/// assert!(f.is_simplicial(&k, &image));
+/// assert!(f.is_chromatic());
+/// ```
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct SimplicialMap {
+    map: BTreeMap<Vertex, Vertex>,
+}
+
+impl SimplicialMap {
+    /// Creates an empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        SimplicialMap::default()
+    }
+
+    /// Inserts a vertex assignment, returning the previous image if any.
+    pub fn insert(&mut self, from: Vertex, to: Vertex) -> Option<Vertex> {
+        self.map.insert(from, to)
+    }
+
+    /// The image of vertex `v`, if assigned.
+    #[must_use]
+    pub fn get(&self, v: &Vertex) -> Option<&Vertex> {
+        self.map.get(v)
+    }
+
+    /// Whether every vertex of `domain` has an image.
+    #[must_use]
+    pub fn is_total_on(&self, domain: &Complex) -> bool {
+        domain.vertices().all(|v| self.map.contains_key(v))
+    }
+
+    /// The image of a simplex: `f(σ) = {f(v) : v ∈ σ}`.
+    ///
+    /// Returns `None` if some vertex of `σ` has no assigned image. Note the
+    /// image may have lower dimension if the map is not injective on `σ`.
+    #[must_use]
+    pub fn apply(&self, s: &Simplex) -> Option<Simplex> {
+        let mut verts = Vec::with_capacity(s.len());
+        for v in s {
+            verts.push(self.map.get(v)?.clone());
+        }
+        Some(Simplex::new(verts))
+    }
+
+    /// Whether the map is simplicial from `domain` to `codomain`: total on
+    /// `domain`'s vertices and mapping every facet (hence every simplex) of
+    /// `domain` to a simplex of `codomain`.
+    #[must_use]
+    pub fn is_simplicial(&self, domain: &Complex, codomain: &Complex) -> bool {
+        domain
+            .facets()
+            .all(|s| self.apply(s).is_some_and(|t| codomain.contains(&t)))
+    }
+
+    /// Whether every assignment preserves colors.
+    #[must_use]
+    pub fn is_chromatic(&self) -> bool {
+        self.map.iter().all(|(v, w)| v.color() == w.color())
+    }
+
+    /// The image complex of `domain` under this map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is not total on `domain`.
+    #[must_use]
+    pub fn image(&self, domain: &Complex) -> Complex {
+        Complex::from_facets(domain.facets().map(|s| {
+            self.apply(s)
+                .unwrap_or_else(|| panic!("map not total on domain facet {s}"))
+        }))
+    }
+
+    /// Composition `other ∘ self` (apply `self` first).
+    ///
+    /// Vertices whose image under `self` has no assignment under `other`
+    /// are dropped from the composite.
+    #[must_use]
+    pub fn then(&self, other: &SimplicialMap) -> SimplicialMap {
+        let mut out = SimplicialMap::new();
+        for (v, w) in &self.map {
+            if let Some(u) = other.get(w) {
+                out.insert(v.clone(), u.clone());
+            }
+        }
+        out
+    }
+
+    /// Iterator over the `(from, to)` assignments.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vertex, &Vertex)> + Clone {
+        self.map.iter()
+    }
+
+    /// Number of assignments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the map has no assignments.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl FromIterator<(Vertex, Vertex)> for SimplicialMap {
+    fn from_iter<I: IntoIterator<Item = (Vertex, Vertex)>>(iter: I) -> Self {
+        SimplicialMap {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for SimplicialMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SimplicialMap({} vertices)", self.map.len())?;
+        for (v, w) in &self.map {
+            writeln!(f, "  {v} ↦ {w}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(c: u8, x: i64) -> Vertex {
+        Vertex::of(c, x)
+    }
+
+    fn triangle(x: i64) -> Simplex {
+        Simplex::from_iter([v(0, x), v(1, x), v(2, x)])
+    }
+
+    #[test]
+    fn identity_is_simplicial_and_chromatic() {
+        let k = Complex::from_facets([triangle(0)]);
+        let f: SimplicialMap = k.vertices().map(|u| (u.clone(), u.clone())).collect();
+        assert!(f.is_total_on(&k));
+        assert!(f.is_simplicial(&k, &k));
+        assert!(f.is_chromatic());
+        assert_eq!(f.image(&k), k);
+    }
+
+    #[test]
+    fn collapse_is_simplicial_when_codomain_has_faces() {
+        // Map a triangle onto one of its edges: images of simplices are
+        // lower-dimensional simplices, still legal.
+        let k = Complex::from_facets([triangle(0)]);
+        let mut f = SimplicialMap::new();
+        f.insert(v(0, 0), v(0, 0));
+        f.insert(v(1, 0), v(1, 0));
+        f.insert(v(2, 0), v(1, 0)); // collapse P2 onto P1's vertex
+        let codomain = Complex::from_facets([Simplex::from_iter([v(0, 0), v(1, 0)])]);
+        assert!(f.is_simplicial(&k, &codomain));
+        assert!(!f.is_chromatic());
+        let img = f.apply(&triangle(0)).unwrap();
+        assert_eq!(img.dimension(), 1);
+    }
+
+    #[test]
+    fn non_simplicial_detected() {
+        let k = Complex::from_facets([triangle(0)]);
+        let mut f = SimplicialMap::new();
+        f.insert(v(0, 0), v(0, 1));
+        f.insert(v(1, 0), v(1, 2));
+        f.insert(v(2, 0), v(2, 3));
+        // Codomain lacks the image triangle {P0:1, P1:2, P2:3}.
+        let codomain = Complex::from_facets([Simplex::from_iter([v(0, 1), v(1, 2)])]);
+        assert!(!f.is_simplicial(&k, &codomain));
+    }
+
+    #[test]
+    fn partial_map_apply_returns_none() {
+        let f = SimplicialMap::new();
+        assert!(f.apply(&triangle(0)).is_none());
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn composition() {
+        let f: SimplicialMap = [(v(0, 0), v(0, 1))].into_iter().collect();
+        let g: SimplicialMap = [(v(0, 1), v(0, 2))].into_iter().collect();
+        let h = f.then(&g);
+        assert_eq!(h.get(&v(0, 0)), Some(&v(0, 2)));
+        assert_eq!(h.len(), 1);
+        // Dangling composition drops the vertex.
+        let g2 = SimplicialMap::new();
+        assert!(f.then(&g2).is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Chromatic products of complexes (paper, §3).
+//!
+//! Given two pure chromatic complexes `C` and `T` of the same dimension,
+//! their product `C × T` has vertices `(u, v)` with `χ(u) = χ(v)` and
+//! simplices `X × Y` for `X ∈ C`, `Y ∈ T` with matching colors. The
+//! canonical-task construction (`O* ⊆ I × O`) is built from the
+//! simplex-level product provided here.
+
+use crate::complex::Complex;
+use crate::simplex::Simplex;
+use crate::value::Value;
+use crate::vertex::Vertex;
+
+/// The product vertex `(u, v)`: color `χ(u) = χ(v)`, value `Pair(u, v)`.
+///
+/// # Panics
+///
+/// Panics if the colors of `u` and `v` differ.
+#[must_use]
+pub fn product_vertex(u: &Vertex, v: &Vertex) -> Vertex {
+    assert_eq!(
+        u.color(),
+        v.color(),
+        "product vertices must share a color: {u} vs {v}"
+    );
+    Vertex::new(u.color(), Value::pair(u.value().clone(), v.value().clone()))
+}
+
+/// The product simplex `X × Y`, pairing vertices by color.
+///
+/// Returns `None` if `X` and `Y` do not have identical color sets (the
+/// product is only defined color-wise, paper §3).
+#[must_use]
+pub fn product_simplex(x: &Simplex, y: &Simplex) -> Option<Simplex> {
+    if x.colors() != y.colors() || !x.is_chromatic() || !y.is_chromatic() {
+        return None;
+    }
+    let verts: Vec<Vertex> = x
+        .iter()
+        .map(|u| {
+            let v = y
+                .vertex_of_color(u.color())
+                .expect("color sets match, so the partner exists");
+            product_vertex(u, v)
+        })
+        .collect();
+    Some(Simplex::new(verts))
+}
+
+/// The full chromatic product `C × T`: all `X × Y` over facets `X ∈ C`,
+/// `Y ∈ T` with matching color sets, closed under faces.
+///
+/// # Examples
+///
+/// ```
+/// use chromata_topology::{product, Complex, Simplex, Vertex};
+///
+/// let c = Complex::from_facets([Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 0)])]);
+/// let t = Complex::from_facets([
+///     Simplex::from_iter([Vertex::of(0, 7), Vertex::of(1, 7)]),
+///     Simplex::from_iter([Vertex::of(0, 8), Vertex::of(1, 8)]),
+/// ]);
+/// let p = product(&c, &t);
+/// assert_eq!(p.facet_count(), 2);
+/// ```
+#[must_use]
+pub fn product(c: &Complex, t: &Complex) -> Complex {
+    let mut out = Complex::new();
+    for x in c.facets() {
+        for y in t.facets() {
+            if let Some(p) = product_simplex(x, y) {
+                out.add_simplex(p);
+            }
+        }
+    }
+    out
+}
+
+/// Projects a product vertex back to its first (input) component.
+///
+/// Returns `None` if the vertex value is not a [`Value::Pair`].
+#[must_use]
+pub fn project_first(v: &Vertex) -> Option<Vertex> {
+    let (a, _) = v.value().as_pair()?;
+    Some(Vertex::new(v.color(), a.clone()))
+}
+
+/// Projects a product vertex back to its second (output) component.
+///
+/// Returns `None` if the vertex value is not a [`Value::Pair`].
+#[must_use]
+pub fn project_second(v: &Vertex) -> Option<Vertex> {
+    let (_, b) = v.value().as_pair()?;
+    Some(Vertex::new(v.color(), b.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(c: u8, x: i64) -> Vertex {
+        Vertex::of(c, x)
+    }
+
+    #[test]
+    fn product_vertex_pairs_values() {
+        let p = product_vertex(&v(1, 3), &v(1, 9));
+        assert_eq!(p.color(), crate::color::Color::new(1));
+        let (a, b) = p.value().as_pair().unwrap();
+        assert_eq!(a.as_int(), Some(3));
+        assert_eq!(b.as_int(), Some(9));
+        assert_eq!(project_first(&p), Some(v(1, 3)));
+        assert_eq!(project_second(&p), Some(v(1, 9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must share a color")]
+    fn product_vertex_color_mismatch_panics() {
+        let _ = product_vertex(&v(0, 0), &v(1, 0));
+    }
+
+    #[test]
+    fn product_simplex_matches_by_color() {
+        let x = Simplex::from_iter([v(0, 1), v(1, 2), v(2, 3)]);
+        let y = Simplex::from_iter([v(0, 10), v(1, 20), v(2, 30)]);
+        let p = product_simplex(&x, &y).unwrap();
+        assert_eq!(p.dimension(), 2);
+        for u in &p {
+            let (a, b) = u.value().as_pair().unwrap();
+            assert_eq!(b.as_int(), a.as_int().map(|i| i * 10));
+        }
+    }
+
+    #[test]
+    fn product_simplex_rejects_color_mismatch() {
+        let x = Simplex::from_iter([v(0, 1), v(1, 2)]);
+        let y = Simplex::from_iter([v(0, 1), v(2, 2)]);
+        assert!(product_simplex(&x, &y).is_none());
+    }
+
+    #[test]
+    fn product_complex_counts() {
+        // Two input edges × two output edges on colors {0,1} = 4 facets.
+        let c = Complex::from_facets([
+            Simplex::from_iter([v(0, 0), v(1, 0)]),
+            Simplex::from_iter([v(0, 1), v(1, 1)]),
+        ]);
+        let t = Complex::from_facets([
+            Simplex::from_iter([v(0, 7), v(1, 7)]),
+            Simplex::from_iter([v(0, 8), v(1, 8)]),
+        ]);
+        let p = product(&c, &t);
+        assert_eq!(p.facet_count(), 4);
+        assert!(p.is_chromatic());
+        assert!(p.is_pure());
+    }
+
+    #[test]
+    fn projection_of_non_pair_is_none() {
+        assert!(project_first(&v(0, 0)).is_none());
+        assert!(project_second(&v(0, 0)).is_none());
+    }
+}

@@ -1,0 +1,212 @@
+//! Serde support for the topology types.
+//!
+//! Serialization goes through explicit mirror types so the on-disk format
+//! is stable, human-readable and independent of internal `Arc` sharing:
+//! complexes serialize as facet lists (faces are re-derived on load),
+//! carrier maps as `(simplex, image-facets)` pairs. Deserialization
+//! re-establishes every structural invariant through the ordinary
+//! constructors.
+
+use serde::de::Error as DeError;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::carrier::CarrierMap;
+use crate::color::Color;
+use crate::complex::Complex;
+use crate::simplex::Simplex;
+use crate::value::Value;
+use crate::vertex::Vertex;
+
+#[derive(Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+enum ValueRepr {
+    Int(i64),
+    Name(String),
+    Pair(Box<ValueRepr>, Box<ValueRepr>),
+    View(Vec<VertexRepr>),
+    Split(Box<ValueRepr>, u32),
+}
+
+#[derive(Serialize, Deserialize)]
+struct VertexRepr {
+    color: u8,
+    value: ValueRepr,
+}
+
+impl From<&Value> for ValueRepr {
+    fn from(v: &Value) -> Self {
+        match v {
+            Value::Int(i) => ValueRepr::Int(*i),
+            Value::Name(s) => ValueRepr::Name(s.to_string()),
+            Value::Pair(a, b) => ValueRepr::Pair(
+                Box::new(ValueRepr::from(&**a)),
+                Box::new(ValueRepr::from(&**b)),
+            ),
+            Value::View(vs) => ValueRepr::View(vs.iter().map(VertexRepr::from).collect()),
+            Value::Split(b, i) => ValueRepr::Split(Box::new(ValueRepr::from(&**b)), *i),
+        }
+    }
+}
+
+impl From<&VertexRepr> for Vertex {
+    fn from(r: &VertexRepr) -> Self {
+        Vertex::new(Color::new(r.color), Value::from(&r.value))
+    }
+}
+
+impl From<&ValueRepr> for Value {
+    fn from(r: &ValueRepr) -> Self {
+        match r {
+            ValueRepr::Int(i) => Value::Int(*i),
+            ValueRepr::Name(s) => Value::name(s),
+            ValueRepr::Pair(a, b) => Value::pair(Value::from(&**a), Value::from(&**b)),
+            ValueRepr::View(vs) => Value::view(vs.iter().map(Vertex::from)),
+            ValueRepr::Split(b, i) => Value::split(Value::from(&**b), *i),
+        }
+    }
+}
+
+impl From<&Vertex> for VertexRepr {
+    fn from(v: &Vertex) -> Self {
+        VertexRepr {
+            color: v.color().index(),
+            value: ValueRepr::from(v.value()),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        ValueRepr::from(self).serialize(s)
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Value::from(&ValueRepr::deserialize(d)?))
+    }
+}
+
+impl Serialize for Vertex {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        VertexRepr::from(self).serialize(s)
+    }
+}
+
+impl<'de> Deserialize<'de> for Vertex {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let r = VertexRepr::deserialize(d)?;
+        if usize::from(r.color) >= Color::MAX_COLORS {
+            return Err(D::Error::custom(format!("color {} out of range", r.color)));
+        }
+        Ok(Vertex::from(&r))
+    }
+}
+
+impl Serialize for Simplex {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.vertices().serialize(s)
+    }
+}
+
+impl<'de> Deserialize<'de> for Simplex {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let verts = Vec::<Vertex>::deserialize(d)?;
+        if verts.is_empty() {
+            return Err(D::Error::custom("a simplex needs at least one vertex"));
+        }
+        Ok(Simplex::new(verts))
+    }
+}
+
+impl Serialize for Complex {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let facets: Vec<&Simplex> = self.facets().collect();
+        facets.serialize(s)
+    }
+}
+
+impl<'de> Deserialize<'de> for Complex {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Complex::from_facets(Vec::<Simplex>::deserialize(d)?))
+    }
+}
+
+impl Serialize for CarrierMap {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let entries: Vec<(&Simplex, Vec<&Simplex>)> = self
+            .iter()
+            .map(|(k, img)| (k, img.facets().collect()))
+            .collect();
+        entries.serialize(s)
+    }
+}
+
+impl<'de> Deserialize<'de> for CarrierMap {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let entries = Vec::<(Simplex, Vec<Simplex>)>::deserialize(d)?;
+        Ok(entries
+            .into_iter()
+            .map(|(k, facets)| (k, Complex::from_facets(facets)))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T>(v: &T) -> T
+    where
+        T: Serialize + for<'de> Deserialize<'de>,
+    {
+        let json = serde_json::to_string(v).expect("serialize");
+        serde_json::from_str(&json).expect("deserialize")
+    }
+
+    #[test]
+    fn value_roundtrips() {
+        let deep = Value::split(
+            Value::pair(
+                Value::Int(-3),
+                Value::view([Vertex::of(1, 9), Vertex::of(0, 2)]),
+            ),
+            2,
+        );
+        assert_eq!(roundtrip(&deep), deep);
+        assert_eq!(roundtrip(&Value::name("x")), Value::name("x"));
+    }
+
+    #[test]
+    fn simplex_and_complex_roundtrip() {
+        let tri = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 1), Vertex::of(2, 2)]);
+        assert_eq!(roundtrip(&tri), tri);
+        let k = Complex::from_facets([tri]).skeleton(1);
+        let k2 = roundtrip(&k);
+        assert_eq!(k2, k);
+        assert_eq!(k2.simplices().count(), k.simplices().count());
+    }
+
+    #[test]
+    fn carrier_map_roundtrip() {
+        let x = Simplex::vertex(Vertex::of(0, 0));
+        let img = Complex::from_facets([Simplex::vertex(Vertex::of(0, 7))]);
+        let cm: CarrierMap = [(x, img)].into_iter().collect();
+        let cm2 = roundtrip(&cm);
+        assert_eq!(cm2, cm);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(serde_json::from_str::<Simplex>("[]").is_err());
+        let bad_color = r#"{"color": 99, "value": {"int": 0}}"#;
+        assert!(serde_json::from_str::<Vertex>(bad_color).is_err());
+    }
+
+    #[test]
+    fn format_is_human_readable() {
+        let v = Vertex::of(2, 5);
+        let json = serde_json::to_string(&v).unwrap();
+        assert_eq!(json, r#"{"color":2,"value":{"int":5}}"#);
+    }
+}

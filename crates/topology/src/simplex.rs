@@ -1,0 +1,345 @@
+//! Simplices: finite non-empty sets of vertices in canonical sorted form.
+
+use std::fmt;
+
+use crate::color::ColorSet;
+use crate::vertex::Vertex;
+
+/// A simplex: a non-empty set of [`Vertex`]es, stored sorted and
+/// deduplicated (paper, §2.2).
+///
+/// The *dimension* of a simplex is its cardinality minus one; vertices are
+/// 0-dimensional, edges 1-dimensional, triangles 2-dimensional. A simplex is
+/// *chromatic* if all its vertices have pairwise-distinct colors; all
+/// simplices of the complexes in the paper are chromatic, but the type does
+/// not force this so that intermediate colorless constructions can reuse it.
+///
+/// # Examples
+///
+/// ```
+/// use chromata_topology::{Simplex, Vertex};
+///
+/// let edge = Simplex::from_iter([Vertex::of(0, 1), Vertex::of(1, 0)]);
+/// assert_eq!(edge.dimension(), 1);
+/// assert!(edge.is_chromatic());
+/// assert!(Simplex::vertex(Vertex::of(0, 1)).is_face_of(&edge));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Simplex(Vec<Vertex>);
+
+impl Simplex {
+    /// Creates the 0-dimensional simplex `{v}`.
+    #[must_use]
+    pub fn vertex(v: Vertex) -> Self {
+        Simplex(vec![v])
+    }
+
+    /// Creates a simplex from vertices, sorting and deduplicating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vertex collection is empty (the empty simplex is not a
+    /// simplex in the paper's convention).
+    #[must_use]
+    pub fn new(vertices: Vec<Vertex>) -> Self {
+        let mut v = vertices;
+        v.sort();
+        v.dedup();
+        assert!(!v.is_empty(), "a simplex must have at least one vertex");
+        Simplex(v)
+    }
+
+    /// The vertices of the simplex, in sorted order.
+    #[must_use]
+    pub fn vertices(&self) -> &[Vertex] {
+        &self.0
+    }
+
+    /// Number of vertices (`|σ|`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Always `false`: simplices are non-empty by construction. Provided for
+    /// API completeness alongside [`Simplex::len`].
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The dimension `|σ| - 1`.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.0.len() - 1
+    }
+
+    /// Whether `v` is a vertex of this simplex.
+    #[must_use]
+    pub fn contains(&self, v: &Vertex) -> bool {
+        self.0.binary_search(v).is_ok()
+    }
+
+    /// Whether `self ⊆ other`.
+    #[must_use]
+    pub fn is_face_of(&self, other: &Simplex) -> bool {
+        self.0.iter().all(|v| other.contains(v))
+    }
+
+    /// The set of colors `id(σ)` of the simplex.
+    #[must_use]
+    pub fn colors(&self) -> ColorSet {
+        self.0.iter().map(Vertex::color).collect()
+    }
+
+    /// Whether all vertices have pairwise-distinct colors.
+    #[must_use]
+    pub fn is_chromatic(&self) -> bool {
+        self.colors().len() == self.0.len()
+    }
+
+    /// The vertex of the given color, if the simplex is chromatic enough to
+    /// have at most one.
+    #[must_use]
+    pub fn vertex_of_color(&self, c: crate::color::Color) -> Option<&Vertex> {
+        self.0.iter().find(|v| v.color() == c)
+    }
+
+    /// All non-empty proper faces of this simplex (excluding itself).
+    ///
+    /// For a triangle this returns its three edges and three vertices.
+    #[must_use]
+    pub fn proper_faces(&self) -> Vec<Simplex> {
+        let mut out = Vec::new();
+        let n = self.0.len();
+        // Enumerate all non-empty proper subsets via bitmask; simplices here
+        // have at most a handful of vertices, so this is never hot.
+        for mask in 1u32..((1 << n) - 1) {
+            let verts: Vec<Vertex> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| self.0[i].clone())
+                .collect();
+            out.push(Simplex(verts));
+        }
+        out.sort();
+        out
+    }
+
+    /// All non-empty faces of this simplex, including itself.
+    #[must_use]
+    pub fn faces(&self) -> Vec<Simplex> {
+        let mut out = self.proper_faces();
+        out.push(self.clone());
+        out.sort();
+        out
+    }
+
+    /// The codimension-1 faces (facets of the boundary).
+    #[must_use]
+    pub fn boundary_faces(&self) -> Vec<Simplex> {
+        if self.0.len() == 1 {
+            return Vec::new();
+        }
+        (0..self.0.len()).map(|i| self.without_index(i)).collect()
+    }
+
+    fn without_index(&self, i: usize) -> Simplex {
+        let mut v = self.0.clone();
+        v.remove(i);
+        Simplex(v)
+    }
+
+    /// The face obtained by removing vertex `v`, or `None` if `v` is not a
+    /// vertex or the simplex would become empty.
+    #[must_use]
+    pub fn without_vertex(&self, v: &Vertex) -> Option<Simplex> {
+        let i = self.0.binary_search(v).ok()?;
+        if self.0.len() == 1 {
+            return None;
+        }
+        Some(self.without_index(i))
+    }
+
+    /// The simplex with vertex `from` replaced by `to`.
+    ///
+    /// Used by the splitting deformation (§4.1) to re-target facets from a
+    /// local articulation point `y` to one of its copies `y_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not a vertex of this simplex.
+    #[must_use]
+    pub fn substituted(&self, from: &Vertex, to: Vertex) -> Simplex {
+        let i = self
+            .0
+            .binary_search(from)
+            .unwrap_or_else(|_| panic!("substituted: {from} not in {self}"));
+        let mut v = self.0.clone();
+        v[i] = to;
+        Simplex::new(v)
+    }
+
+    /// The union `self ∪ other` as a simplex.
+    #[must_use]
+    pub fn union(&self, other: &Simplex) -> Simplex {
+        let mut v = self.0.clone();
+        v.extend(other.0.iter().cloned());
+        Simplex::new(v)
+    }
+
+    /// The intersection `self ∩ other`, or `None` if disjoint.
+    #[must_use]
+    pub fn intersection(&self, other: &Simplex) -> Option<Simplex> {
+        let v: Vec<Vertex> = self
+            .0
+            .iter()
+            .filter(|x| other.contains(x))
+            .cloned()
+            .collect();
+        if v.is_empty() {
+            None
+        } else {
+            Some(Simplex(v))
+        }
+    }
+
+    /// Iterator over the vertices.
+    pub fn iter(&self) -> std::slice::Iter<'_, Vertex> {
+        self.0.iter()
+    }
+}
+
+impl FromIterator<Vertex> for Simplex {
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty.
+    fn from_iter<I: IntoIterator<Item = Vertex>>(iter: I) -> Self {
+        Simplex::new(iter.into_iter().collect())
+    }
+}
+
+impl From<Vertex> for Simplex {
+    fn from(v: Vertex) -> Self {
+        Simplex::vertex(v)
+    }
+}
+
+impl<'a> IntoIterator for &'a Simplex {
+    type Item = &'a Vertex;
+    type IntoIter = std::slice::Iter<'a, Vertex>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl IntoIterator for Simplex {
+    type Item = Vertex;
+    type IntoIter = std::vec::IntoIter<Vertex>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl fmt::Display for Simplex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, v) in self.0.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri() -> Simplex {
+        Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 1), Vertex::of(2, 2)])
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let s = Simplex::new(vec![Vertex::of(2, 0), Vertex::of(0, 0), Vertex::of(2, 0)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dimension(), 1);
+        assert_eq!(s.vertices()[0], Vertex::of(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vertex")]
+    fn empty_simplex_panics() {
+        let _ = Simplex::new(vec![]);
+    }
+
+    #[test]
+    fn faces_of_triangle() {
+        let t = tri();
+        assert_eq!(t.proper_faces().len(), 6, "3 vertices + 3 edges");
+        assert_eq!(t.faces().len(), 7);
+        assert_eq!(t.boundary_faces().len(), 3);
+        for e in t.boundary_faces() {
+            assert_eq!(e.dimension(), 1);
+            assert!(e.is_face_of(&t));
+        }
+        assert!(t.is_face_of(&t));
+    }
+
+    #[test]
+    fn chromaticity() {
+        assert!(tri().is_chromatic());
+        let bad = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(0, 1)]);
+        assert!(!bad.is_chromatic());
+        assert_eq!(bad.colors().len(), 1);
+    }
+
+    #[test]
+    fn vertex_of_color() {
+        let t = tri();
+        assert_eq!(
+            t.vertex_of_color(crate::color::Color::new(1)),
+            Some(&Vertex::of(1, 1))
+        );
+        assert_eq!(t.vertex_of_color(crate::color::Color::new(5)), None);
+    }
+
+    #[test]
+    fn substitution() {
+        let t = tri();
+        let y = Vertex::of(1, 1);
+        let y0 = Vertex::of(1, 99);
+        let s = t.substituted(&y, y0.clone());
+        assert!(s.contains(&y0));
+        assert!(!s.contains(&y));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn union_intersection() {
+        let e1 = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 1)]);
+        let e2 = Simplex::from_iter([Vertex::of(1, 1), Vertex::of(2, 2)]);
+        assert_eq!(e1.union(&e2), tri());
+        assert_eq!(
+            e1.intersection(&e2),
+            Some(Simplex::vertex(Vertex::of(1, 1)))
+        );
+        let v = Simplex::vertex(Vertex::of(2, 2));
+        assert_eq!(e1.intersection(&v), None);
+    }
+
+    #[test]
+    fn without_vertex() {
+        let t = tri();
+        let f = t.without_vertex(&Vertex::of(0, 0)).unwrap();
+        assert_eq!(f.dimension(), 1);
+        assert!(Simplex::vertex(Vertex::of(0, 0))
+            .without_vertex(&Vertex::of(0, 0))
+            .is_none());
+        assert!(t.without_vertex(&Vertex::of(5, 5)).is_none());
+    }
+}

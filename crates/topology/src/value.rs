@@ -1,0 +1,217 @@
+//! Vertex payload values.
+//!
+//! Vertices of the complexes manipulated by the paper's constructions carry
+//! heterogeneous payloads: raw input/output values, *pairs* (canonical tasks,
+//! §3, pair each output with its input), *views* (protocol-complex vertices
+//! are immediate-snapshot views, §2.4), and *split copies* (the splitting
+//! deformation of §4 replaces a local articulation point `y` by copies
+//! `y_1, …, y_r`). [`Value`] is a small recursive enum covering all of these
+//! with cheap (`Arc`-backed) cloning, so that complexes can be identified by
+//! vertex value without separate id tables.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::vertex::Vertex;
+
+/// The payload of a vertex in a (chromatic) simplicial complex.
+///
+/// `Value` is ordered and hashable so simplices can be kept in canonical
+/// sorted form and complexes can be compared structurally.
+///
+/// # Examples
+///
+/// ```
+/// use chromata_topology::Value;
+///
+/// let v = Value::from(3);
+/// let w = Value::name("top");
+/// let p = Value::pair(v.clone(), w);
+/// assert_eq!(format!("{p}"), "(3,top)");
+/// assert_eq!(p.clone(), p);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Value {
+    /// A plain integer value (inputs and outputs of concrete tasks).
+    Int(i64),
+    /// A symbolic name (distinguished vertices, e.g. in loop agreement).
+    Name(Arc<str>),
+    /// An ordered pair; used for canonical tasks (§3) where each output
+    /// vertex is tagged with its unique input pre-image.
+    Pair(Arc<Value>, Arc<Value>),
+    /// An immediate-snapshot view: the set of vertices a process has seen.
+    /// Kept sorted; identifies vertices of protocol complexes (§2.4).
+    View(Arc<[Vertex]>),
+    /// The `copy`-th copy of a split vertex (splitting deformation, §4.1).
+    /// Copies are numbered from 0 in the order of the link components.
+    Split(Arc<Value>, u32),
+}
+
+impl Value {
+    /// Creates a symbolic name value.
+    #[must_use]
+    pub fn name(s: &str) -> Self {
+        Value::Name(Arc::from(s))
+    }
+
+    /// Creates a pair value (canonical-task vertex payload).
+    #[must_use]
+    pub fn pair(first: Value, second: Value) -> Self {
+        Value::Pair(Arc::new(first), Arc::new(second))
+    }
+
+    /// Creates a view value from a set of vertices; the vertices are sorted
+    /// and deduplicated so views compare structurally.
+    #[must_use]
+    pub fn view<I: IntoIterator<Item = Vertex>>(vertices: I) -> Self {
+        let mut v: Vec<Vertex> = vertices.into_iter().collect();
+        v.sort();
+        v.dedup();
+        Value::View(Arc::from(v))
+    }
+
+    /// Creates the `copy`-th split copy of `base`.
+    #[must_use]
+    pub fn split(base: Value, copy: u32) -> Self {
+        Value::Split(Arc::new(base), copy)
+    }
+
+    /// If this is a [`Value::Pair`], its components.
+    #[must_use]
+    pub fn as_pair(&self) -> Option<(&Value, &Value)> {
+        match self {
+            Value::Pair(a, b) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// If this is a [`Value::View`], the vertices of the view.
+    #[must_use]
+    pub fn as_view(&self) -> Option<&[Vertex]> {
+        match self {
+            Value::View(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// If this is a [`Value::Split`], the base value and the copy index.
+    #[must_use]
+    pub fn as_split(&self) -> Option<(&Value, u32)> {
+        match self {
+            Value::Split(b, i) => Some((b, *i)),
+            _ => None,
+        }
+    }
+
+    /// If this is a [`Value::Int`], the integer.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Strips any [`Value::Split`] wrappers, returning the original
+    /// (pre-splitting) value. Splits may nest when a copy produced by one
+    /// splitting step is itself split later.
+    #[must_use]
+    pub fn unsplit(&self) -> &Value {
+        let mut v = self;
+        while let Value::Split(base, _) = v {
+            v = base;
+        }
+        v
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::name(s)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Name(s) => write!(f, "{s}"),
+            Value::Pair(a, b) => write!(f, "({a},{b})"),
+            Value::View(vs) => {
+                write!(f, "⟨")?;
+                for (k, v) in vs.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "⟩")
+            }
+            Value::Split(b, i) => write!(f, "{b}#{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Color;
+
+    #[test]
+    fn view_sorts_and_dedups() {
+        let a = Vertex::new(Color::new(1), Value::Int(5));
+        let b = Vertex::new(Color::new(0), Value::Int(7));
+        let v = Value::view([a.clone(), b.clone(), a.clone()]);
+        let inner = v.as_view().unwrap();
+        assert_eq!(inner, &[b, a]);
+    }
+
+    #[test]
+    fn unsplit_strips_nested_copies() {
+        let base = Value::Int(4);
+        let s1 = Value::split(base.clone(), 1);
+        let s2 = Value::split(s1.clone(), 0);
+        assert_eq!(s2.unsplit(), &base);
+        assert_eq!(base.unsplit(), &base);
+        assert_eq!(s2.as_split().unwrap().1, 0);
+    }
+
+    #[test]
+    fn accessors() {
+        let p = Value::pair(Value::Int(1), Value::name("x"));
+        let (a, b) = p.as_pair().unwrap();
+        assert_eq!(a.as_int(), Some(1));
+        assert_eq!(b, &Value::name("x"));
+        assert!(p.as_view().is_none());
+        assert!(p.as_int().is_none());
+    }
+
+    #[test]
+    fn ordering_is_total_and_structural() {
+        let mut vals = vec![
+            Value::Int(2),
+            Value::Int(1),
+            Value::name("b"),
+            Value::name("a"),
+            Value::pair(Value::Int(1), Value::Int(2)),
+        ];
+        vals.sort();
+        vals.dedup();
+        assert_eq!(vals.len(), 5);
+        assert!(Value::Int(1) < Value::Int(2));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Value::Int(-3)), "-3");
+        assert_eq!(format!("{}", Value::split(Value::Int(1), 2)), "1#2");
+        let a = Vertex::new(Color::new(0), Value::Int(0));
+        assert_eq!(format!("{}", Value::view([a])), "⟨P0:0⟩");
+    }
+}

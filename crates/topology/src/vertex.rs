@@ -1,0 +1,100 @@
+//! Chromatic vertices: a color (process id) together with a payload value.
+
+use std::fmt;
+
+use crate::color::Color;
+use crate::value::Value;
+
+/// A vertex of a chromatic simplicial complex: a pair `(color, value)`
+/// (paper, §2.2).
+///
+/// Vertices are identified structurally; two complexes sharing a vertex
+/// value share the vertex. Ordering sorts first by color then by value,
+/// which keeps chromatic simplices in process-id order.
+///
+/// # Examples
+///
+/// ```
+/// use chromata_topology::{Color, Value, Vertex};
+///
+/// let v = Vertex::new(Color::new(1), Value::from(42));
+/// assert_eq!(v.color(), Color::new(1));
+/// assert_eq!(format!("{v}"), "P1:42");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Vertex {
+    color: Color,
+    value: Value,
+}
+
+impl Vertex {
+    /// Creates a vertex with the given color and value.
+    #[must_use]
+    pub fn new(color: Color, value: Value) -> Self {
+        Vertex { color, value }
+    }
+
+    /// Shorthand: vertex of process `color` with integer value `v`.
+    #[must_use]
+    pub fn of(color: u8, v: i64) -> Self {
+        Vertex::new(Color::new(color), Value::Int(v))
+    }
+
+    /// The color (process id) of this vertex.
+    #[must_use]
+    pub fn color(&self) -> Color {
+        self.color
+    }
+
+    /// The payload value of this vertex.
+    #[must_use]
+    pub fn value(&self) -> &Value {
+        &self.value
+    }
+
+    /// Consumes the vertex, returning its payload value.
+    #[must_use]
+    pub fn into_value(self) -> Value {
+        self.value
+    }
+
+    /// A copy of this vertex with the same color and a new value.
+    #[must_use]
+    pub fn with_value(&self, value: Value) -> Self {
+        Vertex {
+            color: self.color,
+            value,
+        }
+    }
+}
+
+impl fmt::Display for Vertex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.color, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_rewrap() {
+        let v = Vertex::of(2, 7);
+        assert_eq!(v.color(), Color::new(2));
+        assert_eq!(v.value(), &Value::Int(7));
+        let w = v.with_value(Value::name("x"));
+        assert_eq!(w.color(), Color::new(2));
+        assert_eq!(w.value(), &Value::name("x"));
+        assert_eq!(w.clone().into_value(), Value::name("x"));
+    }
+
+    #[test]
+    fn ordering_color_major() {
+        let a = Vertex::of(0, 9);
+        let b = Vertex::of(1, 0);
+        assert!(a < b, "color dominates value in ordering");
+        let c = Vertex::of(0, 1);
+        assert!(c < a);
+    }
+}

@@ -1,0 +1,111 @@
+//! The model checker as a debugging tool: catch a subtly broken protocol
+//! and extract the exact schedule that breaks it.
+//!
+//! The broken protocol is "snapshot agreement without the snapshot": each
+//! process writes its value, does a *non-atomic-looking* single read of
+//! slot 0, and decides the minimum of what it saw — a plausible-looking
+//! 2-set-agreement attempt that fails on schedules where the processes
+//! see disjoint information.
+//!
+//! ```sh
+//! cargo run --release --example model_checking
+//! ```
+
+use chromata_runtime::{explore, find_violation, replay, Cell, Memory, Process, TraceStep};
+use chromata_topology::{Simplex, Vertex};
+
+/// The broken protocol: write own value, read slot `(id + 1) % 3`, decide
+/// the smaller of own value and what was read (if anything).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct BrokenAgreement {
+    id: u8,
+    input: i64,
+    wrote: bool,
+    decided: Option<Vertex>,
+}
+
+impl Process for BrokenAgreement {
+    type Config = ();
+
+    fn decided(&self) -> Option<&Vertex> {
+        self.decided.as_ref()
+    }
+
+    fn step(&self, (): &(), memory: &Memory) -> Vec<(Self, Memory)> {
+        if !self.wrote {
+            let mut m = memory.clone();
+            m.update("r", self.id as usize, Cell::Int(self.input));
+            return vec![(
+                BrokenAgreement {
+                    wrote: true,
+                    ..self.clone()
+                },
+                m,
+            )];
+        }
+        let neighbor = memory
+            .read("r", (self.id as usize + 1) % 3)
+            .and_then(|c| c.as_int());
+        let decision = neighbor.map_or(self.input, |v| v.min(self.input));
+        vec![(
+            BrokenAgreement {
+                decided: Some(Vertex::of(self.id, decision)),
+                ..self.clone()
+            },
+            memory.clone(),
+        )]
+    }
+}
+
+fn processes() -> Vec<BrokenAgreement> {
+    (0..3u8)
+        .map(|id| BrokenAgreement {
+            id,
+            input: i64::from(id) + 1,
+            wrote: false,
+            decided: None,
+        })
+        .collect()
+}
+
+fn main() {
+    let memory = Memory::with_objects(&["r"], 3);
+
+    // The property we hoped for: at most two distinct decisions.
+    let two_set = |outcome: &Vec<Vertex>| {
+        let mut vals: Vec<i64> = outcome
+            .iter()
+            .map(|v| v.value().as_int().expect("ints"))
+            .collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals.len() <= 2
+    };
+
+    let explored = explore(processes(), memory.clone(), &(), 100_000, 100).expect("small");
+    println!(
+        "explored {} states, {} distinct outcomes",
+        explored.states,
+        explored.outcomes.len()
+    );
+
+    match find_violation(processes(), memory.clone(), &(), 100_000, 100, two_set)
+        .expect("within budget")
+    {
+        Some((trace, outcome)) => {
+            println!(
+                "\ncounterexample found: outcome {} has three distinct values",
+                Simplex::new(outcome.clone())
+            );
+            println!("the schedule ({} steps):", trace.len());
+            for TraceStep { process, branch } in &trace {
+                println!("  P{process} steps (branch {branch})");
+            }
+            // Replaying the trace reproduces the violation exactly.
+            let replayed = replay(processes(), memory, &(), &trace).expect("complete trace");
+            assert_eq!(replayed, outcome);
+            println!("replay reproduces the outcome — file the bug with this schedule.");
+        }
+        None => println!("no violation (unexpected for the broken protocol)"),
+    }
+}

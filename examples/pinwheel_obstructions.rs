@@ -1,0 +1,74 @@
+//! The pinwheel task and the two §5.3 corollaries (paper, Fig. 8, §6.2).
+//!
+//! Shows why Corollary 5.5 is *not* enough for the pinwheel (paths
+//! avoiding articulation crossings still exist between adjacent solo
+//! outputs) while the cycle-based Corollary 5.6 and the full pipeline
+//! both certify unsolvability.
+//!
+//! ```sh
+//! cargo run --example pinwheel_obstructions
+//! ```
+
+use chromata::{
+    analyze, corollary_5_5, every_cycle_crosses_a_lap, laps, split_all, PipelineOptions,
+};
+use chromata_task::{canonicalize, library::pinwheel};
+
+fn main() {
+    let t = pinwheel();
+    println!("{t}");
+    let sigma = t.input().facets().next().expect("single facet").clone();
+    println!(
+        "Δ(σ) keeps {} of the 21 2-set-agreement triangles",
+        t.delta().image_of(&sigma).facet_count()
+    );
+
+    println!("\n── articulation points w.r.t. σ");
+    for lap in laps(&t) {
+        println!(
+            "  {} : {} link components",
+            lap.vertex,
+            lap.component_count()
+        );
+    }
+
+    let canonical = canonicalize(&t);
+
+    println!("\n── Corollary 5.5 (path-based): does it apply?");
+    match corollary_5_5(&canonical) {
+        Some(w) => println!("  applies (unexpected for the pinwheel): {w:?}"),
+        None => println!("  does NOT apply — LAP-avoiding paths exist between solo outputs (§6.2)"),
+    }
+
+    println!("\n── Corollary 5.6 (cycle-based): every cycle crosses a LAP?");
+    println!(
+        "  {}",
+        match every_cycle_crosses_a_lap(&canonical) {
+            Some(true) => "yes — the crossing graph of Δ(Skel¹I) is a forest",
+            Some(false) => "no (unexpected)",
+            None => "not applicable",
+        }
+    );
+
+    println!("\n── splitting and the final verdict");
+    let split = split_all(&canonical);
+    println!(
+        "  {} split steps; O' has {} facets in {} components",
+        split.steps.len(),
+        split.task.output().facet_count(),
+        split.task.output().connected_components().len()
+    );
+    for x in canonical.input().vertices() {
+        let img = split
+            .task
+            .delta()
+            .image_of(&chromata_topology::Simplex::vertex(x.clone()));
+        println!(
+            "  solo {} may decide {} copies (one per component, §6.2)",
+            x,
+            img.vertex_count()
+        );
+    }
+    let analysis = analyze(&t, PipelineOptions::default());
+    println!("  pipeline verdict: {:?}", analysis.verdict);
+}

@@ -1,0 +1,113 @@
+//! Theorem 3.1: a task is solvable iff its canonical form is — exercised
+//! through the ACT baseline and through structural properties of the
+//! canonicalization.
+
+use chromata::subdivision::iterated_chromatic_subdivision;
+use chromata::{solve_act, validate_witness, ActOutcome};
+use chromata_task::library::{
+    consensus, constant_task, hourglass, identity_task, simple_example_task,
+};
+use chromata_task::{
+    canonical_decision, canonical_preimage, canonicalize, is_canonical, project_canonical_simplex,
+};
+use chromata_topology::Simplex;
+
+#[test]
+fn canonicalization_always_yields_canonical_tasks() {
+    for t in [
+        identity_task(3),
+        constant_task(3),
+        consensus(3),
+        hourglass(),
+        simple_example_task(),
+    ] {
+        let c = canonicalize(&t);
+        assert!(is_canonical(&c), "{}", t.name());
+        assert_eq!(c.input(), t.input(), "inputs untouched");
+        // Δ* image facet counts match Δ's (bijective per input simplex).
+        for (tau, img) in t.delta().iter() {
+            let cimg = c.delta().image_of(tau);
+            assert_eq!(
+                img.facet_count(),
+                cimg.facet_count(),
+                "{}: facet count changed at {tau}",
+                t.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn solvable_direction_via_act_witness_transport() {
+    // If T is solvable, T* is: take the ACT witness for T* and project it
+    // back; both must validate.
+    for t in [identity_task(3), constant_task(3), simple_example_task()] {
+        let c = canonicalize(&t);
+        let ActOutcome::Solvable { rounds, map } = solve_act(&c, 1) else {
+            panic!("{}: canonical form should be solvable", t.name());
+        };
+        let sub = iterated_chromatic_subdivision(c.input(), rounds);
+        assert!(validate_witness(&sub, &c, &map));
+        // Project the canonical decisions down to original decisions
+        // (Theorem 3.1, easy direction) and check they respect Δ.
+        for (tau, part) in sub.carrier.iter() {
+            for xi in part.facets() {
+                let img = map.apply(xi).expect("total witness");
+                let back = project_canonical_simplex(&img).expect("canonical vertices");
+                assert!(
+                    t.delta().carries(tau, &back),
+                    "{}: projected decision {back} escapes Δ({tau})",
+                    t.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn unsolvable_direction_consistency() {
+    // If T is unsolvable, T* must not become solvable.
+    for t in [consensus(3), hourglass()] {
+        let c = canonicalize(&t);
+        assert!(!solve_act(&t, 1).is_solvable(), "{}", t.name());
+        assert!(!solve_act(&c, 1).is_solvable(), "{}*", t.name());
+    }
+}
+
+#[test]
+fn canonical_vertices_project_consistently() {
+    let t = simple_example_task();
+    let c = canonicalize(&t);
+    for w in c.output().vertices() {
+        let x = canonical_preimage(w).expect("pair-valued");
+        let y = canonical_decision(w).expect("pair-valued");
+        // Canonicity: at most one input vertex maps to w at the vertex
+        // level, and when one exists it is exactly the paired pre-image.
+        // (Vertices reachable only through higher-dimensional images have
+        // zero vertex-level pre-images — solo executions never decide
+        // them.)
+        let ws = Simplex::vertex(w.clone());
+        let preimages: Vec<_> = c
+            .input()
+            .simplices_of_dim(0)
+            .filter(|xs| c.delta().image_of(xs).contains(&ws))
+            .collect();
+        assert!(preimages.len() <= 1, "vertex {w} has several pre-images");
+        if let Some(p) = preimages.first() {
+            assert_eq!(**p, Simplex::vertex(x));
+        }
+        assert!(t.output().contains_vertex(&y));
+    }
+}
+
+#[test]
+fn double_canonicalization_is_still_canonical() {
+    let t = consensus(3);
+    let cc = canonicalize(&canonicalize(&t));
+    assert!(is_canonical(&cc));
+    // Facet counts stabilize after the first canonicalization.
+    assert_eq!(
+        canonicalize(&t).output().facet_count(),
+        cc.output().facet_count()
+    );
+}

@@ -1,0 +1,167 @@
+//! Variations on the hourglass construction — the ablation study around
+//! the splitting deformation that DESIGN.md calls for:
+//!
+//! * a *double* hourglass (two pinches on one facet) with solos pinned in
+//!   three different lobes: two splits, three components, unsolvable;
+//! * the same complex with solo freedom: the splitting is identical but
+//!   consistent choices exist — solvable (the obstruction is the
+//!   *interaction* of pinning and pinches, not the pinches alone);
+//! * the original hourglass with its waist *filled*: no LAPs remain and
+//!   the task flips to solvable.
+
+use chromata::{analyze, laps, split_all, PipelineOptions};
+use chromata_task::{canonicalize, Task};
+use chromata_topology::{Complex, Simplex, Vertex};
+
+fn o(c: u8, v: i64) -> Vertex {
+    Vertex::of(c, v)
+}
+
+fn single_facet_input() -> Complex {
+    Complex::from_facets([Simplex::from_iter((0..3).map(|i| Vertex::of(i, 0)))])
+}
+
+fn chain_triangles() -> Vec<Simplex> {
+    vec![
+        // Lobe A.
+        Simplex::from_iter([o(0, 0), o(1, 1), o(2, 1)]),
+        Simplex::from_iter([o(0, 1), o(1, 1), o(2, 1)]),
+        // Lobe B — meets A only at (0,1), C only at (1,5).
+        Simplex::from_iter([o(0, 1), o(1, 5), o(2, 2)]),
+        // Lobe C.
+        Simplex::from_iter([o(0, 2), o(1, 5), o(2, 3)]),
+        Simplex::from_iter([o(0, 2), o(1, 6), o(2, 3)]),
+    ]
+}
+
+/// Edge images: all color-matching faces of the chain (the "rich" edge
+/// level, so only the solo level distinguishes the variants).
+fn edge_faces(triangles: &[Simplex], tau: &Simplex) -> Vec<Simplex> {
+    let colors = tau.colors();
+    let mut out = Vec::new();
+    for t in triangles {
+        let verts: Vec<Vertex> = t
+            .iter()
+            .filter(|v| colors.contains(v.color()))
+            .cloned()
+            .collect();
+        out.push(Simplex::new(verts));
+    }
+    out
+}
+
+/// The double hourglass with solos pinned in three different lobes.
+fn double_hourglass_pinned() -> Task {
+    let triangles = chain_triangles();
+    Task::from_delta_fn("double-hourglass", single_facet_input(), move |tau| {
+        match tau.dimension() {
+            2 => triangles.clone(),
+            1 => edge_faces(&triangles, tau),
+            _ => {
+                // P0 in lobe A, P2 in lobe B, P1 in lobe C.
+                let pin = match tau.vertices()[0].color().index() {
+                    0 => o(0, 0),
+                    1 => o(1, 6),
+                    _ => o(2, 2),
+                };
+                vec![Simplex::vertex(pin)]
+            }
+        }
+    })
+    .expect("valid task")
+}
+
+/// Same complex, full solo freedom.
+fn double_hourglass_free() -> Task {
+    let triangles = chain_triangles();
+    Task::from_facet_delta("double-hourglass-free", single_facet_input(), move |_| {
+        triangles.clone()
+    })
+    .expect("valid task")
+}
+
+/// The original hourglass with one extra triangle filling the waist.
+fn filled_hourglass() -> Task {
+    let base = chromata_task::library::hourglass();
+    let filler = Simplex::from_iter([o(0, 1), o(1, 1), o(2, 2)]);
+    Task::from_delta_fn("filled-hourglass", base.input().clone(), move |tau| {
+        let mut facets: Vec<Simplex> = base.delta().image_of(tau).facets().cloned().collect();
+        if tau.dimension() == 2 {
+            facets.push(filler.clone());
+        }
+        facets
+    })
+    .expect("valid task")
+}
+
+#[test]
+fn double_hourglass_two_laps_three_components() {
+    let t = canonicalize(&double_hourglass_pinned());
+    let found = laps(&t);
+    assert_eq!(found.len(), 2, "two pinches: {found:?}");
+    let out = split_all(&t);
+    assert!(out.degenerate.is_none());
+    assert_eq!(out.steps.len(), 2);
+    assert!(out.task.is_link_connected());
+    assert_eq!(
+        out.task.output().connected_components().len(),
+        3,
+        "three lobes separate"
+    );
+}
+
+#[test]
+fn pinned_solos_make_it_unsolvable() {
+    let verdict = analyze(&double_hourglass_pinned(), PipelineOptions::default()).verdict;
+    assert!(verdict.is_unsolvable(), "{verdict:?}");
+    assert!(!chromata::solve_act(&double_hourglass_pinned(), 1).is_solvable());
+}
+
+#[test]
+fn solo_freedom_makes_the_same_complex_solvable() {
+    // Identical output complex and splitting; only the solo level
+    // differs. The obstruction is pinning × pinches, not pinches alone.
+    let t = double_hourglass_free();
+    assert_eq!(laps(&canonicalize(&t)).len(), 2, "same pinches");
+    let verdict = analyze(&t, PipelineOptions::default()).verdict;
+    assert!(verdict.is_solvable(), "{verdict:?}");
+    assert!(chromata::solve_act(&t, 1).is_solvable());
+}
+
+#[test]
+fn filling_the_waist_restores_solvability() {
+    let t = filled_hourglass();
+    assert!(
+        laps(&canonicalize(&t)).is_empty(),
+        "the filled waist reconnects the link"
+    );
+    let verdict = analyze(&t, PipelineOptions::default()).verdict;
+    assert!(verdict.is_solvable(), "{verdict:?}");
+    // The unfilled original stays unsolvable (control).
+    assert!(analyze(
+        &chromata_task::library::hourglass(),
+        PipelineOptions::default()
+    )
+    .verdict
+    .is_unsolvable());
+}
+
+#[test]
+fn splitting_order_does_not_change_the_outcome_shape() {
+    // Split starting from either LAP; final facet/component counts agree
+    // (the elimination is confluent for the invariants we report).
+    let t = canonicalize(&double_hourglass_pinned());
+    let found = laps(&t);
+    assert_eq!(found.len(), 2);
+    let mut results = Vec::new();
+    for first in &found {
+        let after_first = chromata::split_once(&t, first).expect("non-degenerate");
+        let out = split_all(&after_first);
+        assert!(out.degenerate.is_none());
+        results.push((
+            out.task.output().facet_count(),
+            out.task.output().connected_components().len(),
+        ));
+    }
+    assert_eq!(results[0], results[1]);
+}

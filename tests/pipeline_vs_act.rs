@@ -1,0 +1,174 @@
+//! Cross-validation of the paper's characterization (Theorem 5.1 pipeline)
+//! against the Herlihy–Shavit ACT baseline, across the task library.
+//!
+//! Solvable verdicts must be confirmed by an explicit chromatic decision
+//! map from some `Ch^r(I)`; unsolvable verdicts must be consistent with
+//! the bounded search failing.
+
+use chromata::subdivision::iterated_chromatic_subdivision;
+use chromata::{analyze, solve_act, validate_witness, ActOutcome, PipelineOptions, Verdict};
+use chromata_task::library::{
+    adaptive_renaming, approximate_agreement, consensus, constant_task, disk_complex, hourglass,
+    identity_task, leader_election, loop_agreement, majority_consensus, pinwheel,
+    simple_example_task, sphere_complex, two_process_consensus, two_set_agreement,
+};
+use chromata_task::Task;
+
+fn pipeline_verdict(t: &Task) -> Verdict {
+    analyze(t, PipelineOptions::default()).verdict
+}
+
+#[test]
+fn solvable_tasks_confirmed_by_act_witness() {
+    for (t, rounds) in [
+        (identity_task(3), 1),
+        (constant_task(3), 1),
+        (simple_example_task(), 1),
+        (loop_agreement("disk", disk_complex()), 1),
+    ] {
+        assert!(
+            pipeline_verdict(&t).is_solvable(),
+            "{} should be pipeline-solvable",
+            t.name()
+        );
+        match solve_act(&t, rounds) {
+            ActOutcome::Solvable { rounds, map } => {
+                let sub = iterated_chromatic_subdivision(t.input(), rounds);
+                assert!(
+                    validate_witness(&sub, &t, &map),
+                    "{}: ACT witness failed re-validation",
+                    t.name()
+                );
+            }
+            ActOutcome::Exhausted { .. } => {
+                panic!("{}: pipeline says solvable but ACT found no map", t.name())
+            }
+        }
+    }
+}
+
+#[test]
+fn sphere_loop_agreement_agrees() {
+    // Larger solvable case kept separate (bigger search space).
+    let t = loop_agreement("sphere", sphere_complex());
+    assert!(pipeline_verdict(&t).is_solvable());
+    assert!(solve_act(&t, 1).is_solvable());
+}
+
+#[test]
+fn unsolvable_tasks_never_get_act_witnesses() {
+    for t in [
+        hourglass(),
+        majority_consensus(),
+        pinwheel(),
+        two_set_agreement(),
+        consensus(3),
+        two_process_consensus(),
+    ] {
+        assert!(
+            pipeline_verdict(&t).is_unsolvable(),
+            "{} should be pipeline-unsolvable",
+            t.name()
+        );
+        assert!(
+            !solve_act(&t, 1).is_solvable(),
+            "{}: ACT found a map for an unsolvable task — soundness bug",
+            t.name()
+        );
+    }
+}
+
+#[test]
+fn act_round_budget_matters_for_renaming() {
+    // The pipeline certifies adaptive renaming directly; the ACT baseline
+    // is exhausted at r ≤ 1 and only finds a decision map at r = 2 — the
+    // round-guessing problem the paper's characterization removes.
+    let t = adaptive_renaming();
+    assert!(pipeline_verdict(&t).is_solvable());
+    assert!(!solve_act(&t, 1).is_solvable());
+    match solve_act(&t, 2) {
+        ActOutcome::Solvable { rounds, map } => {
+            assert_eq!(rounds, 2);
+            let sub = iterated_chromatic_subdivision(t.input(), rounds);
+            assert!(validate_witness(&sub, &t, &map));
+        }
+        ActOutcome::Exhausted { .. } => panic!("adaptive renaming solvable at r = 2"),
+    }
+}
+
+#[test]
+fn leader_election_and_approximate_agreement_cross_checked() {
+    let le = leader_election();
+    assert!(pipeline_verdict(&le).is_unsolvable());
+    assert!(!solve_act(&le, 1).is_solvable());
+    let aa = approximate_agreement(1);
+    assert!(pipeline_verdict(&aa).is_solvable());
+    assert!(solve_act(&aa, 1).is_solvable());
+}
+
+#[test]
+fn two_process_decider_agrees_with_act() {
+    use chromata::decide_two_process;
+    for (t, expect) in [
+        (identity_task(2), true),
+        (constant_task(2), true),
+        (two_process_consensus(), false),
+    ] {
+        assert_eq!(decide_two_process(&t), expect, "{}", t.name());
+        assert_eq!(solve_act(&t, 2).is_solvable(), expect, "{}", t.name());
+    }
+}
+
+#[test]
+fn canonical_and_split_tasks_get_same_verdict() {
+    use chromata_task::canonicalize;
+    // Theorem 3.1 + Lemma 4.2 at the level of verdicts: the pipeline run
+    // on the already-canonicalized (or already-split) task agrees.
+    for t in [hourglass(), pinwheel(), identity_task(3)] {
+        let v1 = pipeline_verdict(&t);
+        let v2 = pipeline_verdict(&canonicalize(&t));
+        assert_eq!(
+            v1.is_solvable(),
+            v2.is_solvable(),
+            "{}: canonicalization changed the verdict",
+            t.name()
+        );
+        assert_eq!(v1.is_unsolvable(), v2.is_unsolvable(), "{}", t.name());
+    }
+}
+
+#[test]
+fn solvable_tasks_have_solvable_two_process_restrictions() {
+    // Necessary condition: a protocol for the full task also solves every
+    // participant restriction, so pipeline-Solvable tasks must pass the
+    // complete two-process decider (Prop 5.4) on all three edges.
+    use chromata::decide_two_process;
+    use chromata_task::library::{adaptive_renaming, approximate_agreement};
+    use chromata_task::two_process_restrictions;
+    for t in [
+        identity_task(3),
+        constant_task(3),
+        adaptive_renaming(),
+        approximate_agreement(2),
+    ] {
+        assert!(pipeline_verdict(&t).is_solvable(), "{}", t.name());
+        for sub in two_process_restrictions(&t) {
+            assert!(
+                decide_two_process(&sub),
+                "{}: solvable task with unsolvable restriction {}",
+                t.name(),
+                sub.name()
+            );
+        }
+    }
+    // The contrapositive catches the hourglass immediately: its P0–P1
+    // restriction is a solvable path task, but P1–P2 and P0–P2 are too —
+    // the obstruction is genuinely three-dimensional.
+    use chromata_task::library::hourglass;
+    for sub in two_process_restrictions(&hourglass()) {
+        assert!(
+            decide_two_process(&sub),
+            "hourglass restrictions are all solvable: the 3-process pipeline is needed"
+        );
+    }
+}

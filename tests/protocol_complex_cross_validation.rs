@@ -1,0 +1,110 @@
+//! Cross-validation of the combinatorial chromatic subdivision (§2.4)
+//! against actual immediate-snapshot executions, and of the subdivision's
+//! topological invariants.
+
+use chromata::algebra::homology;
+use chromata::subdivision::{
+    barycentric_subdivision, chromatic_subdivision, iterated_chromatic_subdivision,
+    ordered_partitions,
+};
+use chromata_runtime::empirical_protocol_complex;
+use chromata_topology::{Color, Complex, Simplex, Vertex};
+
+fn triangle() -> Simplex {
+    Simplex::from_iter((0..3).map(|i| Vertex::of(i, i64::from(i))))
+}
+
+#[test]
+fn one_round_executions_equal_ch() {
+    let sigma = triangle();
+    let empirical = empirical_protocol_complex(&sigma).expect("budget");
+    let combinatorial = chromatic_subdivision(&Complex::from_facets([sigma]));
+    assert_eq!(empirical, combinatorial.complex);
+    assert_eq!(empirical.facet_count(), 13);
+}
+
+#[test]
+fn edge_and_solo_executions_match() {
+    for face in triangle().proper_faces() {
+        let empirical = empirical_protocol_complex(&face).expect("budget");
+        let combinatorial = chromatic_subdivision(&Complex::from_facets([face.clone()]));
+        assert_eq!(empirical, combinatorial.complex, "mismatch on face {face}");
+    }
+}
+
+#[test]
+fn growth_follows_fubini_powers() {
+    let k = Complex::from_facets([triangle()]);
+    let mut expected = 1usize;
+    for r in 0..=3 {
+        let sub = iterated_chromatic_subdivision(&k, r);
+        assert_eq!(
+            sub.complex.facet_count(),
+            expected,
+            "facet count at round {r}"
+        );
+        expected *= 13;
+    }
+}
+
+#[test]
+fn subdivision_preserves_homology() {
+    // |Ch(K)| = |K|: all Betti numbers agree, for the disk and the circle.
+    let disk = Complex::from_facets([triangle()]);
+    let circle = disk.skeleton(1);
+    for k in [disk, circle] {
+        let h0 = homology(&k);
+        let h1 = homology(&chromatic_subdivision(&k).complex);
+        assert_eq!(h0, h1);
+    }
+}
+
+#[test]
+fn subdivision_is_link_connected() {
+    // Protocol complexes are link-connected (used implicitly by the
+    // Lemma 4.2 proof); check Ch and Ch² of the triangle.
+    let k = Complex::from_facets([triangle()]);
+    for r in 1..=2 {
+        let sub = iterated_chromatic_subdivision(&k, r);
+        assert!(sub.complex.is_link_connected(), "Ch^{r} not link-connected");
+    }
+}
+
+#[test]
+fn carrier_boundaries_are_consistent() {
+    // The subdivision of each face sits inside the subdivision of each
+    // coface (restriction-to-boundary property of Ch as a carrier map).
+    let k = Complex::from_facets([triangle()]);
+    let sub = iterated_chromatic_subdivision(&k, 2);
+    for tau in k.simplices() {
+        let part = sub.carrier.image_of(tau);
+        for face in tau.proper_faces() {
+            let sub_face = sub.carrier.image_of(&face);
+            assert!(sub_face.is_subcomplex_of(part));
+        }
+        assert!(part.is_subcomplex_of(&sub.complex));
+    }
+}
+
+#[test]
+fn schedules_count_matches_facets_for_two_triangles() {
+    // Gluing: two triangles sharing an edge.
+    let a = Vertex::of(0, 0);
+    let b = Vertex::of(1, 0);
+    let k = Complex::from_facets([
+        Simplex::from_iter([a.clone(), b.clone(), Vertex::of(2, 0)]),
+        Simplex::from_iter([a, b, Vertex::of(2, 1)]),
+    ]);
+    let sub = chromatic_subdivision(&k);
+    let per_triangle = ordered_partitions(&Color::first(3).collect::<Vec<_>>()).len();
+    assert_eq!(sub.complex.facet_count(), 2 * per_triangle);
+}
+
+#[test]
+fn barycentric_agrees_on_topology() {
+    let k = Complex::from_facets([triangle()]);
+    let b = barycentric_subdivision(&k);
+    assert_eq!(homology(&b), homology(&k));
+    assert_eq!(b.facet_count(), 6);
+    assert!(b.is_chromatic());
+}

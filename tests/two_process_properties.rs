@@ -1,0 +1,150 @@
+//! Property-based validation of the two-process decider (Prop 5.4)
+//! against the ACT baseline, over randomly generated two-process tasks.
+//!
+//! For 1-dimensional tasks the continuous condition is a *complete*
+//! decision procedure; the ACT search at sufficient depth must agree on
+//! the solvable side, and must never find maps for tasks the decider
+//! rejects.
+
+use proptest::prelude::*;
+
+use chromata::{decide_two_process, solve_act};
+use chromata_task::Task;
+use chromata_topology::{Complex, Simplex, Vertex};
+
+/// A random two-process task on a single input edge: `Δ(edge)` is a
+/// random set of output pairs over a small value pool, solos are the
+/// maximal monotone extension optionally thinned by masks.
+fn task_from(pairs: &[(i64, i64)], solo_masks: (u8, u8)) -> Option<Task> {
+    if pairs.is_empty() {
+        return None;
+    }
+    let input_edge = Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 0)]);
+    let input = Complex::from_facets([input_edge]);
+    let facets: Vec<Simplex> = pairs
+        .iter()
+        .map(|(a, b)| Simplex::from_iter([Vertex::of(0, *a), Vertex::of(1, *b)]))
+        .collect();
+    let t = Task::from_facet_delta("random-2p", input.clone(), |_| facets.clone()).ok()?;
+    // Thin the solo images: keep the k-th derived vertex iff bit k set
+    // (always keep at least one).
+    let thin = |img: &Complex, mask: u8| -> Vec<Simplex> {
+        let kept: Vec<Simplex> = img
+            .vertices()
+            .enumerate()
+            .filter(|(k, _)| mask >> (k % 8) & 1 == 1)
+            .map(|(_, v)| Simplex::vertex(v.clone()))
+            .collect();
+        if kept.is_empty() {
+            vec![Simplex::vertex(
+                img.vertices().next().expect("non-empty").clone(),
+            )]
+        } else {
+            kept
+        }
+    };
+    let d0 = thin(
+        t.delta().image_of(&Simplex::vertex(Vertex::of(0, 0))),
+        solo_masks.0,
+    );
+    let d1 = thin(
+        t.delta().image_of(&Simplex::vertex(Vertex::of(1, 0))),
+        solo_masks.1,
+    );
+    Task::from_delta_fn("random-2p", input, |tau| {
+        if tau.dimension() == 1 {
+            facets.clone()
+        } else if tau.contains(&Vertex::of(0, 0)) {
+            d0.clone()
+        } else {
+            d1.clone()
+        }
+    })
+    .ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn solvable_tasks_have_act_witnesses(
+        pairs in proptest::collection::vec((0i64..4, 0i64..4), 1..8),
+        masks in (1u8.., 1u8..),
+    ) {
+        let Some(t) = task_from(&pairs, masks) else { return Ok(()); };
+        let solvable = decide_two_process(&t);
+        if solvable {
+            // Output paths here have ≤ 16 edges; Ch³ of an edge has 27
+            // segments, enough granularity for any walk the decider found.
+            prop_assert!(
+                solve_act(&t, 3).is_solvable(),
+                "decider says solvable but ACT(≤3) found nothing"
+            );
+        } else {
+            // Soundness of the baseline: no map may exist at any depth we
+            // can afford to check.
+            prop_assert!(!solve_act(&t, 2).is_solvable());
+        }
+    }
+
+    #[test]
+    fn decider_is_deterministic_and_total(
+        pairs in proptest::collection::vec((0i64..4, 0i64..4), 1..8),
+        masks in (1u8.., 1u8..),
+    ) {
+        let Some(t) = task_from(&pairs, masks) else { return Ok(()); };
+        let a = decide_two_process(&t);
+        let b = decide_two_process(&t);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_solo_freedom_tasks_are_solvable(
+        pairs in proptest::collection::vec((0i64..4, 0i64..4), 1..8),
+    ) {
+        // With maximal solo freedom the task is solvable iff some output
+        // pair's endpoints are reachable — which the maximal extension
+        // guarantees: pick any facet's endpoints as the solo decisions.
+        let Some(t) = task_from(&pairs, (0xFF, 0xFF)) else { return Ok(()); };
+        prop_assert!(decide_two_process(&t), "maximal extension must be solvable");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn synthesized_witnesses_validate_and_execute(
+        pairs in proptest::collection::vec((0i64..4, 0i64..4), 1..8),
+        masks in (1u8.., 1u8..),
+    ) {
+        use chromata::synthesize_two_process;
+        use chromata_runtime::execute_decision_map;
+
+        let Some(t) = task_from(&pairs, masks) else { return Ok(()); };
+        match synthesize_two_process(&t) {
+            Some((rounds, map)) => {
+                prop_assert!(decide_two_process(&t), "synthesis implies solvable");
+                // Execute the synthesized protocol end to end: every
+                // interleaving on every participant set must respect Δ.
+                for sigma in t.input().facets() {
+                    for tau in sigma.faces() {
+                        let n = execute_decision_map(&t, &map, rounds, &tau, 5_000_000)
+                            .expect("within budget");
+                        prop_assert!(n >= 1);
+                    }
+                }
+            }
+            None => prop_assert!(!decide_two_process(&t), "no synthesis implies unsolvable"),
+        }
+    }
+}
+
+#[test]
+fn synthesis_matches_decider_on_controls() {
+    use chromata::synthesize_two_process;
+    use chromata_task::library::{constant_task, identity_task, two_process_consensus};
+    assert!(synthesize_two_process(&identity_task(2)).is_some());
+    assert!(synthesize_two_process(&constant_task(2)).is_some());
+    assert!(synthesize_two_process(&two_process_consensus()).is_none());
+}
