@@ -39,7 +39,7 @@ fn bench_exhaustive(c: &mut Criterion) {
     group.sample_size(10);
     for t in [identity_task(3), constant_task(3)] {
         let sigma = t.input().facets().next().unwrap().clone();
-        let config = Fig7Config { task: t.clone() };
+        let config = Fig7Config::new(t.clone());
         let r = explore(
             processes_for(&sigma),
             initial_memory(),
@@ -74,7 +74,7 @@ fn bench_random_schedules(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure7/random-schedule");
     for t in [identity_task(3), two_set_agreement()] {
         let sigma = t.input().facets().next().unwrap().clone();
-        let config = Fig7Config { task: t.clone() };
+        let config = Fig7Config::new(t.clone());
         group.bench_function(t.name().to_owned(), |b| {
             let mut seed = 0u64;
             b.iter(|| {
@@ -100,7 +100,7 @@ fn bench_negotiation_scaling(c: &mut Criterion) {
     for n in [3i64, 6, 12] {
         let t = cycle_task(n);
         let sigma = t.input().facets().next().unwrap().clone();
-        let config = Fig7Config { task: t.clone() };
+        let config = Fig7Config::new(t.clone());
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             let mut seed = 0u64;
             b.iter(|| {

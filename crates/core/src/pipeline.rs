@@ -14,7 +14,9 @@
 //! pipeline can return [`Verdict::Unknown`]; callers may enable the
 //! bounded ACT fallback to turn some unknowns into `Solvable`.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 
 use chromata_task::{canonicalize, Task};
 
@@ -130,6 +132,52 @@ pub struct PipelineOptions {
     pub act_fallback_rounds: usize,
 }
 
+/// Hit/miss counters for the [`analyze`] decision cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DecisionCacheStats {
+    /// Verdicts served from the cache without re-running the decision tiers.
+    pub hits: u64,
+    /// Verdicts computed by the decision tiers and then cached.
+    pub misses: u64,
+}
+
+/// Memoized verdicts, keyed by the canonical task and the ACT fallback
+/// bound. Canonicalization is a quotient: syntactically different
+/// presentations of the same task collapse to one key, so the (much more
+/// expensive) splitting/continuous/ACT tiers run once per semantic task.
+struct DecisionCache {
+    verdicts: HashMap<(Task, usize), Verdict>,
+    stats: DecisionCacheStats,
+}
+
+fn decision_cache() -> &'static Mutex<DecisionCache> {
+    static CACHE: OnceLock<Mutex<DecisionCache>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        Mutex::new(DecisionCache {
+            verdicts: HashMap::new(),
+            stats: DecisionCacheStats::default(),
+        })
+    })
+}
+
+/// Current decision-cache counters (process-wide).
+#[must_use]
+pub fn decision_cache_stats() -> DecisionCacheStats {
+    decision_cache()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .stats
+}
+
+/// Drops all memoized verdicts and resets the counters.
+pub fn clear_decision_cache() {
+    let mut guard = decision_cache()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    guard.verdicts.clear();
+    guard.stats = DecisionCacheStats::default();
+}
+
 /// Runs the full pipeline on a (1-, 2- or 3-process) task.
 ///
 /// # Panics
@@ -165,7 +213,29 @@ pub fn analyze(task: &Task, options: PipelineOptions) -> Analysis {
             degenerate: None,
         }
     };
-    let verdict = decide(&split, options);
+    let key = (canonical.clone(), options.act_fallback_rounds);
+    let cached = {
+        let mut guard = decision_cache()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let found = guard.verdicts.get(&key).cloned();
+        if found.is_some() {
+            guard.stats.hits += 1;
+        } else {
+            guard.stats.misses += 1;
+        }
+        found
+    };
+    // Decide outside the lock; a racing miss recomputes the same verdict.
+    let verdict = cached.unwrap_or_else(|| {
+        let v = decide(&split, options);
+        decision_cache()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .verdicts
+            .insert(key, v.clone());
+        v
+    });
     Analysis {
         canonical,
         split,
@@ -360,6 +430,36 @@ mod tests {
                 "resolution {k}"
             );
         }
+    }
+
+    #[test]
+    fn repeated_analysis_hits_the_decision_cache() {
+        // Prime the cache, then re-analyze the identical task: the second
+        // run must be served from the cache. Other tests run concurrently
+        // and also touch the process-wide counters, so assert monotone
+        // deltas rather than absolute values.
+        let task = two_set_agreement();
+        let options = PipelineOptions::default();
+        let first = analyze(&task, options);
+        let primed = decision_cache_stats();
+        let second = analyze(&task, options);
+        let after = decision_cache_stats();
+        assert!(
+            after.hits > primed.hits,
+            "expected a cache hit: {primed:?} -> {after:?}"
+        );
+        // The cached verdict is the one the tiers computed.
+        assert_eq!(format!("{}", first.verdict), format!("{}", second.verdict));
+    }
+
+    #[test]
+    fn clearing_the_decision_cache_is_transparent() {
+        // Clearing mid-flight must not change any verdict, only force the
+        // tiers to re-run; verdicts repopulate on the next analysis.
+        let before = verdict(&hourglass());
+        clear_decision_cache();
+        let after = verdict(&hourglass());
+        assert!(before.is_unsolvable() && after.is_unsolvable());
     }
 
     #[test]

@@ -40,6 +40,117 @@ pub fn decide_two_process(task: &Task) -> bool {
     }
 }
 
+/// Synthesizes an explicit solvability witness for a solvable two-process
+/// task — the *constructive* content of Proposition 5.4, with no search:
+///
+/// 1. the continuous tier picks solo outputs `g(x)` and, for each input
+///    edge, a walk between them in `Δ(edge)`;
+/// 2. the subdivided input edge `Ch^r(e)` is a path of `3^r` segments
+///    whose vertex colors alternate, exactly like the walk's; choosing
+///    the least `r` with `3^r ≥ walk length` (both odd, so parities
+///    agree), the path is folded onto the walk — forward to the end,
+///    then zig-zagging in place;
+/// 3. the resulting vertex map is simplicial, chromatic and carried by
+///    `Δ` by construction, and is re-validated before being returned.
+///
+/// Returns `None` if the task is unsolvable.
+///
+/// # Panics
+///
+/// Panics if the task does not have exactly two processes.
+///
+/// # Examples
+///
+/// ```
+/// use chromata::synthesize_two_process;
+/// use chromata_task::library::{identity_task, two_process_consensus};
+///
+/// assert!(synthesize_two_process(&identity_task(2)).is_some());
+/// assert!(synthesize_two_process(&two_process_consensus()).is_none());
+/// ```
+#[must_use]
+pub fn synthesize_two_process(task: &Task) -> Option<(usize, chromata_topology::SimplicialMap)> {
+    use chromata_subdivision::iterated_chromatic_subdivision;
+    use chromata_topology::{Graph, Simplex, SimplicialMap, Vertex};
+
+    assert_eq!(
+        task.process_count(),
+        2,
+        "synthesize_two_process expects a two-process task"
+    );
+    let ContinuousOutcome::Exists { assignment, .. } = continuous_map_exists(task) else {
+        return None;
+    };
+
+    // Walks per input edge and the required subdivision depth.
+    let edges: Vec<Simplex> = task.input().simplices_of_dim(1).cloned().collect();
+    let mut walks: Vec<Vec<Vertex>> = Vec::with_capacity(edges.len());
+    let mut max_len = 1usize;
+    for e in &edges {
+        let vs = e.vertices();
+        let g = Graph::from_complex(task.delta().image_of(e));
+        let walk = g
+            .shortest_path(&assignment[&vs[0]], &assignment[&vs[1]])
+            .expect("the continuous tier verified connectivity");
+        max_len = max_len.max(walk.len() - 1);
+        walks.push(walk);
+    }
+    let mut rounds = 0usize;
+    let mut segments = 1usize;
+    while segments < max_len {
+        rounds += 1;
+        segments *= 3;
+    }
+
+    let sub = iterated_chromatic_subdivision(task.input(), rounds);
+    let mut map = SimplicialMap::new();
+    // Solo corners first (also covers isolated input vertices).
+    for x in task.input().vertices() {
+        let part = sub.carrier.image_of(&Simplex::vertex(x.clone()));
+        for corner in part.vertices() {
+            map.insert(corner.clone(), assignment[x].clone());
+        }
+    }
+    // Fold each subdivided edge path onto its walk.
+    for (e, walk) in edges.iter().zip(&walks) {
+        let vs = e.vertices();
+        let part = sub.carrier.image_of(e);
+        let graph = Graph::from_complex(part);
+        // The subdivided edge is a path; orient it from x0's corner.
+        let start = sub
+            .carrier
+            .image_of(&Simplex::vertex(vs[0].clone()))
+            .vertices()
+            .next()
+            .expect("corner exists")
+            .clone();
+        let end = sub
+            .carrier
+            .image_of(&Simplex::vertex(vs[1].clone()))
+            .vertices()
+            .next()
+            .expect("corner exists")
+            .clone();
+        let path = graph
+            .shortest_path(&start, &end)
+            .expect("Ch^r of an edge is a connected path");
+        let m = path.len() - 1; // 3^rounds segments
+        let l = walk.len() - 1;
+        debug_assert!(m >= l && (m - l).is_multiple_of(2), "parity argument");
+        for (i, p) in path.iter().enumerate() {
+            let phi = if i <= l {
+                i
+            } else {
+                // Zig-zag tail: alternate l, l-1, l, …
+                l - ((i - l) % 2)
+            };
+            map.insert(p.clone(), walk[phi].clone());
+        }
+    }
+    debug_assert!(crate::act::validate_witness(&sub, task, &map));
+    Some((rounds, map))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,117 +225,4 @@ mod tests {
         assert!(!solve_act(&t, 2).is_solvable());
         let _ = Value::Int(0);
     }
-}
-
-/// Synthesizes an explicit solvability witness for a solvable two-process
-/// task — the *constructive* content of Proposition 5.4, with no search:
-///
-/// 1. the continuous tier picks solo outputs `g(x)` and, for each input
-///    edge, a walk between them in `Δ(edge)`;
-/// 2. the subdivided input edge `Ch^r(e)` is a path of `3^r` segments
-///    whose vertex colors alternate, exactly like the walk's; choosing
-///    the least `r` with `3^r ≥ walk length` (both odd, so parities
-///    agree), the path is folded onto the walk — forward to the end,
-///    then zig-zagging in place;
-/// 3. the resulting vertex map is simplicial, chromatic and carried by
-///    `Δ` by construction, and is re-validated before being returned.
-///
-/// Returns `None` if the task is unsolvable.
-///
-/// # Panics
-///
-/// Panics if the task does not have exactly two processes.
-///
-/// # Examples
-///
-/// ```
-/// use chromata::synthesize_two_process;
-/// use chromata_task::library::{identity_task, two_process_consensus};
-///
-/// assert!(synthesize_two_process(&identity_task(2)).is_some());
-/// assert!(synthesize_two_process(&two_process_consensus()).is_none());
-/// ```
-#[must_use]
-pub fn synthesize_two_process(
-    task: &Task,
-) -> Option<(usize, chromata_topology::SimplicialMap)> {
-    use chromata_subdivision::iterated_chromatic_subdivision;
-    use chromata_topology::{Graph, Simplex, SimplicialMap, Vertex};
-
-    assert_eq!(
-        task.process_count(),
-        2,
-        "synthesize_two_process expects a two-process task"
-    );
-    let ContinuousOutcome::Exists { assignment, .. } = continuous_map_exists(task) else {
-        return None;
-    };
-
-    // Walks per input edge and the required subdivision depth.
-    let edges: Vec<Simplex> = task.input().simplices_of_dim(1).cloned().collect();
-    let mut walks: Vec<Vec<Vertex>> = Vec::with_capacity(edges.len());
-    let mut max_len = 1usize;
-    for e in &edges {
-        let vs = e.vertices();
-        let g = Graph::from_complex(task.delta().image_of(e));
-        let walk = g
-            .shortest_path(&assignment[&vs[0]], &assignment[&vs[1]])
-            .expect("the continuous tier verified connectivity");
-        max_len = max_len.max(walk.len() - 1);
-        walks.push(walk);
-    }
-    let mut rounds = 0usize;
-    let mut segments = 1usize;
-    while segments < max_len {
-        rounds += 1;
-        segments *= 3;
-    }
-
-    let sub = iterated_chromatic_subdivision(task.input(), rounds);
-    let mut map = SimplicialMap::new();
-    // Solo corners first (also covers isolated input vertices).
-    for x in task.input().vertices() {
-        let part = sub.carrier.image_of(&Simplex::vertex(x.clone()));
-        for corner in part.vertices() {
-            map.insert(corner.clone(), assignment[x].clone());
-        }
-    }
-    // Fold each subdivided edge path onto its walk.
-    for (e, walk) in edges.iter().zip(&walks) {
-        let vs = e.vertices();
-        let part = sub.carrier.image_of(e);
-        let graph = Graph::from_complex(part);
-        // The subdivided edge is a path; orient it from x0's corner.
-        let start = sub
-            .carrier
-            .image_of(&Simplex::vertex(vs[0].clone()))
-            .vertices()
-            .next()
-            .expect("corner exists")
-            .clone();
-        let end = sub
-            .carrier
-            .image_of(&Simplex::vertex(vs[1].clone()))
-            .vertices()
-            .next()
-            .expect("corner exists")
-            .clone();
-        let path = graph
-            .shortest_path(&start, &end)
-            .expect("Ch^r of an edge is a connected path");
-        let m = path.len() - 1; // 3^rounds segments
-        let l = walk.len() - 1;
-        debug_assert!(m >= l && (m - l) % 2 == 0, "parity argument");
-        for (i, p) in path.iter().enumerate() {
-            let phi = if i <= l {
-                i
-            } else {
-                // Zig-zag tail: alternate l, l-1, l, …
-                l - ((i - l) % 2)
-            };
-            map.insert(p.clone(), walk[phi].clone());
-        }
-    }
-    debug_assert!(crate::act::validate_witness(&sub, task, &map));
-    Some((rounds, map))
 }

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 use chromata_topology::Vertex;
 
@@ -13,8 +14,10 @@ use chromata_topology::Vertex;
 pub enum Cell {
     /// A single chromatic vertex.
     Vertex(Vertex),
-    /// A set of vertices (an immediate-snapshot or scan view).
-    View(BTreeSet<Vertex>),
+    /// A set of vertices (an immediate-snapshot or scan view),
+    /// `Arc`-shared: registers are cloned on every atomic step of the
+    /// model checker, so set payloads are refcounted rather than copied.
+    View(Arc<BTreeSet<Vertex>>),
     /// A Figure 7 `M_decisions` entry `(vᵢ, v′, V*)`: the anchor vertex
     /// (set once), the current proposal, and the core.
     Decision {
@@ -22,8 +25,9 @@ pub enum Cell {
         anchor: Vertex,
         /// The process's current proposal `v′`.
         current: Vertex,
-        /// The core `V*` at the time of writing.
-        core: BTreeSet<Vertex>,
+        /// The core `V*` at the time of writing (`Arc`-shared, like
+        /// [`Cell::View`]).
+        core: Arc<BTreeSet<Vertex>>,
     },
     /// An integer payload (used by the immediate-snapshot levels).
     Int(i64),
@@ -43,7 +47,7 @@ impl Cell {
     #[must_use]
     pub fn as_view(&self) -> Option<&BTreeSet<Vertex>> {
         match self {
-            Cell::View(v) => Some(v),
+            Cell::View(v) => Some(v.as_ref()),
             _ => None,
         }
     }
@@ -107,8 +111,8 @@ mod tests {
         assert_eq!(Cell::Vertex(v.clone()).as_vertex(), Some(&v));
         assert!(Cell::Int(3).as_vertex().is_none());
         assert_eq!(Cell::Int(3).as_int(), Some(3));
-        let view: BTreeSet<Vertex> = [v.clone()].into_iter().collect();
-        assert_eq!(Cell::View(view.clone()).as_view(), Some(&view));
+        let view: Arc<BTreeSet<Vertex>> = Arc::new([v.clone()].into_iter().collect());
+        assert_eq!(Cell::View(Arc::clone(&view)).as_view(), Some(view.as_ref()));
         let d = Cell::Decision {
             anchor: v.clone(),
             current: v.clone(),

@@ -30,7 +30,8 @@
 //!    is ≤ my largest seen view) or its scan follows my write (its core ⊆
 //!    my view); in both cases its decision lies in my largest seen view.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
 
 use chromata_task::Task;
 use chromata_topology::{Color, Graph, Simplex, Vertex};
@@ -57,6 +58,47 @@ pub struct Fig7Config {
     /// color-agnostic oracle ([`crate::oracle_return`]) is derived from
     /// it.
     pub task: Task,
+    /// Per-run memo of link graphs `lk_{Δ(τ)}(v*)`: the exhaustive
+    /// scheduler revisits the same `(τ, v*)` pair in thousands of states,
+    /// and τ/v* are interned, so the key is cheap. Shared across clones
+    /// of the config (the model checker clones per level).
+    links: LinkCache,
+}
+
+/// Memo table for link graphs, keyed by `(τ, v*)`.
+type LinkCache = Arc<Mutex<HashMap<(Simplex, Vertex), Arc<Graph>>>>;
+
+impl Fig7Config {
+    /// Configuration for one run on `task`.
+    #[must_use]
+    pub fn new(task: Task) -> Self {
+        Fig7Config {
+            task,
+            links: Arc::default(),
+        }
+    }
+
+    /// The (memoized) link graph `lk_{Δ(τ)}(v*)`.
+    fn link_graph(&self, tau: &Simplex, pivot_vertex: &Vertex) -> Arc<Graph> {
+        let key = (tau.clone(), pivot_vertex.clone());
+        if let Some(g) = self
+            .links
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Graph::from_complex(
+            &self.task.delta().image_of(tau).link(pivot_vertex),
+        ));
+        self.links
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(key)
+            .or_insert(g)
+            .clone()
+    }
 }
 
 /// Creates the initial memory for a run of the algorithm.
@@ -76,8 +118,8 @@ pub fn processes_for(participants: &Simplex) -> Vec<Fig7> {
             input: x.clone(),
             pc: Pc::Init,
             anchor: None,
-            core: BTreeSet::new(),
-            seen: BTreeSet::new(),
+            core: Arc::new(BTreeSet::new()),
+            seen: Arc::new(BTreeSet::new()),
             other: None,
             decided: None,
         })
@@ -86,7 +128,7 @@ pub fn processes_for(participants: &Simplex) -> Vec<Fig7> {
 
 /// Program counter of the Figure 7 state machine; numbers refer to the
 /// paper's pseudocode lines.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 enum Pc {
     /// (1) update `M_in[i] ← xᵢ`.
     Init,
@@ -99,7 +141,7 @@ enum Pc {
     /// (3) scan `M_cless` into the view `Vᵢ`.
     ScanCless,
     /// (4) update `M_snap[i] ← Vᵢ` — carries the view.
-    WriteSnap(BTreeSet<Vertex>),
+    WriteSnap(Arc<BTreeSet<Vertex>>),
     /// (4)–(6) scan `M_snap`, compute the core, decide if pivot.
     ScanSnap,
     /// (7a) scan `M_in` (two-vertex core).
@@ -123,18 +165,19 @@ enum Pc {
 }
 
 /// The Figure 7 algorithm for one process, as an explicit state machine.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Fig7 {
     id: Color,
     input: Vertex,
     pc: Pc,
     /// The anchor `vᵢ` (paper: set at most once, at (7b) or (10)).
     anchor: Option<Vertex>,
-    /// The core `V*`.
-    core: BTreeSet<Vertex>,
+    /// The core `V*` (`Arc`-shared: process states are cloned on every
+    /// expansion of the model checker).
+    core: Arc<BTreeSet<Vertex>>,
     /// The largest view seen in the `M_snap` scan (anchor completion
     /// target; see module docs, clarification 2).
-    seen: BTreeSet<Vertex>,
+    seen: Arc<BTreeSet<Vertex>>,
     /// The other non-pivot's slot, once observed.
     other: Option<u8>,
     decided: Option<Vertex>,
@@ -182,11 +225,6 @@ impl Fig7 {
             .clone()
     }
 
-    /// The link graph `lk_{Δ(τ)}(v*)`.
-    fn link_graph(config: &Fig7Config, tau: &Simplex, pivot_vertex: &Vertex) -> Graph {
-        Graph::from_complex(&config.task.delta().image_of(tau).link(pivot_vertex))
-    }
-
     /// The core vertex `v*` of a singleton core.
     fn core_vertex(&self) -> &Vertex {
         debug_assert_eq!(self.core.len(), 1);
@@ -194,7 +232,10 @@ impl Fig7 {
     }
 
     /// The other non-pivot's `M_decisions` entry, if present.
-    fn other_entry(memory: &Memory, me: usize) -> Option<(u8, Vertex, Vertex, BTreeSet<Vertex>)> {
+    fn other_entry(
+        memory: &Memory,
+        me: usize,
+    ) -> Option<(u8, Vertex, Vertex, Arc<BTreeSet<Vertex>>)> {
         memory
             .present("dec")
             .into_iter()
@@ -223,7 +264,7 @@ impl Fig7 {
         my_anchor: &Vertex,
         their_anchor: &Vertex,
     ) -> Vec<Vertex> {
-        let lk = Self::link_graph(config, tau, self.core_vertex());
+        let lk = config.link_graph(tau, self.core_vertex());
         let mut path = lk
             .lex_smallest_shortest_path(my_anchor, their_anchor)
             .unwrap_or_else(|| {
@@ -312,7 +353,7 @@ impl Process for Fig7 {
                     .collect();
                 vec![(
                     Fig7 {
-                        pc: Pc::WriteSnap(view),
+                        pc: Pc::WriteSnap(Arc::new(view)),
                         ..self.clone()
                     },
                     memory.clone(),
@@ -333,17 +374,21 @@ impl Process for Fig7 {
                 // (5) the minimal non-empty view; views are comparable, so
                 // minimal size = minimal by containment. Also record the
                 // largest view for anchor completion (module docs).
-                let views: Vec<BTreeSet<Vertex>> = memory
+                let views: Vec<Arc<BTreeSet<Vertex>>> = memory
                     .present("snap")
                     .into_iter()
-                    .map(|(_, c)| c.as_view().expect("M_snap holds views").clone())
+                    .map(|(_, c)| match c {
+                        Cell::View(v) => v,
+                        other => panic!("M_snap holds views, found {other}"),
+                    })
                     .collect();
                 let core = views
                     .iter()
                     .min_by_key(|v| (v.len(), v.iter().next().cloned()))
                     .expect("own view was written")
                     .clone();
-                let seen: BTreeSet<Vertex> = views.into_iter().flatten().collect();
+                let seen: Arc<BTreeSet<Vertex>> =
+                    Arc::new(views.iter().flat_map(|v| v.iter().cloned()).collect());
                 // (6) pivot?
                 if let Some(v) = core.iter().find(|v| v.color() == self.id) {
                     return vec![(
@@ -495,7 +540,7 @@ impl Process for Fig7 {
                 };
                 let my_anchor = self.anchor.clone().expect("set by (10)");
                 let path = self.negotiation_path(config, &tau, &my_anchor, &their_anchor);
-                let lk = Self::link_graph(config, &tau, self.core_vertex());
+                let lk = config.link_graph(&tau, self.core_vertex());
                 // (14) exit check against the freshly scanned proposal.
                 if lk.has_edge(&my_anchor, &their_current) {
                     return vec![(
@@ -538,7 +583,7 @@ impl Process for Fig7 {
                 let (_, their_anchor, their_current, _) =
                     Self::other_entry(memory, me).expect("other non-pivot wrote before");
                 let tau = Self::scan_tau(memory);
-                let lk = Self::link_graph(config, &tau, self.core_vertex());
+                let lk = config.link_graph(&tau, self.core_vertex());
                 if lk.has_edge(proposal, &their_current) {
                     return vec![(
                         Fig7 {
@@ -590,7 +635,7 @@ mod tests {
     use chromata_task::library::{constant_task, identity_task};
 
     fn run_exhaustive(task: &Task, participants: &Simplex) -> Vec<Vec<Vertex>> {
-        let config = Fig7Config { task: task.clone() };
+        let config = Fig7Config::new(task.clone());
         let procs = processes_for(participants);
         let r = explore(procs, initial_memory(), &config, 2_000_000, 200)
             .expect("exploration within budget");
@@ -629,7 +674,7 @@ mod tests {
     fn random_schedules_match_spec() {
         let t = identity_task(3);
         let sigma = t.input().facets().next().unwrap().clone();
-        let config = Fig7Config { task: t.clone() };
+        let config = Fig7Config::new(t.clone());
         for seed in 0..100 {
             let outcome = run_random(
                 processes_for(&sigma),

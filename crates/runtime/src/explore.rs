@@ -8,9 +8,10 @@
 //! strictly stronger than testing on real hardware: a property checked
 //! here holds on **all** schedules.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
+use std::hash::Hash;
 
-use chromata_topology::Vertex;
+use chromata_topology::{par_map, BuildStructuralHasher, Vertex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -18,7 +19,10 @@ use crate::memory::Memory;
 
 /// An asynchronous process: a deterministic (up to explicit branching)
 /// state machine performing one atomic operation per step.
-pub trait Process: Clone + Ord {
+///
+/// States are hashed for memoization, so implementations must keep
+/// `Hash` consistent with `Eq` (derive both).
+pub trait Process: Clone + Ord + Hash {
     /// Shared immutable configuration (the task, oracle strategy, …) —
     /// excluded from the memoized state.
     type Config;
@@ -70,58 +74,105 @@ impl std::fmt::Display for ExploreError {
 
 impl std::error::Error for ExploreError {}
 
+/// What a single state contributed to its breadth-first level: either a
+/// terminal outcome or its successor states.
+enum LevelStep<P> {
+    Terminal(Outcome),
+    Expanded(Vec<(Vec<P>, Memory)>),
+}
+
 /// Exhaustively explores all interleavings (and internal branches) from
 /// the initial system state, memoizing visited states.
+///
+/// The search is a level-synchronous breadth-first traversal: each level
+/// of distinct unvisited states is expanded as a batch (in parallel with
+/// the `parallel` feature; [`par_map`] preserves batch order, so the
+/// outcome and state sets are identical either way).
 ///
 /// # Errors
 ///
 /// Returns an error if more than `max_states` distinct states are
 /// visited, or some path exceeds `max_depth` steps without terminating.
-pub fn explore<P: Process>(
+pub fn explore<P>(
     processes: Vec<P>,
     memory: Memory,
     config: &P::Config,
     max_states: usize,
     max_depth: usize,
-) -> Result<Explored, ExploreError> {
-    let mut visited: BTreeSet<(Vec<P>, Memory)> = BTreeSet::new();
+) -> Result<Explored, ExploreError>
+where
+    P: Process + Send + Sync,
+    P::Config: Sync,
+{
+    // Keyed by the structural (FNV) hasher: interned vertices/simplices
+    // replay precomputed fingerprints, so state hashing is a cheap mix
+    // rather than SipHash over the whole state. States are `Arc`-shared
+    // between the visited set and the work list — one hash and zero deep
+    // clones per deduplication.
+    let mut visited: HashSet<std::sync::Arc<(Vec<P>, Memory)>, BuildStructuralHasher> =
+        HashSet::default();
     let mut outcomes: BTreeSet<Outcome> = BTreeSet::new();
-    // Depth-first over (state, depth); the visited set makes each state
-    // expand once.
-    let mut stack: Vec<(Vec<P>, Memory, usize)> = vec![(processes, memory, 0)];
-    while let Some((procs, mem, depth)) = stack.pop() {
-        if !visited.insert((procs.clone(), mem.clone())) {
-            continue;
-        }
-        if visited.len() > max_states {
-            return Err(ExploreError::StateBudgetExceeded(max_states));
-        }
-        if procs.iter().all(|p| p.decided().is_some()) {
-            outcomes.insert(
-                procs
-                    .iter()
-                    .map(|p| p.decided().expect("all decided").clone())
-                    .collect(),
-            );
-            continue;
-        }
-        if depth >= max_depth {
-            return Err(ExploreError::StepBoundExceeded(max_depth));
-        }
-        for (i, p) in procs.iter().enumerate() {
-            if p.decided().is_some() {
-                continue;
+    let mut frontier: Vec<(Vec<P>, Memory)> = vec![(processes, memory)];
+    let mut depth = 0usize;
+    while !frontier.is_empty() {
+        // Deduplicate this level against everything seen so far.
+        let mut level: Vec<std::sync::Arc<(Vec<P>, Memory)>> = Vec::with_capacity(frontier.len());
+        for st in frontier.drain(..) {
+            let st = std::sync::Arc::new(st);
+            if visited.insert(std::sync::Arc::clone(&st)) {
+                if visited.len() > max_states {
+                    return Err(ExploreError::StateBudgetExceeded(max_states));
+                }
+                level.push(st);
             }
-            let successors = p.step(config, &mem);
-            assert!(
-                !successors.is_empty(),
-                "undecided process returned no successors"
-            );
-            for (next_p, next_mem) in successors {
-                let mut next_procs = procs.clone();
-                next_procs[i] = next_p;
-                stack.push((next_procs, next_mem, depth + 1));
+        }
+        let expanded = par_map(&level, |st| {
+            let (procs, mem) = st.as_ref();
+            if procs.iter().all(|p| p.decided().is_some()) {
+                return LevelStep::Terminal(
+                    procs
+                        .iter()
+                        .map(|p| p.decided().expect("all decided").clone())
+                        .collect(),
+                );
             }
+            let mut next = Vec::new();
+            for (i, p) in procs.iter().enumerate() {
+                if p.decided().is_some() {
+                    continue;
+                }
+                let successors = p.step(config, mem);
+                assert!(
+                    !successors.is_empty(),
+                    "undecided process returned no successors"
+                );
+                for (next_p, next_mem) in successors {
+                    let mut next_procs = procs.clone();
+                    next_procs[i] = next_p;
+                    next.push((next_procs, next_mem));
+                }
+            }
+            LevelStep::Expanded(next)
+        });
+        let mut any_expansion = false;
+        for step in expanded {
+            match step {
+                LevelStep::Terminal(o) => {
+                    outcomes.insert(o);
+                }
+                LevelStep::Expanded(next) => {
+                    any_expansion = true;
+                    frontier.extend(next);
+                }
+            }
+        }
+        if any_expansion {
+            // A non-terminal state at depth `max_depth` means some path
+            // needs more than `max_depth` steps.
+            if depth >= max_depth {
+                return Err(ExploreError::StepBoundExceeded(max_depth));
+            }
+            depth += 1;
         }
     }
     Ok(Explored {
@@ -161,7 +212,7 @@ where
     P: Process,
     F: FnMut(&Outcome) -> bool,
 {
-    let mut visited: BTreeSet<(Vec<P>, Memory)> = BTreeSet::new();
+    let mut visited: HashSet<(Vec<P>, Memory), BuildStructuralHasher> = HashSet::default();
     let mut stack: Vec<(Vec<P>, Memory, Vec<TraceStep>)> = vec![(processes, memory, Vec::new())];
     while let Some((procs, mem, trace)) = stack.pop() {
         if !visited.insert((procs.clone(), mem.clone())) {
@@ -322,7 +373,7 @@ mod tests {
 
     /// A toy process: writes its id, scans, decides on the count of
     /// writers it saw (encoded as a vertex value).
-    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     struct Toy {
         id: usize,
         phase: u8,

@@ -24,7 +24,7 @@ use crate::memory::Memory;
 /// Each process descends through levels `n, n-1, …`: at level `ℓ` it
 /// writes its level, scans, and returns the set of processes at level
 /// `≤ ℓ` if that set has at least `ℓ` members.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ImmediateSnapshot {
     id: u8,
     input: Vertex,

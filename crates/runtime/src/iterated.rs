@@ -21,7 +21,7 @@ const INPUT_OBJECTS: [&str; MAX_ROUNDS] = ["input0", "input1", "input2", "input3
 
 /// One process of the `R`-round iterated immediate-snapshot protocol
 /// (each round a Borowsky–Gafni one-shot immediate snapshot).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct IteratedImmediateSnapshot {
     id: u8,
     current: Vertex,

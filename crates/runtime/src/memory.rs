@@ -6,20 +6,25 @@
 //! updates and scans are linearizable by construction; the model checker
 //! in [`crate::explore`] enumerates the interleavings of these steps.
 
-use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::cell::Cell;
 
 /// A named snapshot object identifier.
 pub type ObjectId = &'static str;
 
-/// The entire shared memory: a map from object names to single-writer
-/// register arrays. Cheap to clone and totally ordered, as required by
-/// the state-memoizing model checker.
+/// The entire shared memory: name-sorted single-writer register arrays.
+///
+/// The model checker clones memory on every atomic step and hashes it for
+/// state memoization, so the register arrays are `Arc`-shared: a clone is
+/// one small allocation plus refcount bumps, and an `update` copies only
+/// the one array it touches (copy-on-write via [`Arc::make_mut`]).
+/// Equality, ordering and hashing all see through the `Arc` to the
+/// register contents, so memoization semantics are unchanged.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct Memory {
-    objects: BTreeMap<ObjectId, Vec<Option<Cell>>>,
+    objects: Vec<(ObjectId, Arc<Vec<Option<Cell>>>)>,
 }
 
 impl Memory {
@@ -27,9 +32,20 @@ impl Memory {
     /// empty registers.
     #[must_use]
     pub fn with_objects(names: &[ObjectId], n: usize) -> Self {
-        Memory {
-            objects: names.iter().map(|&name| (name, vec![None; n])).collect(),
-        }
+        let mut objects: Vec<(ObjectId, Arc<Vec<Option<Cell>>>)> = names
+            .iter()
+            .map(|&name| (name, Arc::new(vec![None; n])))
+            .collect();
+        objects.sort_by_key(|(name, _)| *name);
+        Memory { objects }
+    }
+
+    fn regs(&self, object: ObjectId) -> &Vec<Option<Cell>> {
+        self.objects
+            .iter()
+            .find(|(name, _)| *name == object)
+            .map(|(_, regs)| regs.as_ref())
+            .unwrap_or_else(|| panic!("unknown object {object}"))
     }
 
     /// Atomic update: writes `value` into register `slot` of `object`.
@@ -40,7 +56,9 @@ impl Memory {
     pub fn update(&mut self, object: ObjectId, slot: usize, value: Cell) {
         let regs = self
             .objects
-            .get_mut(object)
+            .iter_mut()
+            .find(|(name, _)| *name == object)
+            .map(|(_, regs)| Arc::make_mut(regs))
             .unwrap_or_else(|| panic!("unknown object {object}"));
         assert!(slot < regs.len(), "slot {slot} out of range for {object}");
         regs[slot] = Some(value);
@@ -53,10 +71,7 @@ impl Memory {
     /// Panics if the object does not exist.
     #[must_use]
     pub fn scan(&self, object: ObjectId) -> Vec<Option<Cell>> {
-        self.objects
-            .get(object)
-            .unwrap_or_else(|| panic!("unknown object {object}"))
-            .clone()
+        self.regs(object).clone()
     }
 
     /// Atomic read of a single register.
@@ -66,10 +81,7 @@ impl Memory {
     /// Panics if the object or slot does not exist.
     #[must_use]
     pub fn read(&self, object: ObjectId, slot: usize) -> Option<Cell> {
-        let regs = self
-            .objects
-            .get(object)
-            .unwrap_or_else(|| panic!("unknown object {object}"));
+        let regs = self.regs(object);
         assert!(slot < regs.len(), "slot {slot} out of range for {object}");
         regs[slot].clone()
     }
@@ -77,10 +89,10 @@ impl Memory {
     /// The non-empty registers of `object` as `(slot, cell)` pairs.
     #[must_use]
     pub fn present(&self, object: ObjectId) -> Vec<(usize, Cell)> {
-        self.scan(object)
-            .into_iter()
+        self.regs(object)
+            .iter()
             .enumerate()
-            .filter_map(|(i, c)| c.map(|c| (i, c)))
+            .filter_map(|(i, c)| c.as_ref().map(|c| (i, c.clone())))
             .collect()
     }
 }

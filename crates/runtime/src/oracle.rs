@@ -29,6 +29,7 @@
 //! for tasks with no real `A_C`.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use chromata_task::Task;
 use chromata_topology::{Simplex, Vertex};
@@ -67,10 +68,11 @@ pub fn oracle_return(task: &Task, memory: &Memory) -> Vec<(Vertex, Memory)> {
             .into_iter()
             .map(|(_, c)| c.as_vertex().expect("oracle holds inputs").clone()),
     );
-    let so_far: BTreeSet<Vertex> = memory
-        .read(ORACLE_TARGET, 0)
-        .map(|c| c.as_view().expect("output set is a view").clone())
-        .unwrap_or_default();
+    let so_far: Arc<BTreeSet<Vertex>> = match memory.read(ORACLE_TARGET, 0) {
+        Some(Cell::View(v)) => v,
+        Some(other) => panic!("output set is a view, found {other}"),
+        None => Arc::new(BTreeSet::new()),
+    };
     let img = task.delta().image_of(&tau);
     let mut out = Vec::new();
     for y in img.vertices() {
@@ -80,9 +82,9 @@ pub fn oracle_return(task: &Task, memory: &Memory) -> Vec<(Vertex, Memory)> {
             continue;
         }
         let mut m2 = memory.clone();
-        let mut next = so_far.clone();
+        let mut next = (*so_far).clone();
         next.insert(y.clone());
-        m2.update(ORACLE_TARGET, 0, Cell::View(next));
+        m2.update(ORACLE_TARGET, 0, Cell::View(Arc::new(next)));
         out.push((y.clone(), m2));
     }
     assert!(

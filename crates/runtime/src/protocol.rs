@@ -18,7 +18,7 @@ use crate::iterated::{IteratedConfig, IteratedImmediateSnapshot};
 use crate::memory::Memory;
 
 /// A process executing "`r` rounds of IIS, then apply the decision map".
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct DecisionProtocol {
     inner: IteratedImmediateSnapshot,
     decided: Option<Vertex>,

@@ -37,7 +37,7 @@ pub fn verify_figure7(task: &Task, max_states: usize) -> Result<VerificationRepo
     for sigma in task.input().facets() {
         for tau in sigma.faces() {
             report.participant_sets += 1;
-            let config = Fig7Config { task: task.clone() };
+            let config = Fig7Config::new(task.clone());
             let explored = explore(
                 processes_for(&tau),
                 initial_memory(),

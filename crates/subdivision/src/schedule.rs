@@ -7,16 +7,41 @@
 //! standard chromatic subdivision `Ch(σ)` are in bijection with these
 //! schedules.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use chromata_topology::{Color, Simplex, Value, Vertex};
 
 /// An ordered partition of a color set into non-empty concurrency classes.
 pub type Schedule = Vec<Vec<Color>>;
 
+/// Ordered partitions of `{0, …, n-1}` by index, memoized per arity: the
+/// block structure depends only on how many colors there are, so the
+/// expensive recursive enumeration runs once per `n` and concrete color
+/// slices are produced by substitution.
+/// All ordered partitions of `{0, …, n-1}` for one arity.
+type IndexSchedules = Arc<Vec<Vec<Vec<usize>>>>;
+
+fn index_partitions(n: usize) -> IndexSchedules {
+    static CACHE: OnceLock<Mutex<HashMap<usize, IndexSchedules>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    Arc::clone(guard.entry(n).or_insert_with(|| {
+        let mut out = Vec::new();
+        let indices: Vec<usize> = (0..n).collect();
+        enumerate(&indices, &mut Vec::new(), &mut out);
+        Arc::new(out)
+    }))
+}
+
 /// Enumerates all ordered set partitions of `colors`.
 ///
 /// For `n = 1, 2, 3` there are `1, 3, 13` schedules (the ordered Bell /
 /// Fubini numbers) — hence the 13 facets of the chromatic subdivision of a
-/// triangle.
+/// triangle. The underlying enumeration is memoized per arity, so repeated
+/// calls only pay for the color substitution.
 ///
 /// # Examples
 ///
@@ -29,13 +54,18 @@ pub type Schedule = Vec<Vec<Color>>;
 /// ```
 #[must_use]
 pub fn ordered_partitions(colors: &[Color]) -> Vec<Schedule> {
-    let mut out = Vec::new();
-    let mut current: Schedule = Vec::new();
-    enumerate(colors, &mut current, &mut out);
-    out
+    index_partitions(colors.len())
+        .iter()
+        .map(|sched| {
+            sched
+                .iter()
+                .map(|block| block.iter().map(|&i| colors[i]).collect())
+                .collect()
+        })
+        .collect()
 }
 
-fn enumerate(rest: &[Color], current: &mut Schedule, out: &mut Vec<Schedule>) {
+fn enumerate(rest: &[usize], current: &mut Vec<Vec<usize>>, out: &mut Vec<Vec<Vec<usize>>>) {
     if rest.is_empty() {
         out.push(current.clone());
         return;
@@ -43,11 +73,11 @@ fn enumerate(rest: &[Color], current: &mut Schedule, out: &mut Vec<Schedule>) {
     // Choose the non-empty first block B₁ ⊆ rest, recurse on the remainder.
     let n = rest.len();
     for mask in 1u32..(1 << n) {
-        let block: Vec<Color> = (0..n)
+        let block: Vec<usize> = (0..n)
             .filter(|i| mask & (1 << i) != 0)
             .map(|i| rest[i])
             .collect();
-        let remainder: Vec<Color> = (0..n)
+        let remainder: Vec<usize> = (0..n)
             .filter(|i| mask & (1 << i) == 0)
             .map(|i| rest[i])
             .collect();

@@ -4,6 +4,7 @@ use proptest::prelude::*;
 
 use chromata_subdivision::{
     carrier_of_simplex, chromatic_subdivision, iterated_chromatic_subdivision, ordered_partitions,
+    schedule_facet,
 };
 use chromata_topology::{Color, Complex, Simplex, Vertex};
 
@@ -80,6 +81,49 @@ proptest! {
             sub.complex.euler_characteristic(),
             k.euler_characteristic()
         );
+    }
+
+    #[test]
+    fn memoized_subdivision_matches_schedule_reference(k in complex_strategy()) {
+        // The production path goes through the interned-simplex cache and
+        // the parallel facet fan-out. Recompute the expected facet set from
+        // first principles (one `schedule_facet` per ordered partition per
+        // facet, no caches involved) and demand observational equality.
+        let sub = chromatic_subdivision(&k);
+        let mut expected = std::collections::BTreeSet::new();
+        for sigma in k.facets() {
+            let colors: Vec<Color> = sigma.colors().iter().collect();
+            for sched in ordered_partitions(&colors) {
+                expected.insert(schedule_facet(sigma, &sched));
+            }
+        }
+        let actual: std::collections::BTreeSet<Simplex> =
+            sub.complex.facets().cloned().collect();
+        prop_assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn iterated_counts_match_fubini_powers(k in complex_strategy()) {
+        // Ch^r facet growth is exactly 13^r per input triangle for r ≤ 2,
+        // and every structural invariant survives the cached fast path.
+        if k.facet_count() > 2 {
+            return Ok(());
+        }
+        for r in 0..=2usize {
+            let sub = iterated_chromatic_subdivision(&k, r);
+            prop_assert_eq!(
+                sub.complex.facet_count(),
+                13usize.pow(r as u32) * k.facet_count(),
+                "round {}", r
+            );
+            prop_assert!(sub.complex.is_pure());
+            prop_assert!(sub.complex.is_chromatic());
+            prop_assert_eq!(
+                sub.complex.euler_characteristic(),
+                k.euler_characteristic()
+            );
+            prop_assert!(sub.carrier.validate_chromatic(&k).is_ok());
+        }
     }
 
     #[test]

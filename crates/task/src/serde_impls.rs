@@ -3,18 +3,72 @@
 //! loaded task is as trustworthy as a constructed one.
 
 use serde::de::Error as DeError;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use serde::ser::Error as _;
+use serde::{Content, Deserialize, Deserializer, Serialize, Serializer};
 
 use chromata_topology::{CarrierMap, Complex};
 
 use crate::task::Task;
 
-#[derive(Serialize, Deserialize)]
+/// Mirror of [`Task`] in the on-disk format:
+/// `{"name": …, "input": …, "output": …, "delta": …}`.
 struct TaskRepr {
     name: String,
     input: Complex,
     output: Complex,
     delta: CarrierMap,
+}
+
+impl Serialize for TaskRepr {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let err = |e: serde::ser::ContentError| S::Error::custom(e.0);
+        s.serialize_content(Content::Map(vec![
+            ("name".to_owned(), Content::Str(self.name.clone())),
+            (
+                "input".to_owned(),
+                serde::ser::to_content(&self.input).map_err(err)?,
+            ),
+            (
+                "output".to_owned(),
+                serde::ser::to_content(&self.output).map_err(err)?,
+            ),
+            (
+                "delta".to_owned(),
+                serde::ser::to_content(&self.delta).map_err(err)?,
+            ),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for TaskRepr {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let content = d.deserialize_content()?;
+        let Content::Map(entries) = content else {
+            return Err(D::Error::custom("expected a task object"));
+        };
+        let field = |name: &str| -> Result<Content, D::Error> {
+            entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| D::Error::custom(format!("missing task field '{name}'")))
+        };
+        let name = match field("name")? {
+            Content::Str(s) => s,
+            other => {
+                return Err(D::Error::custom(format!(
+                    "expected a string name, found {other:?}"
+                )))
+            }
+        };
+        let de_err = |e: serde::de::ContentError| D::Error::custom(e.0);
+        Ok(TaskRepr {
+            name,
+            input: serde::de::from_content(field("input")?).map_err(de_err)?,
+            output: serde::de::from_content(field("output")?).map_err(de_err)?,
+            delta: serde::de::from_content(field("delta")?).map_err(de_err)?,
+        })
+    }
 }
 
 impl Serialize for Task {

@@ -52,7 +52,7 @@ impl std::error::Error for TaskError {}
 /// assert_eq!(t.process_count(), 3);
 /// assert_eq!(t.input().dimension(), Some(2));
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Task {
     name: String,
     input: Complex,

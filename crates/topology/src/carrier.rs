@@ -8,6 +8,8 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use crate::complex::Complex;
 use crate::simplex::Simplex;
@@ -54,7 +56,11 @@ impl fmt::Display for CarrierViolation {
 impl std::error::Error for CarrierViolation {}
 
 /// A carrier map, stored as an explicit table from domain simplices to
-/// image subcomplexes.
+/// shared image subcomplexes.
+///
+/// Image subcomplexes are reference-counted ([`Arc`]) so that carrier maps
+/// produced by memoized subdivision can share one image complex across many
+/// domain simplices (and across maps) without deep copies.
 ///
 /// # Examples
 ///
@@ -72,7 +78,7 @@ impl std::error::Error for CarrierViolation {}
 /// ```
 #[derive(Clone, PartialEq, Eq, Default, Debug)]
 pub struct CarrierMap {
-    map: BTreeMap<Simplex, Complex>,
+    map: BTreeMap<Simplex, Arc<Complex>>,
 }
 
 impl CarrierMap {
@@ -98,12 +104,26 @@ impl CarrierMap {
     /// Sets the image subcomplex of `s`, returning the previous image if
     /// any.
     pub fn insert(&mut self, s: Simplex, image: Complex) -> Option<Complex> {
+        self.map
+            .insert(s, Arc::new(image))
+            .map(|a| Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()))
+    }
+
+    /// Sets the image subcomplex of `s` from a shared handle, avoiding a
+    /// deep copy when the image is reused across simplices or maps.
+    pub fn insert_shared(&mut self, s: Simplex, image: Arc<Complex>) -> Option<Arc<Complex>> {
         self.map.insert(s, image)
     }
 
     /// The image subcomplex of `s`, if assigned.
     #[must_use]
     pub fn get(&self, s: &Simplex) -> Option<&Complex> {
+        self.map.get(s).map(Arc::as_ref)
+    }
+
+    /// The shared handle to the image subcomplex of `s`, if assigned.
+    #[must_use]
+    pub fn get_shared(&self, s: &Simplex) -> Option<&Arc<Complex>> {
         self.map.get(s)
     }
 
@@ -115,14 +135,13 @@ impl CarrierMap {
     /// fallible lookup.
     #[must_use]
     pub fn image_of(&self, s: &Simplex) -> &Complex {
-        self.map
-            .get(s)
+        self.get(s)
             .unwrap_or_else(|| panic!("carrier map has no image for {s}"))
     }
 
     /// Iterator over `(simplex, image)` pairs, in simplex order.
     pub fn iter(&self) -> impl Iterator<Item = (&Simplex, &Complex)> + Clone {
-        self.map.iter()
+        self.map.iter().map(|(s, k)| (s, k.as_ref()))
     }
 
     /// The domain simplices with assigned images.
@@ -147,7 +166,7 @@ impl CarrierMap {
     /// simplex of the image subcomplex of `s`.
     #[must_use]
     pub fn carries(&self, s: &Simplex, t: &Simplex) -> bool {
-        self.map.get(s).is_some_and(|k| k.contains(t))
+        self.get(s).is_some_and(|k| k.contains(t))
     }
 
     /// Validates the carrier map against a *chromatic* domain: totality on
@@ -161,7 +180,7 @@ impl CarrierMap {
     pub fn validate_chromatic(&self, domain: &Complex) -> Result<(), Vec<CarrierViolation>> {
         let mut errs = Vec::new();
         for s in domain.simplices() {
-            let Some(img) = self.map.get(s) else {
+            let Some(img) = self.get(s) else {
                 errs.push(CarrierViolation::MissingSimplex(s.clone()));
                 continue;
             };
@@ -179,9 +198,9 @@ impl CarrierMap {
         // Monotonicity: it suffices to compare each simplex with its
         // codimension-1 faces.
         for s in domain.simplices() {
-            let Some(img) = self.map.get(s) else { continue };
+            let Some(img) = self.get(s) else { continue };
             for f in s.boundary_faces() {
-                if let Some(fi) = self.map.get(&f) {
+                if let Some(fi) = self.get(&f) {
                     if !fi.is_subcomplex_of(img) {
                         errs.push(CarrierViolation::NotMonotonic {
                             smaller: f.clone(),
@@ -201,15 +220,29 @@ impl CarrierMap {
     /// Composition with a second carrier map: `(Φ ∘ Δ)(σ)` is generated by
     /// `Φ(τ)` over all facets `τ` of `Δ(σ)`. Used to compose subdivision
     /// carriers (`Ch^{r+1} = Ch ∘ Ch^r`).
+    ///
+    /// Only the *facets* of each image are consulted: when `Φ` is monotone
+    /// (every carrier map is), `Φ(τ') ⊆ Φ(τ)` for faces `τ' ⊆ τ`, so the
+    /// union over facets already covers all simplices. For a facet missing
+    /// from `Φ`, its proper faces are consulted as a fallback so that
+    /// partially-defined maps still compose like before.
     #[must_use]
     pub fn then(&self, next: &CarrierMap) -> CarrierMap {
         let mut out = CarrierMap::new();
         for (s, img) in &self.map {
             let mut acc = Complex::new();
-            for t in img.simplices() {
+            for t in img.facets() {
                 if let Some(k) = next.get(t) {
                     for facet in k.facets() {
                         acc.add_simplex(facet.clone());
+                    }
+                } else {
+                    for f in t.proper_faces() {
+                        if let Some(k) = next.get(&f) {
+                            for facet in k.facets() {
+                                acc.add_simplex(facet.clone());
+                            }
+                        }
                     }
                 }
             }
@@ -226,7 +259,7 @@ impl CarrierMap {
                 .map
                 .iter()
                 .filter(|(s, _)| sub.contains(s))
-                .map(|(s, k)| (s.clone(), k.clone()))
+                .map(|(s, k)| (s.clone(), Arc::clone(k)))
                 .collect(),
         }
     }
@@ -257,10 +290,20 @@ impl CarrierMap {
     }
 }
 
+impl Hash for CarrierMap {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_usize(self.map.len());
+        for (s, k) in &self.map {
+            s.hash(state);
+            k.hash(state);
+        }
+    }
+}
+
 impl FromIterator<(Simplex, Complex)> for CarrierMap {
     fn from_iter<I: IntoIterator<Item = (Simplex, Complex)>>(iter: I) -> Self {
         CarrierMap {
-            map: iter.into_iter().collect(),
+            map: iter.into_iter().map(|(s, k)| (s, Arc::new(k))).collect(),
         }
     }
 }
@@ -394,5 +437,20 @@ mod tests {
             .collect();
         let comp = d1.then(&d2);
         assert!(comp.carries(&a, &c));
+    }
+
+    #[test]
+    fn shared_images_are_not_deep_copied() {
+        let s0 = Simplex::vertex(v(0, 0));
+        let s1 = Simplex::vertex(v(0, 1));
+        let img = Arc::new(Complex::from_facets([Simplex::vertex(v(0, 9))]));
+        let mut cm = CarrierMap::new();
+        cm.insert_shared(s0.clone(), Arc::clone(&img));
+        cm.insert_shared(s1.clone(), Arc::clone(&img));
+        assert!(std::ptr::eq(
+            cm.get(&s0).unwrap() as *const Complex,
+            cm.get(&s1).unwrap() as *const Complex
+        ));
+        assert_eq!(cm.get_shared(&s0).map(Arc::as_ref), Some(img.as_ref()));
     }
 }

@@ -1,0 +1,157 @@
+//! Global hash-consing interners for [`Vertex`](crate::Vertex) and
+//! [`Simplex`](crate::Simplex).
+//!
+//! Subdivision and exploration workloads create the same vertices and
+//! simplices over and over (views are shared between facets, faces between
+//! simplices). Interning collapses every structurally-equal vertex/simplex
+//! to a single shared allocation, so that
+//!
+//! * equality is a pointer comparison (`O(1)` instead of a deep structural
+//!   walk through nested views),
+//! * hashing writes one precomputed 64-bit fingerprint,
+//! * the fingerprint doubles as a cheap, deterministic first key for total
+//!   ordering, keeping ordered containers fast without sacrificing the
+//!   run-to-run (and thread-interleaving-independent) determinism the
+//!   serde output relies on.
+//!
+//! The interner is sharded to stay cheap under the parallel subdivision
+//! fan-out, and it never evicts: the workspace's workloads are bounded by
+//! the complexes actually constructed, and eviction would invalidate the
+//! pointer-equality contract.
+//!
+//! Fingerprints are computed with a fixed FNV-1a hasher, never with
+//! `RandomState`, so they are identical across runs, builds and feature
+//! combinations on a given platform.
+
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Number of independent shards; a power of two so the shard index is a
+/// mask of the fingerprint.
+const SHARDS: usize = 16;
+
+/// Fixed-key FNV-1a, used for all structural fingerprints. Deterministic
+/// by construction (no per-process random state).
+#[derive(Clone, Debug)]
+pub struct StructuralHasher(u64);
+
+impl Default for StructuralHasher {
+    fn default() -> Self {
+        StructuralHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for StructuralHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// The structural fingerprint of any hashable value, via the fixed hasher.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn fingerprint<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = StructuralHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// `BuildHasher` for hash containers keyed by already-fingerprinted
+/// values (interned vertices and simplices replay a precomputed 64-bit
+/// fingerprint, so the cheap FNV mix is collision-safe and much faster
+/// than SipHash); deterministic, unlike `RandomState`.
+pub type BuildStructuralHasher = std::hash::BuildHasherDefault<StructuralHasher>;
+
+/// A sharded hash-consing table over `T`, bucketed by precomputed
+/// fingerprint. Collisions fall back to the caller-supplied structural
+/// match.
+type Shard<T> = Mutex<std::collections::HashMap<u64, Vec<Arc<T>>, BuildStructuralHasher>>;
+
+pub(crate) struct Interner<T> {
+    shards: Vec<Shard<T>>,
+}
+
+impl<T> Interner<T> {
+    pub(crate) fn new() -> Self {
+        Interner {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(std::collections::HashMap::default()))
+                .collect(),
+        }
+    }
+
+    /// Returns the canonical `Arc` for the value with the given
+    /// fingerprint: an existing entry for which `matches` holds, or a
+    /// fresh one produced by `build`.
+    pub(crate) fn intern<M, B>(&self, hash: u64, matches: M, build: B) -> Arc<T>
+    where
+        M: Fn(&T) -> bool,
+        B: FnOnce() -> T,
+    {
+        let shard = &self.shards[(hash as usize) & (SHARDS - 1)];
+        let mut map = shard.lock().unwrap_or_else(PoisonError::into_inner);
+        let bucket = map.entry(hash).or_default();
+        if let Some(existing) = bucket.iter().find(|a| matches(a)) {
+            return Arc::clone(existing);
+        }
+        let fresh = Arc::new(build());
+        bucket.push(Arc::clone(&fresh));
+        fresh
+    }
+
+    /// Number of interned values (diagnostics only).
+    pub(crate) fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+/// Diagnostic counts of the global interners: `(vertices, simplices)`.
+///
+/// Exposed so benchmarks and tests can observe sharing; the tables only
+/// ever grow.
+#[must_use]
+pub fn interner_stats() -> (usize, usize) {
+    (
+        crate::vertex::interner().len(),
+        crate::simplex::interner().len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_deterministic() {
+        assert_eq!(fingerprint(&42u64), fingerprint(&42u64));
+        assert_ne!(fingerprint(&42u64), fingerprint(&43u64));
+        assert_eq!(fingerprint("abc"), fingerprint("abc"));
+    }
+
+    #[test]
+    fn interner_dedups_by_structure() {
+        let table: Interner<String> = Interner::new();
+        let a = table.intern(7, |s| s == "x", || "x".to_owned());
+        let b = table.intern(7, |s| s == "x", || "x".to_owned());
+        assert!(Arc::ptr_eq(&a, &b));
+        // Same fingerprint, different structure: both live in one bucket.
+        let c = table.intern(7, |s| s == "y", || "y".to_owned());
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(table.len(), 2);
+    }
+}

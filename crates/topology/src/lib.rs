@@ -39,7 +39,9 @@ mod carrier;
 mod color;
 mod complex;
 mod graph;
+mod intern;
 mod map;
+mod par;
 mod product;
 mod serde_impls;
 mod simplex;
@@ -50,7 +52,9 @@ pub use carrier::{CarrierMap, CarrierViolation};
 pub use color::{Color, ColorSet};
 pub use complex::Complex;
 pub use graph::Graph;
+pub use intern::{interner_stats, BuildStructuralHasher, StructuralHasher};
 pub use map::SimplicialMap;
+pub use par::par_map;
 pub use product::{product, product_simplex, product_vertex, project_first, project_second};
 pub use simplex::Simplex;
 pub use value::Value;

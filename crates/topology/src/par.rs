@@ -1,0 +1,63 @@
+//! Deterministic fork-join parallelism over slices.
+//!
+//! [`par_map`] fans a pure function out over a slice with scoped threads
+//! and returns results in input order, so callers observe exactly the
+//! serial semantics. With the `parallel` feature disabled (or on a
+//! single-core machine, or for tiny inputs) it degrades to a plain serial
+//! map — same results, no threads.
+
+/// Minimum number of items per worker before spawning threads pays off;
+/// below `2 * MIN_CHUNK` items the serial path is used.
+const MIN_CHUNK: usize = 8;
+
+/// Applies `f` to every item of `items`, returning results in input order.
+///
+/// The function must be pure up to the returned value: invocation order
+/// across items is unspecified when the `parallel` feature is enabled, but
+/// the output vector is always index-aligned with the input slice, so any
+/// deterministic `f` yields a deterministic result.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        if workers > 1 && items.len() >= 2 * MIN_CHUNK {
+            let chunk = (items.len().div_ceil(workers)).max(MIN_CHUNK);
+            return std::thread::scope(|scope| {
+                let handles: Vec<_> = items
+                    .chunks(chunk)
+                    .map(|c| scope.spawn(|| c.iter().map(&f).collect::<Vec<R>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("par_map worker panicked"))
+                    .collect()
+            });
+        }
+    }
+    items.iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |x| x * x);
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_and_small_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert_eq!(par_map(&none, |x| *x), Vec::<u32>::new());
+        assert_eq!(par_map(&[7], |x| x + 1), vec![8]);
+    }
+}

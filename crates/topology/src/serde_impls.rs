@@ -8,7 +8,7 @@
 //! constructors.
 
 use serde::de::Error as DeError;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use serde::{Content, Deserialize, Deserializer, Serialize, Serializer};
 
 use crate::carrier::CarrierMap;
 use crate::color::Color;
@@ -17,8 +17,8 @@ use crate::simplex::Simplex;
 use crate::value::Value;
 use crate::vertex::Vertex;
 
-#[derive(Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+/// Mirror of [`Value`] in the on-disk format: an externally tagged enum
+/// with snake_case tags (`{"int": 5}`, `{"view": [...]}`, …).
 enum ValueRepr {
     Int(i64),
     Name(String),
@@ -27,10 +27,138 @@ enum ValueRepr {
     Split(Box<ValueRepr>, u32),
 }
 
-#[derive(Serialize, Deserialize)]
+/// Mirror of [`Vertex`]: `{"color": c, "value": v}`.
 struct VertexRepr {
     color: u8,
     value: ValueRepr,
+}
+
+impl ValueRepr {
+    fn to_content(&self) -> Content {
+        let (tag, payload) = match self {
+            ValueRepr::Int(i) => ("int", Content::I64(*i)),
+            ValueRepr::Name(s) => ("name", Content::Str(s.clone())),
+            ValueRepr::Pair(a, b) => ("pair", Content::Seq(vec![a.to_content(), b.to_content()])),
+            ValueRepr::View(vs) => (
+                "view",
+                Content::Seq(vs.iter().map(VertexRepr::to_content).collect()),
+            ),
+            ValueRepr::Split(b, i) => (
+                "split",
+                Content::Seq(vec![b.to_content(), Content::I64(i64::from(*i))]),
+            ),
+        };
+        Content::Map(vec![(tag.to_owned(), payload)])
+    }
+
+    fn from_content(c: &Content) -> Result<Self, String> {
+        let Content::Map(entries) = c else {
+            return Err(format!("expected a tagged value object, found {c:?}"));
+        };
+        let [(tag, payload)] = entries.as_slice() else {
+            return Err("expected exactly one variant tag".to_owned());
+        };
+        let two = |payload: &Content| -> Result<(Content, Content), String> {
+            match payload {
+                Content::Seq(items) if items.len() == 2 => Ok((items[0].clone(), items[1].clone())),
+                other => Err(format!("expected a 2-element sequence, found {other:?}")),
+            }
+        };
+        match tag.as_str() {
+            "int" => match payload {
+                Content::I64(i) => Ok(ValueRepr::Int(*i)),
+                other => Err(format!("expected an integer, found {other:?}")),
+            },
+            "name" => match payload {
+                Content::Str(s) => Ok(ValueRepr::Name(s.clone())),
+                other => Err(format!("expected a string, found {other:?}")),
+            },
+            "pair" => {
+                let (a, b) = two(payload)?;
+                Ok(ValueRepr::Pair(
+                    Box::new(ValueRepr::from_content(&a)?),
+                    Box::new(ValueRepr::from_content(&b)?),
+                ))
+            }
+            "view" => match payload {
+                Content::Seq(items) => Ok(ValueRepr::View(
+                    items
+                        .iter()
+                        .map(VertexRepr::from_content)
+                        .collect::<Result<_, _>>()?,
+                )),
+                other => Err(format!("expected a sequence, found {other:?}")),
+            },
+            "split" => {
+                let (base, copy) = two(payload)?;
+                let copy = match copy {
+                    Content::I64(i) => {
+                        u32::try_from(i).map_err(|_| "split copy out of range".to_owned())?
+                    }
+                    other => return Err(format!("expected an integer, found {other:?}")),
+                };
+                Ok(ValueRepr::Split(
+                    Box::new(ValueRepr::from_content(&base)?),
+                    copy,
+                ))
+            }
+            other => Err(format!("unknown value variant '{other}'")),
+        }
+    }
+}
+
+impl VertexRepr {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("color".to_owned(), Content::I64(i64::from(self.color))),
+            ("value".to_owned(), self.value.to_content()),
+        ])
+    }
+
+    fn from_content(c: &Content) -> Result<Self, String> {
+        let Content::Map(entries) = c else {
+            return Err(format!("expected a vertex object, found {c:?}"));
+        };
+        let field = |name: &str| -> Result<&Content, String> {
+            entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing vertex field '{name}'"))
+        };
+        let color = match field("color")? {
+            Content::I64(i) => {
+                u8::try_from(*i).map_err(|_| format!("color {i} out of u8 range"))?
+            }
+            other => return Err(format!("expected an integer color, found {other:?}")),
+        };
+        let value = ValueRepr::from_content(field("value")?)?;
+        Ok(VertexRepr { color, value })
+    }
+}
+
+impl Serialize for ValueRepr {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(self.to_content())
+    }
+}
+
+impl<'de> Deserialize<'de> for ValueRepr {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        ValueRepr::from_content(&d.deserialize_content()?).map_err(D::Error::custom)
+    }
+}
+
+impl Serialize for VertexRepr {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(self.to_content())
+    }
+}
+
+impl<'de> Deserialize<'de> for VertexRepr {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        VertexRepr::from_content(&d.deserialize_content()?).map_err(D::Error::custom)
+    }
 }
 
 impl From<&Value> for ValueRepr {

@@ -1,8 +1,11 @@
 //! Simplices: finite non-empty sets of vertices in canonical sorted form.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
 use crate::color::ColorSet;
+use crate::intern::{Interner, StructuralHasher};
 use crate::vertex::Vertex;
 
 /// A simplex: a non-empty set of [`Vertex`]es, stored sorted and
@@ -14,6 +17,16 @@ use crate::vertex::Vertex;
 /// simplices of the complexes in the paper are chromatic, but the type does
 /// not force this so that intermediate colorless constructions can reuse it.
 ///
+/// Simplices are interned: structurally-equal simplices share one
+/// allocation, so cloning is a reference-count bump, equality a pointer
+/// comparison and hashing a precomputed fingerprint. The color set is
+/// computed once at construction. The `Ord` instance compares the
+/// deterministic structural fingerprint first (falling back to the
+/// lexicographic vertex order only on fingerprint collisions), so ordered
+/// containers of simplices stay cheap; the resulting order is stable
+/// across runs, builds and thread interleavings, but it is **not** the
+/// lexicographic order of the vertex lists.
+///
 /// # Examples
 ///
 /// ```
@@ -24,14 +37,47 @@ use crate::vertex::Vertex;
 /// assert!(edge.is_chromatic());
 /// assert!(Simplex::vertex(Vertex::of(0, 1)).is_face_of(&edge));
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct Simplex(Vec<Vertex>);
+#[derive(Clone)]
+pub struct Simplex(Arc<SimplexInner>);
+
+#[derive(Debug)]
+pub(crate) struct SimplexInner {
+    vertices: Vec<Vertex>,
+    colors: ColorSet,
+    hash: u64,
+}
+
+static SIMPLICES: OnceLock<Interner<SimplexInner>> = OnceLock::new();
+
+pub(crate) fn interner() -> &'static Interner<SimplexInner> {
+    SIMPLICES.get_or_init(Interner::new)
+}
 
 impl Simplex {
+    /// Interns an already-sorted, deduplicated, non-empty vertex list.
+    fn intern(vertices: Vec<Vertex>) -> Self {
+        debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]));
+        let mut h = StructuralHasher::default();
+        h.write_usize(vertices.len());
+        for v in &vertices {
+            h.write_u64(v.fingerprint());
+        }
+        let hash = h.finish();
+        Simplex(interner().intern(
+            hash,
+            |inner| inner.vertices == vertices,
+            || SimplexInner {
+                colors: vertices.iter().map(Vertex::color).collect(),
+                vertices: vertices.clone(),
+                hash,
+            },
+        ))
+    }
+
     /// Creates the 0-dimensional simplex `{v}`.
     #[must_use]
     pub fn vertex(v: Vertex) -> Self {
-        Simplex(vec![v])
+        Simplex::intern(vec![v])
     }
 
     /// Creates a simplex from vertices, sorting and deduplicating.
@@ -46,19 +92,19 @@ impl Simplex {
         v.sort();
         v.dedup();
         assert!(!v.is_empty(), "a simplex must have at least one vertex");
-        Simplex(v)
+        Simplex::intern(v)
     }
 
     /// The vertices of the simplex, in sorted order.
     #[must_use]
     pub fn vertices(&self) -> &[Vertex] {
-        &self.0
+        &self.0.vertices
     }
 
     /// Number of vertices (`|σ|`).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.0.vertices.len()
     }
 
     /// Always `false`: simplices are non-empty by construction. Provided for
@@ -71,38 +117,47 @@ impl Simplex {
     /// The dimension `|σ| - 1`.
     #[must_use]
     pub fn dimension(&self) -> usize {
-        self.0.len() - 1
+        self.0.vertices.len() - 1
     }
 
     /// Whether `v` is a vertex of this simplex.
     #[must_use]
     pub fn contains(&self, v: &Vertex) -> bool {
-        self.0.binary_search(v).is_ok()
+        self.0.vertices.binary_search(v).is_ok()
     }
 
     /// Whether `self ⊆ other`.
     #[must_use]
     pub fn is_face_of(&self, other: &Simplex) -> bool {
-        self.0.iter().all(|v| other.contains(v))
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return true;
+        }
+        if self.len() > other.len() || !self.colors().is_subset_of(other.colors()) {
+            return false;
+        }
+        self.0.vertices.iter().all(|v| other.contains(v))
     }
 
-    /// The set of colors `id(σ)` of the simplex.
+    /// The set of colors `id(σ)` of the simplex (precomputed).
     #[must_use]
     pub fn colors(&self) -> ColorSet {
-        self.0.iter().map(Vertex::color).collect()
+        self.0.colors
     }
 
     /// Whether all vertices have pairwise-distinct colors.
     #[must_use]
     pub fn is_chromatic(&self) -> bool {
-        self.colors().len() == self.0.len()
+        self.0.colors.len() == self.0.vertices.len()
     }
 
     /// The vertex of the given color, if the simplex is chromatic enough to
     /// have at most one.
     #[must_use]
     pub fn vertex_of_color(&self, c: crate::color::Color) -> Option<&Vertex> {
-        self.0.iter().find(|v| v.color() == c)
+        if !self.0.colors.contains(c) {
+            return None;
+        }
+        self.0.vertices.iter().find(|v| v.color() == c)
     }
 
     /// All non-empty proper faces of this simplex (excluding itself).
@@ -111,15 +166,15 @@ impl Simplex {
     #[must_use]
     pub fn proper_faces(&self) -> Vec<Simplex> {
         let mut out = Vec::new();
-        let n = self.0.len();
+        let n = self.0.vertices.len();
         // Enumerate all non-empty proper subsets via bitmask; simplices here
         // have at most a handful of vertices, so this is never hot.
         for mask in 1u32..((1 << n) - 1) {
             let verts: Vec<Vertex> = (0..n)
                 .filter(|i| mask & (1 << i) != 0)
-                .map(|i| self.0[i].clone())
+                .map(|i| self.0.vertices[i].clone())
                 .collect();
-            out.push(Simplex(verts));
+            out.push(Simplex::intern(verts));
         }
         out.sort();
         out
@@ -137,24 +192,26 @@ impl Simplex {
     /// The codimension-1 faces (facets of the boundary).
     #[must_use]
     pub fn boundary_faces(&self) -> Vec<Simplex> {
-        if self.0.len() == 1 {
+        if self.0.vertices.len() == 1 {
             return Vec::new();
         }
-        (0..self.0.len()).map(|i| self.without_index(i)).collect()
+        (0..self.0.vertices.len())
+            .map(|i| self.without_index(i))
+            .collect()
     }
 
     fn without_index(&self, i: usize) -> Simplex {
-        let mut v = self.0.clone();
+        let mut v = self.0.vertices.clone();
         v.remove(i);
-        Simplex(v)
+        Simplex::intern(v)
     }
 
     /// The face obtained by removing vertex `v`, or `None` if `v` is not a
     /// vertex or the simplex would become empty.
     #[must_use]
     pub fn without_vertex(&self, v: &Vertex) -> Option<Simplex> {
-        let i = self.0.binary_search(v).ok()?;
-        if self.0.len() == 1 {
+        let i = self.0.vertices.binary_search(v).ok()?;
+        if self.0.vertices.len() == 1 {
             return None;
         }
         Some(self.without_index(i))
@@ -172,9 +229,10 @@ impl Simplex {
     pub fn substituted(&self, from: &Vertex, to: Vertex) -> Simplex {
         let i = self
             .0
+            .vertices
             .binary_search(from)
             .unwrap_or_else(|_| panic!("substituted: {from} not in {self}"));
-        let mut v = self.0.clone();
+        let mut v = self.0.vertices.clone();
         v[i] = to;
         Simplex::new(v)
     }
@@ -182,16 +240,23 @@ impl Simplex {
     /// The union `self ∪ other` as a simplex.
     #[must_use]
     pub fn union(&self, other: &Simplex) -> Simplex {
-        let mut v = self.0.clone();
-        v.extend(other.0.iter().cloned());
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return self.clone();
+        }
+        let mut v = self.0.vertices.clone();
+        v.extend(other.0.vertices.iter().cloned());
         Simplex::new(v)
     }
 
     /// The intersection `self ∩ other`, or `None` if disjoint.
     #[must_use]
     pub fn intersection(&self, other: &Simplex) -> Option<Simplex> {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return Some(self.clone());
+        }
         let v: Vec<Vertex> = self
             .0
+            .vertices
             .iter()
             .filter(|x| other.contains(x))
             .cloned()
@@ -199,13 +264,54 @@ impl Simplex {
         if v.is_empty() {
             None
         } else {
-            Some(Simplex(v))
+            Some(Simplex::intern(v))
         }
     }
 
     /// Iterator over the vertices.
     pub fn iter(&self) -> std::slice::Iter<'_, Vertex> {
-        self.0.iter()
+        self.0.vertices.iter()
+    }
+}
+
+impl PartialEq for Simplex {
+    fn eq(&self, other: &Self) -> bool {
+        // Interning makes structural equality coincide with identity.
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for Simplex {}
+
+impl Hash for Simplex {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0.hash);
+    }
+}
+
+impl PartialOrd for Simplex {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Simplex {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return std::cmp::Ordering::Equal;
+        }
+        // Fingerprint first: one integer comparison decides almost always,
+        // deterministically; ties fall back to the structural order.
+        self.0
+            .hash
+            .cmp(&other.0.hash)
+            .then_with(|| self.0.vertices.cmp(&other.0.vertices))
+    }
+}
+
+impl fmt::Debug for Simplex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Simplex").field(&self.0.vertices).finish()
     }
 }
 
@@ -229,7 +335,7 @@ impl<'a> IntoIterator for &'a Simplex {
     type IntoIter = std::slice::Iter<'a, Vertex>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.0.iter()
+        self.0.vertices.iter()
     }
 }
 
@@ -238,14 +344,14 @@ impl IntoIterator for Simplex {
     type IntoIter = std::vec::IntoIter<Vertex>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.0.into_iter()
+        self.0.vertices.clone().into_iter()
     }
 }
 
 impl fmt::Display for Simplex {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (k, v) in self.0.iter().enumerate() {
+        for (k, v) in self.0.vertices.iter().enumerate() {
             if k > 0 {
                 write!(f, ", ")?;
             }
@@ -275,6 +381,14 @@ mod tests {
     #[should_panic(expected = "at least one vertex")]
     fn empty_simplex_panics() {
         let _ = Simplex::new(vec![]);
+    }
+
+    #[test]
+    fn interning_shares_allocations() {
+        let a = tri();
+        let b = tri();
+        assert!(Arc::ptr_eq(&a.0, &b.0), "equal simplices share storage");
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -341,5 +455,20 @@ mod tests {
             .without_vertex(&Vertex::of(0, 0))
             .is_none());
         assert!(t.without_vertex(&Vertex::of(5, 5)).is_none());
+    }
+
+    #[test]
+    fn ordering_is_total_and_deterministic() {
+        let mut xs = vec![
+            tri(),
+            Simplex::vertex(Vertex::of(0, 0)),
+            Simplex::from_iter([Vertex::of(0, 0), Vertex::of(1, 1)]),
+        ];
+        xs.sort();
+        let once: Vec<Simplex> = xs.clone();
+        xs.sort();
+        assert_eq!(xs, once, "sorting is stable and deterministic");
+        xs.dedup();
+        assert_eq!(xs.len(), 3);
     }
 }

@@ -1,16 +1,22 @@
 //! Chromatic vertices: a color (process id) together with a payload value.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
 use crate::color::Color;
+use crate::intern::{Interner, StructuralHasher};
 use crate::value::Value;
 
 /// A vertex of a chromatic simplicial complex: a pair `(color, value)`
 /// (paper, §2.2).
 ///
 /// Vertices are identified structurally; two complexes sharing a vertex
-/// value share the vertex. Ordering sorts first by color then by value,
-/// which keeps chromatic simplices in process-id order.
+/// value share the vertex. Internally every vertex is *interned* in a
+/// global table, so structurally-equal vertices share one allocation:
+/// cloning is a reference-count bump, equality is a pointer comparison and
+/// hashing writes a precomputed fingerprint. Ordering sorts first by color
+/// then by value, which keeps chromatic simplices in process-id order.
 ///
 /// # Examples
 ///
@@ -21,17 +27,36 @@ use crate::value::Value;
 /// assert_eq!(v.color(), Color::new(1));
 /// assert_eq!(format!("{v}"), "P1:42");
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct Vertex {
+#[derive(Clone)]
+pub struct Vertex(Arc<VertexInner>);
+
+#[derive(Debug)]
+pub(crate) struct VertexInner {
     color: Color,
     value: Value,
+    hash: u64,
+}
+
+static VERTICES: OnceLock<Interner<VertexInner>> = OnceLock::new();
+
+pub(crate) fn interner() -> &'static Interner<VertexInner> {
+    VERTICES.get_or_init(Interner::new)
 }
 
 impl Vertex {
     /// Creates a vertex with the given color and value.
     #[must_use]
     pub fn new(color: Color, value: Value) -> Self {
-        Vertex { color, value }
+        let hash = vertex_fingerprint(color, &value);
+        Vertex(interner().intern(
+            hash,
+            |inner| inner.color == color && inner.value == value,
+            || VertexInner {
+                color,
+                value: value.clone(),
+                hash,
+            },
+        ))
     }
 
     /// Shorthand: vertex of process `color` with integer value `v`.
@@ -43,40 +68,99 @@ impl Vertex {
     /// The color (process id) of this vertex.
     #[must_use]
     pub fn color(&self) -> Color {
-        self.color
+        self.0.color
     }
 
     /// The payload value of this vertex.
     #[must_use]
     pub fn value(&self) -> &Value {
-        &self.value
+        &self.0.value
     }
 
     /// Consumes the vertex, returning its payload value.
     #[must_use]
     pub fn into_value(self) -> Value {
-        self.value
+        self.0.value.clone()
     }
 
     /// A copy of this vertex with the same color and a new value.
     #[must_use]
     pub fn with_value(&self, value: Value) -> Self {
-        Vertex {
-            color: self.color,
-            value,
+        Vertex::new(self.0.color, value)
+    }
+
+    /// The precomputed structural fingerprint (interning key).
+    pub(crate) fn fingerprint(&self) -> u64 {
+        self.0.hash
+    }
+
+    /// Whether two vertices are the same interned allocation.
+    fn same(&self, other: &Vertex) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl PartialEq for Vertex {
+    fn eq(&self, other: &Self) -> bool {
+        // Interning makes structural equality coincide with identity.
+        self.same(other)
+    }
+}
+
+impl Eq for Vertex {}
+
+impl Hash for Vertex {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0.hash);
+    }
+}
+
+impl PartialOrd for Vertex {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Vertex {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.same(other) {
+            return std::cmp::Ordering::Equal;
         }
+        self.0
+            .color
+            .cmp(&other.0.color)
+            .then_with(|| self.0.value.cmp(&other.0.value))
+    }
+}
+
+impl fmt::Debug for Vertex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Vertex")
+            .field("color", &self.0.color)
+            .field("value", &self.0.value)
+            .finish()
     }
 }
 
 impl fmt::Display for Vertex {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}", self.color, self.value)
+        write!(f, "{}:{}", self.color(), self.value())
     }
+}
+
+/// The fingerprint a vertex with these components gets: the structural
+/// hash of `color` followed by `value`, under the fixed hasher.
+pub(crate) fn vertex_fingerprint(color: Color, value: &Value) -> u64 {
+    let mut h = StructuralHasher::default();
+    color.hash(&mut h);
+    value.hash(&mut h);
+    h.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::fingerprint;
 
     #[test]
     fn accessors_and_rewrap() {
@@ -96,5 +180,25 @@ mod tests {
         assert!(a < b, "color dominates value in ordering");
         let c = Vertex::of(0, 1);
         assert!(c < a);
+    }
+
+    #[test]
+    fn interning_shares_allocations() {
+        let a = Vertex::of(1, 5);
+        let b = Vertex::of(1, 5);
+        assert!(Arc::ptr_eq(&a.0, &b.0), "equal vertices are one allocation");
+        assert_eq!(a, b);
+        let c = Vertex::of(1, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fingerprint_matches_structural_hash() {
+        let a = Vertex::of(3, 11);
+        assert_eq!(
+            a.fingerprint(),
+            vertex_fingerprint(Color::new(3), &Value::Int(11))
+        );
+        assert_eq!(fingerprint(&a), fingerprint(&Vertex::of(3, 11)));
     }
 }

@@ -33,7 +33,7 @@ fn main() {
     // the transformation, not about realizing A_C).
     let t = two_set_agreement();
     let sigma = t.input().facets().next().unwrap().clone();
-    let config = Fig7Config { task: t.clone() };
+    let config = Fig7Config::new(t.clone());
     let explored = explore(
         processes_for(&sigma),
         initial_memory(),

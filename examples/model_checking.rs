@@ -16,7 +16,7 @@ use chromata_topology::{Simplex, Vertex};
 
 /// The broken protocol: write own value, read slot `(id + 1) % 3`, decide
 /// the smaller of own value and what was read (if anything).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 struct BrokenAgreement {
     id: u8,
     input: i64,

@@ -1,0 +1,118 @@
+//! Build-configuration parity: the `parallel` feature (default) and the
+//! `--no-default-features` single-thread build must be observationally
+//! identical — same serialized bytes for every library task and the same
+//! verdicts.
+//!
+//! Cross-build identity cannot be checked inside one binary, so both
+//! builds are pinned to the *same* committed golden digests: running
+//!
+//! ```text
+//! cargo test -p chromata --test feature_parity
+//! cargo test -p chromata --test feature_parity --no-default-features
+//! ```
+//!
+//! green in both configurations certifies parity. The digest is FNV-1a
+//! over the `serde_json` encoding, so any byte drift — ordering, interning
+//! artifacts, thread scheduling — fails loudly.
+
+use chromata::{analyze, PipelineOptions};
+use chromata_task::library::{
+    adaptive_renaming, approximate_agreement, consensus, constant_task, hourglass, identity_task,
+    leader_election, majority_consensus, multi_valued_consensus, pinwheel, renaming,
+    simple_example_task, two_process_consensus, two_process_leader_election, two_set_agreement,
+};
+use chromata_task::Task;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn digest(task: &Task) -> String {
+    let json = serde_json::to_string(task).expect("serialize");
+    format!("{}:{:016x}", task.name(), fnv1a(json.as_bytes()))
+}
+
+fn library() -> Vec<Task> {
+    vec![
+        identity_task(1),
+        identity_task(2),
+        identity_task(3),
+        constant_task(3),
+        simple_example_task(),
+        hourglass(),
+        pinwheel(),
+        consensus(2),
+        consensus(3),
+        two_process_consensus(),
+        multi_valued_consensus(3),
+        majority_consensus(),
+        two_set_agreement(),
+        leader_election(),
+        two_process_leader_election(),
+        renaming(4),
+        adaptive_renaming(),
+        approximate_agreement(2),
+    ]
+}
+
+/// Golden serialization digests. Identical in every build configuration;
+/// regenerate by running this test and copying the printed actual list.
+const GOLDEN_DIGESTS: &[&str] = &[
+    "identity-1:f3eda6a9012c1113",
+    "identity-2:d710968df45fd278",
+    "identity-3:076080dbc8105f33",
+    "constant-3:a919ab602f1a0ada",
+    "fig3-example:2e35ff2f4fd7296f",
+    "hourglass:11283723be6ce0df",
+    "pinwheel:ba070a2977637003",
+    "consensus-2:08733ad152de7a91",
+    "consensus-3:befbf7fc346f09a6",
+    "consensus-2:08733ad152de7a91",
+    "consensus-3x3:967c79c0f7822c7d",
+    "majority-consensus:8a0111f853b04fa5",
+    "2-set-agreement:48206ec034db442d",
+    "leader-election:88e1931b2295807e",
+    "leader-election-2:c26771efcac81de4",
+    "renaming-4:d254c236b93b90f6",
+    "adaptive-renaming:2f5c3bac2dbdd5eb",
+    "approx-agreement-2:f86bef0c7bd192d5",
+];
+
+#[test]
+fn library_serialization_digests_match_golden() {
+    let actual: Vec<String> = library().iter().map(digest).collect();
+    let expected: Vec<String> = GOLDEN_DIGESTS.iter().map(|s| (*s).to_string()).collect();
+    assert_eq!(
+        actual, expected,
+        "serialization drifted from the committed goldens; \
+         if intentional, update GOLDEN_DIGESTS to the actual list above"
+    );
+}
+
+#[test]
+fn verdicts_match_golden_in_every_build() {
+    // A fast cross-section of the verdict spectrum (full-library verdicts
+    // are exercised by the pipeline's own tests). The expected strings are
+    // identical with and without the `parallel` feature.
+    let cases: &[(Task, bool)] = &[
+        (identity_task(3), true),
+        (identity_task(2), true),
+        (constant_task(3), true),
+        (hourglass(), false),
+        (two_process_consensus(), false),
+    ];
+    for (task, solvable) in cases {
+        let verdict = analyze(task, PipelineOptions::default()).verdict;
+        assert_eq!(
+            verdict.is_solvable(),
+            *solvable,
+            "verdict flipped for {}: {verdict}",
+            task.name()
+        );
+    }
+}

@@ -39,7 +39,7 @@ fn pivots_exist_in_every_two_set_outcome() {
     // runs never deadlock (checked by explore's termination).
     let t = two_set_agreement();
     let sigma = t.input().facets().next().unwrap().clone();
-    let config = Fig7Config { task: t.clone() };
+    let config = Fig7Config::new(t.clone());
     let explored = explore(
         processes_for(&sigma),
         initial_memory(),
@@ -69,7 +69,7 @@ fn termination_bound_is_respected() {
     // every random schedule.
     for t in [identity_task(3), two_set_agreement()] {
         let sigma: Simplex = t.input().facets().next().unwrap().clone();
-        let config = Fig7Config { task: t.clone() };
+        let config = Fig7Config::new(t.clone());
         for seed in 0..200 {
             let outcome = run_random(
                 processes_for(&sigma),
@@ -94,7 +94,7 @@ fn large_tasks_verified_on_random_schedules() {
         chromata_task::library::approximate_agreement(1),
     ] {
         let sigma: Simplex = t.input().facets().next().unwrap().clone();
-        let config = Fig7Config { task: t.clone() };
+        let config = Fig7Config::new(t.clone());
         for seed in 0..500 {
             let outcome = run_random(
                 processes_for(&sigma),
@@ -122,7 +122,7 @@ fn link_connectivity_hypothesis_is_necessary() {
     // that Lemma 5.3's hypothesis is not incidental.
     let t: Task = chromata_task::library::hourglass();
     let sigma = t.input().facets().next().unwrap().clone();
-    let config = Fig7Config { task: t };
+    let config = Fig7Config::new(t);
     let result = std::panic::catch_unwind(|| {
         explore(
             processes_for(&sigma),

@@ -1,0 +1,407 @@
+//! Minimal, source-compatible subset of the `criterion` API, vendored so
+//! the workspace builds without network access to crates.io.
+//!
+//! Implements wall-clock benchmarking with warmup, a configurable
+//! measurement window and mean/min/max reporting. Honors the standard
+//! harness flags: `--test` (smoke mode: one iteration per benchmark, as
+//! used by `cargo bench -- --test` in CI), `--bench` (ignored) and
+//! positional substring filters.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a computed value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group, e.g. `name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendering.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter rendering.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark label, accepted wherever criterion takes
+/// `impl Into<BenchmarkId>`-ish arguments.
+pub trait IntoBenchmarkId {
+    /// The label under which results are reported.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Options {
+    test_mode: bool,
+    filters: Vec<String>,
+    measurement: Duration,
+    warmup: Duration,
+    sample_size: usize,
+}
+
+impl Options {
+    fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filters = Vec::new();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--nocapture" | "--quiet" => {}
+                a if a.starts_with("--") => {}
+                a => filters.push(a.to_owned()),
+            }
+        }
+        Options {
+            test_mode,
+            filters,
+            measurement: Duration::from_millis(500),
+            warmup: Duration::from_millis(50),
+            sample_size: 0,
+        }
+    }
+
+    fn matches(&self, label: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| label.contains(f))
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    options: Options,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            options: Options::from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement window.
+    #[must_use]
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.options.measurement = duration;
+        self
+    }
+
+    /// Sets the nominal sample count (accepted for compatibility; the
+    /// vendored harness is time-driven).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.options.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up window run before each timed measurement.
+    #[must_use]
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.options.warmup = duration;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_id();
+        run_benchmark(&self.options, &label, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count for the group (compatibility no-op
+    /// beyond shortening the measurement window).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.options.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement window for the group.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.criterion.options.measurement = duration;
+        self
+    }
+
+    /// Sets the warm-up window for the group.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.criterion.options.warmup = duration;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&self.criterion.options, &label, &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<F, I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&self.criterion.options, &label, &mut |b: &mut Bencher| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Finishes the group (reporting is per-benchmark; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    mode: BenchMode,
+    result: Option<Measurement>,
+}
+
+enum BenchMode {
+    /// One iteration, no timing: smoke test.
+    Smoke,
+    /// Timed: warm up briefly, then iterate for the window.
+    Timed { window: Duration, warmup: Duration },
+}
+
+struct Measurement {
+    iterations: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, timing it.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            BenchMode::Smoke => {
+                black_box(routine());
+                self.result = Some(Measurement {
+                    iterations: 1,
+                    total: Duration::ZERO,
+                });
+            }
+            BenchMode::Timed { window, warmup } => {
+                // Warmup: a bounded number of iterations or the warm-up
+                // window, whichever ends first.
+                let warm_deadline = Instant::now() + warmup;
+                let mut warm_iters = 0u64;
+                while Instant::now() < warm_deadline && warm_iters < 1000 {
+                    black_box(routine());
+                    warm_iters += 1;
+                }
+                let start = Instant::now();
+                let mut iterations = 0u64;
+                loop {
+                    black_box(routine());
+                    iterations += 1;
+                    if start.elapsed() >= window {
+                        break;
+                    }
+                }
+                self.result = Some(Measurement {
+                    iterations,
+                    total: start.elapsed(),
+                });
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter`], but the routine performs and times `iters`
+    /// iterations itself, returning the elapsed duration.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        match self.mode {
+            BenchMode::Smoke => {
+                let total = routine(1);
+                self.result = Some(Measurement {
+                    iterations: 1,
+                    total,
+                });
+            }
+            BenchMode::Timed { window, warmup: _ } => {
+                // Calibrate with one iteration, then scale to the window.
+                let once = routine(1).max(Duration::from_nanos(1));
+                let per_iter = once.as_nanos().max(1);
+                let target = window.as_nanos() / per_iter;
+                let iters = target.clamp(1, 1_000_000) as u64;
+                let total = routine(iters);
+                self.result = Some(Measurement {
+                    iterations: iters,
+                    total,
+                });
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(options: &Options, label: &str, f: &mut F) {
+    if !options.matches(label) {
+        return;
+    }
+    let mode = if options.test_mode {
+        BenchMode::Smoke
+    } else {
+        BenchMode::Timed {
+            window: options.measurement,
+            warmup: options.warmup,
+        }
+    };
+    let mut bencher = Bencher { mode, result: None };
+    f(&mut bencher);
+    match bencher.result {
+        Some(m) if options.test_mode => {
+            println!("test {label} ... ok (smoke, {} iteration)", m.iterations);
+        }
+        Some(m) => {
+            let per_iter = m.total.as_nanos() as f64 / m.iterations as f64;
+            println!(
+                "bench {label:<50} {:>14} /iter ({} iters in {:.3?})",
+                format_ns(per_iter),
+                m.iterations,
+                m.total
+            );
+        }
+        None => println!("bench {label} ... no measurement recorded"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_compose_labels() {
+        assert_eq!(BenchmarkId::new("f", 3).into_id(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let options = Options {
+            test_mode: true,
+            filters: vec![],
+            measurement: Duration::from_millis(1),
+            warmup: Duration::ZERO,
+            sample_size: 0,
+        };
+        let mut count = 0;
+        run_benchmark(&options, "unit/smoke", &mut |b: &mut Bencher| {
+            b.iter(|| count += 1);
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn filters_skip_benchmarks() {
+        let options = Options {
+            test_mode: true,
+            filters: vec!["other".to_owned()],
+            measurement: Duration::from_millis(1),
+            warmup: Duration::ZERO,
+            sample_size: 0,
+        };
+        let mut ran = false;
+        run_benchmark(&options, "unit/skipped", &mut |b: &mut Bencher| {
+            b.iter(|| ran = true);
+        });
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,498 @@
+//! Minimal, source-compatible subset of the `proptest` API, vendored so the
+//! workspace builds without network access to crates.io.
+//!
+//! Implements deterministic random-input property testing: the `proptest!`
+//! macro, range/tuple/vec strategies, `prop_map` / `prop_flat_map`,
+//! `prop_oneof!`, `Just`, and `prop_assert!` / `prop_assert_eq!`. There is
+//! no shrinking — failures report the generated inputs and the per-case
+//! seed instead. Case seeds derive from the test name and case index, so
+//! every run of a given binary explores the same inputs.
+
+pub mod test_runner {
+    //! Deterministic case driver used by the [`proptest!`](crate::proptest) macro.
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` random cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A property failure raised by `prop_assert!` and friends.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        #[must_use]
+        pub fn fail(msg: String) -> Self {
+            TestCaseError(msg)
+        }
+    }
+
+    /// Deterministic split-mix PRNG handed to strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator for one test case.
+        #[must_use]
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `bound` is zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty sampling bound");
+            self.next_u64() % bound
+        }
+    }
+
+    fn fnv1a(text: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in text.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `body` for every case of the property named `name`. The body
+    /// returns the case outcome plus a rendering of the generated inputs
+    /// for failure reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) when a case returns an
+    /// error.
+    pub fn run<F>(config: &ProptestConfig, name: &str, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> (Result<(), TestCaseError>, String),
+    {
+        let base = fnv1a(name);
+        for case in 0..config.cases {
+            let seed = base.wrapping_add(u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut rng = TestRng::new(seed);
+            let (outcome, inputs) = body(&mut rng);
+            if let Err(TestCaseError(msg)) = outcome {
+                panic!(
+                    "property '{name}' failed at case {case} (seed {seed:#x})\n  inputs: {inputs}\n  {msg}"
+                );
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of an associated type.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates an intermediate value, then generates from the
+        /// strategy `f` builds from it.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Boxes the strategy, erasing its concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A strategy that always produces a clone of one value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union of the given alternatives.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add(rng.below(span) as $ty)
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = hi.wrapping_sub(lo) as u64;
+                    let span = span.checked_add(1).unwrap_or(u64::MAX);
+                    lo.wrapping_add(rng.below(span) as $ty)
+                }
+            }
+
+            impl Strategy for std::ops::RangeFrom<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    (self.start..=<$ty>::MAX).generate(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, usize, i8, i16, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident . $idx:tt),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A (possibly exact) range of collection sizes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`, with a length
+    /// drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Declares property tests: each function runs its body over generated
+/// inputs, failing on the first erring case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                let __inputs = {
+                    let mut __s = ::std::string::String::new();
+                    $(
+                        __s.push_str(concat!(stringify!($arg), " = "));
+                        __s.push_str(&::std::format!("{:?}; ", &$arg));
+                    )+
+                    __s
+                };
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                (__outcome, __inputs)
+            });
+        }
+    )*};
+}
+
+/// Fails the current property case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)*);
+    }};
+}
+
+/// Fails the current property case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+/// Uniform choice among alternative strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        // Callers often parenthesize negative ranges, e.g. `(-3i32..0)`;
+        // allow that without tripping `unused_parens`.
+        #[allow(unused_parens)]
+        let __options = vec![$( $crate::strategy::Strategy::boxed($strat) ),+];
+        $crate::strategy::Union::new(__options)
+    }};
+}
+
+pub mod prelude {
+    //! The glob-importable surface: `use proptest::prelude::*`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in -5i64..7, y in 0usize..3) {
+            prop_assert!((-5..7).contains(&x));
+            prop_assert!(y < 3);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(v in crate::collection::vec((0i64..4, 0i64..4), 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            for (a, b) in &v {
+                prop_assert!((0..4).contains(a));
+                prop_assert!((0..4).contains(b));
+            }
+        }
+
+        #[test]
+        fn map_and_oneof(x in prop_oneof![0i32..5, (10i32..15)].prop_map(|v| v * 2)) {
+            prop_assert!((0..10).contains(&x) || (20..30).contains(&x));
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'always_fails' failed")]
+    fn failures_report_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            #[allow(unused)]
+            fn always_fails(x in 0i64..10) {
+                prop_assert!(x > 100, "x = {} too small", x);
+            }
+        }
+        always_fails();
+    }
+}

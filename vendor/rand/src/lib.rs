@@ -1,0 +1,146 @@
+//! Minimal, source-compatible subset of the `rand` API, vendored so the
+//! workspace builds without network access to crates.io.
+//!
+//! Provides a deterministic 64-bit PRNG (splitmix64-seeded
+//! xoshiro256**-style core) behind the `SeedableRng` / `Rng` traits, with
+//! `gen_range` over integer ranges — everything the schedulers need.
+
+/// A random number generator that can be seeded from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface for random number generators.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from the given range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+
+    /// Samples one value from the range.
+    fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> Self::Output;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($ty:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$ty> {
+            type Output = $ty;
+
+            fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Modulo bias is negligible for the small spans used here.
+                self.start + (rng.next_u64() % span) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($ty:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$ty> {
+            type Output = $ty;
+
+            fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    use super::{Rng, SeedableRng};
+
+    /// The standard deterministic generator: splitmix64-expanded seed
+    /// driving an xorshift-multiply core. Statistically adequate for
+    /// schedule sampling; not cryptographic.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: [u64; 2],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut s = seed;
+            StdRng {
+                state: [splitmix64(&mut s), splitmix64(&mut s)],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift128+ with a final multiply for better mixing.
+            let [mut s0, s1] = self.state;
+            let result = s0.wrapping_add(s1);
+            s0 ^= s0 << 23;
+            self.state = [s1, s0 ^ s1 ^ (s0 >> 18) ^ (s1 >> 5)];
+            result.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.gen_range(0..5usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..100 {
+            let v = rng.gen_range(-3i64..3);
+            assert!((-3..3).contains(&v));
+        }
+    }
+}

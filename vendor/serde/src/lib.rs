@@ -1,0 +1,402 @@
+//! Minimal, source-compatible subset of the `serde` API, vendored so the
+//! workspace builds without network access to crates.io.
+//!
+//! The data model is deliberately JSON-shaped: a serializer receives a
+//! fully-built [`Content`] tree. This covers everything the workspace
+//! uses (manual `Serialize`/`Deserialize` impls over mirror types plus
+//! `serde_json`) while staying a few hundred lines. It is **not** a
+//! general serde replacement: zero-copy deserialization, visitors and
+//! format-agnostic streaming are intentionally out of scope.
+
+use std::fmt::Display;
+
+/// The self-describing value tree exchanged between `Serialize` impls and
+/// serializers. Maps preserve insertion order so emitted output is
+/// deterministic.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer that does not fit `i64`.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered map with string keys.
+    Map(Vec<(String, Content)>),
+}
+
+pub mod ser {
+    //! Serialization half of the data model.
+
+    use super::{Content, Display};
+
+    /// Errors produced while serializing.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds a serializer-specific error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A type that can render itself into the [`Content`] data model.
+    pub trait Serialize {
+        /// Serializes `self` into the given serializer.
+        ///
+        /// # Errors
+        ///
+        /// Propagates any error reported by the serializer.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    /// A sink for a fully-built [`Content`] tree.
+    pub trait Serializer: Sized {
+        /// Successful output of the serializer.
+        type Ok;
+        /// Error type of the serializer.
+        type Error: Error;
+
+        /// Consumes a content tree, producing the serializer's output.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-specific.
+        fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Infallible-in-practice error for [`ContentSerializer`].
+    #[derive(Clone, Debug)]
+    pub struct ContentError(pub String);
+
+    impl Display for ContentError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for ContentError {}
+
+    impl Error for ContentError {
+        fn custom<T: Display>(msg: T) -> Self {
+            ContentError(msg.to_string())
+        }
+    }
+
+    /// A serializer whose output is the [`Content`] tree itself; used by
+    /// container impls to serialize their elements.
+    pub struct ContentSerializer;
+
+    impl Serializer for ContentSerializer {
+        type Ok = Content;
+        type Error = ContentError;
+
+        fn serialize_content(self, content: Content) -> Result<Content, ContentError> {
+            Ok(content)
+        }
+    }
+
+    /// Renders any `Serialize` value to a [`Content`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the value's `serialize` impl.
+    pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, ContentError> {
+        value.serialize(ContentSerializer)
+    }
+}
+
+pub mod de {
+    //! Deserialization half of the data model.
+
+    use super::{Content, Display};
+
+    /// Errors produced while deserializing.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds a deserializer-specific error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A type constructible from the [`Content`] data model.
+    pub trait Deserialize<'de>: Sized {
+        /// Deserializes a value from the given deserializer.
+        ///
+        /// # Errors
+        ///
+        /// Returns an error when the content shape does not match.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    /// A source of a fully-parsed [`Content`] tree.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type of the deserializer.
+        type Error: Error;
+
+        /// Consumes the deserializer, yielding its content tree.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-specific (e.g. parse errors).
+        fn deserialize_content(self) -> Result<Content, Self::Error>;
+    }
+
+    /// Plain-message error for [`ContentDeserializer`].
+    #[derive(Clone, Debug)]
+    pub struct ContentError(pub String);
+
+    impl Display for ContentError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for ContentError {}
+
+    impl Error for ContentError {
+        fn custom<T: Display>(msg: T) -> Self {
+            ContentError(msg.to_string())
+        }
+    }
+
+    /// A deserializer over an already-built content tree; used by container
+    /// impls to deserialize their elements.
+    pub struct ContentDeserializer(pub Content);
+
+    impl<'de> Deserializer<'de> for ContentDeserializer {
+        type Error = ContentError;
+
+        fn deserialize_content(self) -> Result<Content, ContentError> {
+            Ok(self.0)
+        }
+    }
+
+    /// Deserializes any `Deserialize` value from a [`Content`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the content shape does not match.
+    pub fn from_content<'de, T: Deserialize<'de>>(content: Content) -> Result<T, ContentError> {
+        T::deserialize(ContentDeserializer(content))
+    }
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// ---------------------------------------------------------------------------
+// Blanket and primitive impls.
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+macro_rules! impl_ser_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::I64(i64::from(*self)))
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_content()? {
+                    Content::I64(v) => <$ty>::try_from(v)
+                        .map_err(|_| <D::Error as de::Error>::custom("integer out of range")),
+                    Content::U64(v) => <$ty>::try_from(v)
+                        .map_err(|_| <D::Error as de::Error>::custom("integer out of range")),
+                    other => Err(<D::Error as de::Error>::custom(format!(
+                        "expected integer, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_ser_int!(i8, i16, i32, i64, u8, u16, u32);
+
+impl Serialize for u64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match i64::try_from(*self) {
+            Ok(v) => serializer.serialize_content(Content::I64(v)),
+            Err(_) => serializer.serialize_content(Content::U64(*self)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::I64(v) => {
+                u64::try_from(v).map_err(|_| <D::Error as de::Error>::custom("negative integer"))
+            }
+            Content::U64(v) => Ok(v),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected integer, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (*self as u64).serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = u64::deserialize(deserializer)?;
+        usize::try_from(v).map_err(|_| <D::Error as de::Error>::custom("integer out of range"))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected bool, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::F64(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.to_owned()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.clone()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+fn seq_to_content<T: Serialize, E: ser::Error>(
+    items: impl Iterator<Item = T>,
+) -> Result<Content, E> {
+    let mut out = Vec::new();
+    for item in items {
+        out.push(ser::to_content(&item).map_err(|e| E::custom(e.0))?);
+    }
+    Ok(Content::Seq(out))
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let content = seq_to_content::<_, S::Error>(self.iter())?;
+        serializer.serialize_content(content)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(|c| de::from_content(c).map_err(|e| <D::Error as de::Error>::custom(e.0)))
+                .collect(),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected sequence, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let a = ser::to_content(&self.0).map_err(|e| <S::Error as ser::Error>::custom(e.0))?;
+        let b = ser::to_content(&self.1).map_err(|e| <S::Error as ser::Error>::custom(e.0))?;
+        serializer.serialize_content(Content::Seq(vec![a, b]))
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) if items.len() == 2 => {
+                let mut it = items.into_iter();
+                let a = de::from_content(it.next().expect("len 2"))
+                    .map_err(|e| <D::Error as de::Error>::custom(e.0))?;
+                let b = de::from_content(it.next().expect("len 2"))
+                    .map_err(|e| <D::Error as de::Error>::custom(e.0))?;
+                Ok((a, b))
+            }
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected 2-element sequence, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let err = |e: ser::ContentError| <S::Error as ser::Error>::custom(e.0);
+        let a = ser::to_content(&self.0).map_err(err)?;
+        let b = ser::to_content(&self.1).map_err(err)?;
+        let c = ser::to_content(&self.2).map_err(err)?;
+        serializer.serialize_content(Content::Seq(vec![a, b, c]))
+    }
+}
+
+/// Convenience: builds a map content node from `(key, content)` pairs.
+#[must_use]
+pub fn map_content(entries: Vec<(&str, Content)>) -> Content {
+    Content::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+    )
+}

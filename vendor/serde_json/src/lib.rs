@@ -1,0 +1,562 @@
+//! Minimal, source-compatible subset of the `serde_json` API, vendored so
+//! the workspace builds without network access to crates.io.
+//!
+//! Supports compact serialization (`to_string`), parsing (`from_str`),
+//! conversion through [`Value`] (`to_value` / `from_value`), string
+//! indexing into objects and the `json!` macro for simple literals.
+//! Object key order is preserved, so output is deterministic.
+
+use std::fmt;
+
+use serde::{de, ser, Content, Deserialize, Serialize};
+
+/// A parsed JSON document.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn from_content(c: Content) -> Value {
+        match c {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(b),
+            Content::I64(v) => Value::Int(v),
+            Content::U64(v) => Value::UInt(v),
+            Content::F64(v) => Value::Float(v),
+            Content::Str(s) => Value::String(s),
+            Content::Seq(items) => {
+                Value::Array(items.into_iter().map(Value::from_content).collect())
+            }
+            Content::Map(entries) => Value::Object(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| (k, Value::from_content(v)))
+                    .collect(),
+            ),
+        }
+    }
+
+    fn into_content(self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(b),
+            Value::Int(v) => Content::I64(v),
+            Value::UInt(v) => Content::U64(v),
+            Value::Float(v) => Content::F64(v),
+            Value::String(s) => Content::Str(s),
+            Value::Array(items) => {
+                Content::Seq(items.into_iter().map(Value::into_content).collect())
+            }
+            Value::Object(entries) => Content::Map(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| (k, v.into_content()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map_or(&NULL, |(_, v)| v),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        let Value::Object(entries) = self else {
+            panic!("cannot index non-object JSON value by string");
+        };
+        if let Some(i) = entries.iter().position(|(k, _)| k == key) {
+            &mut entries[i].1
+        } else {
+            entries.push((key.to_owned(), Value::Null));
+            &mut entries.last_mut().expect("just pushed").1
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(self.clone().into_content())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: de::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(Value::from_content(deserializer.deserialize_content()?))
+    }
+}
+
+/// The error type for JSON serialization and deserialization.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+struct JsonSerializer;
+
+impl ser::Serializer for JsonSerializer {
+    type Ok = String;
+    type Error = Error;
+
+    fn serialize_content(self, content: Content) -> Result<String, Error> {
+        let mut out = String::new();
+        write_content(&mut out, &content);
+        Ok(out)
+    }
+}
+
+struct JsonDeserializer(Content);
+
+impl<'de> de::Deserializer<'de> for JsonDeserializer {
+    type Error = Error;
+
+    fn deserialize_content(self) -> Result<Content, Error> {
+        Ok(self.0)
+    }
+}
+
+fn write_content(out: &mut String, c: &Content) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => out.push_str(&v.to_string()),
+        Content::Str(s) => write_json_string(out, s),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_content(out, item);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(out, k);
+                out.push(':');
+                write_content(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serializes a value to its compact JSON text.
+///
+/// # Errors
+///
+/// Propagates errors from the value's `Serialize` impl.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    value.serialize(JsonSerializer)
+}
+
+/// Serializes a value to pretty-printed JSON text (two-space indent).
+///
+/// # Errors
+///
+/// Propagates errors from the value's `Serialize` impl.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let content = ser::to_content(value).map_err(|e| Error(e.0))?;
+    let mut out = String::new();
+    write_content_pretty(&mut out, &content, 0);
+    Ok(out)
+}
+
+fn write_content_pretty(out: &mut String, c: &Content, indent: usize) {
+    let pad = |out: &mut String, level: usize| {
+        for _ in 0..level {
+            out.push_str("  ");
+        }
+    };
+    match c {
+        Content::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                pad(out, indent + 1);
+                write_content_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            pad(out, indent);
+            out.push(']');
+        }
+        Content::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                pad(out, indent + 1);
+                write_json_string(out, k);
+                out.push_str(": ");
+                write_content_pretty(out, v, indent + 1);
+            }
+            out.push('\n');
+            pad(out, indent);
+            out.push('}');
+        }
+        other => write_content(out, other),
+    }
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch.
+pub fn from_str<'de, T: Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    let content = Parser::new(text).parse_document()?;
+    T::deserialize(JsonDeserializer(content))
+}
+
+/// Converts a serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Propagates errors from the value's `Serialize` impl.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    let content = ser::to_content(value).map_err(|e| Error(e.0))?;
+    Ok(Value::from_content(content))
+}
+
+/// Converts a [`Value`] tree into a deserializable value.
+///
+/// # Errors
+///
+/// Returns an error on a shape mismatch.
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    T::deserialize(JsonDeserializer(value.into_content()))
+}
+
+/// Builds a [`Value`] from a JSON-ish literal. Supports `null`, booleans,
+/// numbers, string literals and (possibly nested) arrays of the above.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($item) ),* ])
+    };
+    ($other:expr) => { $crate::value_from($other) };
+}
+
+/// Support shim for the [`json!`] macro: converts a literal into a
+/// [`Value`] via `Serialize`.
+pub fn value_from<T: Serialize>(value: T) -> Value {
+    to_value(&value).expect("literal serialization cannot fail")
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Content, Error> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(Error(format!("trailing characters at byte {}", self.pos)));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error("unexpected end of input".to_owned()))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        match self.peek()? {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => Ok(Content::Str(self.parse_string()?)),
+            b't' => self.parse_keyword("true", Content::Bool(true)),
+            b'f' => self.parse_keyword("false", Content::Bool(false)),
+            b'n' => self.parse_keyword("null", Content::Null),
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Content) -> Result<Content, Error> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return Err(Error(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(Error(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error("unterminated string".to_owned()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error("unterminated escape".to_owned()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".to_owned()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error("invalid \\u escape".to_owned()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error("invalid \\u escape".to_owned()))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("invalid \\u code point".to_owned()))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error(format!("invalid escape '\\{}'", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 character starting at pos - 1.
+                    let start = self.pos - 1;
+                    let rest = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| Error("invalid UTF-8".to_owned()))?;
+                    let ch = rest.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos = start + ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".to_owned()))?;
+        if text.is_empty() {
+            return Err(Error(format!("expected a value at byte {start}")));
+        }
+        if !text.contains(['.', 'e', 'E']) {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Content::I64(v));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| Error(format!("invalid number '{text}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars_and_containers() {
+        let v: Vec<i64> = from_str("[1, -2, 3]").unwrap();
+        assert_eq!(v, vec![1, -2, 3]);
+        assert_eq!(to_string(&v).unwrap(), "[1,-2,3]");
+        let s: String = from_str("\"a\\nb\"").unwrap();
+        assert_eq!(s, "a\nb");
+        assert_eq!(to_string(&s).unwrap(), "\"a\\nb\"");
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let v: Value = from_str(r#"{"b":1,"a":2}"#).unwrap();
+        assert_eq!(to_string(&v).unwrap(), r#"{"b":1,"a":2}"#);
+    }
+
+    #[test]
+    fn index_and_index_mut() {
+        let mut v: Value = from_str(r#"{"x":[1],"y":2}"#).unwrap();
+        assert_eq!(v["y"], Value::Int(2));
+        v["x"] = json!([]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"x":[],"y":2}"#);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(from_str::<Value>("[1,").is_err());
+        assert!(from_str::<Value>("{\"a\" 1}").is_err());
+        assert!(from_str::<i64>("\"x\"").is_err());
+        assert!(from_str::<Value>("[1] trailing").is_err());
+    }
+}
