@@ -4,8 +4,11 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use chromata::{analyze, laps, solve_act, ActOutcome, PipelineOptions, Verdict};
-use chromata_runtime::verify_figure7;
+use chromata::{
+    analyze, analyze_governed, laps, solve_act, ActOutcome, Budget, CancelToken, PipelineOptions,
+    Verdict,
+};
+use chromata_runtime::{verify_figure7, verify_figure7_with_crashes, VerifyError};
 use chromata_task::Task;
 
 use crate::registry;
@@ -47,6 +50,22 @@ pub enum Command {
         task: String,
         /// State budget for the model checker.
         max_states: usize,
+    },
+    /// `chromata decide <task> [--budget-ms N] [--max-states N]
+    /// [--act-rounds N] [--max-crashes N]` — the governed end-to-end
+    /// decision: pipeline verdict plus crash-tolerant wait-freedom check,
+    /// degrading to a structured UNKNOWN (exit 0) on budget exhaustion.
+    Decide {
+        /// Registry name or path to a task JSON file.
+        task: String,
+        /// Wall-clock budget in milliseconds (unlimited if absent).
+        budget_ms: Option<u64>,
+        /// State budget for the crash-injected model checker.
+        max_states: usize,
+        /// ACT fallback / escalation-ladder round cap.
+        act_rounds: usize,
+        /// Maximum crash faults injected by the wait-freedom check.
+        max_crashes: usize,
     },
     /// `chromata help` or `--help`
     Help,
@@ -131,6 +150,31 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 }
             }
             Ok(Command::VerifyFig7 { task, max_states })
+        }
+        "decide" => {
+            let task = required(&mut it, "decide needs a task name or file")?;
+            let mut budget_ms = None;
+            let mut max_states = 5_000_000usize;
+            let mut act_rounds = 2usize;
+            let mut max_crashes = 2usize;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--budget-ms" => {
+                        budget_ms = Some(parse_number(&mut it, "--budget-ms")? as u64);
+                    }
+                    "--max-states" => max_states = parse_number(&mut it, "--max-states")?,
+                    "--act-rounds" => act_rounds = parse_number(&mut it, "--act-rounds")?,
+                    "--max-crashes" => max_crashes = parse_number(&mut it, "--max-crashes")?,
+                    other => return Err(CliError(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Decide {
+                task,
+                budget_ms,
+                max_states,
+                act_rounds,
+                max_crashes,
+            })
         }
         other => Err(CliError(format!(
             "unknown command {other}; try `chromata help`"
@@ -231,6 +275,15 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                         "INCONCLUSIVE: no decision map up to {max_rounds} round(s) — the ACT check is only a semi-decision"
                     );
                 }
+                ActOutcome::Interrupted {
+                    rounds_completed,
+                    interrupt,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "INCONCLUSIVE: search {interrupt} after ruling out {rounds_completed} round(s)"
+                    );
+                }
             }
             Ok(out)
         }
@@ -291,6 +344,67 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 report.participant_sets, report.outcomes, report.states
             ))
         }
+        Command::Decide {
+            task,
+            budget_ms,
+            max_states,
+            act_rounds,
+            max_crashes,
+        } => {
+            let t = load_task(&task)?;
+            let mut budget = Budget::unlimited()
+                .with_max_states(max_states)
+                .with_max_steps(500)
+                .with_max_act_rounds(act_rounds);
+            if let Some(ms) = budget_ms {
+                budget = budget.with_deadline_in(std::time::Duration::from_millis(ms));
+            }
+            let cancel = CancelToken::new();
+            let analysis = analyze_governed(
+                &t,
+                PipelineOptions {
+                    act_fallback_rounds: act_rounds,
+                },
+                &budget,
+                &cancel,
+            );
+            let mut out = String::new();
+            let _ = writeln!(out, "{t}");
+            match &analysis.verdict {
+                Verdict::Solvable { certificate } => {
+                    let _ = writeln!(out, "verdict: SOLVABLE\n  {certificate}");
+                }
+                Verdict::Unsolvable { obstruction } => {
+                    let _ = writeln!(out, "verdict: UNSOLVABLE\n  {obstruction}");
+                }
+                Verdict::Unknown { reason } => {
+                    let _ = writeln!(out, "verdict: UNKNOWN\n  {reason}");
+                }
+            }
+            // A solvable, link-connected three-process task is in Figure
+            // 7's hypothesis: machine-check wait-freedom under crashes.
+            // Budget exhaustion degrades to a structured UNKNOWN (still
+            // exit 0) carrying a replayable schedule trace.
+            if analysis.verdict.is_solvable() && t.process_count() == 3 && t.is_link_connected() {
+                match verify_figure7_with_crashes(&t, &budget, &cancel, max_crashes) {
+                    Ok(r) => {
+                        let _ = writeln!(
+                            out,
+                            "wait-freedom: VERIFIED — {} participant sets, {} outcomes \
+                             ({} with crashes), {} states, ≤{max_crashes} crash fault(s)",
+                            r.participant_sets, r.outcomes, r.crashed_outcomes, r.states
+                        );
+                    }
+                    Err(VerifyError::Explore(e)) => {
+                        let _ = writeln!(out, "wait-freedom: UNKNOWN — budget exhausted: {e}");
+                    }
+                    Err(v @ VerifyError::Violation { .. }) => {
+                        return Err(CliError(v.to_string()));
+                    }
+                }
+            }
+            Ok(out)
+        }
     }
 }
 
@@ -308,6 +422,10 @@ COMMANDS:
     export <task> [-o FILE]      dump a library task as JSON
     verify-fig7 <task> [--max-states N]
                                  exhaustively verify the Figure 7 algorithm
+    decide <task> [--budget-ms N] [--max-states N] [--act-rounds N] [--max-crashes N]
+                                 governed verdict + crash-tolerant wait-freedom
+                                 check; budget exhaustion degrades to a
+                                 structured UNKNOWN with a replayable trace
     help                         show this message
 
 <task> is a library name (see `list`) or a path to a task JSON file.
@@ -422,6 +540,82 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.0.contains("not link-connected"), "{err}");
+    }
+
+    #[test]
+    fn parse_decide_flags() {
+        assert_eq!(
+            parse(&args(&[
+                "decide",
+                "identity",
+                "--budget-ms",
+                "500",
+                "--max-states",
+                "100",
+                "--act-rounds",
+                "1",
+                "--max-crashes",
+                "1",
+            ]))
+            .unwrap(),
+            Command::Decide {
+                task: "identity".into(),
+                budget_ms: Some(500),
+                max_states: 100,
+                act_rounds: 1,
+                max_crashes: 1,
+            }
+        );
+        assert!(parse(&args(&["decide"])).is_err());
+        assert!(parse(&args(&["decide", "x", "--budget-ms", "soon"])).is_err());
+    }
+
+    #[test]
+    fn decide_starved_budget_degrades_to_structured_unknown() {
+        // The smoke-test contract: a starved state budget must NOT panic
+        // or error out — it answers UNKNOWN (exit 0) with a structured
+        // reason containing a replayable trace.
+        let out = run(Command::Decide {
+            task: "identity".into(),
+            budget_ms: None,
+            max_states: 50,
+            act_rounds: 0,
+            max_crashes: 2,
+        })
+        .unwrap();
+        assert!(out.contains("verdict: SOLVABLE"), "{out}");
+        assert!(out.contains("wait-freedom: UNKNOWN"), "{out}");
+        assert!(out.contains("state budget"), "{out}");
+        assert!(out.contains("trace:"), "{out}");
+    }
+
+    #[test]
+    fn decide_constant_verifies_wait_freedom() {
+        let out = run(Command::Decide {
+            task: "constant".into(),
+            budget_ms: None,
+            max_states: 2_000_000,
+            act_rounds: 0,
+            max_crashes: 1,
+        })
+        .unwrap();
+        assert!(out.contains("verdict: SOLVABLE"), "{out}");
+        assert!(out.contains("wait-freedom: VERIFIED"), "{out}");
+        assert!(out.contains("with crashes"), "{out}");
+    }
+
+    #[test]
+    fn decide_unsolvable_skips_wait_freedom() {
+        let out = run(Command::Decide {
+            task: "hourglass".into(),
+            budget_ms: None,
+            max_states: 1000,
+            act_rounds: 0,
+            max_crashes: 2,
+        })
+        .unwrap();
+        assert!(out.contains("verdict: UNSOLVABLE"), "{out}");
+        assert!(!out.contains("wait-freedom"), "{out}");
     }
 
     #[test]

@@ -13,7 +13,11 @@ use std::collections::BTreeMap;
 
 use chromata_subdivision::{iterated_chromatic_subdivision, Subdivision};
 use chromata_task::Task;
-use chromata_topology::{Simplex, SimplicialMap, Vertex};
+use chromata_topology::{Budget, CancelToken, Interrupt, Simplex, SimplicialMap, Vertex};
+
+/// How many backtracking nodes the search expands between cooperative
+/// [`Budget::check`] calls.
+const CHECK_INTERVAL: usize = 4096;
 
 /// Outcome of the bounded ACT search.
 #[derive(Clone, Debug)]
@@ -31,6 +35,15 @@ pub enum ActOutcome {
     Exhausted {
         /// The round budget that was exhausted.
         max_rounds: usize,
+    },
+    /// The governed search was cancelled or ran out of wall-clock time
+    /// before the round budget was exhausted.
+    Interrupted {
+        /// Rounds fully searched (without finding a map) before the
+        /// interruption — partial diagnostics for the caller's report.
+        rounds_completed: usize,
+        /// Whether cancellation or the deadline fired.
+        interrupt: Interrupt,
     },
 }
 
@@ -56,10 +69,40 @@ impl ActOutcome {
 /// ```
 #[must_use]
 pub fn solve_act(task: &Task, max_rounds: usize) -> ActOutcome {
+    solve_act_governed(
+        task,
+        &Budget::unlimited().with_max_act_rounds(max_rounds),
+        &CancelToken::new(),
+    )
+}
+
+/// [`solve_act`] under a [`Budget`] and [`CancelToken`]: rounds
+/// `0..=budget.max_act_rounds` are searched in order (the search is
+/// inherently escalating — each round is an order of magnitude larger
+/// than the last), with the deadline and the token checked every few
+/// thousand backtracking nodes. Interruption degrades to
+/// [`ActOutcome::Interrupted`] carrying the number of rounds already
+/// ruled out.
+#[must_use]
+pub fn solve_act_governed(task: &Task, budget: &Budget, cancel: &CancelToken) -> ActOutcome {
+    let max_rounds = budget.max_act_rounds;
     for rounds in 0..=max_rounds {
+        if let Err(interrupt) = budget.check(cancel) {
+            return ActOutcome::Interrupted {
+                rounds_completed: rounds,
+                interrupt,
+            };
+        }
         let sub = iterated_chromatic_subdivision(task.input(), rounds);
-        if let Some(map) = find_decision_map(&sub, task) {
-            return ActOutcome::Solvable { rounds, map };
+        match find_decision_map_governed(&sub, task, budget, cancel) {
+            Ok(Some(map)) => return ActOutcome::Solvable { rounds, map },
+            Ok(None) => {}
+            Err(interrupt) => {
+                return ActOutcome::Interrupted {
+                    rounds_completed: rounds,
+                    interrupt,
+                }
+            }
         }
     }
     ActOutcome::Exhausted { max_rounds }
@@ -74,6 +117,25 @@ pub fn solve_act(task: &Task, max_rounds: usize) -> ActOutcome {
 /// corresponding `Δ(τ)`.
 #[must_use]
 pub fn find_decision_map(sub: &Subdivision, task: &Task) -> Option<SimplicialMap> {
+    // An unlimited budget with a fresh token can never interrupt.
+    find_decision_map_governed(sub, task, &Budget::unlimited(), &CancelToken::new())
+        .ok()
+        .flatten()
+}
+
+/// [`find_decision_map`] with cooperative interruption: the deadline and
+/// the token are checked every [`CHECK_INTERVAL`] backtracking nodes.
+///
+/// # Errors
+///
+/// Returns the [`Interrupt`] if the budget's deadline passes or the
+/// token is cancelled mid-search.
+pub fn find_decision_map_governed(
+    sub: &Subdivision,
+    task: &Task,
+    budget: &Budget,
+    cancel: &CancelToken,
+) -> Result<Option<SimplicialMap>, Interrupt> {
     let vertices: Vec<Vertex> = sub.complex.vertices().cloned().collect();
     let vindex: BTreeMap<&Vertex, usize> =
         vertices.iter().enumerate().map(|(i, v)| (v, i)).collect();
@@ -81,15 +143,19 @@ pub fn find_decision_map(sub: &Subdivision, task: &Task) -> Option<SimplicialMap
     // Domains: vertices of Δ(carrier(v)) with matching color.
     let mut domains: Vec<Vec<Vertex>> = Vec::with_capacity(vertices.len());
     for v in &vertices {
-        let tau = sub.carrier.minimal_carrier_of_vertex(v)?;
-        let img = task.delta().get(tau)?;
+        let Some(tau) = sub.carrier.minimal_carrier_of_vertex(v) else {
+            return Ok(None);
+        };
+        let Some(img) = task.delta().get(tau) else {
+            return Ok(None);
+        };
         let dom: Vec<Vertex> = img
             .vertices()
             .filter(|w| w.color() == v.color())
             .cloned()
             .collect();
         if dom.is_empty() {
-            return None;
+            return Ok(None);
         }
         domains.push(dom);
     }
@@ -149,6 +215,7 @@ pub fn find_decision_map(sub: &Subdivision, task: &Task) -> Option<SimplicialMap
         true
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn search(
         k: usize,
         order: &[usize],
@@ -157,9 +224,17 @@ pub fn find_decision_map(sub: &Subdivision, task: &Task) -> Option<SimplicialMap
         constraints: &[Constraint],
         touching: &[Vec<usize>],
         task: &Task,
-    ) -> bool {
+        nodes: &mut usize,
+        budget: &Budget,
+        cancel: &CancelToken,
+    ) -> Result<bool, Interrupt> {
         if k == order.len() {
-            return true;
+            return Ok(true);
+        }
+        // Cooperative checkpoint: cheap counter, rare clock read.
+        *nodes += 1;
+        if nodes.is_multiple_of(CHECK_INTERVAL) {
+            budget.check(cancel)?;
         }
         let var = order[k];
         for cand in &domains[var] {
@@ -173,15 +248,19 @@ pub fn find_decision_map(sub: &Subdivision, task: &Task) -> Option<SimplicialMap
                     constraints,
                     touching,
                     task,
-                )
+                    nodes,
+                    budget,
+                    cancel,
+                )?
             {
-                return true;
+                return Ok(true);
             }
             assignment[var] = None;
         }
-        false
+        Ok(false)
     }
 
+    let mut nodes = 0usize;
     if search(
         0,
         &order,
@@ -190,16 +269,19 @@ pub fn find_decision_map(sub: &Subdivision, task: &Task) -> Option<SimplicialMap
         &constraints,
         &touching,
         task,
-    ) {
-        Some(
+        &mut nodes,
+        budget,
+        cancel,
+    )? {
+        Ok(Some(
             vertices
                 .into_iter()
                 .zip(assignment)
                 .map(|(v, w)| (v, w.expect("search completed")))
                 .collect(),
-        )
+        ))
     } else {
-        None
+        Ok(None)
     }
 }
 
@@ -245,7 +327,7 @@ mod tests {
                     let sub = iterated_chromatic_subdivision(t.input(), 0);
                     assert!(validate_witness(&sub, &t, &map));
                 }
-                ActOutcome::Exhausted { .. } => panic!("{} must be solvable", t.name()),
+                other => panic!("{} must be solvable, got {other:?}", t.name()),
             }
         }
     }
@@ -269,6 +351,38 @@ mod tests {
     #[test]
     fn majority_consensus_unsolvable_at_small_rounds() {
         assert!(!solve_act(&majority_consensus(), 1).is_solvable());
+    }
+
+    #[test]
+    fn cancelled_act_search_degrades_to_interrupted() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        match solve_act_governed(
+            &consensus(3),
+            &Budget::unlimited().with_max_act_rounds(2),
+            &cancel,
+        ) {
+            ActOutcome::Interrupted {
+                rounds_completed: 0,
+                interrupt: Interrupt::Cancelled,
+            } => {}
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn elapsed_deadline_degrades_to_interrupted() {
+        let budget = Budget::unlimited()
+            .with_max_act_rounds(2)
+            .with_deadline_in(std::time::Duration::ZERO);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        match solve_act_governed(&consensus(3), &budget, &CancelToken::new()) {
+            ActOutcome::Interrupted {
+                interrupt: Interrupt::DeadlineExceeded,
+                ..
+            } => {}
+            other => panic!("expected deadline interruption, got {other:?}"),
+        }
     }
 
     #[test]

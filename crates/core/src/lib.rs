@@ -53,13 +53,18 @@ mod pipeline;
 mod splitting;
 mod two_process;
 
-pub use act::{find_decision_map, solve_act, validate_witness, ActOutcome};
+pub use act::{
+    find_decision_map, find_decision_map_governed, solve_act, solve_act_governed, validate_witness,
+    ActOutcome,
+};
+pub use chromata_topology::{Budget, CancelToken, Interrupt};
 pub use continuous::{continuous_map_exists, ContinuousOutcome, ImpossibilityReason};
 pub use corollaries::{corollary_5_5, crossing_graph, every_cycle_crosses_a_lap};
 pub use lap::{first_lap_of_facet, laps, Lap};
 pub use pipeline::{
-    analyze, clear_decision_cache, decision_cache_stats, Analysis, DecisionCacheStats, Obstruction,
-    PipelineOptions, Verdict,
+    analyze, analyze_governed, clear_decision_cache, decision_cache_stats,
+    set_decision_cache_capacity, Analysis, DecisionCacheStats, Obstruction, PipelineOptions,
+    Verdict,
 };
 pub use splitting::{
     split_all, split_once, transport_witness, unsplit_simplex, unsplit_vertex, SplitOutcome,

@@ -14,13 +14,14 @@
 //! pipeline can return [`Verdict::Unknown`]; callers may enable the
 //! bounded ACT fallback to turn some unknowns into `Solvable`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use chromata_task::{canonicalize, Task};
+use chromata_topology::{Budget, CancelToken};
 
-use crate::act::{solve_act, ActOutcome};
+use crate::act::{solve_act_governed, ActOutcome};
 use crate::continuous::{continuous_map_exists, ContinuousOutcome, ImpossibilityReason};
 use crate::splitting::{split_all, SplitOutcome};
 
@@ -139,43 +140,145 @@ pub struct DecisionCacheStats {
     pub hits: u64,
     /// Verdicts computed by the decision tiers and then cached.
     pub misses: u64,
+    /// Entries evicted to keep the cache within its capacity.
+    pub evictions: u64,
 }
+
+/// Default capacity of the global decision cache (entries), overridable
+/// with the `CHROMATA_DECISION_CACHE_CAP` environment variable or
+/// [`set_decision_cache_capacity`].
+const DEFAULT_CACHE_CAPACITY: usize = 256;
 
 /// Memoized verdicts, keyed by the canonical task and the ACT fallback
 /// bound. Canonicalization is a quotient: syntactically different
 /// presentations of the same task collapse to one key, so the (much more
 /// expensive) splitting/continuous/ACT tiers run once per semantic task.
+///
+/// The cache is *bounded*: `queue` records insertion order and the
+/// oldest entries are evicted first (FIFO) once `capacity` is reached,
+/// so long-running processes cannot grow it without limit. Invariant:
+/// `queue` holds each key of `verdicts` exactly once.
 struct DecisionCache {
     verdicts: HashMap<(Task, usize), Verdict>,
+    queue: VecDeque<(Task, usize)>,
+    capacity: usize,
     stats: DecisionCacheStats,
+}
+
+impl DecisionCache {
+    fn with_capacity(capacity: usize) -> Self {
+        DecisionCache {
+            verdicts: HashMap::new(),
+            queue: VecDeque::new(),
+            capacity,
+            stats: DecisionCacheStats::default(),
+        }
+    }
+
+    /// Looks up a verdict, bumping the hit/miss counters.
+    fn get(&mut self, key: &(Task, usize)) -> Option<Verdict> {
+        let found = self.verdicts.get(key).cloned();
+        if found.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        found
+    }
+
+    /// Inserts a verdict, evicting the oldest entries past capacity.
+    fn insert(&mut self, key: (Task, usize), verdict: Verdict) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.verdicts.insert(key.clone(), verdict).is_none() {
+            self.queue.push_back(key);
+        }
+        while self.verdicts.len() > self.capacity {
+            let Some(oldest) = self.queue.pop_front() else {
+                break;
+            };
+            self.verdicts.remove(&oldest);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Validate-or-drop after recovering a poisoned lock: a worker that
+    /// panicked mid-update may have inserted into `verdicts` without
+    /// recording the key in `queue` (or vice versa). Individual entries
+    /// are never torn (both structures are updated with complete values),
+    /// so recovery re-derives the queue from the surviving map: orphaned
+    /// queue keys are dropped, unqueued map keys are re-queued, and the
+    /// capacity bound is re-imposed.
+    fn restore_invariants(&mut self) {
+        let mut seen = std::collections::HashSet::new();
+        self.queue
+            .retain(|k| self.verdicts.contains_key(k) && seen.insert(k.clone()));
+        for k in self.verdicts.keys() {
+            if !seen.contains(k) {
+                self.queue.push_back(k.clone());
+            }
+        }
+        while self.verdicts.len() > self.capacity {
+            let Some(oldest) = self.queue.pop_front() else {
+                break;
+            };
+            self.verdicts.remove(&oldest);
+            self.stats.evictions += 1;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.verdicts.clear();
+        self.queue.clear();
+        self.stats = DecisionCacheStats::default();
+    }
 }
 
 fn decision_cache() -> &'static Mutex<DecisionCache> {
     static CACHE: OnceLock<Mutex<DecisionCache>> = OnceLock::new();
     CACHE.get_or_init(|| {
-        Mutex::new(DecisionCache {
-            verdicts: HashMap::new(),
-            stats: DecisionCacheStats::default(),
-        })
+        let capacity = std::env::var("CHROMATA_DECISION_CACHE_CAP")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(DEFAULT_CACHE_CAPACITY);
+        Mutex::new(DecisionCache::with_capacity(capacity))
     })
+}
+
+/// Locks the global cache, recovering from poisoning: if a thread
+/// panicked while holding the lock, the cache's cross-structure
+/// invariants are re-validated (and violating entries dropped) before
+/// the guard is handed out.
+fn lock_cache() -> MutexGuard<'static, DecisionCache> {
+    match decision_cache().lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            let mut guard = poisoned.into_inner();
+            guard.restore_invariants();
+            guard
+        }
+    }
 }
 
 /// Current decision-cache counters (process-wide).
 #[must_use]
 pub fn decision_cache_stats() -> DecisionCacheStats {
-    decision_cache()
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .stats
+    lock_cache().stats
 }
 
 /// Drops all memoized verdicts and resets the counters.
 pub fn clear_decision_cache() {
-    let mut guard = decision_cache()
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    guard.verdicts.clear();
-    guard.stats = DecisionCacheStats::default();
+    lock_cache().clear();
+}
+
+/// Replaces the decision cache's capacity (process-wide), evicting the
+/// oldest entries if the cache currently exceeds the new bound. A
+/// capacity of 0 disables caching entirely.
+pub fn set_decision_cache_capacity(capacity: usize) {
+    let mut guard = lock_cache();
+    guard.capacity = capacity;
+    guard.restore_invariants();
 }
 
 /// Runs the full pipeline on a (1-, 2- or 3-process) task.
@@ -196,6 +299,24 @@ pub fn clear_decision_cache() {
 /// ```
 #[must_use]
 pub fn analyze(task: &Task, options: PipelineOptions) -> Analysis {
+    analyze_governed(task, options, &Budget::unlimited(), &CancelToken::new())
+}
+
+/// [`analyze`] under a [`Budget`] and [`CancelToken`]: the ACT fallback
+/// respects the wall-clock deadline and cooperative cancellation, and —
+/// when a deadline is set — escalates its round cap through a doubling
+/// ladder (`configured, 2×, 4×, …` up to `budget.max_act_rounds`) while
+/// time remains. Exhaustion and interruption degrade to
+/// [`Verdict::Unknown`] with a reason recording how far the analysis
+/// got; interrupted verdicts are **not** cached, so a later run with a
+/// larger budget re-decides from scratch.
+#[must_use]
+pub fn analyze_governed(
+    task: &Task,
+    options: PipelineOptions,
+    budget: &Budget,
+    cancel: &CancelToken,
+) -> Analysis {
     assert!(
         task.process_count() <= 3,
         "the characterization is specific to at most three processes"
@@ -214,26 +335,15 @@ pub fn analyze(task: &Task, options: PipelineOptions) -> Analysis {
         }
     };
     let key = (canonical.clone(), options.act_fallback_rounds);
-    let cached = {
-        let mut guard = decision_cache()
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let found = guard.verdicts.get(&key).cloned();
-        if found.is_some() {
-            guard.stats.hits += 1;
-        } else {
-            guard.stats.misses += 1;
-        }
-        found
-    };
+    let cached = lock_cache().get(&key);
     // Decide outside the lock; a racing miss recomputes the same verdict.
     let verdict = cached.unwrap_or_else(|| {
-        let v = decide(&split, options);
-        decision_cache()
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .verdicts
-            .insert(key, v.clone());
+        let (v, cacheable) = decide(&split, options, budget, cancel);
+        // Budget-induced answers are circumstantial — never poison the
+        // cache with them; a later unstarved run must re-decide.
+        if cacheable {
+            lock_cache().insert(key, v.clone());
+        }
         v
     });
     Analysis {
@@ -243,26 +353,47 @@ pub fn analyze(task: &Task, options: PipelineOptions) -> Analysis {
     }
 }
 
-fn decide(split: &SplitOutcome, options: PipelineOptions) -> Verdict {
-    if let Some(x) = &split.degenerate {
-        return Verdict::Unsolvable {
-            obstruction: Obstruction::ArticulationPoints {
-                witness: format!(
-                    "splitting emptied the solo image of input vertex {x}: \
-                     the incident edges force incompatible link components"
-                ),
+/// Runs the decision tiers; the second component is whether the verdict
+/// is budget-independent and therefore safe to memoize.
+fn decide(
+    split: &SplitOutcome,
+    options: PipelineOptions,
+    budget: &Budget,
+    cancel: &CancelToken,
+) -> (Verdict, bool) {
+    if let Err(interrupt) = budget.check(cancel) {
+        return (
+            Verdict::Unknown {
+                reason: format!("analysis {interrupt} before the decision tiers ran"),
             },
-        };
+            false,
+        );
+    }
+    if let Some(x) = &split.degenerate {
+        return (
+            Verdict::Unsolvable {
+                obstruction: Obstruction::ArticulationPoints {
+                    witness: format!(
+                        "splitting emptied the solo image of input vertex {x}: \
+                         the incident edges force incompatible link components"
+                    ),
+                },
+            },
+            true,
+        );
     }
     let t = &split.task;
     match continuous_map_exists(t) {
-        ContinuousOutcome::Exists { certificates, .. } => Verdict::Solvable {
-            certificate: if certificates.is_empty() {
-                "continuous carried map exists (vertex/edge tiers)".to_owned()
-            } else {
-                certificates.join("; ")
+        ContinuousOutcome::Exists { certificates, .. } => (
+            Verdict::Solvable {
+                certificate: if certificates.is_empty() {
+                    "continuous carried map exists (vertex/edge tiers)".to_owned()
+                } else {
+                    certificates.join("; ")
+                },
             },
-        },
+            true,
+        ),
         ContinuousOutcome::Impossible { reason } => {
             let obstruction = match reason {
                 ImpossibilityReason::SkeletonDisconnected { edge } => {
@@ -284,21 +415,72 @@ fn decide(split: &SplitOutcome, options: PipelineOptions) -> Verdict {
                     witness: format!("input vertex {x} has an empty image"),
                 },
             };
-            Verdict::Unsolvable { obstruction }
+            (Verdict::Unsolvable { obstruction }, true)
         }
         ContinuousOutcome::Undetermined { reason } => {
-            if options.act_fallback_rounds > 0 {
-                if let ActOutcome::Solvable { rounds, .. } =
-                    solve_act(t, options.act_fallback_rounds)
-                {
-                    return Verdict::Solvable {
+            if options.act_fallback_rounds == 0 {
+                return (Verdict::Unknown { reason }, true);
+            }
+            act_ladder(t, &reason, options.act_fallback_rounds, budget, cancel)
+        }
+    }
+}
+
+/// The retry-escalation ladder around the governed ACT fallback: start
+/// at the configured round cap (clamped by the budget) and, when a
+/// deadline is set, keep doubling the cap while wall-clock remains —
+/// cheap first attempt, deeper retries only with leftover time.
+fn act_ladder(
+    t: &Task,
+    undetermined_reason: &str,
+    configured_rounds: usize,
+    budget: &Budget,
+    cancel: &CancelToken,
+) -> (Verdict, bool) {
+    let mut cap = configured_rounds.min(budget.max_act_rounds);
+    loop {
+        match solve_act_governed(t, &budget.with_max_act_rounds(cap), cancel) {
+            ActOutcome::Solvable { rounds, .. } => {
+                // A witness is budget-independent: always cacheable.
+                return (
+                    Verdict::Solvable {
                         certificate: format!(
                             "ACT fallback found a decision map at {rounds} round(s)"
                         ),
-                    };
-                }
+                    },
+                    true,
+                );
             }
-            Verdict::Unknown { reason }
+            ActOutcome::Interrupted {
+                rounds_completed,
+                interrupt,
+            } => {
+                return (
+                    Verdict::Unknown {
+                        reason: format!(
+                            "{undetermined_reason}; ACT fallback {interrupt} after ruling out \
+                             {rounds_completed} of {cap} round(s)"
+                        ),
+                    },
+                    false,
+                );
+            }
+            ActOutcome::Exhausted { .. } => {
+                let next = cap.saturating_mul(2).min(budget.max_act_rounds);
+                if budget.deadline.is_none() || budget.deadline_exceeded() || next == cap {
+                    // The verdict depends on the budget unless the ladder
+                    // stopped exactly at the configured bound.
+                    return (
+                        Verdict::Unknown {
+                            reason: format!(
+                                "{undetermined_reason}; ACT fallback exhausted {cap} round(s)"
+                            ),
+                        },
+                        cap == configured_rounds,
+                    );
+                }
+                cap = next;
+            }
         }
     }
 }
@@ -460,6 +642,128 @@ mod tests {
         clear_decision_cache();
         let after = verdict(&hourglass());
         assert!(before.is_unsolvable() && after.is_unsolvable());
+    }
+
+    #[test]
+    fn cache_is_bounded_with_fifo_eviction() {
+        // Unit-level, on a private instance: the global cache is shared
+        // with concurrently running tests.
+        let mut cache = DecisionCache::with_capacity(2);
+        let key = |n: usize| (identity_task(2), n);
+        let v = Verdict::Unknown { reason: "x".into() };
+        cache.insert(key(0), v.clone());
+        cache.insert(key(1), v.clone());
+        cache.insert(key(2), v.clone());
+        assert_eq!(cache.verdicts.len(), 2);
+        assert_eq!(cache.stats.evictions, 1);
+        // FIFO: the oldest key was evicted, the newer two survive.
+        assert!(cache.get(&key(0)).is_none());
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_some());
+        assert_eq!(cache.stats.hits, 2);
+        assert_eq!(cache.stats.misses, 1);
+        // Re-inserting an existing key neither grows nor evicts.
+        cache.insert(key(1), v);
+        assert_eq!(cache.verdicts.len(), 2);
+        assert_eq!(cache.stats.evictions, 1);
+        // A zero-capacity cache stores nothing.
+        let mut off = DecisionCache::with_capacity(0);
+        off.insert(key(9), Verdict::Unknown { reason: "y".into() });
+        assert!(off.verdicts.is_empty() && off.queue.is_empty());
+    }
+
+    #[test]
+    fn poison_recovery_validates_or_drops() {
+        // Unit-level check of the recovery routine itself: an orphaned
+        // queue key (map insert lost to a panic) is dropped; an unqueued
+        // map key (queue push lost to a panic) is re-queued, not dropped.
+        let mut cache = DecisionCache::with_capacity(4);
+        let v = Verdict::Unknown { reason: "x".into() };
+        cache.insert((identity_task(2), 0), v.clone());
+        cache.queue.push_back((identity_task(2), 7)); // orphan: not in map
+        cache.verdicts.insert((identity_task(2), 8), v); // unqueued
+        cache.restore_invariants();
+        assert_eq!(cache.queue.len(), cache.verdicts.len());
+        assert!(cache.queue.iter().all(|k| cache.verdicts.contains_key(k)));
+        assert!(cache.verdicts.contains_key(&(identity_task(2), 8)));
+        assert!(!cache.queue.contains(&(identity_task(2), 7)));
+    }
+
+    #[test]
+    fn panicked_worker_poisons_then_cache_recovers_and_redecides() {
+        // Regression: a worker that panics while holding the cache lock
+        // (mid-decision bookkeeping) poisons the mutex. Every later
+        // analysis must transparently recover — re-validating the cache —
+        // and identical calls must still decide correctly.
+        let before = verdict(&hourglass());
+        let _ = std::thread::spawn(|| {
+            let mut guard = decision_cache().lock().unwrap();
+            // Tear the invariant the way an interrupted insert would:
+            // queued key without a map entry — then die holding the lock.
+            guard.queue.push_back((identity_task(2), usize::MAX));
+            panic!("worker dies mid-decision");
+        })
+        .join();
+        let after = verdict(&hourglass());
+        assert!(before.is_unsolvable() && after.is_unsolvable());
+        assert_eq!(format!("{before}"), format!("{after}"));
+        // The torn queue entry was dropped by validation.
+        let guard = lock_cache();
+        assert!(!guard.queue.contains(&(identity_task(2), usize::MAX)));
+        assert_eq!(guard.queue.len(), guard.verdicts.len());
+    }
+
+    #[test]
+    fn starved_analysis_degrades_to_uncached_unknown() {
+        // A cancelled analysis answers Unknown instead of panicking, and
+        // the circumstantial verdict is NOT cached: the same call with an
+        // unlimited budget re-decides and gets the real answer. (Task
+        // names participate in the cache key, so the unique name keeps
+        // this test independent of concurrently cached verdicts.)
+        let task = loop_agreement("starved-probe", torus_complex());
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let starved = analyze_governed(
+            &task,
+            PipelineOptions::default(),
+            &Budget::unlimited(),
+            &cancel,
+        );
+        match &starved.verdict {
+            Verdict::Unknown { reason } => {
+                assert!(reason.contains("cancelled"), "{reason}");
+            }
+            other => panic!("expected a graceful Unknown, got {other:?}"),
+        }
+        let recovered = analyze(&task, PipelineOptions::default());
+        assert!(recovered.verdict.is_unsolvable(), "re-decided from scratch");
+    }
+
+    #[test]
+    fn deadline_escalation_ladder_reports_progress() {
+        use chromata_task::library::{klein_bottle_doubled_loop, loop_agreement};
+        // The doubled Klein loop hits the undecidable residue, so the ACT
+        // fallback actually runs; an already-elapsed deadline interrupts
+        // it and the reason records the partial progress.
+        let task = loop_agreement("klein-doubled-governed", klein_bottle_doubled_loop());
+        let budget = Budget::unlimited()
+            .with_max_act_rounds(4)
+            .with_deadline_in(std::time::Duration::ZERO);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let a = analyze_governed(
+            &task,
+            PipelineOptions {
+                act_fallback_rounds: 1,
+            },
+            &budget,
+            &CancelToken::new(),
+        );
+        match &a.verdict {
+            Verdict::Unknown { reason } => {
+                assert!(reason.contains("deadline exceeded"), "{reason}");
+            }
+            other => panic!("expected budget-limited Unknown, got {other:?}"),
+        }
     }
 
     #[test]

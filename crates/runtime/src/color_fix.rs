@@ -290,6 +290,14 @@ impl Process for Fig7 {
         self.decided.as_ref()
     }
 
+    fn has_started(&self) -> bool {
+        // A process participates once it has announced its input in
+        // `M_in` (the `Init` step); crashing before that is externally
+        // indistinguishable from never showing up, so the crash-fault
+        // verifier judges survivors against the remaining participants.
+        self.pc != Pc::Init
+    }
+
     #[allow(clippy::too_many_lines)]
     fn step(&self, config: &Fig7Config, memory: &Memory) -> Vec<(Self, Memory)> {
         let me = self.slot();

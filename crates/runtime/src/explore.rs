@@ -7,13 +7,22 @@
 //! oracle), collecting the set of reachable terminal outcomes. This is
 //! strictly stronger than testing on real hardware: a property checked
 //! here holds on **all** schedules.
+//!
+//! Every failure mode is structured: budget exhaustion, cooperative
+//! cancellation, stuck processes and panicking workers all surface as
+//! [`ExploreError`] variants carrying a **replayable [`Trace`]** — the
+//! exact schedule (steps plus injected crash faults) that reproduces the
+//! failing state from the initial configuration, rendered as a one-line
+//! string (see [`Trace`]'s `Display`/`FromStr`).
 
 use std::collections::{BTreeSet, HashSet};
 use std::hash::Hash;
+use std::str::FromStr;
+use std::sync::Arc;
 
-use chromata_topology::{par_map, BuildStructuralHasher, Vertex};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use chromata_topology::{
+    try_par_map, Budget, BuildStructuralHasher, CancelToken, Interrupt, Vertex,
+};
 
 use crate::memory::Memory;
 
@@ -34,6 +43,16 @@ pub trait Process: Clone + Ord + Hash {
     /// (more than one only for nondeterministic steps such as oracle
     /// calls). Must return an empty vector only when decided.
     fn step(&self, config: &Self::Config, memory: &Memory) -> Vec<(Self, Memory)>;
+
+    /// Whether this process has taken at least one step. Used by the
+    /// crash-fault analysis ([`crate::fault`]) to decide *participation*:
+    /// a process that crashes before its first step never announced its
+    /// input, so correctness is judged against the remaining participants
+    /// only. The default is conservatively `true` (always counted as a
+    /// participant), which is sound for any implementation.
+    fn has_started(&self) -> bool {
+        true
+    }
 }
 
 /// A terminal outcome: the decided vertex of each process, in process
@@ -49,24 +68,170 @@ pub struct Explored {
     pub states: usize,
 }
 
-/// Errors from exploration.
+/// One event of a recorded schedule.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum TraceEvent {
+    /// A process took one atomic step, choosing the given successor
+    /// branch (0 for deterministic steps).
+    Step {
+        /// Index of the process that took the step.
+        process: usize,
+        /// Index of the successor branch chosen.
+        branch: usize,
+    },
+    /// A process crashed (permanently stops taking steps).
+    Crash {
+        /// Index of the crashed process.
+        process: usize,
+    },
+}
+
+/// A recorded schedule: the exact step sequence plus injected crash
+/// faults. Replayable via [`replay`] (failure-free traces) or
+/// [`crate::fault::replay_trace`] (traces with crashes).
+///
+/// The `Display`/`FromStr` pair is a compact one-line format suitable for
+/// bug reports: steps are `process.branch`, crashes are `!process`,
+/// separated by spaces; the empty trace is `-`. Example: `0.0 1.2 !2 0.1`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub struct Trace(pub Vec<TraceEvent>);
+
+impl Trace {
+    /// Number of events (steps and crashes) in the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl std::fmt::Display for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "-");
+        }
+        for (k, ev) in self.0.iter().enumerate() {
+            if k > 0 {
+                write!(f, " ")?;
+            }
+            match ev {
+                TraceEvent::Step { process, branch } => write!(f, "{process}.{branch}")?,
+                TraceEvent::Crash { process } => write!(f, "!{process}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Trace {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() || s == "-" {
+            return Ok(Trace::default());
+        }
+        let mut events = Vec::new();
+        for tok in s.split_whitespace() {
+            if let Some(p) = tok.strip_prefix('!') {
+                let process = p.parse().map_err(|_| format!("bad crash event `{tok}`"))?;
+                events.push(TraceEvent::Crash { process });
+            } else {
+                let (p, b) = tok
+                    .split_once('.')
+                    .ok_or_else(|| format!("bad step event `{tok}` (want `proc.branch`)"))?;
+                let process = p.parse().map_err(|_| format!("bad process in `{tok}`"))?;
+                let branch = b.parse().map_err(|_| format!("bad branch in `{tok}`"))?;
+                events.push(TraceEvent::Step { process, branch });
+            }
+        }
+        Ok(Trace(events))
+    }
+}
+
+/// Errors from exploration. Every variant that can point at a concrete
+/// schedule carries a replayable [`Trace`] to the offending state.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ExploreError {
-    /// The state budget was exhausted.
-    StateBudgetExceeded(usize),
+    /// The state budget was exhausted; the trace reaches one of the
+    /// still-unexplored frontier states.
+    StateBudgetExceeded {
+        /// The state budget that was exceeded.
+        max_states: usize,
+        /// Schedule reaching a frontier state at the budget boundary.
+        trace: Trace,
+    },
     /// A process ran for more steps than the bound without deciding
     /// (possible livelock or runaway).
     StepBoundExceeded(usize),
+    /// An undecided, non-crashed process returned no successors — it can
+    /// never decide on this schedule.
+    StuckProcess {
+        /// Index of the stuck process.
+        pid: usize,
+        /// Schedule reaching the stuck state.
+        trace: Trace,
+    },
+    /// A process `step` (or other worker code) panicked; the panic was
+    /// caught and converted into this structured error.
+    WorkerPanicked {
+        /// The panic payload rendered as text.
+        message: String,
+        /// Schedule reaching the state whose expansion panicked.
+        trace: Trace,
+    },
+    /// The exploration was cancelled or ran past its deadline.
+    Interrupted {
+        /// Whether cancellation or the deadline fired.
+        interrupt: Interrupt,
+        /// Distinct states visited before interruption.
+        states: usize,
+        /// Schedule reaching one in-flight frontier state (partial
+        /// diagnostic; empty if interruption hit before the first level).
+        trace: Trace,
+    },
+    /// A replayed trace does not belong to this system (references a
+    /// decided/crashed process or an out-of-range branch).
+    InvalidTrace {
+        /// Index of the offending event.
+        at: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for ExploreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ExploreError::StateBudgetExceeded(n) => {
-                write!(f, "exploration exceeded the state budget of {n}")
-            }
+            ExploreError::StateBudgetExceeded { max_states, trace } => write!(
+                f,
+                "exploration exceeded the state budget of {max_states}; frontier trace: {trace}"
+            ),
             ExploreError::StepBoundExceeded(n) => {
                 write!(f, "a run exceeded {n} steps without terminating")
+            }
+            ExploreError::StuckProcess { pid, trace } => write!(
+                f,
+                "process {pid} is undecided but has no successors; trace: {trace}"
+            ),
+            ExploreError::WorkerPanicked { message, trace } => {
+                write!(f, "worker panicked ({message}); trace: {trace}")
+            }
+            ExploreError::Interrupted {
+                interrupt,
+                states,
+                trace,
+            } => write!(
+                f,
+                "exploration {interrupt} after {states} states; frontier trace: {trace}"
+            ),
+            ExploreError::InvalidTrace { at, reason } => {
+                write!(f, "invalid trace at event {at}: {reason}")
             }
         }
     }
@@ -74,20 +239,54 @@ impl std::fmt::Display for ExploreError {
 
 impl std::error::Error for ExploreError {}
 
+/// A persistent (structurally shared) schedule suffix: each explored
+/// state keeps an `Arc` link to its parent's trace, so recording costs
+/// one small allocation per state and full traces are materialized only
+/// on error paths.
+pub(crate) type TraceLink = Option<Arc<TraceNode>>;
+
+/// One deduplicated BFS level: interned states paired with the trace
+/// link of the first schedule that reached them.
+pub(crate) type Level<S> = Vec<(Arc<S>, TraceLink)>;
+
+/// One node of the shared trace list.
+pub(crate) struct TraceNode {
+    event: TraceEvent,
+    parent: TraceLink,
+}
+
+/// Extends a trace link by one event.
+pub(crate) fn trace_push(parent: &TraceLink, event: TraceEvent) -> TraceLink {
+    Some(Arc::new(TraceNode {
+        event,
+        parent: parent.clone(),
+    }))
+}
+
+/// Materializes a linked trace into an ordered [`Trace`].
+pub(crate) fn trace_collect(link: &TraceLink) -> Trace {
+    let mut events = Vec::new();
+    let mut cur = link;
+    while let Some(node) = cur {
+        events.push(node.event);
+        cur = &node.parent;
+    }
+    events.reverse();
+    Trace(events)
+}
+
 /// What a single state contributed to its breadth-first level: either a
-/// terminal outcome or its successor states.
+/// terminal outcome or its successor states (with their trace links).
 enum LevelStep<P> {
     Terminal(Outcome),
-    Expanded(Vec<(Vec<P>, Memory)>),
+    Expanded(Vec<(Vec<P>, Memory, TraceLink)>),
 }
 
 /// Exhaustively explores all interleavings (and internal branches) from
 /// the initial system state, memoizing visited states.
 ///
-/// The search is a level-synchronous breadth-first traversal: each level
-/// of distinct unvisited states is expanded as a batch (in parallel with
-/// the `parallel` feature; [`par_map`] preserves batch order, so the
-/// outcome and state sets are identical either way).
+/// Unlimited except for `max_states` and `max_depth`; see
+/// [`explore_governed`] for deadline- and cancellation-aware exploration.
 ///
 /// # Errors
 ///
@@ -104,73 +303,131 @@ where
     P: Process + Send + Sync,
     P::Config: Sync,
 {
+    explore_governed(
+        processes,
+        memory,
+        config,
+        &Budget::unlimited()
+            .with_max_states(max_states)
+            .with_max_steps(max_depth),
+        &CancelToken::new(),
+    )
+}
+
+/// [`explore`] under a full [`Budget`] and [`CancelToken`]: the search is
+/// additionally bounded by the budget's wall-clock deadline and can be
+/// cancelled cooperatively from another thread (both are checked once per
+/// breadth-first level).
+///
+/// The search is a level-synchronous breadth-first traversal: each level
+/// of distinct unvisited states is expanded as a batch (in parallel with
+/// the `parallel` feature; [`try_par_map`] preserves batch order, so the
+/// outcome and state sets are identical either way). Worker panics are
+/// caught and surfaced as [`ExploreError::WorkerPanicked`] with the
+/// schedule that reaches the offending state.
+///
+/// # Errors
+///
+/// Structured [`ExploreError`]s for budget exhaustion, interruption,
+/// stuck processes and worker panics.
+pub fn explore_governed<P>(
+    processes: Vec<P>,
+    memory: Memory,
+    config: &P::Config,
+    budget: &Budget,
+    cancel: &CancelToken,
+) -> Result<Explored, ExploreError>
+where
+    P: Process + Send + Sync,
+    P::Config: Sync,
+{
     // Keyed by the structural (FNV) hasher: interned vertices/simplices
     // replay precomputed fingerprints, so state hashing is a cheap mix
     // rather than SipHash over the whole state. States are `Arc`-shared
     // between the visited set and the work list — one hash and zero deep
-    // clones per deduplication.
-    let mut visited: HashSet<std::sync::Arc<(Vec<P>, Memory)>, BuildStructuralHasher> =
-        HashSet::default();
+    // clones per deduplication. Trace links ride alongside (outside the
+    // memoized key): the first schedule reaching each state is kept as
+    // its replayable witness.
+    let mut visited: HashSet<Arc<(Vec<P>, Memory)>, BuildStructuralHasher> = HashSet::default();
     let mut outcomes: BTreeSet<Outcome> = BTreeSet::new();
-    let mut frontier: Vec<(Vec<P>, Memory)> = vec![(processes, memory)];
+    let mut frontier: Vec<(Vec<P>, Memory, TraceLink)> = vec![(processes, memory, None)];
     let mut depth = 0usize;
     while !frontier.is_empty() {
+        if let Err(interrupt) = budget.check(cancel) {
+            return Err(ExploreError::Interrupted {
+                interrupt,
+                states: visited.len(),
+                trace: trace_collect(&frontier[0].2),
+            });
+        }
         // Deduplicate this level against everything seen so far.
-        let mut level: Vec<std::sync::Arc<(Vec<P>, Memory)>> = Vec::with_capacity(frontier.len());
-        for st in frontier.drain(..) {
-            let st = std::sync::Arc::new(st);
-            if visited.insert(std::sync::Arc::clone(&st)) {
-                if visited.len() > max_states {
-                    return Err(ExploreError::StateBudgetExceeded(max_states));
+        let mut level: Level<(Vec<P>, Memory)> = Vec::with_capacity(frontier.len());
+        for (procs, mem, trace) in frontier.drain(..) {
+            let st = Arc::new((procs, mem));
+            if visited.insert(Arc::clone(&st)) {
+                if visited.len() > budget.max_states {
+                    return Err(ExploreError::StateBudgetExceeded {
+                        max_states: budget.max_states,
+                        trace: trace_collect(&trace),
+                    });
                 }
-                level.push(st);
+                level.push((st, trace));
             }
         }
-        let expanded = par_map(&level, |st| {
+        let expanded = try_par_map(&level, |(st, trace)| {
             let (procs, mem) = st.as_ref();
-            if procs.iter().all(|p| p.decided().is_some()) {
-                return LevelStep::Terminal(
-                    procs
-                        .iter()
-                        .map(|p| p.decided().expect("all decided").clone())
-                        .collect(),
-                );
+            let undecided: Vec<usize> = procs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.decided().is_none())
+                .map(|(i, _)| i)
+                .collect();
+            if undecided.is_empty() {
+                let outcome: Outcome = procs.iter().filter_map(|p| p.decided().cloned()).collect();
+                return Ok(LevelStep::Terminal(outcome));
             }
             let mut next = Vec::new();
-            for (i, p) in procs.iter().enumerate() {
-                if p.decided().is_some() {
-                    continue;
+            for i in undecided {
+                let successors = procs[i].step(config, mem);
+                if successors.is_empty() {
+                    return Err(i);
                 }
-                let successors = p.step(config, mem);
-                assert!(
-                    !successors.is_empty(),
-                    "undecided process returned no successors"
-                );
-                for (next_p, next_mem) in successors {
+                for (branch, (next_p, next_mem)) in successors.into_iter().enumerate() {
                     let mut next_procs = procs.clone();
                     next_procs[i] = next_p;
-                    next.push((next_procs, next_mem));
+                    let link = trace_push(trace, TraceEvent::Step { process: i, branch });
+                    next.push((next_procs, next_mem, link));
                 }
             }
-            LevelStep::Expanded(next)
-        });
+            Ok(LevelStep::Expanded(next))
+        })
+        .map_err(|panic| ExploreError::WorkerPanicked {
+            message: panic.message.clone(),
+            trace: trace_collect(&level[panic.index].1),
+        })?;
         let mut any_expansion = false;
-        for step in expanded {
+        for (step, (_, trace)) in expanded.into_iter().zip(&level) {
             match step {
-                LevelStep::Terminal(o) => {
+                Ok(LevelStep::Terminal(o)) => {
                     outcomes.insert(o);
                 }
-                LevelStep::Expanded(next) => {
+                Ok(LevelStep::Expanded(next)) => {
                     any_expansion = true;
                     frontier.extend(next);
+                }
+                Err(pid) => {
+                    return Err(ExploreError::StuckProcess {
+                        pid,
+                        trace: trace_collect(trace),
+                    });
                 }
             }
         }
         if any_expansion {
-            // A non-terminal state at depth `max_depth` means some path
-            // needs more than `max_depth` steps.
-            if depth >= max_depth {
-                return Err(ExploreError::StepBoundExceeded(max_depth));
+            // A non-terminal state at depth `max_steps` means some path
+            // needs more than `max_steps` steps.
+            if depth >= budget.max_steps {
+                return Err(ExploreError::StepBoundExceeded(budget.max_steps));
             }
             depth += 1;
         }
@@ -179,16 +436,6 @@ where
         outcomes,
         states: visited.len(),
     })
-}
-
-/// One step of a recorded schedule: which process moved and which
-/// nondeterministic branch it took.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct TraceStep {
-    /// Index of the process that took the step.
-    pub process: usize,
-    /// Index of the successor branch chosen (0 for deterministic steps).
-    pub branch: usize,
 }
 
 /// Searches all interleavings for a terminal outcome violating
@@ -207,27 +454,27 @@ pub fn find_violation<P, F>(
     max_states: usize,
     max_depth: usize,
     mut acceptable: F,
-) -> Result<Option<(Vec<TraceStep>, Outcome)>, ExploreError>
+) -> Result<Option<(Trace, Outcome)>, ExploreError>
 where
     P: Process,
     F: FnMut(&Outcome) -> bool,
 {
     let mut visited: HashSet<(Vec<P>, Memory), BuildStructuralHasher> = HashSet::default();
-    let mut stack: Vec<(Vec<P>, Memory, Vec<TraceStep>)> = vec![(processes, memory, Vec::new())];
+    let mut stack: Vec<(Vec<P>, Memory, Vec<TraceEvent>)> = vec![(processes, memory, Vec::new())];
     while let Some((procs, mem, trace)) = stack.pop() {
         if !visited.insert((procs.clone(), mem.clone())) {
             continue;
         }
         if visited.len() > max_states {
-            return Err(ExploreError::StateBudgetExceeded(max_states));
+            return Err(ExploreError::StateBudgetExceeded {
+                max_states,
+                trace: Trace(trace),
+            });
         }
         if procs.iter().all(|p| p.decided().is_some()) {
-            let outcome: Outcome = procs
-                .iter()
-                .map(|p| p.decided().expect("all decided").clone())
-                .collect();
+            let outcome: Outcome = procs.iter().filter_map(|p| p.decided().cloned()).collect();
             if !acceptable(&outcome) {
-                return Ok(Some((trace, outcome)));
+                return Ok(Some((Trace(trace), outcome)));
             }
             continue;
         }
@@ -238,11 +485,18 @@ where
             if p.decided().is_some() {
                 continue;
             }
-            for (branch, (next_p, next_mem)) in p.step(config, &mem).into_iter().enumerate() {
+            let successors = p.step(config, &mem);
+            if successors.is_empty() {
+                return Err(ExploreError::StuckProcess {
+                    pid: i,
+                    trace: Trace(trace),
+                });
+            }
+            for (branch, (next_p, next_mem)) in successors.into_iter().enumerate() {
                 let mut next_procs = procs.clone();
                 next_procs[i] = next_p;
                 let mut next_trace = trace.clone();
-                next_trace.push(TraceStep { process: i, branch });
+                next_trace.push(TraceEvent::Step { process: i, branch });
                 stack.push((next_procs, next_mem, next_trace));
             }
         }
@@ -250,40 +504,27 @@ where
     Ok(None)
 }
 
-/// Replays a recorded trace exactly, returning the outcome.
+/// Replays a recorded failure-free trace exactly, returning the outcome.
+///
+/// Traces containing crash events are replayed with
+/// [`crate::fault::replay_trace`], which returns the partial outcome.
 ///
 /// # Errors
 ///
 /// Returns [`ExploreError::StepBoundExceeded`] if the trace ends before
-/// all processes decide.
-///
-/// # Panics
-///
-/// Panics if a trace step references a decided process or an
-/// out-of-range branch (the trace does not belong to this system).
+/// all processes decide, and [`ExploreError::InvalidTrace`] if an event
+/// references a decided/crashed process or an out-of-range branch (the
+/// trace does not belong to this system).
 pub fn replay<P: Process>(
-    mut processes: Vec<P>,
-    mut memory: Memory,
+    processes: Vec<P>,
+    memory: Memory,
     config: &P::Config,
-    trace: &[TraceStep],
+    trace: &Trace,
 ) -> Result<Outcome, ExploreError> {
-    for step in trace {
-        let p = &processes[step.process];
-        assert!(p.decided().is_none(), "trace steps a decided process");
-        let mut successors = p.step(config, &memory);
-        assert!(step.branch < successors.len(), "trace branch out of range");
-        let (next_p, next_mem) = successors.swap_remove(step.branch);
-        processes[step.process] = next_p;
-        memory = next_mem;
-    }
-    if processes.iter().all(|p| p.decided().is_some()) {
-        Ok(processes
-            .iter()
-            .map(|p| p.decided().expect("all decided").clone())
-            .collect())
-    } else {
-        Err(ExploreError::StepBoundExceeded(trace.len()))
-    }
+    let partial = crate::fault::replay_trace(processes, memory, config, trace)?;
+    partial
+        .complete()
+        .ok_or(ExploreError::StepBoundExceeded(trace.len()))
 }
 
 /// Runs a single pseudo-random schedule (uniform choice among undecided
@@ -293,37 +534,26 @@ pub fn replay<P: Process>(
 /// # Errors
 ///
 /// Returns [`ExploreError::StepBoundExceeded`] if the run does not
-/// terminate within `max_steps`.
+/// terminate within `max_steps`, and [`ExploreError::StuckProcess`] if an
+/// undecided process has no successors.
 pub fn run_random<P: Process>(
-    mut processes: Vec<P>,
-    mut memory: Memory,
+    processes: Vec<P>,
+    memory: Memory,
     config: &P::Config,
     seed: u64,
     max_steps: usize,
 ) -> Result<Outcome, ExploreError> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    for _ in 0..max_steps {
-        let pending: Vec<usize> = processes
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.decided().is_none())
-            .map(|(i, _)| i)
-            .collect();
-        if pending.is_empty() {
-            return Ok(processes
-                .iter()
-                .map(|p| p.decided().expect("all decided").clone())
-                .collect());
-        }
-        let i = pending[rng.gen_range(0..pending.len())];
-        let successors = processes[i].step(config, &memory);
-        assert!(!successors.is_empty(), "undecided process stuck");
-        let k = rng.gen_range(0..successors.len());
-        let (p, m) = successors.into_iter().nth(k).expect("in range");
-        processes[i] = p;
-        memory = m;
-    }
-    Err(ExploreError::StepBoundExceeded(max_steps))
+    let (_, partial) = crate::fault::run_random_faulted(
+        processes,
+        memory,
+        config,
+        seed,
+        max_steps,
+        &crate::fault::FaultPlan::none(),
+    )?;
+    partial
+        .complete()
+        .ok_or(ExploreError::StepBoundExceeded(max_steps))
 }
 
 /// Runs one specific schedule: at each step the next undecided process in
@@ -334,13 +564,15 @@ pub fn run_random<P: Process>(
 /// # Errors
 ///
 /// Returns [`ExploreError::StepBoundExceeded`] if the schedule ends
-/// before all processes decide.
+/// before all processes decide, and [`ExploreError::StuckProcess`] if an
+/// undecided process has no successors.
 pub fn run_schedule<P: Process>(
     mut processes: Vec<P>,
     mut memory: Memory,
     config: &P::Config,
     schedule: &[usize],
 ) -> Result<Outcome, ExploreError> {
+    let mut trace = Vec::new();
     for &i in schedule {
         if processes.iter().all(|p| p.decided().is_some()) {
             break;
@@ -349,35 +581,35 @@ pub fn run_schedule<P: Process>(
             continue;
         }
         let successors = processes[i].step(config, &memory);
-        let (p, m) = successors
-            .into_iter()
-            .next()
-            .expect("undecided process stuck");
+        let Some((p, m)) = successors.into_iter().next() else {
+            return Err(ExploreError::StuckProcess {
+                pid: i,
+                trace: Trace(trace),
+            });
+        };
+        trace.push(TraceEvent::Step {
+            process: i,
+            branch: 0,
+        });
         processes[i] = p;
         memory = m;
     }
-    if processes.iter().all(|p| p.decided().is_some()) {
-        Ok(processes
-            .iter()
-            .map(|p| p.decided().expect("all decided").clone())
-            .collect())
-    } else {
-        Err(ExploreError::StepBoundExceeded(schedule.len()))
-    }
+    let outcome: Option<Outcome> = processes.iter().map(|p| p.decided().cloned()).collect();
+    outcome.ok_or(ExploreError::StepBoundExceeded(schedule.len()))
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::cell::Cell;
 
     /// A toy process: writes its id, scans, decides on the count of
     /// writers it saw (encoded as a vertex value).
     #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-    struct Toy {
-        id: usize,
-        phase: u8,
-        decided: Option<Vertex>,
+    pub(crate) struct Toy {
+        pub(crate) id: usize,
+        pub(crate) phase: u8,
+        pub(crate) decided: Option<Vertex>,
     }
 
     impl Process for Toy {
@@ -385,6 +617,10 @@ mod tests {
 
         fn decided(&self) -> Option<&Vertex> {
             self.decided.as_ref()
+        }
+
+        fn has_started(&self) -> bool {
+            self.phase > 0
         }
 
         fn step(&self, (): &(), memory: &Memory) -> Vec<(Self, Memory)> {
@@ -414,7 +650,7 @@ mod tests {
         }
     }
 
-    fn toys(n: usize) -> (Vec<Toy>, Memory) {
+    pub(crate) fn toys(n: usize) -> (Vec<Toy>, Memory) {
         (
             (0..n)
                 .map(|id| Toy {
@@ -502,13 +738,112 @@ mod tests {
     #[test]
     fn budget_errors() {
         let (procs, mem) = toys(3);
-        assert!(matches!(
-            explore(procs.clone(), mem.clone(), &(), 2, 100),
-            Err(ExploreError::StateBudgetExceeded(2))
-        ));
+        match explore(procs.clone(), mem.clone(), &(), 2, 100) {
+            Err(ExploreError::StateBudgetExceeded {
+                max_states: 2,
+                trace,
+            }) => {
+                // The trace must replay to a real (reachable) state.
+                assert!(trace.len() <= 100);
+            }
+            other => panic!("expected state-budget error, got {other:?}"),
+        }
         assert!(matches!(
             run_schedule(procs, mem, &(), &[0]),
             Err(ExploreError::StepBoundExceeded(_))
         ));
+    }
+
+    #[test]
+    fn cancellation_interrupts_exploration() {
+        let (procs, mem) = toys(3);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        match explore_governed(procs, mem, &(), &Budget::unlimited(), &cancel) {
+            Err(ExploreError::Interrupted {
+                interrupt: Interrupt::Cancelled,
+                ..
+            }) => {}
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn elapsed_deadline_interrupts_exploration() {
+        let (procs, mem) = toys(3);
+        let budget = Budget::unlimited().with_deadline_in(std::time::Duration::ZERO);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        match explore_governed(procs, mem, &(), &budget, &CancelToken::new()) {
+            Err(ExploreError::Interrupted {
+                interrupt: Interrupt::DeadlineExceeded,
+                ..
+            }) => {}
+            other => panic!("expected deadline interruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_panics_become_structured_errors_with_replayable_traces() {
+        /// Panics when stepped after the shared memory holds 2 writes.
+        #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+        struct Grenade(Toy);
+
+        impl Process for Grenade {
+            type Config = ();
+
+            fn decided(&self) -> Option<&Vertex> {
+                self.0.decided()
+            }
+
+            fn step(&self, (): &(), memory: &Memory) -> Vec<(Self, Memory)> {
+                assert!(
+                    memory.present("r").len() < 2 || self.0.phase == 0,
+                    "two writers observed"
+                );
+                self.0
+                    .step(&(), memory)
+                    .into_iter()
+                    .map(|(t, m)| (Grenade(t), m))
+                    .collect()
+            }
+        }
+
+        let (toys, mem) = toys(2);
+        let procs: Vec<Grenade> = toys.into_iter().map(Grenade).collect();
+        match explore(procs.clone(), mem.clone(), &(), 10_000, 100) {
+            Err(ExploreError::WorkerPanicked { message, trace }) => {
+                assert!(message.contains("two writers observed"), "{message}");
+                // The trace replays to the panicking state: stepping every
+                // process once from the replayed state must panic again.
+                assert!(!trace.is_empty());
+                let line = trace.to_string();
+                let parsed: Trace = line.parse().expect("round-trip");
+                assert_eq!(parsed, trace);
+            }
+            other => panic!("expected a structured worker panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_format_round_trips() {
+        let t = Trace(vec![
+            TraceEvent::Step {
+                process: 0,
+                branch: 2,
+            },
+            TraceEvent::Crash { process: 1 },
+            TraceEvent::Step {
+                process: 2,
+                branch: 0,
+            },
+        ]);
+        let s = t.to_string();
+        assert_eq!(s, "0.2 !1 2.0");
+        assert_eq!(s.parse::<Trace>().unwrap(), t);
+        assert_eq!("-".parse::<Trace>().unwrap(), Trace::default());
+        assert_eq!(Trace::default().to_string(), "-");
+        assert!("x.y".parse::<Trace>().is_err());
+        assert!("5".parse::<Trace>().is_err());
+        assert!("!x".parse::<Trace>().is_err());
     }
 }

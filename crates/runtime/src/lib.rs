@@ -16,6 +16,11 @@
 //!   §5.2 (see DESIGN.md, substitutions);
 //! * [`Fig7`] — the paper's Figure 7 algorithm as an explicit state
 //!   machine, with [`verify_figure7`] exhaustively validating Lemma 5.3;
+//! * [`explore_crash`] / [`FaultPlan`] — crash-fault injection: the
+//!   adversary may crash processes at any point, and
+//!   [`verify_figure7_with_crashes`] machine-checks *wait-freedom*
+//!   (survivors decide within `Δ(participating)`) under every crash
+//!   pattern; every failure carries a replayable one-line [`Trace`];
 //! * [`ImmediateSnapshot`] — the Borowsky–Gafni one-shot immediate
 //!   snapshot; [`empirical_protocol_complex`] regenerates `Ch(σ)` from
 //!   actual executions (cross-validated against the combinatorial
@@ -34,7 +39,7 @@
 //! // sets, all interleavings, all oracle behaviours.
 //! let report = verify_figure7(&identity_task(3), 1_000_000)?;
 //! assert_eq!(report.participant_sets, 7);
-//! # Ok::<(), chromata_runtime::ExploreError>(())
+//! # Ok::<(), chromata_runtime::VerifyError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -43,6 +48,7 @@
 mod cell;
 mod color_fix;
 mod explore;
+mod fault;
 mod iis;
 mod iterated;
 mod memory;
@@ -52,10 +58,15 @@ mod snapshot;
 mod verify;
 
 pub use cell::Cell;
+pub use chromata_topology::{Budget, CancelToken, Interrupt};
 pub use color_fix::{initial_memory, processes_for, Fig7, Fig7Config, OBJECTS};
 pub use explore::{
-    explore, find_violation, replay, run_random, run_schedule, ExploreError, Explored, Outcome,
-    Process, TraceStep,
+    explore, explore_governed, find_violation, replay, run_random, run_schedule, ExploreError,
+    Explored, Outcome, Process, Trace, TraceEvent,
+};
+pub use fault::{
+    explore_crash, replay_trace, run_random_faulted, CrashExplored, CrashFault, CrashOutcome,
+    FaultPlan,
 };
 pub use iis::{empirical_protocol_complex, IisConfig, ImmediateSnapshot};
 pub use iterated::{
@@ -67,4 +78,7 @@ pub use oracle::{
 };
 pub use protocol::{execute_decision_map, DecisionConfig, DecisionProtocol};
 pub use snapshot::AtomicSnapshot;
-pub use verify::{verify_figure7, VerificationReport};
+pub use verify::{
+    verify_figure7, verify_figure7_governed, verify_figure7_with_crashes, CrashVerificationReport,
+    VerificationReport, VerifyError,
+};

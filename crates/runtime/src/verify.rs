@@ -1,11 +1,27 @@
 //! End-to-end verification of the Figure 7 algorithm against a task
 //! specification (the executable content of Lemma 5.3).
+//!
+//! Two verification regimes:
+//!
+//! * [`verify_figure7`] — failure-free: every participant set, every
+//!   interleaving, every adversarial-oracle branch;
+//! * [`verify_figure7_with_crashes`] — additionally injects every crash
+//!   pattern with up to `max_crashes` crash faults
+//!   ([`crate::fault::explore_crash`]), machine-checking *wait-freedom*:
+//!   survivors must decide, and their outputs must form a simplex of
+//!   `Δ(participants)` where the participating set excludes processes
+//!   that crashed before announcing their input.
+//!
+//! Specification violations are structured [`VerifyError::Violation`]s
+//! (carrying the participant set and the offending outcome), not panics,
+//! so callers can degrade gracefully and report partial diagnostics.
 
 use chromata_task::Task;
-use chromata_topology::Simplex;
+use chromata_topology::{Budget, CancelToken, Simplex};
 
 use crate::color_fix::{initial_memory, processes_for, Fig7Config};
-use crate::explore::{explore, ExploreError};
+use crate::explore::{explore_governed, ExploreError};
+use crate::fault::explore_crash;
 
 /// Aggregate statistics from exhaustively verifying Figure 7 on a task.
 #[derive(Clone, Debug, Default)]
@@ -18,6 +34,70 @@ pub struct VerificationReport {
     pub states: usize,
 }
 
+/// Aggregate statistics from crash-injected verification.
+#[derive(Clone, Debug, Default)]
+pub struct CrashVerificationReport {
+    /// Participant sets exercised (faces of the input facets).
+    pub participant_sets: usize,
+    /// Distinct terminal (partial) outcomes observed, all verified.
+    pub outcomes: usize,
+    /// Outcomes in which at least one process crashed.
+    pub crashed_outcomes: usize,
+    /// Total distinct (process states, crash set, memory) states.
+    pub states: usize,
+}
+
+/// Why verification failed: either the exploration could not finish, or
+/// an outcome actually violates the specification.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VerifyError {
+    /// Exploration failed (budget, cancellation, stuck process, panic) —
+    /// carries a replayable trace where one exists.
+    Explore(ExploreError),
+    /// An execution produced a specification-violating outcome: Lemma 5.3
+    /// fails empirically on this task.
+    Violation {
+        /// The task under verification.
+        task: String,
+        /// The participant set (and, for crash runs, the participating
+        /// subset) the outcome was checked against.
+        participants: String,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl From<ExploreError> for VerifyError {
+    fn from(e: ExploreError) -> Self {
+        VerifyError::Explore(e)
+    }
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Explore(e) => write!(f, "verification did not finish: {e}"),
+            VerifyError::Violation {
+                task,
+                participants,
+                detail,
+            } => write!(
+                f,
+                "specification violation on task {task}, participants {participants}: {detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VerifyError::Explore(e) => Some(e),
+            VerifyError::Violation { .. } => None,
+        }
+    }
+}
+
 /// Exhaustively runs Figure 7 on every face of every input facet of
 /// `task`, over every interleaving and every adversarial-oracle branch —
 /// and checks that each terminal outcome is a simplex of
@@ -26,47 +106,171 @@ pub struct VerificationReport {
 ///
 /// # Errors
 ///
-/// Propagates exploration budget errors.
+/// [`VerifyError::Explore`] if the state budget is exhausted;
+/// [`VerifyError::Violation`] if Lemma 5.3 fails empirically.
+pub fn verify_figure7(task: &Task, max_states: usize) -> Result<VerificationReport, VerifyError> {
+    verify_figure7_governed(
+        task,
+        &Budget::unlimited()
+            .with_max_states(max_states)
+            .with_max_steps(500),
+        &CancelToken::new(),
+    )
+}
+
+/// [`verify_figure7`] under a full [`Budget`] and [`CancelToken`]: the
+/// per-participant-set explorations additionally respect the wall-clock
+/// deadline and cooperative cancellation.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if some outcome violates the task specification — i.e. if
-/// Lemma 5.3 fails empirically.
-pub fn verify_figure7(task: &Task, max_states: usize) -> Result<VerificationReport, ExploreError> {
+/// As [`verify_figure7`], plus [`ExploreError::Interrupted`] (wrapped)
+/// when the deadline passes or the token is cancelled.
+pub fn verify_figure7_governed(
+    task: &Task,
+    budget: &Budget,
+    cancel: &CancelToken,
+) -> Result<VerificationReport, VerifyError> {
     let mut report = VerificationReport::default();
     for sigma in task.input().facets() {
         for tau in sigma.faces() {
             report.participant_sets += 1;
             let config = Fig7Config::new(task.clone());
-            let explored = explore(
+            let explored = explore_governed(
                 processes_for(&tau),
                 initial_memory(),
                 &config,
-                max_states,
-                500,
+                budget,
+                cancel,
             )?;
             report.states += explored.states;
             for outcome in &explored.outcomes {
                 report.outcomes += 1;
                 // Own colors, in participant order.
                 for (x, v) in tau.iter().zip(outcome) {
-                    assert_eq!(
-                        x.color(),
-                        v.color(),
-                        "process {} decided a foreign-colored vertex {v}",
-                        x.color()
-                    );
+                    if x.color() != v.color() {
+                        return Err(violation(
+                            task,
+                            &tau,
+                            format!("process {} decided a foreign-colored vertex {v}", x.color()),
+                        ));
+                    }
                 }
                 let decided = Simplex::new(outcome.clone());
-                assert!(
-                    task.delta().carries(&tau, &decided),
-                    "outcome {decided} violates Δ({tau}) [task {}]",
-                    task.name()
-                );
+                if !task.delta().carries(&tau, &decided) {
+                    return Err(violation(
+                        task,
+                        &tau,
+                        format!("outcome {decided} violates Δ({tau})"),
+                    ));
+                }
             }
         }
     }
     Ok(report)
+}
+
+/// Machine-checks *wait-freedom* of Figure 7 (Lemma 5.3 under crashes):
+/// for every participant set and every crash pattern with at most
+/// `max_crashes` crash faults injected at every possible point, every
+/// surviving process decides, and the survivors' outputs form a simplex
+/// of `Δ(π)` where `π` is the *participating* set — the processes that
+/// announced their input before crashing (a process crashed before its
+/// first step is indistinguishable from one that never arrived).
+///
+/// This subsumes checking every explicit "crash `p` after step `k`"
+/// [`crate::fault::FaultPlan`]: crashes only remove future steps, so
+/// branching the crash decision at every scheduling point reaches
+/// exactly the same partial executions.
+///
+/// # Errors
+///
+/// [`VerifyError::Explore`] on budget exhaustion / interruption (with a
+/// replayable trace where one exists); [`VerifyError::Violation`] if a
+/// survivor is undecided or the surviving outputs escape the carrier.
+pub fn verify_figure7_with_crashes(
+    task: &Task,
+    budget: &Budget,
+    cancel: &CancelToken,
+    max_crashes: usize,
+) -> Result<CrashVerificationReport, VerifyError> {
+    let mut report = CrashVerificationReport::default();
+    for sigma in task.input().facets() {
+        for tau in sigma.faces() {
+            report.participant_sets += 1;
+            let config = Fig7Config::new(task.clone());
+            let explored = explore_crash(
+                processes_for(&tau),
+                initial_memory(),
+                &config,
+                budget,
+                cancel,
+                max_crashes,
+            )?;
+            report.states += explored.states;
+            let inputs: Vec<_> = tau.iter().collect();
+            for outcome in &explored.outcomes {
+                report.outcomes += 1;
+                if !outcome.crashed.is_empty() {
+                    report.crashed_outcomes += 1;
+                }
+                // Wait-freedom: every non-crashed process decided.
+                for (i, input) in inputs.iter().enumerate() {
+                    if !outcome.crashed.contains(&i) && outcome.decisions[i].is_none() {
+                        return Err(violation(
+                            task,
+                            &tau,
+                            format!(
+                                "survivor {} is undecided in terminal outcome {outcome:?}",
+                                input.color()
+                            ),
+                        ));
+                    }
+                }
+                let decided = outcome.decided();
+                if decided.is_empty() {
+                    continue; // everyone crashed undecided; nothing to check
+                }
+                // Own colors.
+                for &(i, v) in &decided {
+                    if inputs[i].color() != v.color() {
+                        return Err(violation(
+                            task,
+                            &tau,
+                            format!(
+                                "process {} decided a foreign-colored vertex {v}",
+                                inputs[i].color()
+                            ),
+                        ));
+                    }
+                }
+                // Carrier: decisions form a simplex of Δ(participating).
+                let participating =
+                    Simplex::from_iter(outcome.participating.iter().map(|&i| inputs[i].clone()));
+                let s = Simplex::from_iter(decided.iter().map(|(_, v)| (*v).clone()));
+                if !task.delta().carries(&participating, &s) {
+                    return Err(VerifyError::Violation {
+                        task: task.name().to_owned(),
+                        participants: format!("{tau} (participating: {participating})"),
+                        detail: format!(
+                            "surviving outputs {s} escape Δ({participating}) \
+                             [crashed: {:?}]",
+                            outcome.crashed
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn violation(task: &Task, tau: &Simplex, detail: String) -> VerifyError {
+    VerifyError::Violation {
+        task: task.name().to_owned(),
+        participants: tau.to_string(),
+        detail,
+    }
 }
 
 #[cfg(test)]
@@ -86,5 +290,35 @@ mod tests {
         let r = verify_figure7(&constant_task(3), 2_000_000).expect("budget");
         assert!(r.outcomes >= 1);
         assert!(r.states > 0);
+    }
+
+    #[test]
+    fn starved_budget_surfaces_a_structured_error() {
+        let err = verify_figure7(&identity_task(3), 5).expect_err("5 states cannot suffice");
+        match err {
+            VerifyError::Explore(ExploreError::StateBudgetExceeded { max_states: 5, .. }) => {}
+            other => panic!("expected a state-budget error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("did not finish"));
+    }
+
+    #[test]
+    fn constant_task_wait_free_under_one_crash() {
+        // Solo + pair participant sets with a single injected crash: fast
+        // enough for a unit test; the full 2-crash sweeps live in the
+        // fault-injection integration tests.
+        let t = constant_task(3);
+        let r = verify_figure7_with_crashes(
+            &t,
+            &Budget::unlimited()
+                .with_max_states(2_000_000)
+                .with_max_steps(500),
+            &CancelToken::new(),
+            1,
+        )
+        .expect("constant task is wait-free under crashes");
+        assert_eq!(r.participant_sets, 7);
+        assert!(r.crashed_outcomes > 0, "crash branches were explored");
+        assert!(r.outcomes > r.crashed_outcomes, "crash-free outcomes too");
     }
 }

@@ -1,0 +1,206 @@
+//! Resource governance: budgets and cooperative cancellation.
+//!
+//! Every potentially expensive computation in the workspace (the model
+//! checker's state enumeration, the ACT backtracking search, the decision
+//! pipeline's tiers) accepts a [`Budget`] and a [`CancelToken`] so that
+//! exhaustion and cancellation degrade into structured answers instead of
+//! runaway loops or panics. The contract is *cooperative*: long-running
+//! loops call [`Budget::check`] at natural checkpoints (once per BFS
+//! level, every few thousand backtrack nodes) and unwind with an
+//! [`Interrupt`] when the deadline has passed or the token was cancelled.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cooperative cancellation flag, cheaply cloneable and shareable
+/// across threads. Cancelling any clone cancels them all.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; every holder of a clone observes it.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Why a governed computation was interrupted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Interrupt {
+    /// The [`CancelToken`] was cancelled.
+    Cancelled,
+    /// The [`Budget`] deadline passed.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Interrupt::Cancelled => write!(f, "cancelled"),
+            Interrupt::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for Interrupt {}
+
+/// Resource limits for a governed computation.
+///
+/// The numeric limits bound distinct search structures (explored states,
+/// schedule steps, ACT subdivision rounds); the deadline bounds wall-clock
+/// time across all of them. [`Budget::unlimited`] imposes nothing, so
+/// ungoverned entry points keep their historical behaviour.
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    /// Absolute wall-clock deadline (`None` = no time limit).
+    pub deadline: Option<Instant>,
+    /// Maximum distinct system states the model checker may visit.
+    pub max_states: usize,
+    /// Maximum schedule steps (BFS depth / random-run length).
+    pub max_steps: usize,
+    /// Maximum subdivision rounds for the ACT fallback search.
+    pub max_act_rounds: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget imposing no limits at all.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Budget {
+            deadline: None,
+            max_states: usize::MAX,
+            max_steps: usize::MAX,
+            max_act_rounds: usize::MAX,
+        }
+    }
+
+    /// Replaces the deadline with "`dur` from now".
+    #[must_use]
+    pub fn with_deadline_in(mut self, dur: Duration) -> Self {
+        self.deadline = Some(Instant::now() + dur);
+        self
+    }
+
+    /// Replaces the state limit.
+    #[must_use]
+    pub fn with_max_states(mut self, max_states: usize) -> Self {
+        self.max_states = max_states;
+        self
+    }
+
+    /// Replaces the step limit.
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Replaces the ACT round limit.
+    #[must_use]
+    pub fn with_max_act_rounds(mut self, max_act_rounds: usize) -> Self {
+        self.max_act_rounds = max_act_rounds;
+        self
+    }
+
+    /// Time remaining until the deadline (`None` = no deadline).
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Whether the deadline has passed.
+    #[must_use]
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The cooperative checkpoint: errors if `cancel` was triggered or
+    /// the deadline has passed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the corresponding [`Interrupt`].
+    pub fn check(&self, cancel: &CancelToken) -> Result<(), Interrupt> {
+        if cancel.is_cancelled() {
+            return Err(Interrupt::Cancelled);
+        }
+        if self.deadline_exceeded() {
+            return Err(Interrupt::DeadlineExceeded);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_interrupts() {
+        let b = Budget::unlimited();
+        let t = CancelToken::new();
+        assert!(b.check(&t).is_ok());
+        assert!(!b.deadline_exceeded());
+        assert_eq!(b.remaining(), None);
+    }
+
+    #[test]
+    fn cancellation_is_shared_between_clones() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!u.is_cancelled());
+        t.cancel();
+        assert!(u.is_cancelled());
+        assert_eq!(Budget::unlimited().check(&u), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn elapsed_deadline_interrupts() {
+        let b = Budget::unlimited().with_deadline_in(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(b.deadline_exceeded());
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
+        assert_eq!(
+            b.check(&CancelToken::new()),
+            Err(Interrupt::DeadlineExceeded)
+        );
+    }
+
+    #[test]
+    fn builders_replace_limits() {
+        let b = Budget::unlimited()
+            .with_max_states(10)
+            .with_max_steps(20)
+            .with_max_act_rounds(3);
+        assert_eq!(b.max_states, 10);
+        assert_eq!(b.max_steps, 20);
+        assert_eq!(b.max_act_rounds, 3);
+    }
+
+    #[test]
+    fn interrupt_displays() {
+        assert_eq!(Interrupt::Cancelled.to_string(), "cancelled");
+        assert_eq!(Interrupt::DeadlineExceeded.to_string(), "deadline exceeded");
+    }
+}

@@ -38,6 +38,7 @@
 mod carrier;
 mod color;
 mod complex;
+mod govern;
 mod graph;
 mod intern;
 mod map;
@@ -51,10 +52,11 @@ mod vertex;
 pub use carrier::{CarrierMap, CarrierViolation};
 pub use color::{Color, ColorSet};
 pub use complex::Complex;
+pub use govern::{Budget, CancelToken, Interrupt};
 pub use graph::Graph;
 pub use intern::{interner_stats, BuildStructuralHasher, StructuralHasher};
 pub use map::SimplicialMap;
-pub use par::par_map;
+pub use par::{par_map, try_par_map, WorkerPanic};
 pub use product::{product, product_simplex, product_vertex, project_first, project_second};
 pub use simplex::Simplex;
 pub use value::Value;

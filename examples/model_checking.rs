@@ -11,7 +11,7 @@
 //! cargo run --release --example model_checking
 //! ```
 
-use chromata_runtime::{explore, find_violation, replay, Cell, Memory, Process, TraceStep};
+use chromata_runtime::{explore, find_violation, replay, Cell, Memory, Process, TraceEvent};
 use chromata_topology::{Simplex, Vertex};
 
 /// The broken protocol: write own value, read slot `(id + 1) % 3`, decide
@@ -97,9 +97,14 @@ fn main() {
                 "\ncounterexample found: outcome {} has three distinct values",
                 Simplex::new(outcome.clone())
             );
-            println!("the schedule ({} steps):", trace.len());
-            for TraceStep { process, branch } in &trace {
-                println!("  P{process} steps (branch {branch})");
+            println!("the schedule ({} steps): {trace}", trace.len());
+            for ev in &trace.0 {
+                match ev {
+                    TraceEvent::Step { process, branch } => {
+                        println!("  P{process} steps (branch {branch})");
+                    }
+                    TraceEvent::Crash { process } => println!("  P{process} crashes"),
+                }
             }
             // Replaying the trace reproduces the violation exactly.
             let replayed = replay(processes(), memory, &(), &trace).expect("complete trace");

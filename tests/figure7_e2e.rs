@@ -2,7 +2,7 @@
 //! the exhaustive scheduler and the adversarial color-agnostic oracle.
 
 use chromata_runtime::{
-    explore, initial_memory, processes_for, run_random, verify_figure7, Fig7Config,
+    explore, initial_memory, processes_for, run_random, verify_figure7, ExploreError, Fig7Config,
 };
 use chromata_task::library::{constant_task, identity_task, two_set_agreement};
 use chromata_task::Task;
@@ -118,32 +118,30 @@ fn large_tasks_verified_on_random_schedules() {
 fn link_connectivity_hypothesis_is_necessary() {
     // Running Fig. 7 on the (not link-connected) hourglass must fail:
     // some schedule drives the negotiation into a disconnected link. The
-    // algorithm panics with a diagnostic — which we assert, demonstrating
-    // that Lemma 5.3's hypothesis is not incidental.
+    // worker's diagnostic panic is caught by the scheduler and surfaced
+    // as a structured error with a replayable schedule — which we
+    // assert, demonstrating that Lemma 5.3's hypothesis is not
+    // incidental.
     let t: Task = chromata_task::library::hourglass();
     let sigma = t.input().facets().next().unwrap().clone();
     let config = Fig7Config::new(t);
-    let result = std::panic::catch_unwind(|| {
-        explore(
-            processes_for(&sigma),
-            initial_memory(),
-            &config,
-            20_000_000,
-            500,
-        )
-    });
+    let result = explore(
+        processes_for(&sigma),
+        initial_memory(),
+        &config,
+        20_000_000,
+        500,
+    );
     match result {
-        Err(panic) => {
-            let msg = panic
-                .downcast_ref::<String>()
-                .cloned()
-                .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_owned()))
-                .unwrap_or_default();
+        Err(ExploreError::WorkerPanicked { message, trace }) => {
             assert!(
-                msg.contains("not link-connected"),
-                "unexpected panic message: {msg}"
+                message.contains("not link-connected"),
+                "unexpected panic message: {message}"
             );
+            // The offending schedule is replayable evidence, not noise.
+            assert!(!trace.is_empty(), "diagnostic trace must be non-empty");
         }
+        Err(other) => panic!("expected a worker panic diagnostic, got {other}"),
         Ok(_) => {
             // If no schedule hits the disconnection the adversary was not
             // strong enough — that would weaken the test, so fail loudly.

@@ -40,8 +40,11 @@ fn solvable_tasks_confirmed_by_act_witness() {
                     t.name()
                 );
             }
-            ActOutcome::Exhausted { .. } => {
-                panic!("{}: pipeline says solvable but ACT found no map", t.name())
+            other => {
+                panic!(
+                    "{}: pipeline says solvable but ACT returned {other:?}",
+                    t.name()
+                )
             }
         }
     }
@@ -92,7 +95,7 @@ fn act_round_budget_matters_for_renaming() {
             let sub = iterated_chromatic_subdivision(t.input(), rounds);
             assert!(validate_witness(&sub, &t, &map));
         }
-        ActOutcome::Exhausted { .. } => panic!("adaptive renaming solvable at r = 2"),
+        other => panic!("adaptive renaming solvable at r = 2, got {other:?}"),
     }
 }
 
