@@ -56,7 +56,7 @@ impl EdgePathGroup {
             let vs = t.vertices();
             let walk = [vs[0].clone(), vs[1].clone(), vs[2].clone(), vs[0].clone()];
             let w = word_of_walk_raw(&generator_index, &walk)
-                .expect("triangle edges are edges of the complex");
+                .expect("triangle edges are edges of the complex"); // chromata-lint: allow(P1): triangle boundary edges are faces of a face-closed complex
             relators.push(w);
         }
         let presentation = Presentation::new(generator_edges.len(), relators);

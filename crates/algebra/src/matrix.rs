@@ -99,7 +99,7 @@ impl IntMatrix {
     /// Panics on overflow or out-of-bounds access.
     pub fn add_to(&mut self, r: usize, c: usize, v: i64) {
         let cur = self.get(r, c);
-        self.set(r, c, cur.checked_add(v).expect("integer overflow"));
+        self.set(r, c, cur.checked_add(v).expect("integer overflow")); // chromata-lint: allow(P1): checked arithmetic: coefficient overflow is a hard internal error; wrapping would corrupt homology verdicts
     }
 
     /// The transpose.
@@ -132,6 +132,7 @@ impl IntMatrix {
                 for c in 0..other.cols {
                     let b = other.get(k, c);
                     if b != 0 {
+                        // chromata-lint: allow(P1): checked arithmetic: coefficient overflow is a hard internal error; wrapping would corrupt homology verdicts
                         out.add_to(r, c, a.checked_mul(b).expect("integer overflow"));
                     }
                 }
@@ -155,8 +156,8 @@ impl IntMatrix {
         (0..self.rows)
             .map(|r| {
                 (0..self.cols).fold(0i64, |acc, c| {
-                    acc.checked_add(self.get(r, c).checked_mul(v[c]).expect("integer overflow"))
-                        .expect("integer overflow")
+                    acc.checked_add(self.get(r, c).checked_mul(v[c]).expect("integer overflow")) // chromata-lint: allow(P1): checked arithmetic: coefficient overflow is a hard internal error; wrapping would corrupt homology verdicts
+                        .expect("integer overflow") // chromata-lint: allow(P1): checked arithmetic: coefficient overflow is a hard internal error; wrapping would corrupt homology verdicts
                 })
             })
             .collect()
@@ -193,7 +194,7 @@ impl IntMatrix {
     /// Panics on overflow.
     pub fn add_row_multiple(&mut self, a: usize, b: usize, k: i64) {
         for c in 0..self.cols {
-            let delta = self.get(b, c).checked_mul(k).expect("integer overflow");
+            let delta = self.get(b, c).checked_mul(k).expect("integer overflow"); // chromata-lint: allow(P1): checked arithmetic: coefficient overflow is a hard internal error; wrapping would corrupt homology verdicts
             self.add_to(a, c, delta);
         }
     }
@@ -205,7 +206,7 @@ impl IntMatrix {
     /// Panics on overflow.
     pub fn add_col_multiple(&mut self, a: usize, b: usize, k: i64) {
         for r in 0..self.rows {
-            let delta = self.get(r, b).checked_mul(k).expect("integer overflow");
+            let delta = self.get(r, b).checked_mul(k).expect("integer overflow"); // chromata-lint: allow(P1): checked arithmetic: coefficient overflow is a hard internal error; wrapping would corrupt homology verdicts
             self.add_to(r, a, delta);
         }
     }
@@ -214,7 +215,7 @@ impl IntMatrix {
     pub fn negate_row(&mut self, r: usize) {
         for c in 0..self.cols {
             let v = self.get(r, c);
-            self.set(r, c, v.checked_neg().expect("integer overflow"));
+            self.set(r, c, v.checked_neg().expect("integer overflow")); // chromata-lint: allow(P1): checked arithmetic: coefficient overflow is a hard internal error; wrapping would corrupt homology verdicts
         }
     }
 
@@ -222,7 +223,7 @@ impl IntMatrix {
     pub fn negate_col(&mut self, c: usize) {
         for r in 0..self.rows {
             let v = self.get(r, c);
-            self.set(r, c, v.checked_neg().expect("integer overflow"));
+            self.set(r, c, v.checked_neg().expect("integer overflow")); // chromata-lint: allow(P1): checked arithmetic: coefficient overflow is a hard internal error; wrapping would corrupt homology verdicts
         }
     }
 

@@ -144,7 +144,7 @@ impl Presentation {
                 }
                 // Rotate r so the unique occurrence of ±g is first:
                 // r = g^ε · w  ⇒  g^ε = w⁻¹  ⇒  g = w⁻¹ (ε=1) or w (ε=-1).
-                let pos = r.iter().position(|&x| x.abs() == g).expect("present");
+                let pos = r.iter().position(|&x| x.abs() == g).expect("present"); // chromata-lint: allow(P1): occurrences == 1 was just checked, so the position exists
                 let mut rot = r[pos..].to_vec();
                 rot.extend_from_slice(&r[..pos]);
                 let eps = rot[0].signum();
@@ -192,7 +192,7 @@ fn canonical_cyclic(w: &[i32]) -> Word {
             }
         }
     }
-    best.expect("non-empty word has a canonical form")
+    best.expect("non-empty word has a canonical form") // chromata-lint: allow(P1): the rotation loop above seeds `best` for every non-empty word
 }
 
 #[cfg(test)]

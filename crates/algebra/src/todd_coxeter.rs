@@ -331,7 +331,7 @@ impl Enumerator {
         for &c in &live {
             let mut row = Vec::with_capacity(2 * self.generators);
             for l in 0..2 * self.generators {
-                let t = self.get(c, l).expect("table complete");
+                let t = self.get(c, l).expect("table complete"); // chromata-lint: allow(P1): compaction runs only after the enumeration converged, so the coset table is total
                 row.push(index[&t]);
             }
             rows.push(row);

@@ -1,6 +1,7 @@
 //! The `chromata` binary: parse, run, print, exit.
 
 fn main() {
+    // chromata-lint: allow(D2): process entry point — argv is the CLI's input, read exactly once
     let args: Vec<String> = std::env::args().skip(1).collect();
     match chromata_cli::parse(&args).and_then(chromata_cli::run) {
         Ok(out) => print!("{out}"),

@@ -277,7 +277,7 @@ pub fn find_decision_map_governed(
             vertices
                 .into_iter()
                 .zip(assignment)
-                .map(|(v, w)| (v, w.expect("search completed")))
+                .map(|(v, w)| (v, w.expect("search completed"))) // chromata-lint: allow(P1): the backtracking search reports success only with a full assignment
                 .collect(),
         ))
     } else {

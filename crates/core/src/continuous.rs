@@ -185,7 +185,7 @@ impl SearchCtx<'_> {
                 .vertices
                 .iter()
                 .zip(assignment.iter())
-                .map(|(x, w)| (x.clone(), w.clone().expect("full assignment")))
+                .map(|(x, w)| (x.clone(), w.clone().expect("full assignment"))) // chromata-lint: allow(P1): the search succeeds only once every vertex is assigned
                 .collect();
             return match check_triangles(
                 self.task,
@@ -387,8 +387,8 @@ fn joint_h1_feasible(
             }
             let mut walk = graph
                 .shortest_path(&u, &w)
-                .expect("tree path within a component");
-            // Close the cycle with the non-tree edge w → u.
+                .expect("tree path within a component"); // chromata-lint: allow(P1): both endpoints were proven to lie in one spanning-tree component
+                                                         // Close the cycle with the non-tree edge w → u.
             walk.push(u.clone());
             cycles.push(walk);
         }
@@ -435,7 +435,7 @@ fn joint_h1_feasible(
             (Simplex::from_iter([vs[0].clone(), vs[2].clone()]), -1),
         ];
         for (e, sign) in &tri_edges {
-            let ei = edges.iter().position(|x| x == e).expect("edge of input");
+            let ei = edges.iter().position(|x| x == e).expect("edge of input"); // chromata-lint: allow(P1): e is drawn from `edges` by the enclosing iteration
             let env = &envs[e];
             let Some(chain) = cc.walk_to_chain(&env.base) else {
                 return false; // base path uses an edge outside Δ'(σ): impossible

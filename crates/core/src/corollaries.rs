@@ -26,7 +26,7 @@ pub fn crossing_graph(k: &Complex, facet_laps: &[Lap]) -> Graph {
             Some(lap) => {
                 let i = lap
                     .component_of(other)
-                    .expect("edge endpoint lies in some link component");
+                    .expect("edge endpoint lies in some link component"); // chromata-lint: allow(P1): the other endpoint of an edge at v lies in lk(v) by face-closure
                 v.with_value(Value::split(v.value().clone(), i as u32))
             }
             None => v.clone(),

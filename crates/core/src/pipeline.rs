@@ -14,6 +14,7 @@
 //! pipeline can return [`Verdict::Unknown`]; callers may enable the
 //! bounded ACT fallback to turn some unknowns into `Solvable`.
 
+// chromata-lint: allow(D1): imported for the key-addressed decision cache; every use is justified at its site
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::{Mutex, MutexGuard, OnceLock};
@@ -159,6 +160,7 @@ const DEFAULT_CACHE_CAPACITY: usize = 256;
 /// so long-running processes cannot grow it without limit. Invariant:
 /// `queue` holds each key of `verdicts` exactly once.
 struct DecisionCache {
+    // chromata-lint: allow(D1): key-addressed only; the one iteration (poison recovery) sorts by structural fingerprint
     verdicts: HashMap<(Task, usize), Verdict>,
     queue: VecDeque<(Task, usize)>,
     capacity: usize,
@@ -168,7 +170,7 @@ struct DecisionCache {
 impl DecisionCache {
     fn with_capacity(capacity: usize) -> Self {
         DecisionCache {
-            verdicts: HashMap::new(),
+            verdicts: HashMap::new(), // chromata-lint: allow(D1): see the field's justification
             queue: VecDeque::new(),
             capacity,
             stats: DecisionCacheStats::default(),
@@ -208,16 +210,24 @@ impl DecisionCache {
     /// recording the key in `queue` (or vice versa). Individual entries
     /// are never torn (both structures are updated with complete values),
     /// so recovery re-derives the queue from the surviving map: orphaned
-    /// queue keys are dropped, unqueued map keys are re-queued, and the
-    /// capacity bound is re-imposed.
+    /// queue keys are dropped, unqueued map keys are re-queued in
+    /// structural-fingerprint order (hash-map iteration order must not
+    /// decide future evictions — rule D1), and the capacity bound is
+    /// re-imposed.
     fn restore_invariants(&mut self) {
+        // chromata-lint: allow(D1): re-queue order is made deterministic by the fingerprint sort below
         let mut seen = std::collections::HashSet::new();
         self.queue
             .retain(|k| self.verdicts.contains_key(k) && seen.insert(k.clone()));
-        for k in self.verdicts.keys() {
-            if !seen.contains(k) {
-                self.queue.push_back(k.clone());
-            }
+        let mut unqueued: Vec<(Task, usize)> = self
+            .verdicts
+            .keys()
+            .filter(|k| !seen.contains(*k))
+            .cloned()
+            .collect();
+        unqueued.sort_by_key(key_fingerprint);
+        for k in unqueued {
+            self.queue.push_back(k);
         }
         while self.verdicts.len() > self.capacity {
             let Some(oldest) = self.queue.pop_front() else {
@@ -235,12 +245,23 @@ impl DecisionCache {
     }
 }
 
+/// Deterministic total order on cache keys for poison recovery: the
+/// fixed-key FNV structural fingerprint, identical across runs and
+/// feature configurations (collisions would merely tie-break the
+/// re-queue order, never affect a verdict).
+fn key_fingerprint(key: &(Task, usize)) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = chromata_topology::StructuralHasher::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
 fn decision_cache() -> &'static Mutex<DecisionCache> {
     static CACHE: OnceLock<Mutex<DecisionCache>> = OnceLock::new();
     CACHE.get_or_init(|| {
-        let capacity = std::env::var("CHROMATA_DECISION_CACHE_CAP")
-            .ok()
-            .and_then(|s| s.trim().parse().ok())
+        // Environment reads go through `govern` (rule D2): configuration
+        // is sampled once at cache initialization, never on a decision.
+        let capacity = chromata_topology::govern::env_usize("CHROMATA_DECISION_CACHE_CAP")
             .unwrap_or(DEFAULT_CACHE_CAPACITY);
         Mutex::new(DecisionCache::with_capacity(capacity))
     })
@@ -780,5 +801,139 @@ mod tests {
         let text = format!("{a}");
         assert!(text.contains("1 split step(s)"), "{text}");
         assert!(text.contains("UNSOLVABLE"), "{text}");
+    }
+
+    /// The cross-structure invariants every `DecisionCache` op must
+    /// preserve: `queue` holds each key of `verdicts` exactly once, and
+    /// the capacity bound is respected.
+    fn assert_cache_invariants(cache: &DecisionCache, context: &str) {
+        assert_eq!(cache.queue.len(), cache.verdicts.len(), "{context}");
+        assert!(cache.verdicts.len() <= cache.capacity, "{context}");
+        let mut seen = std::collections::BTreeSet::new();
+        for k in &cache.queue {
+            assert!(
+                cache.verdicts.contains_key(k),
+                "orphan queue key: {context}"
+            );
+            assert!(
+                seen.insert(key_fingerprint(k)),
+                "duplicate queue key: {context}"
+            );
+        }
+    }
+
+    /// Loom-style exhaustive op-level model check of the FIFO
+    /// `DecisionCache` (see `chromata_topology::interleave`): every op
+    /// runs under the cache mutex, so concurrent behaviour is fully
+    /// determined by the commit order. Enumerate every interleaving of
+    /// the per-thread op programs, replay each sequentially, and assert
+    /// (a) the cross-structure invariants after every op, and (b) that
+    /// replaying the same schedule twice produces the identical queue —
+    /// no hash-map iteration order may leak into eviction order (rule
+    /// D1). `--cfg chromata_loom` raises thread count and depth.
+    #[test]
+    fn decision_cache_exhaustive_interleavings() {
+        use chromata_topology::interleave::{depth_budget, for_each_interleaving, max_threads};
+
+        #[derive(Clone, Copy)]
+        enum Op {
+            /// Insert a verdict for key `k`.
+            Insert(usize),
+            /// Look up key `k`.
+            Get(usize),
+            /// Poison recovery ran (models a worker panic + re-lock).
+            Restore,
+        }
+        let keys: Vec<(Task, usize)> = vec![
+            (identity_task(2), 0),
+            (identity_task(2), 1),
+            (constant_task(2), 0),
+            (two_process_consensus(), 0),
+        ];
+        let verdict = Verdict::Solvable {
+            certificate: "model".into(),
+        };
+        let threads = max_threads();
+        let depth = depth_budget();
+        // Thread t's program: insert its own key, probe a shared key,
+        // insert the shared key (contended), then recover — truncated to
+        // the depth budget.
+        let programs: Vec<Vec<Op>> = (0..threads)
+            .map(|t| {
+                let mut p = vec![
+                    Op::Insert(t),
+                    Op::Get(threads),
+                    Op::Insert(threads),
+                    Op::Restore,
+                ];
+                p.truncate(depth);
+                p
+            })
+            .collect();
+        let counts: Vec<usize> = programs.iter().map(Vec::len).collect();
+        let replay = |schedule: &[usize]| -> Vec<u64> {
+            let mut cache = DecisionCache::with_capacity(2);
+            let mut pc = vec![0usize; threads];
+            for (step, &t) in schedule.iter().enumerate() {
+                let op = programs[t][pc[t]];
+                pc[t] += 1;
+                match op {
+                    Op::Insert(k) => cache.insert(keys[k].clone(), verdict.clone()),
+                    Op::Get(k) => {
+                        cache.get(&keys[k]);
+                    }
+                    Op::Restore => cache.restore_invariants(),
+                }
+                assert_cache_invariants(&cache, &format!("after step {step} of {schedule:?}"));
+            }
+            cache.queue.iter().map(key_fingerprint).collect()
+        };
+        let mut schedules = 0usize;
+        for_each_interleaving(&counts, |schedule| {
+            schedules += 1;
+            assert_eq!(
+                replay(schedule),
+                replay(schedule),
+                "non-deterministic replay of {schedule:?}"
+            );
+        });
+        assert!(
+            schedules >= 20,
+            "expected full enumeration, got {schedules}"
+        );
+    }
+
+    /// Poison recovery repairs torn states deterministically: keys
+    /// inserted into `verdicts` without being queued (the worst a panic
+    /// mid-update can leave behind) are re-queued in structural-
+    /// fingerprint order, independent of hash-map iteration order.
+    #[test]
+    fn decision_cache_restore_repairs_torn_writes() {
+        let keys: Vec<(Task, usize)> = (0..4usize).map(|r| (identity_task(2), r)).collect();
+        let run = |insertion_order: &[usize]| -> Vec<u64> {
+            let mut cache = DecisionCache::with_capacity(8);
+            for &i in insertion_order {
+                // Tear: map updated, queue not (simulates a panic between
+                // the two updates under the lock).
+                cache.verdicts.insert(
+                    keys[i].clone(),
+                    Verdict::Solvable {
+                        certificate: "model".into(),
+                    },
+                );
+            }
+            // Also an orphan queue entry with no verdict.
+            cache.queue.push_back((constant_task(2), 9));
+            cache.restore_invariants();
+            assert_cache_invariants(&cache, "after restore");
+            cache.queue.iter().map(key_fingerprint).collect()
+        };
+        let a = run(&[0, 1, 2, 3]);
+        let b = run(&[3, 1, 0, 2]);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a, b, "re-queue order must not depend on insertion order");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(a, sorted, "re-queue order is fingerprint-sorted");
     }
 }

@@ -82,6 +82,7 @@ pub fn split_once(task: &Task, lap: &Lap) -> Result<Task, Vertex> {
                 match rho.iter().find(|z| *z != y) {
                     Some(z) => {
                         let i = lap.component_of(z).unwrap_or_else(|| {
+                            // chromata-lint: allow(P1): guaranteed by Lemma 4.1; a violation is a soundness bug worth aborting on
                             panic!("residual vertex {z} of {rho} not in any link component of {y}")
                         });
                         facets.push(rho.substituted(y, copies[i].clone()));
@@ -110,7 +111,7 @@ pub fn split_once(task: &Task, lap: &Lap) -> Result<Task, Vertex> {
     let output = delta.full_image();
     Ok(
         Task::new(task.name().to_owned(), task.input().clone(), output, delta)
-            .expect("splitting preserves task validity (Claim 1 / Lemma 4.1)"),
+            .expect("splitting preserves task validity (Claim 1 / Lemma 4.1)"), // chromata-lint: allow(P1): guaranteed by Claim 1 / Lemma 4.1; a violation is a soundness bug worth aborting on
     )
 }
 
@@ -215,7 +216,7 @@ pub fn transport_witness(
     let p_sigma = sub.carrier.image_of(&lap.facet);
     let mut out = chromata_topology::SimplicialMap::new();
     for v in sub.complex.vertices() {
-        let img = map.get(v).expect("witness must be total");
+        let img = map.get(v).expect("witness must be total"); // chromata-lint: allow(P1): the witness map is validated total before verification starts
         if img != &lap.vertex {
             out.insert(v.clone(), img.clone());
             continue;
@@ -229,10 +230,11 @@ pub fn transport_witness(
                 .filter(|e| e.contains(v))
                 .flat_map(chromata_topology::Simplex::iter)
                 .find(|w| w.color() != v.color())
-                .unwrap_or_else(|| panic!("{v} has no neighbor in P(σ)"))
+                .unwrap_or_else(|| panic!("{v} has no neighbor in P(σ)")) // chromata-lint: allow(P1): every vertex of P(sigma) has a neighbor by construction of the split complex
                 .clone();
-            let w_img = map.get(&neighbor).expect("witness must be total");
+            let w_img = map.get(&neighbor).expect("witness must be total"); // chromata-lint: allow(P1): the witness map is validated total before verification starts
             lap.component_of(w_img)
+                // chromata-lint: allow(P1): a chromatic simplicial map sends neighbors of y's preimage into lk(y)
                 .unwrap_or_else(|| panic!("neighbor image {w_img} not in lk(y)"))
         } else {
             0

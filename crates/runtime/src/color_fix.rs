@@ -194,7 +194,7 @@ impl Fig7 {
             memory
                 .present("in")
                 .into_iter()
-                .map(|(_, c)| c.as_vertex().expect("M_in holds vertices").clone()),
+                .map(|(_, c)| c.as_vertex().expect("M_in holds vertices").clone()), // chromata-lint: allow(P1): protocol-state invariant of the color-fixing algorithm; step() panics are caught by try_par_map and surface as ExploreError::WorkerPanicked
         )
     }
 
@@ -216,6 +216,7 @@ impl Fig7 {
                 }
             })
             .unwrap_or_else(|| {
+                // chromata-lint: allow(P1): protocol-state invariant of the color-fixing algorithm; step() panics are caught by try_par_map and surface as ExploreError::WorkerPanicked
                 panic!(
                     "no {}-colored completion of the seen view exists in Δ({tau}) — \
                      the task is not link-connected or the oracle strategy is invalid",
@@ -228,7 +229,7 @@ impl Fig7 {
     /// The core vertex `v*` of a singleton core.
     fn core_vertex(&self) -> &Vertex {
         debug_assert_eq!(self.core.len(), 1);
-        self.core.iter().next().expect("singleton core")
+        self.core.iter().next().expect("singleton core") // chromata-lint: allow(P1): protocol-state invariant of the color-fixing algorithm; step() panics are caught by try_par_map and surface as ExploreError::WorkerPanicked
     }
 
     /// The other non-pivot's `M_decisions` entry, if present.
@@ -247,7 +248,7 @@ impl Fig7 {
                         current,
                         core,
                     } => (anchor, current, core),
-                    other => panic!("M_decisions holds decision triples, found {other}"),
+                    other => panic!("M_decisions holds decision triples, found {other}"), // chromata-lint: allow(P1): protocol-state invariant of the color-fixing algorithm; step() panics are caught by try_par_map and surface as ExploreError::WorkerPanicked
                 };
                 (slot as u8, a, cur, core)
             })
@@ -268,6 +269,7 @@ impl Fig7 {
         let mut path = lk
             .lex_smallest_shortest_path(my_anchor, their_anchor)
             .unwrap_or_else(|| {
+                // chromata-lint: allow(P1): protocol-state invariant of the color-fixing algorithm; step() panics are caught by try_par_map and surface as ExploreError::WorkerPanicked
                 panic!(
                     "anchors {my_anchor} and {their_anchor} are disconnected in \
                      lk_Δ({tau})({}) — the task is not link-connected",
@@ -357,7 +359,7 @@ impl Process for Fig7 {
                 let view: BTreeSet<Vertex> = memory
                     .present("cless")
                     .into_iter()
-                    .map(|(_, c)| c.as_vertex().expect("M_cless holds vertices").clone())
+                    .map(|(_, c)| c.as_vertex().expect("M_cless holds vertices").clone()) // chromata-lint: allow(P1): protocol-state invariant of the color-fixing algorithm; step() panics are caught by try_par_map and surface as ExploreError::WorkerPanicked
                     .collect();
                 vec![(
                     Fig7 {
@@ -387,13 +389,13 @@ impl Process for Fig7 {
                     .into_iter()
                     .map(|(_, c)| match c {
                         Cell::View(v) => v,
-                        other => panic!("M_snap holds views, found {other}"),
+                        other => panic!("M_snap holds views, found {other}"), // chromata-lint: allow(P1): protocol-state invariant of the color-fixing algorithm; step() panics are caught by try_par_map and surface as ExploreError::WorkerPanicked
                     })
                     .collect();
                 let core = views
                     .iter()
                     .min_by_key(|v| (v.len(), v.iter().next().cloned()))
-                    .expect("own view was written")
+                    .expect("own view was written") // chromata-lint: allow(P1): protocol-state invariant of the color-fixing algorithm; step() panics are caught by try_par_map and surface as ExploreError::WorkerPanicked
                     .clone();
                 let seen: Arc<BTreeSet<Vertex>> =
                     Arc::new(views.iter().flat_map(|v| v.iter().cloned()).collect());
@@ -437,7 +439,7 @@ impl Process for Fig7 {
                 )]
             }
             Pc::WriteDecPair => {
-                let anchor = self.anchor.clone().expect("set at (7b)");
+                let anchor = self.anchor.clone().expect("set at (7b)"); // chromata-lint: allow(P1): protocol-state invariant of the color-fixing algorithm; step() panics are caught by try_par_map and surface as ExploreError::WorkerPanicked
                 let mut m = memory.clone();
                 m.update(
                     "dec",
@@ -461,7 +463,7 @@ impl Process for Fig7 {
                     // (7d) alone in M_decisions: decide the anchor.
                     vec![(
                         Fig7 {
-                            decided: Some(self.anchor.clone().expect("set at (7b)")),
+                            decided: Some(self.anchor.clone().expect("set at (7b)")), // chromata-lint: allow(P1): protocol-state invariant of the color-fixing algorithm; step() panics are caught by try_par_map and surface as ExploreError::WorkerPanicked
                             ..self.clone()
                         },
                         memory.clone(),
@@ -499,7 +501,7 @@ impl Process for Fig7 {
                 )]
             }
             Pc::WriteDecSingle => {
-                let anchor = self.anchor.clone().expect("set by (10)");
+                let anchor = self.anchor.clone().expect("set by (10)"); // chromata-lint: allow(P1): protocol-state invariant of the color-fixing algorithm; step() panics are caught by try_par_map and surface as ExploreError::WorkerPanicked
                 let mut m = memory.clone();
                 m.update(
                     "dec",
@@ -521,7 +523,7 @@ impl Process for Fig7 {
             Pc::ScanDecSingle => match Self::other_entry(memory, me) {
                 None => vec![(
                     Fig7 {
-                        decided: Some(self.anchor.clone().expect("set by (10)")),
+                        decided: Some(self.anchor.clone().expect("set by (10)")), // chromata-lint: allow(P1): protocol-state invariant of the color-fixing algorithm; step() panics are caught by try_par_map and surface as ExploreError::WorkerPanicked
                         ..self.clone()
                     },
                     memory.clone(),
@@ -539,14 +541,14 @@ impl Process for Fig7 {
                 // (13) with the clarification from the module docs: τ is
                 // scanned now, when all three M_in entries are visible.
                 let tau = Self::scan_tau(memory);
-                let j = self.other.expect("set at (12)") as usize;
+                let j = self.other.expect("set at (12)") as usize; // chromata-lint: allow(P1): protocol-state invariant of the color-fixing algorithm; step() panics are caught by try_par_map and surface as ExploreError::WorkerPanicked
                 let (their_anchor, their_current) = {
                     let (slot, a, cur, _) =
-                        Self::other_entry(memory, me).expect("observed at (12)");
+                        Self::other_entry(memory, me).expect("observed at (12)"); // chromata-lint: allow(P1): protocol-state invariant of the color-fixing algorithm; step() panics are caught by try_par_map and surface as ExploreError::WorkerPanicked
                     debug_assert_eq!(slot as usize, j);
                     (a, cur)
                 };
-                let my_anchor = self.anchor.clone().expect("set by (10)");
+                let my_anchor = self.anchor.clone().expect("set by (10)"); // chromata-lint: allow(P1): protocol-state invariant of the color-fixing algorithm; step() panics are caught by try_par_map and surface as ExploreError::WorkerPanicked
                 let path = self.negotiation_path(config, &tau, &my_anchor, &their_anchor);
                 let lk = config.link_graph(&tau, self.core_vertex());
                 // (14) exit check against the freshly scanned proposal.
@@ -574,7 +576,7 @@ impl Process for Fig7 {
                     "dec",
                     me,
                     Cell::Decision {
-                        anchor: self.anchor.clone().expect("set by (10)"),
+                        anchor: self.anchor.clone().expect("set by (10)"), // chromata-lint: allow(P1): protocol-state invariant of the color-fixing algorithm; step() panics are caught by try_par_map and surface as ExploreError::WorkerPanicked
                         current: proposal.clone(),
                         core: self.core.clone(),
                     },
@@ -589,7 +591,7 @@ impl Process for Fig7 {
             }
             Pc::LoopScan(proposal) => {
                 let (_, their_anchor, their_current, _) =
-                    Self::other_entry(memory, me).expect("other non-pivot wrote before");
+                    Self::other_entry(memory, me).expect("other non-pivot wrote before"); // chromata-lint: allow(P1): protocol-state invariant of the color-fixing algorithm; step() panics are caught by try_par_map and surface as ExploreError::WorkerPanicked
                 let tau = Self::scan_tau(memory);
                 let lk = config.link_graph(&tau, self.core_vertex());
                 if lk.has_edge(proposal, &their_current) {
@@ -601,7 +603,7 @@ impl Process for Fig7 {
                         memory.clone(),
                     )];
                 }
-                let my_anchor = self.anchor.clone().expect("set by (10)");
+                let my_anchor = self.anchor.clone().expect("set by (10)"); // chromata-lint: allow(P1): protocol-state invariant of the color-fixing algorithm; step() panics are caught by try_par_map and surface as ExploreError::WorkerPanicked
                 let path = self.negotiation_path(config, &tau, &my_anchor, &their_anchor);
                 let next = next_proposal(&path, proposal, &their_current);
                 vec![(
@@ -623,11 +625,11 @@ fn next_proposal(path: &[Vertex], mine: &Vertex, theirs: &Vertex) -> Vertex {
     let my_pos = path
         .iter()
         .position(|v| v == mine)
-        .expect("my proposal lies on Π");
+        .expect("my proposal lies on Π"); // chromata-lint: allow(P1): protocol-state invariant of the color-fixing algorithm; step() panics are caught by try_par_map and surface as ExploreError::WorkerPanicked
     let their_pos = path
         .iter()
         .position(|v| v == theirs)
-        .expect("the other proposal lies on Π");
+        .expect("the other proposal lies on Π"); // chromata-lint: allow(P1): protocol-state invariant of the color-fixing algorithm; step() panics are caught by try_par_map and surface as ExploreError::WorkerPanicked
     debug_assert_ne!(my_pos, their_pos, "proposals have different colors");
     if my_pos < their_pos {
         path[their_pos - 1].clone()

@@ -203,6 +203,12 @@ pub enum ExploreError {
         /// What was wrong with it.
         reason: String,
     },
+    /// A decision map under execution has no assignment for a reachable
+    /// protocol vertex, so the run cannot decide.
+    IncompleteDecisionMap {
+        /// The unmapped vertex, rendered as text.
+        vertex: String,
+    },
 }
 
 impl std::fmt::Display for ExploreError {
@@ -232,6 +238,12 @@ impl std::fmt::Display for ExploreError {
             ),
             ExploreError::InvalidTrace { at, reason } => {
                 write!(f, "invalid trace at event {at}: {reason}")
+            }
+            ExploreError::IncompleteDecisionMap { vertex } => {
+                write!(
+                    f,
+                    "decision map has no assignment for protocol vertex {vertex}"
+                )
             }
         }
     }

@@ -89,7 +89,7 @@ impl Process for ImmediateSnapshot {
         let levels = memory.present("level");
         let at_or_below: Vec<usize> = levels
             .iter()
-            .filter(|(_, c)| c.as_int().expect("levels are ints") <= self.level as i64)
+            .filter(|(_, c)| c.as_int().expect("levels are ints") <= self.level as i64) // chromata-lint: allow(P1): memory-layout invariant maintained by this protocol's own writes; step() panics surface as ExploreError::WorkerPanicked
             .map(|(slot, _)| *slot)
             .collect();
         if at_or_below.len() >= self.level {
@@ -98,9 +98,9 @@ impl Process for ImmediateSnapshot {
                 .map(|&slot| {
                     memory
                         .read("input", slot)
-                        .expect("input written with level")
+                        .expect("input written with level") // chromata-lint: allow(P1): memory-layout invariant maintained by this protocol's own writes; step() panics surface as ExploreError::WorkerPanicked
                         .as_vertex()
-                        .expect("inputs are vertices")
+                        .expect("inputs are vertices") // chromata-lint: allow(P1): memory-layout invariant maintained by this protocol's own writes; step() panics surface as ExploreError::WorkerPanicked
                         .clone()
                 })
                 .collect();

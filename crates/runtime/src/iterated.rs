@@ -108,7 +108,7 @@ impl Process for IteratedImmediateSnapshot {
         let at_or_below: Vec<usize> = memory
             .present(level_obj)
             .into_iter()
-            .filter(|(_, c)| c.as_int().expect("levels") <= self.level as i64)
+            .filter(|(_, c)| c.as_int().expect("levels") <= self.level as i64) // chromata-lint: allow(P1): memory-layout invariant maintained by this protocol's own writes; step() panics surface as ExploreError::WorkerPanicked
             .map(|(slot, _)| slot)
             .collect();
         if at_or_below.len() >= self.level {
@@ -117,9 +117,9 @@ impl Process for IteratedImmediateSnapshot {
                 .map(|&slot| {
                     memory
                         .read(input_obj, slot)
-                        .expect("input written with level")
+                        .expect("input written with level") // chromata-lint: allow(P1): memory-layout invariant maintained by this protocol's own writes; step() panics surface as ExploreError::WorkerPanicked
                         .as_vertex()
-                        .expect("inputs are vertices")
+                        .expect("inputs are vertices") // chromata-lint: allow(P1): memory-layout invariant maintained by this protocol's own writes; step() panics surface as ExploreError::WorkerPanicked
                         .clone()
                 })
                 .collect();

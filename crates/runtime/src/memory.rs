@@ -45,7 +45,7 @@ impl Memory {
             .iter()
             .find(|(name, _)| *name == object)
             .map(|(_, regs)| regs.as_ref())
-            .unwrap_or_else(|| panic!("unknown object {object}"))
+            .unwrap_or_else(|| panic!("unknown object {object}")) // chromata-lint: allow(P1): registering objects before use is the Memory contract, documented under # Panics
     }
 
     /// Atomic update: writes `value` into register `slot` of `object`.
@@ -59,7 +59,7 @@ impl Memory {
             .iter_mut()
             .find(|(name, _)| *name == object)
             .map(|(_, regs)| Arc::make_mut(regs))
-            .unwrap_or_else(|| panic!("unknown object {object}"));
+            .unwrap_or_else(|| panic!("unknown object {object}")); // chromata-lint: allow(P1): registering objects before use is the Memory contract, documented under # Panics
         assert!(slot < regs.len(), "slot {slot} out of range for {object}");
         regs[slot] = Some(value);
     }

@@ -100,6 +100,7 @@ impl Process for DecisionProtocol {
                         .map
                         .get(view_vertex)
                         .unwrap_or_else(|| {
+                            // chromata-lint: allow(P1): step() cannot return Result; the panic is caught by try_par_map and surfaced as ExploreError::WorkerPanicked
                             panic!(
                                 "decision map has no assignment for protocol vertex {view_vertex}"
                             )
@@ -120,13 +121,15 @@ impl Process for DecisionProtocol {
 ///
 /// # Errors
 ///
-/// Propagates exploration budget errors.
+/// Propagates exploration budget errors, and returns
+/// [`ExploreError::IncompleteDecisionMap`] when the map lacks an
+/// assignment for a reachable input vertex (`rounds = 0`; deeper rounds
+/// surface the same defect as [`ExploreError::WorkerPanicked`]).
 ///
 /// # Panics
 ///
 /// Panics if some outcome violates the task (i.e. the witness map was not
-/// actually carried by `Δ`), if a process's own color is not preserved, or
-/// if the map is missing a protocol vertex.
+/// actually carried by `Δ`) or if a process's own color is not preserved.
 pub fn execute_decision_map(
     task: &Task,
     map: &SimplicialMap,
@@ -149,10 +152,12 @@ pub fn execute_decision_map(
                 config
                     .map
                     .get(x)
-                    .unwrap_or_else(|| panic!("map missing input vertex {x}"))
-                    .clone()
+                    .ok_or_else(|| ExploreError::IncompleteDecisionMap {
+                        vertex: x.to_string(),
+                    })
+                    .cloned()
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         check_outcome(task, participants, &outcome);
         return Ok(1);
     }

@@ -39,6 +39,7 @@ pub fn canonicalize(task: &Task) -> Task {
             .facets()
             .map(|y| {
                 product_simplex(tau, y)
+                    // chromata-lint: allow(P1): carrier images carry their domain's colors, enforced by CarrierMap validation
                     .expect("carrier images have the colors of their domain simplex")
             })
             .collect();
@@ -51,7 +52,7 @@ pub fn canonicalize(task: &Task) -> Task {
         output,
         delta,
     )
-    .expect("canonicalization preserves task validity")
+    .expect("canonicalization preserves task validity") // chromata-lint: allow(P1): canonicalization of a validated task preserves validity (paper section 3)
 }
 
 /// Whether the task is canonical: `Δ` is "one-to-one" in the paper's

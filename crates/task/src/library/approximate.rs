@@ -42,12 +42,12 @@ pub fn approximate_agreement(k: i64) -> Task {
     Task::from_facet_delta(format!("approx-agreement-{k}"), input, move |sigma| {
         let inputs: Vec<i64> = sigma
             .iter()
-            .map(|u| u.value().as_int().expect("binary inputs") * k)
+            .map(|u| u.value().as_int().expect("binary inputs") * k) // chromata-lint: allow(P1): the input complex built in this constructor carries only integer values
             .collect();
-        let lo = *inputs.iter().min().expect("non-empty");
-        let hi = *inputs.iter().max().expect("non-empty");
-        // All assignments within [lo, hi], pairwise within one grid step:
-        // values drawn from {base, base+1} for each base.
+        let lo = *inputs.iter().min().expect("non-empty"); // chromata-lint: allow(P1): simplices are non-empty by type invariant
+        let hi = *inputs.iter().max().expect("non-empty"); // chromata-lint: allow(P1): simplices are non-empty by type invariant
+                                                           // All assignments within [lo, hi], pairwise within one grid step:
+                                                           // values drawn from {base, base+1} for each base.
         let mut out = Vec::new();
         for base in lo..=hi {
             let top = (base + 1).min(hi);
@@ -62,7 +62,7 @@ pub fn approximate_agreement(k: i64) -> Task {
         }
         out
     })
-    .expect("approximate agreement is a valid task")
+    .expect("approximate agreement is a valid task") // chromata-lint: allow(P1): library task is built from compile-time constants; validation cannot fail
 }
 
 #[cfg(test)]

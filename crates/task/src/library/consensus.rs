@@ -27,7 +27,7 @@ pub fn consensus(n: usize) -> Task {
     Task::from_facet_delta(format!("consensus-{n}"), input, |sigma| {
         let vals: Vec<i64> = sigma
             .iter()
-            .map(|u| u.value().as_int().expect("binary inputs"))
+            .map(|u| u.value().as_int().expect("binary inputs")) // chromata-lint: allow(P1): the input complex built in this constructor carries only integer values
             .collect();
         let mut out = Vec::new();
         for d in [0i64, 1] {
@@ -39,7 +39,7 @@ pub fn consensus(n: usize) -> Task {
         }
         out
     })
-    .expect("consensus is a valid task")
+    .expect("consensus is a valid task") // chromata-lint: allow(P1): library task is built from compile-time constants; validation cannot fail
 }
 
 /// Two-process binary consensus (used by the Proposition 5.4 decider
@@ -71,7 +71,7 @@ pub fn multi_valued_consensus(v: i64) -> Task {
                 let t = Task::from_facet_delta(format!("consensus-3x{v}"), input, |sigma| {
                     let vals: Vec<i64> = sigma
                         .iter()
-                        .map(|u| u.value().as_int().expect("int inputs"))
+                        .map(|u| u.value().as_int().expect("int inputs")) // chromata-lint: allow(P1): the input complex built in this constructor carries only integer values
                         .collect();
                     let mut distinct = vals.clone();
                     distinct.sort_unstable();
@@ -83,7 +83,7 @@ pub fn multi_valued_consensus(v: i64) -> Task {
                         })
                         .collect()
                 })
-                .expect("multi-valued consensus is a valid task");
+                .expect("multi-valued consensus is a valid task"); // chromata-lint: allow(P1): library task is built from compile-time constants; validation cannot fail
                 return t;
             }
             assign[i] += 1;

@@ -34,9 +34,9 @@ impl LoopSpec {
     #[must_use]
     pub fn distinguished(&self) -> [Value; 3] {
         [
-            self.paths[0].first().expect("non-empty path").clone(),
-            self.paths[1].first().expect("non-empty path").clone(),
-            self.paths[2].first().expect("non-empty path").clone(),
+            self.paths[0].first().expect("non-empty path").clone(), // chromata-lint: allow(P1): documented # Panics contract: paths must be non-empty
+            self.paths[1].first().expect("non-empty path").clone(), // chromata-lint: allow(P1): documented # Panics contract: paths must be non-empty
+            self.paths[2].first().expect("non-empty path").clone(), // chromata-lint: allow(P1): documented # Panics contract: paths must be non-empty
         ]
     }
 
@@ -121,7 +121,7 @@ pub fn loop_agreement(name: &str, spec: LoopSpec) -> Task {
                     (0, 1) => &paths[0],
                     (1, 2) => &paths[1],
                     (0, 2) => &paths[2],
-                    other => unreachable!("unexpected color pair {other:?}"),
+                    other => unreachable!("unexpected color pair {other:?}"), // chromata-lint: allow(P1): delta is evaluated only on simplices of the 3-process input complex built above
                 };
                 let mut out = Vec::new();
                 for w in seg.windows(2) {
@@ -160,10 +160,10 @@ pub fn loop_agreement(name: &str, spec: LoopSpec) -> Task {
                 }
                 out
             }
-            other => unreachable!("unexpected color set {other:?}"),
+            other => unreachable!("unexpected color set {other:?}"), // chromata-lint: allow(P1): delta is evaluated only on simplices of the 3-process input complex built above
         }
     })
-    .expect("loop agreement is a valid task")
+    .expect("loop agreement is a valid task") // chromata-lint: allow(P1): loop-agreement construction yields a valid task for every validated LoopSpec
 }
 
 /// The boundary of a tetrahedron (a 2-sphere), vertices `1..=4`, with the

@@ -29,7 +29,7 @@ pub fn majority_consensus() -> Task {
     Task::from_facet_delta("majority-consensus", input, |sigma| {
         let vals: Vec<i64> = sigma
             .iter()
-            .map(|u| u.value().as_int().expect("binary inputs"))
+            .map(|u| u.value().as_int().expect("binary inputs")) // chromata-lint: allow(P1): the input complex built in this constructor carries only integer values
             .collect();
         let mut out = Vec::new();
         // Unanimous decisions on any appearing value.
@@ -50,7 +50,7 @@ pub fn majority_consensus() -> Task {
         }
         out
     })
-    .expect("majority consensus is a valid task")
+    .expect("majority consensus is a valid task") // chromata-lint: allow(P1): library task is built from compile-time constants; validation cannot fail
 }
 
 #[cfg(test)]

@@ -69,7 +69,7 @@ pub fn pinwheel() -> Task {
             set_agreement_images(tau, 2)
         }
     })
-    .expect("the pinwheel is a valid task")
+    .expect("the pinwheel is a valid task") // chromata-lint: allow(P1): library task is built from compile-time constants; validation cannot fail
 }
 
 #[cfg(test)]

@@ -43,7 +43,7 @@ pub fn adaptive_renaming() -> Task {
         });
         out
     })
-    .expect("adaptive renaming is a valid task")
+    .expect("adaptive renaming is a valid task") // chromata-lint: allow(P1): library task is built from compile-time constants; validation cannot fail
 }
 
 /// Non-adaptive `m`-renaming on a single input facet: all participants
@@ -78,7 +78,7 @@ pub fn renaming(m: i64) -> Task {
         });
         out
     })
-    .expect("renaming is a valid task")
+    .expect("renaming is a valid task") // chromata-lint: allow(P1): library task is built from compile-time constants; validation cannot fail
 }
 
 fn injective_assignments(

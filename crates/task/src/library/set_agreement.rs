@@ -29,7 +29,7 @@ use crate::task::Task;
 pub fn two_set_agreement() -> Task {
     let input = Complex::from_facets([input_facet()]);
     Task::from_delta_fn("2-set-agreement", input, |tau| set_agreement_images(tau, 2))
-        .expect("2-set agreement is a valid task")
+        .expect("2-set agreement is a valid task") // chromata-lint: allow(P1): library task is built from compile-time constants; validation cannot fail
 }
 
 /// The fixed input facet `{(P0,1), (P1,2), (P2,3)}`.
@@ -42,7 +42,7 @@ pub(crate) fn input_facet() -> Simplex {
 pub(crate) fn set_agreement_images(tau: &Simplex, k: usize) -> Vec<Simplex> {
     let vals: Vec<i64> = tau
         .iter()
-        .map(|u| u.value().as_int().expect("integer inputs"))
+        .map(|u| u.value().as_int().expect("integer inputs")) // chromata-lint: allow(P1): the input complex built in this constructor carries only integer values
         .collect();
     let m = tau.len();
     let mut out = Vec::new();

@@ -39,7 +39,7 @@ pub fn simple_example_task() -> Task {
             vec![g.clone(), h.clone()]
         }
     })
-    .expect("the Fig. 3 example is a valid task")
+    .expect("the Fig. 3 example is a valid task") // chromata-lint: allow(P1): library task is built from compile-time constants; validation cannot fail
 }
 
 #[cfg(test)]

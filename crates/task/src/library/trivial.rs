@@ -20,7 +20,7 @@ pub fn identity_task(n: usize) -> Task {
     let facet = Simplex::from_iter((0..n).map(|i| Vertex::of(i as u8, i64::from(i as u8))));
     let input = Complex::from_facets([facet]);
     Task::from_delta_fn(format!("identity-{n}"), input, |tau| vec![tau.clone()])
-        .expect("identity is a valid task")
+        .expect("identity is a valid task") // chromata-lint: allow(P1): library task is built from compile-time constants; validation cannot fail
 }
 
 /// The constant task for `n` processes: everyone outputs 0 regardless of
@@ -34,7 +34,7 @@ pub fn constant_task(n: usize) -> Task {
             tau.iter().map(|u| u.with_value(Value::Int(0))),
         )]
     })
-    .expect("constant is a valid task")
+    .expect("constant is a valid task") // chromata-lint: allow(P1): library task is built from compile-time constants; validation cannot fail
 }
 
 #[cfg(test)]

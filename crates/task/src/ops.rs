@@ -55,7 +55,7 @@ pub fn restricted_to_participants(task: &Task, participants: ColorSet) -> Task {
         output,
         delta,
     )
-    .expect("restriction of a valid task is valid")
+    .expect("restriction of a valid task is valid") // chromata-lint: allow(P1): restricting a validated task to a sub-complex preserves validity
 }
 
 /// All two-process restrictions of a three-process task, one per pair of

@@ -136,7 +136,7 @@ impl CarrierMap {
     #[must_use]
     pub fn image_of(&self, s: &Simplex) -> &Complex {
         self.get(s)
-            .unwrap_or_else(|| panic!("carrier map has no image for {s}"))
+            .unwrap_or_else(|| panic!("carrier map has no image for {s}")) // chromata-lint: allow(P1): totality on the domain is validated at construction; documented under # Panics
     }
 
     /// Iterator over `(simplex, image)` pairs, in simplex order.

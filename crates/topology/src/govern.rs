@@ -14,6 +14,18 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Reads a `usize` configuration knob from the process environment.
+///
+/// This module is the *only* place the workspace may observe the
+/// environment (static-analysis rule D2): configuration enters through
+/// here once, at initialization, so decision code stays a pure function
+/// of its inputs and budget. Unset, empty or unparsable values yield
+/// `None`.
+#[must_use]
+pub fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|s| s.trim().parse().ok())
+}
+
 /// A cooperative cancellation flag, cheaply cloneable and shareable
 /// across threads. Cancelling any clone cancels them all.
 #[derive(Clone, Debug, Default)]
@@ -202,5 +214,85 @@ mod tests {
     fn interrupt_displays() {
         assert_eq!(Interrupt::Cancelled.to_string(), "cancelled");
         assert_eq!(Interrupt::DeadlineExceeded.to_string(), "deadline exceeded");
+    }
+
+    #[test]
+    fn env_usize_parses_or_none() {
+        assert_eq!(env_usize("CHROMATA_TEST_SURELY_UNSET_KNOB"), None);
+    }
+
+    /// Exhaustive op-level model check of `CancelToken` (loom-style; see
+    /// [`crate::interleave`]): every thread holds its own clone and runs
+    /// `cancel` / `is_cancelled` ops in program order. For **every**
+    /// interleaving, cancellation must be *sticky* (never un-cancels) and
+    /// *shared* (once any clone's `cancel` commits, every later observer
+    /// on any clone sees it). `--cfg chromata_loom` raises thread count
+    /// and depth.
+    #[test]
+    fn cancel_token_exhaustive_interleavings() {
+        use crate::interleave::{for_each_interleaving, max_threads};
+
+        #[derive(Clone, Copy, PartialEq, Debug)]
+        enum Op {
+            Cancel,
+            Observe,
+        }
+        let threads = max_threads();
+        // Thread 0 cancels then observes; the rest only observe. This is
+        // the worst case for visibility: observers race the cancel.
+        let programs: Vec<Vec<Op>> = (0..threads)
+            .map(|t| {
+                if t == 0 {
+                    vec![Op::Cancel, Op::Observe]
+                } else {
+                    vec![Op::Observe, Op::Observe]
+                }
+            })
+            .collect();
+        let counts: Vec<usize> = programs.iter().map(Vec::len).collect();
+        let mut schedules = 0usize;
+        for_each_interleaving(&counts, |schedule| {
+            schedules += 1;
+            let token = CancelToken::new();
+            let clones: Vec<CancelToken> = (0..threads).map(|_| token.clone()).collect();
+            let mut pc = vec![0usize; threads];
+            let mut cancelled = false;
+            for &t in schedule {
+                let op = programs[t][pc[t]];
+                pc[t] += 1;
+                match op {
+                    Op::Cancel => {
+                        clones[t].cancel();
+                        cancelled = true;
+                    }
+                    Op::Observe => {
+                        let seen = clones[t].is_cancelled();
+                        // Sticky + shared: after the cancel committed,
+                        // every clone observes it; before, none does.
+                        assert_eq!(seen, cancelled, "schedule {schedule:?}");
+                    }
+                }
+            }
+            assert!(token.is_cancelled());
+        });
+        assert!(schedules >= 6, "expected full enumeration, got {schedules}");
+    }
+
+    /// Real-thread companion to the exhaustive check: hardware scheduling
+    /// cannot contradict the op-level model (cancellation is eventually
+    /// visible and final).
+    #[test]
+    fn cancel_token_cross_thread_visibility() {
+        let token = CancelToken::new();
+        let observer = token.clone();
+        let handle = std::thread::spawn(move || {
+            while !observer.is_cancelled() {
+                std::hint::spin_loop();
+            }
+            observer.is_cancelled()
+        });
+        token.cancel();
+        assert!(handle.join().unwrap());
+        assert!(token.is_cancelled());
     }
 }

@@ -1,0 +1,156 @@
+//! Loom-style exhaustive interleaving enumeration for concurrency tests.
+//!
+//! The workspace's shared-state primitives ([`crate::CancelToken`], the
+//! decision pipeline's FIFO cache) are built from atomic operations and
+//! mutex-guarded critical sections, so their concurrent behaviour is fully
+//! determined by the *order* in which those operations commit. That makes
+//! op-level model checking exact: enumerate every merge of the per-thread
+//! operation sequences, replay each merge sequentially against the real
+//! implementation, and assert the invariants after every step. If an
+//! invariant can be violated by scheduling, some enumeration order
+//! exhibits it deterministically — no stress loops, no flaky sleeps.
+//!
+//! The number of interleavings is the multinomial coefficient
+//! `(n₁+…+n_k)! / (n₁!·…·n_k!)`, so tests keep per-thread op counts small
+//! by default and opt into deeper schedules under `--cfg chromata_loom`
+//! (the CI `static-analysis` job runs the full suite):
+//!
+//! ```text
+//! RUSTFLAGS="--cfg chromata_loom" cargo test -p chromata-topology interleave
+//! ```
+//!
+//! Gate the expensive shapes with [`max_threads`]/[`depth_budget`] rather
+//! than `cfg!` directly so the scaling policy lives in one place.
+
+/// Calls `f` once per distinct interleaving of `k` threads where thread
+/// `t` performs `counts[t]` operations. Each schedule is a sequence of
+/// thread indices; thread `t` appears exactly `counts[t]` times, and its
+/// occurrences are its operations in program order.
+///
+/// The empty schedule is yielded exactly once when all counts are zero.
+pub fn for_each_interleaving<F>(counts: &[usize], mut f: F)
+where
+    F: FnMut(&[usize]),
+{
+    let total: usize = counts.iter().sum();
+    let mut remaining = counts.to_vec();
+    let mut schedule = Vec::with_capacity(total);
+    enumerate(&mut remaining, &mut schedule, total, &mut f);
+}
+
+fn enumerate<F>(remaining: &mut [usize], schedule: &mut Vec<usize>, total: usize, f: &mut F)
+where
+    F: FnMut(&[usize]),
+{
+    if schedule.len() == total {
+        f(schedule);
+        return;
+    }
+    for t in 0..remaining.len() {
+        if remaining[t] == 0 {
+            continue;
+        }
+        remaining[t] -= 1;
+        schedule.push(t);
+        enumerate(remaining, schedule, total, f);
+        schedule.pop();
+        remaining[t] += 1;
+    }
+}
+
+/// Number of distinct interleavings for the given per-thread op counts
+/// (the multinomial coefficient). Saturates at `usize::MAX`.
+#[must_use]
+pub fn interleaving_count(counts: &[usize]) -> usize {
+    let mut result: usize = 1;
+    let mut placed: usize = 0;
+    for &n in counts {
+        for i in 1..=n {
+            placed += 1;
+            // result *= C(placed, i) incrementally: multiply then divide
+            // keeps intermediate values exact (product of i consecutive
+            // integers is divisible by i!).
+            result = result.saturating_mul(placed) / i;
+        }
+    }
+    result
+}
+
+/// How many model threads exhaustive tests should use: 3 under
+/// `--cfg chromata_loom` (one per process of the paper's model), 2 in the
+/// default quick configuration.
+#[must_use]
+pub fn max_threads() -> usize {
+    if cfg!(chromata_loom) {
+        3
+    } else {
+        2
+    }
+}
+
+/// Per-thread operation budget for exhaustive tests: deep schedules under
+/// `--cfg chromata_loom`, shallow-but-meaningful ones by default so plain
+/// `cargo test` stays fast.
+#[must_use]
+pub fn depth_budget() -> usize {
+    if cfg!(chromata_loom) {
+        4
+    } else {
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn two_by_two_yields_all_six_merges() {
+        let mut seen = BTreeSet::new();
+        for_each_interleaving(&[2, 2], |s| {
+            assert!(seen.insert(s.to_vec()), "duplicate schedule {s:?}");
+        });
+        assert_eq!(seen.len(), 6);
+        assert_eq!(interleaving_count(&[2, 2]), 6);
+        assert!(seen.contains(&vec![0, 0, 1, 1]));
+        assert!(seen.contains(&vec![1, 1, 0, 0]));
+        assert!(seen.contains(&vec![0, 1, 0, 1]));
+    }
+
+    #[test]
+    fn counts_match_enumeration() {
+        for counts in [vec![1, 1, 1], vec![3, 2], vec![0, 2], vec![2, 2, 2]] {
+            let mut n = 0;
+            for_each_interleaving(&counts, |_| n += 1);
+            assert_eq!(n, interleaving_count(&counts), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn empty_schedule_yielded_once() {
+        let mut n = 0;
+        for_each_interleaving(&[0, 0], |s| {
+            assert!(s.is_empty());
+            n += 1;
+        });
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn schedules_respect_program_order() {
+        // Thread occurrences index ops in program order, so every prefix
+        // of a schedule contains at most counts[t] occurrences of t.
+        for_each_interleaving(&[2, 3], |s| {
+            let zeros = s.iter().filter(|&&t| t == 0).count();
+            let ones = s.iter().filter(|&&t| t == 1).count();
+            assert_eq!((zeros, ones), (2, 3));
+        });
+    }
+
+    #[test]
+    fn budgets_are_positive() {
+        assert!(max_threads() >= 2);
+        assert!(depth_budget() >= 3);
+    }
+}

@@ -71,6 +71,7 @@ pub type BuildStructuralHasher = std::hash::BuildHasherDefault<StructuralHasher>
 /// A sharded hash-consing table over `T`, bucketed by precomputed
 /// fingerprint. Collisions fall back to the caller-supplied structural
 /// match.
+// chromata-lint: allow(D1): shards are addressed by fingerprint key; the only traversal is an order-insensitive length sum in `stats`
 type Shard<T> = Mutex<std::collections::HashMap<u64, Vec<Arc<T>>, BuildStructuralHasher>>;
 
 pub(crate) struct Interner<T> {
@@ -81,7 +82,7 @@ impl<T> Interner<T> {
     pub(crate) fn new() -> Self {
         Interner {
             shards: (0..SHARDS)
-                .map(|_| Mutex::new(std::collections::HashMap::default()))
+                .map(|_| Mutex::new(std::collections::HashMap::default())) // chromata-lint: allow(D1): shard construction, see `Shard`
                 .collect(),
         }
     }
@@ -153,5 +154,61 @@ mod tests {
         let c = table.intern(7, |s| s == "y", || "y".to_owned());
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn canonical_arc_is_first_seen_and_stable() {
+        // The canonical allocation for a structure is the *first* one
+        // interned; later equal interns — even after unrelated inserts in
+        // the same bucket — keep returning that very allocation, never a
+        // newer one. This is the pointer-equality contract the fast-path
+        // `Eq` impls rely on.
+        let table: Interner<String> = Interner::new();
+        let first = table.intern(3, |s| s == "a", || "a".to_owned());
+        for other in ["b", "c", "d"] {
+            table.intern(3, |s| s == other, || other.to_owned());
+        }
+        let again = table.intern(3, |s| s == "a", || "a".to_owned());
+        assert!(Arc::ptr_eq(&first, &again));
+        assert_eq!(table.len(), 4);
+    }
+
+    #[test]
+    fn serialized_output_is_independent_of_interning_order() {
+        // The global interners record *first-seen* allocation order,
+        // which varies with construction order (and, under the parallel
+        // feature, with thread interleaving). None of that may leak into
+        // serde output: serialization is defined purely by structure.
+        use crate::{Complex, Simplex, Vertex};
+        let tri = |spin: i64| {
+            Simplex::from_iter([
+                Vertex::of(0, spin),
+                Vertex::of(1, spin + 1),
+                Vertex::of(2, spin + 2),
+            ])
+        };
+        // Forward construction order…
+        let forward = Complex::from_facets([tri(10), tri(20), tri(30)]);
+        // …versus reversed order (different first-seen sequence in the
+        // interner for any vertex/simplex not yet globally interned)…
+        let reversed = Complex::from_facets([tri(30), tri(20), tri(10)]);
+        // …versus concurrent construction from shuffled orders.
+        let threads: Vec<_> = [[20, 30, 10], [30, 10, 20]]
+            .into_iter()
+            .map(|spins| {
+                std::thread::spawn(move || {
+                    Complex::from_facets(spins.into_iter().map(tri).collect::<Vec<_>>())
+                })
+            })
+            .collect();
+        let baseline = serde_json::to_string(&forward).unwrap();
+        assert_eq!(serde_json::to_string(&reversed).unwrap(), baseline);
+        for handle in threads {
+            let complex = handle.join().unwrap();
+            assert_eq!(serde_json::to_string(&complex).unwrap(), baseline);
+        }
+        // And the round-trip re-interns to the same structure.
+        let back: Complex = serde_json::from_str(&baseline).unwrap();
+        assert_eq!(back, forward);
     }
 }

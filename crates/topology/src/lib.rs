@@ -38,8 +38,9 @@
 mod carrier;
 mod color;
 mod complex;
-mod govern;
+pub mod govern;
 mod graph;
+pub mod interleave;
 mod intern;
 mod map;
 mod par;

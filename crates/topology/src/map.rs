@@ -95,7 +95,7 @@ impl SimplicialMap {
     pub fn image(&self, domain: &Complex) -> Complex {
         Complex::from_facets(domain.facets().map(|s| {
             self.apply(s)
-                .unwrap_or_else(|| panic!("map not total on domain facet {s}"))
+                .unwrap_or_else(|| panic!("map not total on domain facet {s}")) // chromata-lint: allow(P1): totality on the domain is validated at construction; documented under # Panics
         }))
     }
 

@@ -107,6 +107,7 @@ where
                 for h in handles {
                     // Workers catch panics internally; join only fails on
                     // catastrophic (non-unwinding) termination.
+                    // chromata-lint: allow(P1): join fails only when a worker panicked; par_map documents that propagation
                     match h.join().expect("par_map worker terminated abnormally") {
                         Ok(mut part) => out.append(&mut part),
                         Err(p) => {

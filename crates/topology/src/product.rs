@@ -40,7 +40,7 @@ pub fn product_simplex(x: &Simplex, y: &Simplex) -> Option<Simplex> {
         .map(|u| {
             let v = y
                 .vertex_of_color(u.color())
-                .expect("color sets match, so the partner exists");
+                .expect("color sets match, so the partner exists"); // chromata-lint: allow(P1): equal chromatic color sets were checked at entry
             product_vertex(u, v)
         })
         .collect();

@@ -231,7 +231,7 @@ impl Simplex {
             .0
             .vertices
             .binary_search(from)
-            .unwrap_or_else(|_| panic!("substituted: {from} not in {self}"));
+            .unwrap_or_else(|_| panic!("substituted: {from} not in {self}")); // chromata-lint: allow(P1): documented # Panics contract of substitute
         let mut v = self.0.vertices.clone();
         v[i] = to;
         Simplex::new(v)

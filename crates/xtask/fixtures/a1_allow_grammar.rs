@@ -1,0 +1,13 @@
+// Fixture: rule A1 — the escape hatch itself is linted.
+
+// chromata-lint: allow(D1) //~ A1
+pub fn missing_justification() {}
+
+// chromata-lint: allow(Z9): there is no rule Z9 //~ A1
+pub fn unknown_rule() {}
+
+// chromata-lint: allow(): names no rules at all //~ A1
+pub fn empty_rule_list() {}
+
+// chromata-lint: deny(D1) is not the allow grammar //~ A1
+pub fn wrong_verb() {}

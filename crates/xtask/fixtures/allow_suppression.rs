@@ -1,0 +1,21 @@
+// Fixture: justified allows silence exactly their target lines — the
+// harness asserts this file lints *clean* (and with no unused allows).
+
+use std::collections::HashMap; // chromata-lint: allow(D1): imported for a key-addressed cache
+
+pub struct Cache {
+    // chromata-lint: allow(D1): key-addressed only; never iterated
+    entries: HashMap<u64, u64>,
+}
+
+impl Cache {
+    pub fn new() -> Self {
+        // chromata-lint: allow(D1): see the field's justification
+        Cache { entries: HashMap::new() }
+    }
+
+    pub fn get(&self, k: u64) -> u64 {
+        // chromata-lint: allow(P1): fixture invariant — every queried key was inserted at construction
+        *self.entries.get(&k).expect("key present")
+    }
+}

@@ -1,0 +1,36 @@
+// Fixture: rule D1 — hash containers on the verdict path.
+// Linted with the verdict-path role; trailing tilde-comments mark the
+// expected findings.
+
+use std::collections::HashMap; //~ D1
+use std::collections::HashSet; //~ D1
+use std::collections::BTreeMap;
+
+pub fn histogram(values: &[u32]) -> BTreeMap<u32, usize> {
+    let mut seen: HashSet<u32> = HashSet::new(); //~ D1 D1
+    let mut out = BTreeMap::new();
+    for v in values {
+        if seen.insert(*v) {
+            *out.entry(*v).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+// Ordered containers never trigger the rule.
+pub fn ordered() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-gated code is out of scope: hash iteration cannot leak into
+    // shipped verdicts from here.
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_containers_are_fine_in_tests() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert!(m.is_empty());
+    }
+}

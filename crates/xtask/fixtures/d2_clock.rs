@@ -1,0 +1,20 @@
+// Fixture: rule D2 — wall-clock and environment reads outside govern.rs.
+
+pub fn elapsed_ms() -> u128 {
+    let start = std::time::Instant::now(); //~ D2
+    start.elapsed().as_millis()
+}
+
+pub fn stamp() -> std::time::SystemTime { //~ D2
+    std::time::SystemTime::now() //~ D2
+}
+
+pub fn knob() -> Option<String> {
+    std::env::var("CHROMATA_FIXTURE_KNOB").ok() //~ D2
+}
+
+// Passing time *values* around is pure: `Instant` as a type or argument
+// is not a clock read, and `Duration` math never observes the clock.
+pub fn remaining(deadline: std::time::Instant, now: std::time::Instant) -> std::time::Duration {
+    deadline.duration_since(now)
+}

@@ -1,0 +1,20 @@
+// Fixture: rule L1 — poison-blind lock acquisition.
+
+use std::sync::Mutex;
+
+pub fn increment(counter: &Mutex<u64>) {
+    let mut guard = counter.lock().unwrap(); //~ L1
+    *guard += 1;
+}
+
+pub fn read(counter: &Mutex<u64>) -> u64 {
+    *counter.lock().expect("poisoned") //~ L1
+}
+
+// The sanctioned pattern: recover the guard and keep going (callers
+// re-validate invariants where the data can be torn).
+pub fn recovering(counter: &Mutex<u64>) -> u64 {
+    *counter
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

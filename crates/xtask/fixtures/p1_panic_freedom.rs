@@ -1,0 +1,42 @@
+// Fixture: rule P1 — panicking constructs in library code.
+
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() //~ P1
+}
+
+pub fn parse(s: &str) -> i64 {
+    s.parse().expect("caller guarantees digits") //~ P1
+}
+
+pub fn choose(flag: bool) -> u32 {
+    if flag {
+        1
+    } else {
+        panic!("unsupported configuration") //~ P1
+    }
+}
+
+pub fn classify(n: u32) -> &'static str {
+    match n {
+        0 => "zero",
+        _ => unreachable!("callers pass 0 only"), //~ P1
+    }
+}
+
+// Mentioning the words without calling them is fine: `unwrap` here is an
+// ordinary identifier, not a method call.
+pub fn unwrap_depth() -> u32 {
+    let unwrap = 3;
+    unwrap
+}
+
+#[cfg(test)]
+mod tests {
+    // Panics are the assertion mechanism inside tests — out of scope.
+    #[test]
+    fn panicking_is_fine_in_tests() {
+        assert_eq!(super::parse("7"), 7);
+        let xs = [1u32];
+        assert_eq!(*xs.first().unwrap(), 1);
+    }
+}

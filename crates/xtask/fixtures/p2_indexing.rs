@@ -1,0 +1,23 @@
+// Fixture: rule P2 (advisory) — slice/array indexing in library code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    xs[0] //~ P2
+}
+
+pub fn corner(grid: &[Vec<u32>]) -> u32 {
+    grid[0][1] //~ P2 P2
+}
+
+pub fn chained(pairs: &[(u32, u32)]) -> u32 {
+    pairs.to_vec()[0].0 //~ P2
+}
+
+// The checked alternative is what the rule suggests.
+pub fn safe_first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+// Type syntax and array literals are not indexing.
+pub fn zeros() -> [u32; 4] {
+    [0, 0, 0, 0]
+}

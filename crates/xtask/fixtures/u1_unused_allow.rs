@@ -1,0 +1,11 @@
+// Fixture: rule U1 (advisory) — stale allows rot into misdocumentation.
+
+// chromata-lint: allow(D1): nothing below iterates a hash container //~ U1
+pub fn pure() -> u32 {
+    7
+}
+
+// chromata-lint: allow(D1): key lookup only; never iterated
+pub fn used(map: &std::collections::HashMap<u32, u32>) -> Option<u32> {
+    map.get(&7).copied()
+}

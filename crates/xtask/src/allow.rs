@@ -1,0 +1,231 @@
+//! The `chromata-lint: allow(...)` escape hatch.
+//!
+//! Grammar, inside any comment:
+//!
+//! ```text
+//! // chromata-lint: allow(RULE[, RULE...]): <justification>
+//! ```
+//!
+//! * A trailing comment allows the rules on its own line.
+//! * A comment alone on a line allows the rules on the next code line.
+//! * An inner doc comment (`//! chromata-lint: allow(...): ...`) allows
+//!   the rules for the whole file.
+//!
+//! The justification is **required**: an allow without one is itself a
+//! lint violation (rule `A1`), as is an allow naming an unknown rule.
+//! Allows that suppress nothing are reported as `U1` (unused-allow).
+
+use crate::lexer::Tok;
+use crate::rules::KNOWN_RULES;
+
+/// A parsed allow annotation.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Rules silenced by this annotation.
+    pub rules: Vec<String>,
+    /// Line of the comment carrying the annotation.
+    pub comment_line: u32,
+    /// Code line the annotation applies to (`None` = whole file).
+    pub target_line: Option<u32>,
+    /// Whether any rule actually used this annotation (for `U1`).
+    pub used: bool,
+}
+
+/// A malformed annotation, reported as rule `A1`.
+#[derive(Clone, Debug)]
+pub struct AllowError {
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+const MARKER: &str = "chromata-lint:";
+
+/// Extracts allow annotations (and `A1` errors) from a token stream.
+#[must_use]
+pub fn collect(tokens: &[Tok]) -> (Vec<AllowEntry>, Vec<AllowError>) {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if !tok.is_comment() {
+            continue;
+        }
+        let Some(at) = tok.text.find(MARKER) else {
+            continue;
+        };
+        let body = tok.text[at + MARKER.len()..].trim();
+        let file_level = tok.text.starts_with("//!");
+        match parse_body(body) {
+            Ok((rules, justification)) => {
+                if justification.trim().is_empty() {
+                    errors.push(AllowError {
+                        line: tok.line,
+                        col: tok.col,
+                        message: format!(
+                            "allow({}) without a justification: append \
+                             `: <why this is sound>`",
+                            rules.join(", ")
+                        ),
+                    });
+                    continue;
+                }
+                if let Some(unknown) = rules.iter().find(|r| !KNOWN_RULES.contains(&r.as_str())) {
+                    errors.push(AllowError {
+                        line: tok.line,
+                        col: tok.col,
+                        message: format!(
+                            "allow names unknown rule `{unknown}` (known: {})",
+                            KNOWN_RULES.join(", ")
+                        ),
+                    });
+                    continue;
+                }
+                let target_line = if file_level {
+                    None
+                } else {
+                    Some(target_of(tokens, i))
+                };
+                entries.push(AllowEntry {
+                    rules,
+                    comment_line: tok.line,
+                    target_line,
+                    used: false,
+                });
+            }
+            Err(msg) => errors.push(AllowError {
+                line: tok.line,
+                col: tok.col,
+                message: msg,
+            }),
+        }
+    }
+    (entries, errors)
+}
+
+/// Parses `allow(R1, R2): justification`.
+fn parse_body(body: &str) -> Result<(Vec<String>, String), String> {
+    let rest = body
+        .strip_prefix("allow")
+        .ok_or_else(|| format!("expected `allow(...)` after `{MARKER}`, found `{body}`"))?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or_else(|| "expected `(` after `allow`".to_owned())?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| "unclosed `(` in allow annotation".to_owned())?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("allow() names no rules".to_owned());
+    }
+    let tail = rest[close + 1..].trim_start();
+    let justification = tail.strip_prefix(':').unwrap_or("").trim().to_owned();
+    Ok((rules, justification))
+}
+
+/// The code line an allow comment applies to: its own line if code
+/// precedes it there (trailing comment), else the line of the next
+/// non-comment token.
+fn target_of(tokens: &[Tok], comment_idx: usize) -> u32 {
+    let comment = &tokens[comment_idx];
+    let trailing = tokens[..comment_idx]
+        .iter()
+        .rev()
+        .take_while(|t| t.line == comment.line)
+        .any(|t| !t.is_comment());
+    if trailing {
+        return comment.line;
+    }
+    tokens[comment_idx + 1..]
+        .iter()
+        .find(|t| !t.is_comment())
+        .map_or(comment.line, |t| t.line)
+}
+
+/// Whether some entry silences `rule` at `line`, marking it used.
+pub fn covers(entries: &mut [AllowEntry], rule: &str, line: u32) -> bool {
+    let mut hit = false;
+    for e in entries.iter_mut() {
+        if e.rules.iter().any(|r| r == rule)
+            && match e.target_line {
+                None => true,
+                Some(t) => t == line,
+            }
+        {
+            e.used = true;
+            hit = true;
+        }
+    }
+    hit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_and_leading_targets() {
+        let src = "let x = m.get(k); // chromata-lint: allow(D1): key lookup only\n\
+                   // chromata-lint: allow(P1): slice length checked above\n\
+                   let y = v[0].unwrap();\n";
+        let (entries, errors) = collect(&lex(src));
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].target_line, Some(1));
+        assert_eq!(entries[1].target_line, Some(3));
+    }
+
+    #[test]
+    fn file_level_allow() {
+        let src =
+            "//! chromata-lint: allow(D2): bench-only crate, wall-clock is the point\nfn f() {}\n";
+        let (entries, errors) = collect(&lex(src));
+        assert!(errors.is_empty());
+        assert_eq!(entries[0].target_line, None);
+    }
+
+    #[test]
+    fn missing_justification_is_an_error() {
+        let (entries, errors) = collect(&lex("// chromata-lint: allow(D1)\nlet x = 1;\n"));
+        assert!(entries.is_empty());
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].message.contains("without a justification"));
+    }
+
+    #[test]
+    fn colon_with_empty_justification_is_an_error() {
+        let (entries, errors) = collect(&lex("// chromata-lint: allow(D1):   \nlet x = 1;\n"));
+        assert!(entries.is_empty());
+        assert_eq!(errors.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let (_, errors) = collect(&lex("// chromata-lint: allow(Z9): because\nlet x = 1;\n"));
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].message.contains("unknown rule `Z9`"));
+    }
+
+    #[test]
+    fn multiple_rules_one_annotation() {
+        let src = "// chromata-lint: allow(D1, P1): fixture exercising both\nlet x = 1;\n";
+        let (entries, errors) = collect(&lex(src));
+        assert!(errors.is_empty());
+        assert_eq!(entries[0].rules, vec!["D1", "P1"]);
+    }
+
+    #[test]
+    fn covers_marks_used() {
+        let src = "// chromata-lint: allow(D1): lookup only\nlet x = 1;\n";
+        let (mut entries, _) = collect(&lex(src));
+        assert!(covers(&mut entries, "D1", 2));
+        assert!(entries[0].used);
+        assert!(!covers(&mut entries, "P1", 2));
+        assert!(!covers(&mut entries, "D1", 3));
+    }
+}

@@ -1,0 +1,308 @@
+//! Supply-chain checks (`cargo xtask deny`): the offline stand-in for
+//! `cargo-deny`, driven by the same `deny.toml` shape.
+//!
+//! Three checks, mirroring cargo-deny's `licenses`, `bans` and
+//! `advisories` passes:
+//!
+//! * every workspace and vendored crate's license expression must be
+//!   covered by the `[licenses] allow` list;
+//! * `Cargo.lock` must not contain two versions of the same package
+//!   (`[bans] multiple-versions = "deny"`);
+//! * no locked package may match the embedded advisory database (the
+//!   workspace builds offline, so a small static snapshot of RUSTSEC
+//!   entries for crates this project could plausibly grow stands in for
+//!   the live feed).
+
+use std::fmt;
+use std::path::Path;
+
+use crate::toml_lite::{self, Value};
+use crate::workspace;
+
+/// A static snapshot of RUSTSEC advisories checked against `Cargo.lock`.
+/// `(crate, affected-version-prefix, id, summary)`; a locked package
+/// matches when its name is equal and its version starts with the prefix.
+pub const ADVISORIES: &[(&str, &str, &str, &str)] = &[
+    (
+        "smallvec",
+        "0.6",
+        "RUSTSEC-2019-0009",
+        "double-free and use-after-free in SmallVec",
+    ),
+    (
+        "time",
+        "0.1",
+        "RUSTSEC-2020-0071",
+        "potential segfault in localtime_r invocations",
+    ),
+    (
+        "atty",
+        "0.2",
+        "RUSTSEC-2021-0145",
+        "potential unaligned read",
+    ),
+    (
+        "chrono",
+        "0.4.1",
+        "RUSTSEC-2020-0159",
+        "potential segfault in localtime_r invocations",
+    ),
+];
+
+/// One deny-check violation.
+#[derive(Clone, Debug)]
+pub struct DenyFinding {
+    /// Which pass produced it (`licenses`, `bans`, `advisories`).
+    pub pass: &'static str,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for DenyFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error[deny:{}]: {}", self.pass, self.message)
+    }
+}
+
+/// The outcome of `xtask deny`.
+#[derive(Clone, Debug, Default)]
+pub struct DenyReport {
+    pub findings: Vec<DenyFinding>,
+    pub crates_checked: usize,
+    pub packages_locked: usize,
+}
+
+impl DenyReport {
+    /// Whether the run should exit non-zero.
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        !self.findings.is_empty()
+    }
+}
+
+impl fmt::Display for DenyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.findings {
+            writeln!(f, "{d}")?;
+        }
+        write!(
+            f,
+            "{} manifest(s) and {} locked package(s) checked: {} violation(s)",
+            self.crates_checked,
+            self.packages_locked,
+            self.findings.len()
+        )
+    }
+}
+
+/// Runs all three passes from the workspace root.
+///
+/// # Errors
+///
+/// Returns an error if `deny.toml` or `Cargo.lock` cannot be read.
+pub fn run(root: &Path) -> std::io::Result<DenyReport> {
+    let config = toml_lite::parse(&std::fs::read_to_string(root.join("deny.toml"))?);
+    let lock = std::fs::read_to_string(root.join("Cargo.lock"))?;
+    let root_manifest = toml_lite::parse(&std::fs::read_to_string(root.join("Cargo.toml"))?);
+    let workspace_license = root_manifest
+        .get("workspace.package", "license")
+        .and_then(Value::as_str)
+        .unwrap_or("")
+        .to_owned();
+
+    let mut report = DenyReport::default();
+    check_licenses(root, &config, &workspace_license, &mut report)?;
+    check_lock(&lock, &config, &mut report);
+    Ok(report)
+}
+
+fn check_licenses(
+    root: &Path,
+    config: &toml_lite::Doc,
+    workspace_license: &str,
+    report: &mut DenyReport,
+) -> std::io::Result<()> {
+    let allow: Vec<String> = config
+        .get("licenses", "allow")
+        .and_then(Value::as_array)
+        .map(<[String]>::to_vec)
+        .unwrap_or_default();
+    for manifest in workspace::manifests(root)? {
+        let doc = toml_lite::parse(&std::fs::read_to_string(&manifest)?);
+        let Some(pkg) = doc.table("package") else {
+            continue;
+        };
+        report.crates_checked += 1;
+        let name = pkg
+            .entries
+            .get("name")
+            .and_then(Value::as_str)
+            .unwrap_or("<unnamed>")
+            .to_owned();
+        let license = match (
+            pkg.entries.get("license").and_then(Value::as_str),
+            pkg.entries.get("license.workspace"),
+        ) {
+            (Some(l), _) => l.to_owned(),
+            (None, Some(Value::Bool(true))) => workspace_license.to_owned(),
+            _ => String::new(),
+        };
+        if license.is_empty() {
+            report.findings.push(DenyFinding {
+                pass: "licenses",
+                message: format!("crate `{name}` declares no license"),
+            });
+        } else if !expression_allowed(&license, &allow) {
+            report.findings.push(DenyFinding {
+                pass: "licenses",
+                message: format!(
+                    "crate `{name}` license `{license}` is not covered by the \
+                     deny.toml allow list"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// SPDX-lite: the whole expression is allowed verbatim, or each `AND`
+/// part must be allowed, where a part is allowed verbatim or if any of
+/// its `OR` alternatives is allowed.
+fn expression_allowed(expr: &str, allow: &[String]) -> bool {
+    let allowed = |s: &str| allow.iter().any(|a| a == s.trim());
+    if allowed(expr) {
+        return true;
+    }
+    expr.split(" AND ")
+        .all(|part| allowed(part) || part.split(" OR ").any(&allowed))
+}
+
+/// The lock-file passes (separated from [`run`] so tests can feed a
+/// synthetic lock).
+pub fn check_lock(lock_text: &str, config: &toml_lite::Doc, report: &mut DenyReport) {
+    let lock = toml_lite::parse(lock_text);
+    let packages: Vec<(String, String)> = lock
+        .tables_named("package")
+        .filter_map(|t| {
+            Some((
+                t.entries.get("name")?.as_str()?.to_owned(),
+                t.entries.get("version")?.as_str()?.to_owned(),
+            ))
+        })
+        .collect();
+    report.packages_locked = packages.len();
+
+    // bans: duplicate versions of one package.
+    let multiple_versions = config
+        .get("bans", "multiple-versions")
+        .and_then(Value::as_str)
+        .unwrap_or("deny");
+    if multiple_versions == "deny" {
+        let mut by_name: std::collections::BTreeMap<&str, Vec<&str>> =
+            std::collections::BTreeMap::new();
+        for (name, version) in &packages {
+            by_name.entry(name).or_default().push(version);
+        }
+        for (name, mut versions) in by_name {
+            versions.sort_unstable();
+            versions.dedup();
+            if versions.len() > 1 {
+                report.findings.push(DenyFinding {
+                    pass: "bans",
+                    message: format!(
+                        "duplicate versions of `{name}` in Cargo.lock: {}",
+                        versions.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+
+    // advisories: embedded RUSTSEC snapshot.
+    for (name, version) in &packages {
+        for (adv_name, prefix, id, summary) in ADVISORIES {
+            if name == adv_name && version.starts_with(prefix) {
+                report.findings.push(DenyFinding {
+                    pass: "advisories",
+                    message: format!("`{name} {version}` matches {id}: {summary}"),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(text: &str) -> toml_lite::Doc {
+        toml_lite::parse(text)
+    }
+
+    #[test]
+    fn duplicate_versions_are_banned() {
+        let mut report = DenyReport::default();
+        check_lock(
+            "[[package]]\nname = \"dup\"\nversion = \"1.0.0\"\n\n[[package]]\nname = \"dup\"\nversion = \"2.0.0\"\n",
+            &config("[bans]\nmultiple-versions = \"deny\"\n"),
+            &mut report,
+        );
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].pass, "bans");
+        assert!(report.findings[0].message.contains("dup"));
+    }
+
+    #[test]
+    fn duplicates_allowed_when_configured() {
+        let mut report = DenyReport::default();
+        check_lock(
+            "[[package]]\nname = \"dup\"\nversion = \"1.0.0\"\n\n[[package]]\nname = \"dup\"\nversion = \"2.0.0\"\n",
+            &config("[bans]\nmultiple-versions = \"allow\"\n"),
+            &mut report,
+        );
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn advisory_snapshot_matches_by_prefix() {
+        let mut report = DenyReport::default();
+        check_lock(
+            "[[package]]\nname = \"smallvec\"\nversion = \"0.6.14\"\n",
+            &config(""),
+            &mut report,
+        );
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].message.contains("RUSTSEC-2019-0009"));
+        // A fixed version does not match.
+        let mut clean = DenyReport::default();
+        check_lock(
+            "[[package]]\nname = \"smallvec\"\nversion = \"1.11.0\"\n",
+            &config(""),
+            &mut clean,
+        );
+        assert!(clean.findings.is_empty());
+    }
+
+    #[test]
+    fn license_expressions() {
+        let allow = vec!["MIT".to_owned(), "Apache-2.0".to_owned()];
+        assert!(expression_allowed("MIT", &allow));
+        assert!(expression_allowed("MIT OR Apache-2.0", &allow));
+        assert!(expression_allowed("MIT AND Apache-2.0", &allow));
+        assert!(!expression_allowed("GPL-3.0", &allow));
+        assert!(!expression_allowed("MIT AND GPL-3.0", &allow));
+        assert!(expression_allowed("GPL-3.0 OR MIT", &allow));
+    }
+
+    #[test]
+    fn whole_workspace_passes_the_real_config() {
+        let root = crate::workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();
+        let report = run(&root).unwrap();
+        assert!(
+            !report.failed(),
+            "deny violations in the real workspace:\n{report}"
+        );
+        assert!(report.crates_checked >= 8, "{}", report.crates_checked);
+        assert!(report.packages_locked >= 8, "{}", report.packages_locked);
+    }
+}

@@ -1,0 +1,107 @@
+//! Rustc-style diagnostics.
+
+use std::fmt;
+
+/// How a reported rule violation is treated.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Reported and counted toward a non-zero exit.
+    Deny,
+    /// Reported but does not fail the run.
+    Warn,
+    /// Suppressed entirely.
+    Allow,
+}
+
+/// One finding, pointing at an exact source location.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Stable rule identifier (`D1`, `P1`, ...).
+    pub rule: &'static str,
+    /// Severity after applying the run's configuration.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Length of the underlined span in characters.
+    pub len: usize,
+    /// One-line statement of the violation.
+    pub message: String,
+    /// How to fix it (or how to silence it with a justification).
+    pub help: String,
+    /// The offending source line, for rendering.
+    pub source_line: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let level = match self.severity {
+            Severity::Deny => "error",
+            Severity::Warn => "warning",
+            Severity::Allow => "allowed",
+        };
+        writeln!(f, "{level}[{}]: {}", self.rule, self.message)?;
+        writeln!(f, "  --> {}:{}:{}", self.path, self.line, self.col)?;
+        let gutter = format!("{}", self.line);
+        let pad = " ".repeat(gutter.len());
+        writeln!(f, "{pad} |")?;
+        writeln!(f, "{gutter} | {}", self.source_line)?;
+        let underline_pad = " ".repeat(self.col.saturating_sub(1) as usize);
+        let carets = "^".repeat(self.len.max(1));
+        writeln!(f, "{pad} | {underline_pad}{carets}")?;
+        writeln!(f, "{pad} = help: {}", self.help)
+    }
+}
+
+/// The outcome of a lint run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All diagnostics, in (path, line, col) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Number of deny-level diagnostics.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Number of warn-level diagnostics.
+    #[must_use]
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Whether the run should exit non-zero.
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        self.errors() > 0
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(
+            f,
+            "{} file(s) scanned: {} error(s), {} warning(s)",
+            self.files_scanned,
+            self.errors(),
+            self.warnings()
+        )
+    }
+}

@@ -1,0 +1,568 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! The workspace builds fully offline against vendored crates, so `syn`
+//! is not available; the lint rules instead run over this token stream.
+//! The lexer is *sound for linting*: it never confuses code with the
+//! contents of comments, string/char literals or raw strings, and it
+//! reports exact 1-based line/column spans. It does not attempt full
+//! parsing — the rules are token-pattern based and deliberately
+//! over-approximate (a violation can always be silenced with a justified
+//! `// chromata-lint: allow(..)` annotation, never the other way round).
+
+/// What a token is. Literal contents are dropped: no rule may ever match
+/// inside a string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `for`, `unwrap`, ...).
+    Ident,
+    /// A single punctuation character (`.`, `!`, `[`, ...).
+    Punct(char),
+    /// String / char / byte / numeric literal (contents withheld).
+    Literal,
+    /// A lifetime such as `'a`.
+    Lifetime,
+    /// `// ...` comment, including doc comments; text preserved for the
+    /// allow-annotation parser.
+    LineComment,
+    /// `/* ... */` comment (possibly nested, possibly multi-line).
+    BlockComment,
+}
+
+/// One lexed token with its source span.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Token text. For literals this is empty; for comments it is the
+    /// full comment including the delimiters.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// Whether the token is a comment of either kind.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Whether the token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether the token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into tokens (comments included, literal contents dropped).
+///
+/// The lexer never fails: unterminated literals or comments simply run to
+/// the end of the file, which is the most conservative span for linting.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.push(Tok {
+                kind: TokKind::LineComment,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while let Some(ch) = cur.peek(0) {
+                if ch == '/' && cur.peek(1) == Some('*') {
+                    depth += 1;
+                    text.push('/');
+                    text.push('*');
+                    cur.bump();
+                    cur.bump();
+                } else if ch == '*' && cur.peek(1) == Some('/') {
+                    depth -= 1;
+                    text.push('*');
+                    text.push('/');
+                    cur.bump();
+                    cur.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(ch);
+                    cur.bump();
+                }
+            }
+            out.push(Tok {
+                kind: TokKind::BlockComment,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '"' {
+            skip_string(&mut cur);
+            out.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '\'' {
+            lex_quote(&mut cur, &mut out, line, col);
+            continue;
+        }
+        if is_ident_start(c) {
+            lex_ident_or_prefixed(&mut cur, &mut out, line, col);
+            continue;
+        }
+        if c.is_ascii_digit() {
+            while let Some(ch) = cur.peek(0) {
+                if is_ident_continue(ch) {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            out.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line,
+                col,
+            });
+            continue;
+        }
+        cur.bump();
+        out.push(Tok {
+            kind: TokKind::Punct(c),
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Consumes a `"..."` string body (opening quote at the cursor).
+fn skip_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(ch) = cur.bump() {
+        match ch {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw string `r##"..."##` whose `r` and hashes are already
+/// consumed; `hashes` is the number of `#` before the opening quote.
+fn skip_raw_string(cur: &mut Cursor, hashes: usize) {
+    cur.bump(); // opening quote
+    'outer: while let Some(ch) = cur.bump() {
+        if ch == '"' {
+            for k in 0..hashes {
+                if cur.peek(k) != Some('#') {
+                    continue 'outer;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+    }
+}
+
+/// `'` can open a char literal or a lifetime.
+fn lex_quote(cur: &mut Cursor, out: &mut Vec<Tok>, line: u32, col: u32) {
+    cur.bump(); // the quote
+    match cur.peek(0) {
+        Some('\\') => {
+            // Escaped char literal: consume to the closing quote.
+            cur.bump();
+            cur.bump(); // the escaped character (or `u`/`x` introducer)
+            while let Some(ch) = cur.bump() {
+                if ch == '\'' {
+                    break;
+                }
+            }
+            out.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line,
+                col,
+            });
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'a` (lifetime) vs `'a'` (char literal): scan the ident and
+            // look for a closing quote.
+            let mut ident = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if is_ident_continue(ch) {
+                    ident.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            if cur.peek(0) == Some('\'') && ident.chars().count() == 1 {
+                cur.bump();
+                out.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+            } else {
+                out.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: ident,
+                    line,
+                    col,
+                });
+            }
+        }
+        Some(_) => {
+            // `'x'` with any other single char.
+            cur.bump();
+            if cur.peek(0) == Some('\'') {
+                cur.bump();
+            }
+            out.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line,
+                col,
+            });
+        }
+        None => {}
+    }
+}
+
+/// An identifier, or one of the literal prefixes `r"`, `b"`, `br"`,
+/// `r#"`, `r#ident`.
+fn lex_ident_or_prefixed(cur: &mut Cursor, out: &mut Vec<Tok>, line: u32, col: u32) {
+    let mut ident = String::new();
+    while let Some(ch) = cur.peek(0) {
+        if is_ident_continue(ch) {
+            ident.push(ch);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    let next = cur.peek(0);
+    let rawish = matches!(ident.as_str(), "r" | "b" | "br" | "rb");
+    if rawish && next == Some('"') {
+        if ident.contains('r') {
+            skip_raw_string(cur, 0);
+        } else {
+            skip_string(cur);
+        }
+        out.push(Tok {
+            kind: TokKind::Literal,
+            text: String::new(),
+            line,
+            col,
+        });
+        return;
+    }
+    if rawish && next == Some('#') {
+        // Count hashes; `r#"` starts a raw string, `r#ident` is a raw
+        // identifier.
+        let mut hashes = 0usize;
+        while cur.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        match cur.peek(hashes) {
+            Some('"') => {
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                skip_raw_string(cur, hashes);
+                out.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+                return;
+            }
+            Some(c) if hashes == 1 && is_ident_start(c) => {
+                cur.bump(); // the `#`
+                let mut raw = String::new();
+                while let Some(ch) = cur.peek(0) {
+                    if is_ident_continue(ch) {
+                        raw.push(ch);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok {
+                    kind: TokKind::Ident,
+                    text: raw,
+                    line,
+                    col,
+                });
+                return;
+            }
+            _ => {}
+        }
+    }
+    out.push(Tok {
+        kind: TokKind::Ident,
+        text: ident,
+        line,
+        col,
+    });
+}
+
+/// Line ranges (1-based, inclusive) of items gated to test builds:
+/// anything carrying `#[test]` or a `#[cfg(...)]` attribute whose
+/// arguments mention `test` (covering `#[cfg(test)]` and
+/// `#[cfg(any(test, ...))]`). `#[cfg_attr(test, ...)]` does *not* gate
+/// the item itself and is not skipped.
+#[must_use]
+pub fn test_regions(tokens: &[Tok]) -> Vec<(u32, u32)> {
+    let toks: Vec<&Tok> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let attr_start_line = toks[i].line;
+        // Scan this attribute (and any directly following ones) for a
+        // test gate, then remember where the attribute block ends.
+        let mut gated = false;
+        let mut j = i;
+        while j < toks.len()
+            && toks[j].is_punct('#')
+            && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            let mut depth = 0i32;
+            let mut idents: Vec<&str> = Vec::new();
+            let mut k = j + 1;
+            while k < toks.len() {
+                match toks[k].kind {
+                    TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokKind::Ident => idents.push(&toks[k].text),
+                    _ => {}
+                }
+                k += 1;
+            }
+            let is_gate = match idents.first() {
+                Some(&"test") => true,
+                Some(&"cfg") => idents.contains(&"test"),
+                _ => false,
+            };
+            gated = gated || is_gate;
+            j = k + 1;
+        }
+        if !gated {
+            i = j;
+            continue;
+        }
+        // Skip the gated item: it ends at a `;` at bracket depth zero or
+        // at the `}` matching the first brace opened at depth zero.
+        let mut depth = 0i32;
+        let mut entered_brace = false;
+        let mut end_line = toks.last().map_or(attr_start_line, |t| t.line);
+        let mut k = j;
+        while k < toks.len() {
+            match toks[k].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                TokKind::Punct('{') => {
+                    depth += 1;
+                    entered_brace = true;
+                }
+                TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if entered_brace && depth == 0 {
+                        end_line = toks[k].line;
+                        k += 1;
+                        break;
+                    }
+                }
+                TokKind::Punct(';') if depth == 0 => {
+                    end_line = toks[k].line;
+                    k += 1;
+                    break;
+                }
+                _ => {}
+            }
+            end_line = toks[k].line;
+            k += 1;
+        }
+        regions.push((attr_start_line, end_line));
+        i = k;
+    }
+    regions
+}
+
+/// Whether `line` falls inside any of `regions`.
+#[must_use]
+pub fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"let x = "HashMap.unwrap()"; // HashMap here too
+            /* unwrap() in a block comment */ let y = r#"panic!"#;"##;
+        assert!(!idents(src).iter().any(|s| s == "HashMap" || s == "unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let toks = idents("fn f<'a>(x: &'a str) -> &'a str { x.unwrap() }");
+        assert!(toks.iter().any(|s| s == "unwrap"));
+    }
+
+    #[test]
+    fn char_literals_lex_as_literals() {
+        let toks = lex("let c = 'x'; let n = '\\n'; let l: &'static str = \"s\";");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* a /* b */ c */ fn f() {}");
+        assert!(toks[0].kind == TokKind::BlockComment);
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn spans_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_region() {
+        let src = "fn real() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn after() {}\n";
+        let toks = lex(src);
+        let regions = test_regions(&toks);
+        assert_eq!(regions, vec![(2, 5)]);
+        assert!(!in_regions(&regions, 1));
+        assert!(in_regions(&regions, 4));
+        assert!(!in_regions(&regions, 6));
+    }
+
+    #[test]
+    fn test_attribute_gates_one_fn() {
+        let src = "#[test]\nfn t() { y.unwrap(); }\nfn real() {}\n";
+        let regions = test_regions(&lex(src));
+        assert_eq!(regions, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn cfg_attr_test_is_not_a_gate() {
+        let src = "#[cfg_attr(test, derive(Debug))]\nstruct S { x: u32 }\n";
+        assert!(test_regions(&lex(src)).is_empty());
+    }
+
+    #[test]
+    fn cfg_any_test_is_a_gate() {
+        let src = "#[cfg(any(test, feature = \"slow\"))]\nfn helper() {}\n";
+        assert_eq!(test_regions(&lex(src)), vec![(1, 2)]);
+    }
+}

@@ -1,0 +1,71 @@
+//! `chromata-xtask`: workspace-aware static analysis for the chromata
+//! decision pipeline.
+//!
+//! The pipeline's contract is that verdicts are *reproducible*: the same
+//! task yields the same [`Verdict`], the same subdivision and
+//! byte-identical traces in every feature configuration. That property
+//! is defended dynamically by goldens (`tests/feature_parity.rs`) and
+//! statically by this tool: `cargo xtask lint` parses every workspace
+//! source file (with a purpose-built lexer — the workspace builds
+//! offline, so `syn` is not available) and enforces determinism,
+//! panic-freedom and concurrency-hygiene rules with rustc-style
+//! diagnostics; `cargo xtask deny` covers the supply chain (licenses,
+//! duplicate dependencies, an offline advisory snapshot).
+//!
+//! The same engine backs the `chromata lint` CLI subcommand. See
+//! `DESIGN.md` §9 for the rule table and the escape-hatch policy.
+
+pub mod allow;
+pub mod deny;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod toml_lite;
+pub mod workspace;
+
+use std::path::Path;
+
+pub use diag::{Diagnostic, Report, Severity};
+pub use rules::{role_for, Config, Role};
+
+/// Lints the whole workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Returns an I/O error if the source tree cannot be walked or read.
+pub fn lint_workspace(root: &Path, config: &Config) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for rel in workspace::lintable_files(root)? {
+        let Some(role) = rules::role_for(&rel) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        report
+            .diagnostics
+            .extend(rules::lint_file(root, &rel, role, config)?);
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    Ok(report)
+}
+
+/// Lints an explicit list of workspace-relative paths (used by the CLI
+/// to lint a subtree).
+///
+/// # Errors
+///
+/// Returns an I/O error if a file cannot be read.
+pub fn lint_paths(root: &Path, paths: &[String], config: &Config) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for rel in paths {
+        let Some(role) = rules::role_for(rel) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        report
+            .diagnostics
+            .extend(rules::lint_file(root, rel, role, config)?);
+    }
+    Ok(report)
+}

@@ -1,0 +1,127 @@
+//! The `xtask` binary: `cargo xtask lint` / `cargo xtask deny`.
+
+use std::process::ExitCode;
+
+use chromata_xtask::{deny, lint_workspace, workspace, Config, Severity};
+
+const USAGE: &str = "\
+usage: cargo xtask <command> [options]
+
+commands:
+  lint   run the workspace static-analysis rules
+         -D <rule>|all   deny a rule (non-zero exit on violation)
+         -W <rule>|all   downgrade a rule to a warning
+         -A <rule>       suppress a rule entirely
+         --quiet         print only the summary line
+  deny   run the supply-chain checks (licenses, duplicate versions,
+         offline advisory snapshot) against deny.toml and Cargo.lock
+  help   show this message
+
+rules: D1 hash-order, D2 clock-env, P1 panic, P2 index (advisory),
+       L1 lock-unwrap, A1 bad-allow, U1 unused-allow (advisory)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some("deny") => run_deny(),
+        Some("help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let mut config = Config::default();
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let (flag, severity) = match arg.as_str() {
+            "-D" | "--deny" => ("-D", Severity::Deny),
+            "-W" | "--warn" => ("-W", Severity::Warn),
+            "-A" | "--allow" => ("-A", Severity::Allow),
+            "--quiet" | "-q" => {
+                quiet = true;
+                continue;
+            }
+            other => {
+                eprintln!("unknown lint option `{other}`\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(rule) = it.next() else {
+            eprintln!("{flag} needs a rule name (or `all`)");
+            return ExitCode::FAILURE;
+        };
+        if rule == "all" {
+            // `all` covers the primary rules; advisory rules (P2, U1)
+            // must be named explicitly to change level.
+            for r in chromata_xtask::rules::PRIMARY_RULES {
+                config.overrides.push(((*r).to_owned(), severity));
+            }
+        } else {
+            config.overrides.push((rule.clone(), severity));
+        }
+    }
+    let Some(root) = current_root() else {
+        return ExitCode::FAILURE;
+    };
+    match lint_workspace(&root, &config) {
+        Ok(report) => {
+            if quiet {
+                println!(
+                    "{} file(s) scanned: {} error(s), {} warning(s)",
+                    report.files_scanned,
+                    report.errors(),
+                    report.warnings()
+                );
+            } else {
+                println!("{report}");
+            }
+            if report.failed() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_deny() -> ExitCode {
+    let Some(root) = current_root() else {
+        return ExitCode::FAILURE;
+    };
+    match deny::run(&root) {
+        Ok(report) => {
+            println!("{report}");
+            if report.failed() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask deny: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn current_root() -> Option<std::path::PathBuf> {
+    let cwd = std::env::current_dir().ok()?;
+    let root = workspace::find_root(&cwd);
+    if root.is_none() {
+        eprintln!("xtask: no workspace root found above {}", cwd.display());
+    }
+    root
+}

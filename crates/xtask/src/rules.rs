@@ -1,0 +1,508 @@
+//! The domain-specific lint rules.
+//!
+//! Every rule protects an invariant the decision pipeline's correctness
+//! argument leans on (see `DESIGN.md` §9):
+//!
+//! | id | name        | invariant |
+//! |----|-------------|-----------|
+//! | D1 | hash-order  | no hash-ordered container on the verdict path |
+//! | D2 | clock-env   | no wall-clock / environment reads in pure decision code |
+//! | P1 | panic       | library code degrades structurally, it does not panic |
+//! | P2 | index       | (advisory) prefer `get` over panicking indexing |
+//! | L1 | lock-unwrap | lock poisoning is recovered, never unwrapped |
+//! | A1 | bad-allow   | escape hatches carry a justification |
+//! | U1 | unused-allow| (advisory) stale escape hatches are removed |
+//!
+//! Rules are token-pattern based and deliberately *over-approximate*:
+//! they may flag a use that is in fact sound (a key-addressed map that is
+//! never iterated, a slice index guarded by an invariant). The escape
+//! hatch for those is a justified
+//! `// chromata-lint: allow(<rule>): <why>` annotation — the
+//! justification requirement turns every suppression into reviewable
+//! documentation.
+
+use std::path::Path;
+
+use crate::allow;
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{self, Tok, TokKind};
+
+/// All rule identifiers the allow parser accepts.
+pub const KNOWN_RULES: &[&str] = &["D1", "D2", "P1", "P2", "L1", "A1", "U1"];
+
+/// The rules enforced with `-D all` (the advisory rules P2/U1 stay at
+/// warn unless denied individually).
+pub const PRIMARY_RULES: &[&str] = &["D1", "D2", "P1", "L1", "A1"];
+
+/// Crates whose code can influence a [`Verdict`]: canonicalization,
+/// subdivision, the algebraic tiers and the pipeline itself.
+pub const VERDICT_PATH_CRATES: &[&str] = &["topology", "subdivision", "algebra", "core", "task"];
+
+/// Crates held to the panic-freedom contract (everything a caller links
+/// against; the CLI binary and the bench harness are exempt).
+pub const LIBRARY_CRATES: &[&str] = &[
+    "topology",
+    "subdivision",
+    "algebra",
+    "core",
+    "task",
+    "runtime",
+];
+
+/// How the rules see one file.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Role {
+    /// D1 applies (verdict-path crate).
+    pub verdict_path: bool,
+    /// P1/P2 apply (library crate).
+    pub library: bool,
+    /// D2 does not apply (`govern.rs`, the bench crate).
+    pub clock_exempt: bool,
+    /// L1 does not apply (the poison-recovery module).
+    pub lock_exempt: bool,
+}
+
+/// Classifies a workspace-relative path, `None` if out of lint scope
+/// (vendored crates, fixtures, integration tests, benches, examples,
+/// the xtask tool itself).
+#[must_use]
+pub fn role_for(rel: &str) -> Option<Role> {
+    let rel = rel.replace('\\', "/");
+    let mut parts = rel.split('/');
+    if parts.next() != Some("crates") {
+        return None;
+    }
+    let krate = parts.next()?;
+    if krate == "xtask" || krate == "bench" {
+        return None;
+    }
+    // Only `src/` trees are linted: integration tests, benches and
+    // examples may panic and measure time freely.
+    if parts.next() != Some("src") {
+        return None;
+    }
+    Some(Role {
+        verdict_path: VERDICT_PATH_CRATES.contains(&krate),
+        library: LIBRARY_CRATES.contains(&krate),
+        clock_exempt: rel.ends_with("src/govern.rs"),
+        lock_exempt: rel == "crates/core/src/pipeline.rs",
+    })
+}
+
+/// A raw rule finding before allow/test filtering.
+struct Finding {
+    rule: &'static str,
+    line: u32,
+    col: u32,
+    len: usize,
+    message: String,
+    help: String,
+}
+
+/// Severity configuration for a run.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// `(rule, severity)` pairs; rules absent here keep their default.
+    pub overrides: Vec<(String, Severity)>,
+}
+
+impl Config {
+    /// The run where every primary rule denies (CI mode).
+    #[must_use]
+    pub fn deny_all() -> Self {
+        Config {
+            overrides: PRIMARY_RULES
+                .iter()
+                .map(|r| ((*r).to_owned(), Severity::Deny))
+                .collect(),
+        }
+    }
+
+    fn severity(&self, rule: &str) -> Severity {
+        for (r, s) in self.overrides.iter().rev() {
+            if r == rule || r == "all" {
+                return *s;
+            }
+        }
+        match rule {
+            // Advisory by default: indexing is pervasive in simplicial
+            // code with structural length invariants, and unused allows
+            // should nag, not block.
+            "P2" | "U1" => Severity::Warn,
+            _ => Severity::Deny,
+        }
+    }
+}
+
+/// Lints one file's source text. `rel` is the workspace-relative path
+/// used in diagnostics; `role` decides which rules apply.
+#[must_use]
+pub fn lint_source(rel: &str, src: &str, role: Role, config: &Config) -> Vec<Diagnostic> {
+    let tokens = lexer::lex(src);
+    let test_regions = lexer::test_regions(&tokens);
+    let (mut allows, allow_errors) = allow::collect(&tokens);
+    let code: Vec<&Tok> = tokens.iter().filter(|t| !t.is_comment()).collect();
+
+    let mut findings = Vec::new();
+    for e in &allow_errors {
+        findings.push(Finding {
+            rule: "A1",
+            line: e.line,
+            col: e.col,
+            len: MARKER_LEN,
+            message: e.message.clone(),
+            help: "write `// chromata-lint: allow(<rule>): <justification>` — \
+                   the justification is required"
+                .to_owned(),
+        });
+    }
+    rule_d1(&code, role, &mut findings);
+    rule_d2(&code, role, &mut findings);
+    rule_p1(&code, role, &mut findings);
+    rule_p2(&code, role, &mut findings);
+    rule_l1(&code, role, &mut findings);
+
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+    for f in findings {
+        // Test-gated code is out of scope for every rule except A1: a
+        // malformed annotation is wrong wherever it sits.
+        if f.rule != "A1" && lexer::in_regions(&test_regions, f.line) {
+            continue;
+        }
+        if f.rule != "A1" && allow::covers(&mut allows, f.rule, f.line) {
+            continue;
+        }
+        let severity = config.severity(f.rule);
+        if severity == Severity::Allow {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: f.rule,
+            severity,
+            path: rel.to_owned(),
+            line: f.line,
+            col: f.col,
+            len: f.len,
+            message: f.message,
+            help: f.help,
+            source_line: lines
+                .get(f.line as usize - 1)
+                .map_or(String::new(), |s| (*s).to_owned()),
+        });
+    }
+    // Unused allows: stale escape hatches rot into misdocumentation.
+    for a in allows.iter().filter(|a| !a.used) {
+        let severity = config.severity("U1");
+        if severity == Severity::Allow {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "U1",
+            severity,
+            path: rel.to_owned(),
+            line: a.comment_line,
+            col: 1,
+            len: MARKER_LEN,
+            message: format!(
+                "unused allow({}) — nothing on its target line triggers the rule",
+                a.rules.join(", ")
+            ),
+            help: "remove the stale annotation".to_owned(),
+            source_line: lines
+                .get(a.comment_line as usize - 1)
+                .map_or(String::new(), |s| (*s).to_owned()),
+        });
+    }
+    out.sort_by_key(|d| (d.line, d.col));
+    out
+}
+
+const MARKER_LEN: usize = "chromata-lint:".len();
+
+/// D1: `HashMap`/`HashSet` on the verdict path. Hash iteration order is
+/// seeded per process (`RandomState`) or, even with a fixed hasher,
+/// depends on insertion/capacity history — either way it is not part of
+/// the task's semantics, and the reproducibility contract
+/// (`tests/feature_parity.rs`) requires byte-identical verdicts and
+/// traces across runs and feature configurations.
+fn rule_d1(code: &[&Tok], role: Role, findings: &mut Vec<Finding>) {
+    if !role.verdict_path {
+        return;
+    }
+    for t in code {
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            findings.push(Finding {
+                rule: "D1",
+                line: t.line,
+                col: t.col,
+                len: t.text.chars().count(),
+                message: format!(
+                    "`{}` in a verdict-path crate: iteration order is not \
+                     deterministic task semantics",
+                    t.text
+                ),
+                help: "use BTreeMap/BTreeSet or sort before iterating; if the \
+                       container is never iterated (or the order provably cannot \
+                       escape), annotate `// chromata-lint: allow(D1): <why>`"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+/// D2: wall-clock and environment reads outside the governance module.
+/// A pure decision procedure may consult its *budget* (which `govern.rs`
+/// derives from the clock), never the clock itself — otherwise verdicts
+/// and traces can differ between runs that should be byte-identical.
+fn rule_d2(code: &[&Tok], role: Role, findings: &mut Vec<Finding>) {
+    if role.clock_exempt {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let flagged = match t.text.as_str() {
+            "SystemTime" => Some("`SystemTime`"),
+            "Instant" => {
+                // `Instant::now` only: passing an `Instant` value around
+                // (e.g. `Budget.deadline`) is pure.
+                if path_call(code, i, &["now"]) {
+                    Some("`Instant::now()`")
+                } else {
+                    None
+                }
+            }
+            "env" => {
+                // `std::env::...` / `env::var(...)`: any read of the
+                // process environment.
+                if path_call(
+                    code,
+                    i,
+                    &[
+                        "var",
+                        "var_os",
+                        "vars",
+                        "vars_os",
+                        "args",
+                        "args_os",
+                        "current_dir",
+                        "temp_dir",
+                        "home_dir",
+                    ],
+                ) {
+                    Some("process-environment read")
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(what) = flagged {
+            findings.push(Finding {
+                rule: "D2",
+                line: t.line,
+                col: t.col,
+                len: t.text.chars().count(),
+                message: format!(
+                    "{what} outside `govern.rs`: pure decision code must not \
+                     observe the clock or the environment"
+                ),
+                help: "route the read through `chromata_topology::govern` (budgets, \
+                       env-derived configuration) or annotate \
+                       `// chromata-lint: allow(D2): <why>`"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+/// Whether `code[i]` is followed by `:: <one of names> (`.
+fn path_call(code: &[&Tok], i: usize, names: &[&str]) -> bool {
+    let Some(c1) = code.get(i + 1) else {
+        return false;
+    };
+    let Some(c2) = code.get(i + 2) else {
+        return false;
+    };
+    let Some(callee) = code.get(i + 3) else {
+        return false;
+    };
+    c1.is_punct(':')
+        && c2.is_punct(':')
+        && callee.kind == TokKind::Ident
+        && names.contains(&callee.text.as_str())
+}
+
+/// P1: panicking constructs in library crates. The degradation ladder
+/// (PR 2) exists so that exhaustion and invalid input surface as
+/// `ExploreError` / `Verdict::Unknown`; an `unwrap()` reachable from
+/// `decide`/`explore` re-opens the abort path it closed.
+fn rule_p1(code: &[&Tok], role: Role, findings: &mut Vec<Finding>) {
+    if !role.library {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let finding = match t.text.as_str() {
+            "unwrap" | "expect" => {
+                let method_call = i > 0
+                    && code[i - 1].is_punct('.')
+                    && code.get(i + 1).is_some_and(|n| n.is_punct('('));
+                if method_call {
+                    Some((
+                        format!("`.{}()` in library code can panic", t.text),
+                        "return a structured error (`ExploreError`, `TaskError`) or \
+                         degrade to `Verdict::Unknown`; for invariant-guarded uses \
+                         annotate `// chromata-lint: allow(P1): <invariant>`",
+                    ))
+                } else {
+                    None
+                }
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" => {
+                if code.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+                    Some((
+                        format!("`{}!` in library code aborts the caller", t.text),
+                        "convert to a structured error; if the branch is provably \
+                         dead, annotate `// chromata-lint: allow(P1): <proof sketch>`",
+                    ))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some((message, help)) = finding {
+            findings.push(Finding {
+                rule: "P1",
+                line: t.line,
+                col: t.col,
+                len: t.text.chars().count(),
+                message,
+                help: help.to_owned(),
+            });
+        }
+    }
+}
+
+/// P2 (advisory): `expr[...]` indexing in library crates. Indexing
+/// panics on out-of-bounds; simplicial code has many structural length
+/// invariants, so this stays a warning rather than a denial.
+fn rule_p2(code: &[&Tok], role: Role, findings: &mut Vec<Finding>) {
+    if !role.library {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        if !t.is_punct('[') || i == 0 {
+            continue;
+        }
+        let prev = code[i - 1];
+        let indexes = match prev.kind {
+            TokKind::Ident => !matches!(
+                prev.text.as_str(),
+                "as" | "break"
+                    | "const"
+                    | "continue"
+                    | "crate"
+                    | "dyn"
+                    | "else"
+                    | "enum"
+                    | "extern"
+                    | "fn"
+                    | "for"
+                    | "if"
+                    | "impl"
+                    | "in"
+                    | "let"
+                    | "loop"
+                    | "match"
+                    | "mod"
+                    | "move"
+                    | "mut"
+                    | "pub"
+                    | "ref"
+                    | "return"
+                    | "static"
+                    | "struct"
+                    | "trait"
+                    | "type"
+                    | "unsafe"
+                    | "use"
+                    | "where"
+                    | "while"
+            ),
+            TokKind::Punct(')') | TokKind::Punct(']') => true,
+            _ => false,
+        };
+        if indexes {
+            findings.push(Finding {
+                rule: "P2",
+                line: t.line,
+                col: t.col,
+                len: 1,
+                message: "indexing can panic on out-of-bounds".to_owned(),
+                help: "prefer `.get(..)` with structured handling, or annotate \
+                       `// chromata-lint: allow(P2): <length invariant>`"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+/// L1: `.lock().unwrap()` / `.lock().expect(..)`. A panicking worker
+/// must not cascade: every lock acquisition outside the poison-recovery
+/// module either recovers (`unwrap_or_else(PoisonError::into_inner)`
+/// plus invariant validation) or propagates a structured error.
+fn rule_l1(code: &[&Tok], role: Role, findings: &mut Vec<Finding>) {
+    if role.lock_exempt {
+        return;
+    }
+    // Pattern: . lock ( ) . unwrap|expect (
+    for (i, t) in code.iter().enumerate() {
+        if !(t.is_ident("lock") && i > 0 && code[i - 1].is_punct('.')) {
+            continue;
+        }
+        let rest = &code[i + 1..];
+        if rest.len() >= 4
+            && rest[0].is_punct('(')
+            && rest[1].is_punct(')')
+            && rest[2].is_punct('.')
+            && rest[3].kind == TokKind::Ident
+            && (rest[3].text == "unwrap" || rest[3].text == "expect")
+        {
+            findings.push(Finding {
+                rule: "L1",
+                line: t.line,
+                col: t.col,
+                len: "lock".len(),
+                message: "`.lock().unwrap()` turns one panicked worker into a \
+                          process-wide cascade"
+                    .to_owned(),
+                help: "recover with `unwrap_or_else(PoisonError::into_inner)` plus \
+                       invariant re-validation (see `core::pipeline::lock_cache`), \
+                       or annotate `// chromata-lint: allow(L1): <why poisoning is \
+                       impossible here>`"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+/// Convenience wrapper used by the CLI and tests: lints a file on disk.
+///
+/// # Errors
+///
+/// Returns the I/O error if the file cannot be read.
+pub fn lint_file(
+    root: &Path,
+    rel: &str,
+    role: Role,
+    config: &Config,
+) -> std::io::Result<Vec<Diagnostic>> {
+    let src = std::fs::read_to_string(root.join(rel))?;
+    Ok(lint_source(rel, &src, role, config))
+}

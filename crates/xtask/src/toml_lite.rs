@@ -1,0 +1,255 @@
+//! A minimal TOML subset parser — just enough for `Cargo.toml`,
+//! `Cargo.lock` and `deny.toml` (no external crates are available in
+//! this offline workspace).
+//!
+//! Supported: `[table]` and `[[array-of-tables]]` headers, `key = value`
+//! with string / boolean / integer / array-of-string values, dotted keys
+//! (`license.workspace = true` is stored under the literal key
+//! `"license.workspace"`), `#` comments, and multi-line arrays.
+
+use std::collections::BTreeMap;
+
+/// A parsed value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Str(String),
+    Bool(bool),
+    Int(i64),
+    Array(Vec<String>),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array of strings.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[String]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// One `[name]` or `[[name]]` table. Repeated `[[name]]` headers produce
+/// one `Table` each, in file order.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    pub name: String,
+    pub entries: BTreeMap<String, Value>,
+}
+
+/// A parsed document: the headerless root table followed by every
+/// declared table in order.
+#[derive(Clone, Debug, Default)]
+pub struct Doc {
+    pub tables: Vec<Table>,
+}
+
+impl Doc {
+    /// The first table with this exact name.
+    #[must_use]
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Every table with this exact name (for `[[package]]` lists).
+    pub fn tables_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Table> {
+        self.tables.iter().filter(move |t| t.name == name)
+    }
+
+    /// Looks up `key` in the table called `table`.
+    #[must_use]
+    pub fn get(&self, table: &str, key: &str) -> Option<&Value> {
+        self.table(table)?.entries.get(key)
+    }
+}
+
+/// Parses a TOML-subset document. Unsupported constructs are skipped
+/// line-by-line rather than failing: the callers only depend on the
+/// constructs listed in the module docs.
+#[must_use]
+pub fn parse(text: &str) -> Doc {
+    let mut doc = Doc {
+        tables: vec![Table::default()],
+    };
+    let mut lines = text.lines().peekable();
+    while let Some(raw) = lines.next() {
+        let line = strip_comment(raw).trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = header(&line) {
+            doc.tables.push(Table {
+                name,
+                entries: BTreeMap::new(),
+            });
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            continue;
+        };
+        let key = line[..eq].trim().trim_matches('"').to_owned();
+        let mut rhs = line[eq + 1..].trim().to_owned();
+        // Multi-line array: keep consuming until brackets balance.
+        while rhs.starts_with('[') && !brackets_balance(&rhs) {
+            let Some(next) = lines.next() else { break };
+            rhs.push(' ');
+            rhs.push_str(strip_comment(next).trim());
+        }
+        if let Some(value) = parse_value(&rhs) {
+            if let Some(t) = doc.tables.last_mut() {
+                t.entries.insert(key, value);
+            }
+        }
+    }
+    doc
+}
+
+fn header(line: &str) -> Option<String> {
+    let inner = line
+        .strip_prefix("[[")
+        .and_then(|s| s.strip_suffix("]]"))
+        .or_else(|| line.strip_prefix('[').and_then(|s| s.strip_suffix(']')))?;
+    Some(inner.trim().to_owned())
+}
+
+/// Strips a `#` comment that is not inside a basic string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+fn parse_value(rhs: &str) -> Option<Value> {
+    let rhs = rhs.trim();
+    if let Some(body) = rhs.strip_prefix('[') {
+        let body = body.strip_suffix(']')?;
+        let items = split_top_level(body)
+            .into_iter()
+            .filter_map(|s| {
+                let s = s.trim();
+                if s.is_empty() {
+                    None
+                } else {
+                    Some(s.trim_matches('"').to_owned())
+                }
+            })
+            .collect();
+        return Some(Value::Array(items));
+    }
+    if rhs == "true" {
+        return Some(Value::Bool(true));
+    }
+    if rhs == "false" {
+        return Some(Value::Bool(false));
+    }
+    if let Some(stripped) = rhs.strip_prefix('"') {
+        return Some(Value::Str(stripped.strip_suffix('"')?.to_owned()));
+    }
+    rhs.parse::<i64>().ok().map(Value::Int)
+}
+
+/// Splits on commas that are outside quotes (array items may contain
+/// commas in license expressions such as `"MIT OR Apache-2.0"`).
+fn split_top_level(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in body.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    out.push(cur);
+    out
+}
+
+fn brackets_balance(s: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cargo_lock_shape() {
+        let doc = parse(
+            "version = 3\n\n[[package]]\nname = \"a\"\nversion = \"1.0.0\"\n\n[[package]]\nname = \"a\"\nversion = \"2.0.0\"\n",
+        );
+        let pkgs: Vec<&Table> = doc.tables_named("package").collect();
+        assert_eq!(pkgs.len(), 2);
+        assert_eq!(pkgs[0].entries["version"], Value::Str("1.0.0".into()));
+        assert_eq!(doc.tables[0].entries["version"], Value::Int(3));
+    }
+
+    #[test]
+    fn multi_line_array_and_comments() {
+        let doc = parse(
+            "[licenses]\n# comment\nallow = [\n  \"MIT\", # trailing\n  \"Apache-2.0\",\n]\n",
+        );
+        assert_eq!(
+            doc.get("licenses", "allow").unwrap().as_array().unwrap(),
+            &["MIT".to_owned(), "Apache-2.0".to_owned()]
+        );
+    }
+
+    #[test]
+    fn dotted_and_quoted_values() {
+        let doc = parse("[package]\nlicense.workspace = true\nname = \"x\"\n");
+        assert_eq!(
+            doc.get("package", "license.workspace"),
+            Some(&Value::Bool(true))
+        );
+        assert_eq!(doc.get("package", "name").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn license_expressions_with_or_survive() {
+        let doc = parse("[licenses]\nallow = [\"MIT OR Apache-2.0\", \"BSD-3-Clause\"]\n");
+        let allow = doc.get("licenses", "allow").unwrap().as_array().unwrap();
+        assert_eq!(allow[0], "MIT OR Apache-2.0");
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let doc = parse("[a]\nk = \"value # not comment\"\n");
+        assert_eq!(
+            doc.get("a", "k").unwrap().as_str(),
+            Some("value # not comment")
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Workspace discovery.
+//!
+//! `cargo metadata` would normally provide this, but the workspace
+//! builds fully offline with vendored stub crates and no JSON parser we
+//! trust for tooling, so membership is derived the same way the root
+//! manifest declares it: every directory under `crates/` (and, for the
+//! supply-chain checks, `vendor/`) holding a `Cargo.toml`.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Locates the workspace root: the closest ancestor of `start` whose
+/// `Cargo.toml` contains a `[workspace]` table.
+#[must_use]
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// All `.rs` files under `crates/*/src`, as workspace-relative paths in
+/// deterministic (sorted) order.
+///
+/// # Errors
+///
+/// Propagates directory-walk I/O errors.
+pub fn lintable_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    for krate in sorted_dir(&crates_dir)? {
+        let src = krate.join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut out)?;
+        }
+    }
+    let mut rel: Vec<String> = out
+        .iter()
+        .filter_map(|p| {
+            p.strip_prefix(root)
+                .ok()
+                .map(|r| r.to_string_lossy().replace('\\', "/"))
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+/// Workspace-member and vendored manifests, for the deny checks.
+///
+/// # Errors
+///
+/// Propagates directory-walk I/O errors.
+pub fn manifests(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for dir in ["crates", "vendor"] {
+        let base = root.join(dir);
+        if !base.is_dir() {
+            continue;
+        }
+        for member in sorted_dir(&base)? {
+            let manifest = member.join("Cargo.toml");
+            if manifest.is_file() {
+                out.push(manifest);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn sorted_dir(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in sorted_entries(dir)? {
+        if entry.is_dir() {
+            walk_rs(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+fn sorted_entries(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    Ok(entries)
+}

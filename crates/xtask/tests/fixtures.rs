@@ -1,0 +1,224 @@
+//! Fixture regression tests: every lint rule is pinned to an exact set
+//! of diagnostics on a purpose-built source file.
+//!
+//! Each fixture under `fixtures/` marks its expected findings with
+//! `//~ RULE` trailing comments (one rule id per expected diagnostic on
+//! that line, space-separated when a line triggers several). The harness
+//! runs `lint_source` and requires the `(line, rule)` multisets to match
+//! exactly — a rule that over- or under-fires fails the suite, so rule
+//! behaviour cannot drift silently.
+
+use chromata_xtask::diag::Severity;
+use chromata_xtask::rules::{lint_source, Config, Role};
+use chromata_xtask::Diagnostic;
+
+fn role(verdict_path: bool, library: bool) -> Role {
+    Role {
+        verdict_path,
+        library,
+        clock_exempt: false,
+        lock_exempt: false,
+    }
+}
+
+/// `(line, rule)` pairs declared by `//~` markers, sorted.
+fn expected_markers(src: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        if let Some(at) = line.find("//~") {
+            for rule in line[at + 3..].split_whitespace() {
+                out.push((i as u32 + 1, rule.to_owned()));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Lints a fixture and asserts its diagnostics match the markers.
+fn check(name: &str, src: &str, role: Role) -> Vec<Diagnostic> {
+    let rel = format!("crates/fixture/src/{name}.rs");
+    let diags = lint_source(&rel, src, role, &Config::default());
+    let mut actual: Vec<(u32, String)> =
+        diags.iter().map(|d| (d.line, d.rule.to_owned())).collect();
+    actual.sort();
+    assert_eq!(actual, expected_markers(src), "fixture {name}");
+    diags
+}
+
+#[test]
+fn d1_hash_iteration_fixture() {
+    let diags = check(
+        "d1_iteration",
+        include_str!("../fixtures/d1_iteration.rs"),
+        role(true, false),
+    );
+    assert!(diags.iter().all(|d| d.severity == Severity::Deny));
+    // The same file outside a verdict-path crate is clean.
+    let other = lint_source(
+        "crates/fixture/src/d1_iteration.rs",
+        include_str!("../fixtures/d1_iteration.rs"),
+        role(false, false),
+        &Config::default(),
+    );
+    assert!(other.is_empty(), "{other:?}");
+}
+
+#[test]
+fn d2_clock_and_env_fixture() {
+    let diags = check(
+        "d2_clock",
+        include_str!("../fixtures/d2_clock.rs"),
+        role(false, false),
+    );
+    assert!(diags.iter().all(|d| d.severity == Severity::Deny));
+    // govern.rs is the sanctioned home for these reads: exempt.
+    let exempt = Role {
+        clock_exempt: true,
+        ..role(false, false)
+    };
+    let none = lint_source(
+        "crates/topology/src/govern.rs",
+        include_str!("../fixtures/d2_clock.rs"),
+        exempt,
+        &Config::default(),
+    );
+    assert!(none.is_empty(), "{none:?}");
+}
+
+#[test]
+fn p1_panic_freedom_fixture() {
+    let diags = check(
+        "p1_panic_freedom",
+        include_str!("../fixtures/p1_panic_freedom.rs"),
+        role(false, true),
+    );
+    assert!(diags.iter().all(|d| d.severity == Severity::Deny));
+}
+
+#[test]
+fn p2_indexing_fixture_is_advisory() {
+    let diags = check(
+        "p2_indexing",
+        include_str!("../fixtures/p2_indexing.rs"),
+        role(false, true),
+    );
+    // P2 warns by default *and* stays a warning under `-D all`: `all`
+    // covers the primary rules only.
+    assert!(diags.iter().all(|d| d.severity == Severity::Warn));
+    let under_deny_all = lint_source(
+        "crates/fixture/src/p2_indexing.rs",
+        include_str!("../fixtures/p2_indexing.rs"),
+        role(false, true),
+        &Config::deny_all(),
+    );
+    assert!(under_deny_all.iter().all(|d| d.severity == Severity::Warn));
+}
+
+#[test]
+fn l1_lock_unwrap_fixture() {
+    let diags = check(
+        "l1_lock_unwrap",
+        include_str!("../fixtures/l1_lock_unwrap.rs"),
+        role(false, false),
+    );
+    assert!(diags.iter().all(|d| d.severity == Severity::Deny));
+    // The poison-recovery module itself is exempt.
+    let exempt = Role {
+        lock_exempt: true,
+        ..role(false, false)
+    };
+    let none = lint_source(
+        "crates/core/src/pipeline.rs",
+        include_str!("../fixtures/l1_lock_unwrap.rs"),
+        exempt,
+        &Config::default(),
+    );
+    assert!(none.is_empty(), "{none:?}");
+}
+
+#[test]
+fn allow_without_justification_is_itself_an_error() {
+    let diags = check(
+        "a1_allow_grammar",
+        include_str!("../fixtures/a1_allow_grammar.rs"),
+        role(false, false),
+    );
+    // A1 denies by default: a bare `allow(D1)` fails the run rather than
+    // silencing anything.
+    assert!(diags
+        .iter()
+        .all(|d| d.rule == "A1" && d.severity == Severity::Deny));
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("without a justification")));
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("unknown rule `Z9`")));
+}
+
+#[test]
+fn unused_allow_warns() {
+    let diags = check(
+        "u1_unused_allow",
+        include_str!("../fixtures/u1_unused_allow.rs"),
+        role(true, false),
+    );
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].severity, Severity::Warn);
+    assert!(diags[0].message.contains("unused allow(D1)"));
+}
+
+#[test]
+fn justified_allows_suppress_their_target_lines() {
+    // No markers in this fixture: it must lint perfectly clean, with no
+    // finding AND no unused-allow residue.
+    check(
+        "allow_suppression",
+        include_str!("../fixtures/allow_suppression.rs"),
+        role(true, true),
+    );
+}
+
+/// The CI `static-analysis` job runs `cargo xtask lint -D all`; a seeded
+/// violation must fail that run (non-zero exit via `Report::failed`).
+#[test]
+fn seeded_violation_fails_a_deny_all_run() {
+    let diags = lint_source(
+        "crates/fixture/src/seeded.rs",
+        "use std::collections::HashMap;\n",
+        role(true, false),
+        &Config::deny_all(),
+    );
+    let report = chromata_xtask::Report {
+        diagnostics: diags,
+        files_scanned: 1,
+    };
+    assert_eq!(report.errors(), 1);
+    assert!(report.failed());
+}
+
+/// One representative diagnostic is pinned byte-for-byte: rustc-style
+/// header, `file:line:col` arrow, source excerpt with carets, and the
+/// actionable help line naming the escape hatch.
+#[test]
+fn rendered_diagnostic_is_rustc_style() {
+    let src = "use std::collections::HashMap;\n";
+    let diags = lint_source(
+        "crates/topology/src/seeded.rs",
+        src,
+        role(true, false),
+        &Config::default(),
+    );
+    assert_eq!(diags.len(), 1);
+    let rendered = diags[0].to_string();
+    let expected = "\
+error[D1]: `HashMap` in a verdict-path crate: iteration order is not deterministic task semantics
+  --> crates/topology/src/seeded.rs:1:23
+  |
+1 | use std::collections::HashMap;
+  |                       ^^^^^^^
+  = help: use BTreeMap/BTreeSet or sort before iterating; if the container is never iterated (or the order provably cannot escape), annotate `// chromata-lint: allow(D1): <why>`
+";
+    assert_eq!(rendered, expected);
+}
