@@ -106,6 +106,71 @@ impl EdgePathGroup {
     }
 }
 
+/// Precomputed contractibility facts about (one component of) a complex:
+/// the edge-path group together with its Tietze-simplified presentation
+/// and the two flags the decision tiers branch on. Built once per image
+/// component and shared across vertex assignments by the pipeline's
+/// presentation stage, so the (potentially expensive) simplification runs
+/// once instead of once per assignment.
+#[derive(Clone, Debug)]
+pub struct PresentationSummary {
+    group: EdgePathGroup,
+    simplified: Presentation,
+    trivial: bool,
+    evidently_abelian: bool,
+}
+
+impl PresentationSummary {
+    /// Builds the summary of `k` (see [`EdgePathGroup::new`] for the
+    /// connectivity caveat).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` has dimension greater than 2.
+    #[must_use]
+    pub fn of(k: &Complex) -> Self {
+        let group = EdgePathGroup::new(k);
+        let simplified = group.presentation().simplified();
+        let trivial = simplified.is_trivial_group();
+        let evidently_abelian = group.presentation().is_evidently_abelian();
+        PresentationSummary {
+            group,
+            simplified,
+            trivial,
+            evidently_abelian,
+        }
+    }
+
+    /// The underlying edge-path group (for walk-to-word translation and
+    /// the word-problem tier, which runs on the *unsimplified*
+    /// presentation).
+    #[must_use]
+    pub fn group(&self) -> &EdgePathGroup {
+        &self.group
+    }
+
+    /// The Tietze-simplified presentation.
+    #[must_use]
+    pub fn simplified(&self) -> &Presentation {
+        &self.simplified
+    }
+
+    /// Whether the simplified presentation is evidently the trivial group
+    /// (the component is simply connected as far as Tietze moves can
+    /// tell).
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.trivial
+    }
+
+    /// Whether the (unsimplified) presentation is evidently abelian, the
+    /// condition under which H₁ feasibility is exact.
+    #[must_use]
+    pub fn is_evidently_abelian(&self) -> bool {
+        self.evidently_abelian
+    }
+}
+
 /// Decides (as far as the tiered word problem allows) whether a closed
 /// walk is contractible in `|k|`.
 ///
@@ -232,6 +297,29 @@ mod tests {
         let g = EdgePathGroup::new(&k);
         let w = g.word_of_walk(&[v(0, 0), v(0, 0), v(0, 0)]).unwrap();
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn summary_matches_direct_computation() {
+        // Filled triangle: trivial. Hollow triangle: free rank 1, which is
+        // evidently abelian but not trivial.
+        let disk = Complex::from_facets([tri(v(0, 0), v(1, 0), v(2, 0))]);
+        let s = PresentationSummary::of(&disk);
+        assert!(s.is_trivial());
+        let circle = disk.skeleton(1);
+        let s = PresentationSummary::of(&circle);
+        assert!(!s.is_trivial());
+        assert!(s.is_evidently_abelian());
+        assert_eq!(s.simplified().generator_count(), 1);
+        assert_eq!(
+            s.group().presentation().generator_count(),
+            EdgePathGroup::new(&circle).presentation().generator_count()
+        );
+        // The empty complex presents the trivial group — the fallback the
+        // presentation stage uses for seeds outside every component.
+        let s = PresentationSummary::of(&Complex::new());
+        assert!(s.is_trivial());
+        assert!(s.is_evidently_abelian());
     }
 
     #[test]

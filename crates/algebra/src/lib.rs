@@ -44,7 +44,7 @@ mod todd_coxeter;
 mod word;
 
 pub use decide::{word_triviality, word_triviality_with_budget, Triviality, DEFAULT_COSET_BUDGET};
-pub use edge_path::{loop_contractible, EdgePathGroup};
+pub use edge_path::{loop_contractible, EdgePathGroup, PresentationSummary};
 pub use homology::{homology, ChainComplex, HomologyReport};
 pub use linear::{in_column_lattice, is_feasible, solve_integer};
 pub use matrix::IntMatrix;

@@ -79,7 +79,10 @@ impl IntMatrix {
     #[must_use]
     pub fn get(&self, r: usize, c: usize) -> i64 {
         assert!(r < self.rows && c < self.cols, "index out of bounds");
-        self.data[r * self.cols + c]
+        self.data
+            .get(r * self.cols + c)
+            .copied()
+            .expect("entry in bounds") // chromata-lint: allow(P1): r*cols+c < rows*cols = data.len() by the assert above
     }
 
     /// Sets the entry at `(r, c)`.
@@ -89,7 +92,9 @@ impl IntMatrix {
     /// Panics if out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: i64) {
         assert!(r < self.rows && c < self.cols, "index out of bounds");
-        self.data[r * self.cols + c] = v;
+        let idx = r * self.cols + c;
+        let slot = self.data.get_mut(idx).expect("entry in bounds"); // chromata-lint: allow(P1): r*cols+c < rows*cols = data.len() by the assert above
+        *slot = v;
     }
 
     /// Adds `v` to the entry at `(r, c)`.
@@ -155,8 +160,8 @@ impl IntMatrix {
         );
         (0..self.rows)
             .map(|r| {
-                (0..self.cols).fold(0i64, |acc, c| {
-                    acc.checked_add(self.get(r, c).checked_mul(v[c]).expect("integer overflow")) // chromata-lint: allow(P1): checked arithmetic: coefficient overflow is a hard internal error; wrapping would corrupt homology verdicts
+                v.iter().enumerate().fold(0i64, |acc, (c, &x)| {
+                    acc.checked_add(self.get(r, c).checked_mul(x).expect("integer overflow")) // chromata-lint: allow(P1): checked arithmetic: coefficient overflow is a hard internal error; wrapping would corrupt homology verdicts
                         .expect("integer overflow") // chromata-lint: allow(P1): checked arithmetic: coefficient overflow is a hard internal error; wrapping would corrupt homology verdicts
                 })
             })

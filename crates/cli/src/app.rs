@@ -5,8 +5,8 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use chromata::{
-    analyze, analyze_governed, laps, solve_act, ActOutcome, Budget, CancelToken, PipelineOptions,
-    Verdict,
+    analyze, analyze_batch, analyze_governed, laps, solve_act, stage_cache_stats, ActOutcome,
+    Budget, CancelToken, PipelineOptions, Verdict,
 };
 use chromata_runtime::{verify_figure7, verify_figure7_with_crashes, VerifyError};
 use chromata_task::Task;
@@ -22,6 +22,27 @@ pub enum Command {
     Analyze {
         /// Registry name or path to a task JSON file.
         task: String,
+        /// ACT fallback rounds for undetermined verdicts.
+        act_fallback: usize,
+    },
+    /// `chromata explain <task> [--act-fallback N] [--json]` — the
+    /// verdict plus its evidence chain: which stages ran (or replayed),
+    /// what each concluded, per-stage work/wall-clock counters, and the
+    /// process-wide stage-cache statistics.
+    Explain {
+        /// Registry name or path to a task JSON file.
+        task: String,
+        /// ACT fallback rounds for undetermined verdicts.
+        act_fallback: usize,
+        /// Emit machine-readable JSON instead of the text table.
+        json: bool,
+    },
+    /// `chromata batch [--act-fallback N] [task...]` — analyze many
+    /// tasks through the shared artifact store (whole library if no
+    /// tasks are named), one verdict line per task.
+    Batch {
+        /// Registry names or paths (empty = the whole library).
+        tasks: Vec<String>,
         /// ACT fallback rounds for undetermined verdicts.
         act_fallback: usize,
     },
@@ -117,6 +138,44 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Analyze { task, act_fallback })
         }
+        "explain" => {
+            let task = required(&mut it, "explain needs a task name or file")?;
+            let mut act_fallback = 0usize;
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--act-fallback" => {
+                        act_fallback = parse_number(&mut it, "--act-fallback")?;
+                    }
+                    "--json" => json = true,
+                    other => return Err(CliError(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Explain {
+                task,
+                act_fallback,
+                json,
+            })
+        }
+        "batch" => {
+            let mut tasks = Vec::new();
+            let mut act_fallback = 0usize;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--act-fallback" => {
+                        act_fallback = parse_number(&mut it, "--act-fallback")?;
+                    }
+                    flag if flag.starts_with('-') => {
+                        return Err(CliError(format!("unknown flag {flag}")));
+                    }
+                    task => tasks.push(task.to_owned()),
+                }
+            }
+            Ok(Command::Batch {
+                tasks,
+                act_fallback,
+            })
+        }
         "act" => {
             let task = required(&mut it, "act needs a task name or file")?;
             let mut rounds = 1usize;
@@ -204,6 +263,17 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     }
 }
 
+/// Builds an ordered JSON object from string keys (the vendored
+/// `serde_json` has no object-literal macro).
+fn json_object(entries: Vec<(&str, serde_json::Value)>) -> serde_json::Value {
+    serde_json::Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+    )
+}
+
 fn required(it: &mut std::slice::Iter<'_, String>, msg: &str) -> Result<String, CliError> {
     it.next().cloned().ok_or_else(|| CliError(msg.to_owned()))
 }
@@ -277,6 +347,120 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 Verdict::Unknown { reason } => {
                     let _ = writeln!(out, "verdict: UNKNOWN\n  {reason}");
                 }
+            }
+            Ok(out)
+        }
+        Command::Explain {
+            task,
+            act_fallback,
+            json,
+        } => {
+            let t = load_task(&task)?;
+            let analysis = analyze(
+                &t,
+                PipelineOptions {
+                    act_fallback_rounds: act_fallback,
+                },
+            );
+            if json {
+                use serde_json::Value;
+                let stages: Vec<Value> = analysis
+                    .evidence
+                    .stages
+                    .iter()
+                    .map(|s| {
+                        json_object(vec![
+                            ("stage", Value::String(s.stage.to_owned())),
+                            ("detail", Value::String(s.detail.clone())),
+                            ("work", Value::UInt(s.work)),
+                            ("cache", Value::String(s.cache.label().to_owned())),
+                            ("wall_ms", Value::Float(s.wall.as_secs_f64() * 1e3)),
+                        ])
+                    })
+                    .collect();
+                let caches: Vec<Value> = stage_cache_stats()
+                    .iter()
+                    .map(|(kind, stats)| {
+                        json_object(vec![
+                            ("cache", Value::String(kind.name().to_owned())),
+                            ("hits", Value::UInt(stats.hits)),
+                            ("misses", Value::UInt(stats.misses)),
+                            ("evictions", Value::UInt(stats.evictions)),
+                        ])
+                    })
+                    .collect();
+                let doc = json_object(vec![
+                    ("task", Value::String(t.name().to_owned())),
+                    ("verdict", Value::String(format!("{}", analysis.verdict))),
+                    (
+                        "decided_by",
+                        Value::String(analysis.evidence.decided_by.to_owned()),
+                    ),
+                    (
+                        "evidence_digest",
+                        Value::String(format!("{:016x}", analysis.evidence.deterministic_digest())),
+                    ),
+                    ("stages", Value::Array(stages)),
+                    ("stage_caches", Value::Array(caches)),
+                ]);
+                return serde_json::to_string_pretty(&doc)
+                    .map(|mut s| {
+                        s.push('\n');
+                        s
+                    })
+                    .map_err(|e| CliError(format!("serialize: {e}")));
+            }
+            let mut out = String::new();
+            let _ = writeln!(out, "{t}");
+            let _ = writeln!(out, "verdict: {}", analysis.verdict);
+            let _ = write!(out, "{}", analysis.evidence);
+            let _ = writeln!(
+                out,
+                "evidence digest: {:016x}",
+                analysis.evidence.deterministic_digest()
+            );
+            let _ = writeln!(out, "stage caches:");
+            for (kind, stats) in stage_cache_stats() {
+                let _ = writeln!(
+                    out,
+                    "  {:<13} hits {:>6}  misses {:>6}  evictions {:>6}",
+                    kind.name(),
+                    stats.hits,
+                    stats.misses,
+                    stats.evictions
+                );
+            }
+            Ok(out)
+        }
+        Command::Batch {
+            tasks,
+            act_fallback,
+        } => {
+            let specs: Vec<String> = if tasks.is_empty() {
+                registry::entries()
+                    .iter()
+                    .map(|e| e.name.to_owned())
+                    .collect()
+            } else {
+                tasks
+            };
+            let loaded: Vec<Task> = specs
+                .iter()
+                .map(|s| load_task(s))
+                .collect::<Result<_, _>>()?;
+            let analyses = analyze_batch(
+                &loaded,
+                PipelineOptions {
+                    act_fallback_rounds: act_fallback,
+                },
+            );
+            let mut out = String::new();
+            for (spec, a) in specs.iter().zip(&analyses) {
+                let _ = writeln!(
+                    out,
+                    "{:<24} decided by {:<9} {}",
+                    spec, a.evidence.decided_by, a.verdict
+                );
             }
             Ok(out)
         }
@@ -462,6 +646,13 @@ COMMANDS:
     list                         list the built-in task library
     analyze <task> [--act-fallback N]
                                  run the paper's decision pipeline
+    explain <task> [--act-fallback N] [--json]
+                                 verdict plus its evidence chain: deciding
+                                 stage, per-stage work/wall-clock counters,
+                                 and stage-cache statistics
+    batch [--act-fallback N] [task...]
+                                 analyze many tasks (whole library if none
+                                 named) through the shared artifact store
     inspect <task>               complex statistics, homology, LAP counts
     act <task> [--rounds N]      run the Herlihy–Shavit ACT baseline
     export <task> [-o FILE]      dump a library task as JSON
@@ -585,6 +776,114 @@ mod tests {
         })
         .unwrap();
         assert!(out.contains("SOLVABLE"), "{out}");
+    }
+
+    #[test]
+    fn parse_explain_and_batch() {
+        assert_eq!(
+            parse(&args(&["explain", "consensus", "--json"])).unwrap(),
+            Command::Explain {
+                task: "consensus".into(),
+                act_fallback: 0,
+                json: true
+            }
+        );
+        assert_eq!(
+            parse(&args(&["explain", "consensus", "--act-fallback", "2"])).unwrap(),
+            Command::Explain {
+                task: "consensus".into(),
+                act_fallback: 2,
+                json: false
+            }
+        );
+        assert!(parse(&args(&["explain"])).is_err());
+        assert_eq!(
+            parse(&args(&["batch", "hourglass", "consensus"])).unwrap(),
+            Command::Batch {
+                tasks: vec!["hourglass".into(), "consensus".into()],
+                act_fallback: 0
+            }
+        );
+        assert_eq!(
+            parse(&args(&["batch"])).unwrap(),
+            Command::Batch {
+                tasks: vec![],
+                act_fallback: 0
+            }
+        );
+        assert!(parse(&args(&["batch", "--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn run_explain_prints_the_evidence_chain() {
+        let out = run(Command::Explain {
+            task: "consensus".into(),
+            act_fallback: 0,
+            json: false,
+        })
+        .unwrap();
+        assert!(out.contains("verdict: UNSOLVABLE"), "{out}");
+        assert!(out.contains("decided by: homology"), "{out}");
+        for stage in [
+            "canonicalize",
+            "split",
+            "link-graphs",
+            "presentations",
+            "homology",
+        ] {
+            assert!(out.contains(stage), "missing {stage}: {out}");
+        }
+        assert!(out.contains("evidence digest:"), "{out}");
+        assert!(out.contains("stage caches:"), "{out}");
+    }
+
+    #[test]
+    fn run_explain_json_is_machine_readable() {
+        let out = run(Command::Explain {
+            task: "consensus".into(),
+            act_fallback: 0,
+            json: true,
+        })
+        .unwrap();
+        use serde_json::Value;
+        let doc: Value = serde_json::from_str(&out).unwrap();
+        // The registry's `consensus` entry builds the 3-process task.
+        assert_eq!(doc["task"], Value::String("consensus-3".into()));
+        assert_eq!(doc["decided_by"], Value::String("homology".into()));
+        let Value::Array(stages) = &doc["stages"] else {
+            panic!("stages must be an array: {out}");
+        };
+        assert_eq!(stages[0]["stage"], Value::String("canonicalize".into()));
+        assert!(stages
+            .iter()
+            .any(|s| s["stage"] == Value::String("homology".into())));
+        let Value::Array(caches) = &doc["stage_caches"] else {
+            panic!("stage_caches must be an array: {out}");
+        };
+        assert_eq!(caches.len(), 6);
+        let Value::String(digest) = &doc["evidence_digest"] else {
+            panic!("digest must be a string: {out}");
+        };
+        assert_eq!(digest.len(), 16);
+    }
+
+    #[test]
+    fn run_batch_covers_named_tasks() {
+        let out = run(Command::Batch {
+            tasks: vec!["identity".into(), "hourglass".into()],
+            act_fallback: 0,
+        })
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        assert!(
+            lines[0].starts_with("identity") && lines[0].contains("SOLVABLE"),
+            "{out}"
+        );
+        assert!(
+            lines[1].starts_with("hourglass") && lines[1].contains("UNSOLVABLE"),
+            "{out}"
+        );
     }
 
     #[test]

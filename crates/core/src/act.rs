@@ -85,27 +85,49 @@ pub fn solve_act(task: &Task, max_rounds: usize) -> ActOutcome {
 /// ruled out.
 #[must_use]
 pub fn solve_act_governed(task: &Task, budget: &Budget, cancel: &CancelToken) -> ActOutcome {
+    solve_act_governed_with_stats(task, budget, cancel).0
+}
+
+/// [`solve_act_governed`] additionally reporting the total number of
+/// backtracking nodes expanded across every round searched — the state
+/// counter the verdict engine's evidence chains record for the
+/// exploration stage.
+#[must_use]
+pub fn solve_act_governed_with_stats(
+    task: &Task,
+    budget: &Budget,
+    cancel: &CancelToken,
+) -> (ActOutcome, u64) {
     let max_rounds = budget.max_act_rounds;
+    let mut total_nodes = 0u64;
     for rounds in 0..=max_rounds {
         if let Err(interrupt) = budget.check(cancel) {
-            return ActOutcome::Interrupted {
-                rounds_completed: rounds,
-                interrupt,
-            };
-        }
-        let sub = iterated_chromatic_subdivision(task.input(), rounds);
-        match find_decision_map_governed(&sub, task, budget, cancel) {
-            Ok(Some(map)) => return ActOutcome::Solvable { rounds, map },
-            Ok(None) => {}
-            Err(interrupt) => {
-                return ActOutcome::Interrupted {
+            return (
+                ActOutcome::Interrupted {
                     rounds_completed: rounds,
                     interrupt,
-                }
+                },
+                total_nodes,
+            );
+        }
+        let sub = iterated_chromatic_subdivision(task.input(), rounds);
+        let (found, nodes) = find_decision_map_counted(&sub, task, budget, cancel);
+        total_nodes += nodes;
+        match found {
+            Ok(Some(map)) => return (ActOutcome::Solvable { rounds, map }, total_nodes),
+            Ok(None) => {}
+            Err(interrupt) => {
+                return (
+                    ActOutcome::Interrupted {
+                        rounds_completed: rounds,
+                        interrupt,
+                    },
+                    total_nodes,
+                )
             }
         }
     }
-    ActOutcome::Exhausted { max_rounds }
+    (ActOutcome::Exhausted { max_rounds }, total_nodes)
 }
 
 /// Searches for a chromatic simplicial map `sub.complex → task.output()`
@@ -136,6 +158,17 @@ pub fn find_decision_map_governed(
     budget: &Budget,
     cancel: &CancelToken,
 ) -> Result<Option<SimplicialMap>, Interrupt> {
+    find_decision_map_counted(sub, task, budget, cancel).0
+}
+
+/// [`find_decision_map_governed`] additionally reporting the number of
+/// backtracking nodes the search expanded (even when interrupted).
+pub(crate) fn find_decision_map_counted(
+    sub: &Subdivision,
+    task: &Task,
+    budget: &Budget,
+    cancel: &CancelToken,
+) -> (Result<Option<SimplicialMap>, Interrupt>, u64) {
     let vertices: Vec<Vertex> = sub.complex.vertices().cloned().collect();
     let vindex: BTreeMap<&Vertex, usize> =
         vertices.iter().enumerate().map(|(i, v)| (v, i)).collect();
@@ -144,10 +177,10 @@ pub fn find_decision_map_governed(
     let mut domains: Vec<Vec<Vertex>> = Vec::with_capacity(vertices.len());
     for v in &vertices {
         let Some(tau) = sub.carrier.minimal_carrier_of_vertex(v) else {
-            return Ok(None);
+            return (Ok(None), 0);
         };
         let Some(img) = task.delta().get(tau) else {
-            return Ok(None);
+            return (Ok(None), 0);
         };
         let dom: Vec<Vertex> = img
             .vertices()
@@ -155,7 +188,7 @@ pub fn find_decision_map_governed(
             .cloned()
             .collect();
         if dom.is_empty() {
-            return Ok(None);
+            return (Ok(None), 0);
         }
         domains.push(dom);
     }
@@ -261,7 +294,7 @@ pub fn find_decision_map_governed(
     }
 
     let mut nodes = 0usize;
-    if search(
+    let found = search(
         0,
         &order,
         &domains,
@@ -272,16 +305,21 @@ pub fn find_decision_map_governed(
         &mut nodes,
         budget,
         cancel,
-    )? {
-        Ok(Some(
-            vertices
-                .into_iter()
-                .zip(assignment)
-                .map(|(v, w)| (v, w.expect("search completed"))) // chromata-lint: allow(P1): the backtracking search reports success only with a full assignment
-                .collect(),
-        ))
-    } else {
-        Ok(None)
+    );
+    let expanded = nodes as u64;
+    match found {
+        Err(interrupt) => (Err(interrupt), expanded),
+        Ok(true) => (
+            Ok(Some(
+                vertices
+                    .into_iter()
+                    .zip(assignment)
+                    .map(|(v, w)| (v, w.expect("search completed"))) // chromata-lint: allow(P1): the backtracking search reports success only with a full assignment
+                    .collect(),
+            )),
+            expanded,
+        ),
+        Ok(false) => (Ok(None), expanded),
     }
 }
 

@@ -27,9 +27,11 @@
 
 use std::collections::BTreeMap;
 
-use chromata_algebra::{is_feasible, ChainComplex, EdgePathGroup, IntMatrix};
+use chromata_algebra::{is_feasible, EdgePathGroup, IntMatrix};
 use chromata_task::Task;
-use chromata_topology::{Complex, Graph, Simplex, Vertex};
+use chromata_topology::{Graph, Simplex, Vertex};
+
+use crate::stages::artifacts::{LinkGraphs, Presentations};
 
 /// The three-valued outcome of the continuous-map existence check.
 #[derive(Clone, Debug)]
@@ -86,49 +88,53 @@ pub enum ImpossibilityReason {
 /// reading of the hourglass gap, it is also run pre-splitting).
 #[must_use]
 pub fn continuous_map_exists(task: &Task) -> ContinuousOutcome {
-    let input = task.input();
-    let vertices: Vec<Vertex> = input.vertices().cloned().collect();
+    let links = LinkGraphs::build(task);
+    let presentations = Presentations::build(task, &links);
+    continuous_map_exists_with(&links, &presentations).0
+}
 
-    // Vertex domains.
-    let mut domains: Vec<Vec<Vertex>> = Vec::with_capacity(vertices.len());
-    for x in &vertices {
-        let img = task.delta().image_of(&Simplex::vertex(x.clone()));
-        let dom: Vec<Vertex> = img.vertices().cloned().collect();
-        if dom.is_empty() {
-            return ContinuousOutcome::Impossible {
+/// [`continuous_map_exists`] against precomputed stage artifacts, also
+/// returning how many full vertex assignments were triangle-checked.
+/// The engine's homology stage calls this; the artifacts are pure
+/// functions of `task`, so the outcome is identical to the plain entry
+/// point.
+pub(crate) fn continuous_map_exists_with(
+    links: &LinkGraphs,
+    presentations: &Presentations,
+) -> (ContinuousOutcome, u64) {
+    // Vertex domains, in vertex order: the artifact keeps empty domains
+    // (it is a total function of the task), so the defensive first-empty
+    // return happens here.
+    if let Some(x) = links.first_empty_domain() {
+        return (
+            ContinuousOutcome::Impossible {
                 reason: ImpossibilityReason::EmptyVertexImage(x.clone()),
-            };
-        }
-        domains.push(dom);
+            },
+            0,
+        );
     }
 
-    // Pre-build edge graphs and triangle environments.
-    let edges: Vec<Simplex> = input.simplices_of_dim(1).cloned().collect();
-    let edge_graphs: Vec<Graph> = edges
+    let vindex: BTreeMap<&Vertex, usize> = links
+        .vertices
         .iter()
-        .map(|e| Graph::from_complex(task.delta().image_of(e)))
+        .enumerate()
+        .map(|(i, v)| (v, i))
         .collect();
-    let triangles: Vec<Simplex> = input.simplices_of_dim(2).cloned().collect();
-
-    let vindex: BTreeMap<&Vertex, usize> =
-        vertices.iter().enumerate().map(|(i, v)| (v, i)).collect();
 
     let mut ctx = SearchCtx {
-        task,
-        vertices: &vertices,
-        domains: &domains,
-        edges: &edges,
-        edge_graphs: &edge_graphs,
-        triangles: &triangles,
+        links,
+        presentations,
         vindex: &vindex,
         edge_failure: None,
         homology_failure: None,
         undetermined: None,
+        assignments_checked: 0,
     };
-    let mut assignment: Vec<Option<Vertex>> = vec![None; vertices.len()];
+    let mut assignment: Vec<Option<Vertex>> = vec![None; links.vertices.len()];
     let found = ctx.search(0, &mut assignment);
+    let checked = ctx.assignments_checked;
 
-    match found {
+    let outcome = match found {
         Some((assignment, certificates)) => ContinuousOutcome::Exists {
             assignment,
             certificates,
@@ -152,21 +158,19 @@ pub fn continuous_map_exists(task: &Task) -> ContinuousOutcome {
                 }
             }
         }
-    }
+    };
+    (outcome, checked)
 }
 
 /// Search state for the assignment enumeration.
 struct SearchCtx<'a> {
-    task: &'a Task,
-    vertices: &'a [Vertex],
-    domains: &'a [Vec<Vertex>],
-    edges: &'a [Simplex],
-    edge_graphs: &'a [Graph],
-    triangles: &'a [Simplex],
+    links: &'a LinkGraphs,
+    presentations: &'a Presentations,
     vindex: &'a BTreeMap<&'a Vertex, usize>,
     edge_failure: Option<Simplex>,
     homology_failure: Option<Simplex>,
     undetermined: Option<String>,
+    assignments_checked: u64,
 }
 
 impl SearchCtx<'_> {
@@ -177,23 +181,19 @@ impl SearchCtx<'_> {
         k: usize,
         assignment: &mut Vec<Option<Vertex>>,
     ) -> Option<(BTreeMap<Vertex, Vertex>, Vec<String>)> {
-        if k == self.vertices.len() {
-            if self.vertices.is_empty() {
+        if k == self.links.vertices.len() {
+            if self.links.vertices.is_empty() {
                 return None;
             }
             let g: BTreeMap<Vertex, Vertex> = self
+                .links
                 .vertices
                 .iter()
                 .zip(assignment.iter())
                 .map(|(x, w)| (x.clone(), w.clone().expect("full assignment"))) // chromata-lint: allow(P1): the search succeeds only once every vertex is assigned
                 .collect();
-            return match check_triangles(
-                self.task,
-                self.triangles,
-                self.edges,
-                self.edge_graphs,
-                &g,
-            ) {
+            self.assignments_checked += 1;
+            return match check_triangles(self.links, self.presentations, &g) {
                 TriangleCheck::Pass(certs) => Some((g, certs)),
                 TriangleCheck::HomologyFail(t) => {
                     self.homology_failure = Some(t);
@@ -207,10 +207,10 @@ impl SearchCtx<'_> {
                 }
             };
         }
-        'candidates: for cand in &self.domains[k] {
+        'candidates: for cand in &self.links.domains[k] {
             assignment[k] = Some(cand.clone());
             // Edge pruning: every fully assigned edge must connect.
-            for (e, graph) in self.edges.iter().zip(self.edge_graphs) {
+            for (e, graph) in self.links.edges.iter().zip(&self.links.edge_graphs) {
                 let vs = e.vertices();
                 let (Some(a), Some(b)) = (
                     assignment[self.vindex[&vs[0]]].as_ref(),
@@ -241,14 +241,15 @@ enum TriangleCheck {
 }
 
 /// Checks the triangle (contractibility) conditions for a full vertex
-/// assignment.
+/// assignment, consulting the precomputed presentation artifacts.
 fn check_triangles(
-    task: &Task,
-    triangles: &[Simplex],
-    edges: &[Simplex],
-    edge_graphs: &[Graph],
+    links: &LinkGraphs,
+    presentations: &Presentations,
     g: &BTreeMap<Vertex, Vertex>,
 ) -> TriangleCheck {
+    let triangles = &links.triangles;
+    let edges = &links.edges;
+    let edge_graphs = &links.edge_graphs;
     if triangles.is_empty() {
         return TriangleCheck::Pass(vec!["1-dimensional input: no triangle conditions".into()]);
     }
@@ -268,22 +269,20 @@ fn check_triangles(
     let mut all_base_ok = true;
     let mut abelian_ok = true;
     for (ti, sigma) in triangles.iter().enumerate() {
-        let img = task.delta().image_of(sigma);
-        let comp = component_containing(img, g[&sigma.vertices()[0]].clone());
-        let group = EdgePathGroup::new(&comp);
-        let p = group.presentation().simplified();
-        if p.is_trivial_group() {
+        let summary = presentations.per_triangle[ti].summary_for(&g[&sigma.vertices()[0]]);
+        let group = summary.group();
+        if summary.is_trivial() {
             certs.push(format!(
                 "triangle {sigma}: image component simply connected"
             ));
             continue;
         }
         nontrivial.push(ti);
-        if !group.presentation().is_evidently_abelian() {
+        if !summary.is_evidently_abelian() {
             abelian_ok = false;
         }
         let base_trivial =
-            base_loop_word(sigma, edges, edge_graphs, g, &group).is_some_and(|word| {
+            base_loop_word(sigma, edges, edge_graphs, g, group).is_some_and(|word| {
                 chromata_algebra::word_triviality(group.presentation(), &word)
                     == chromata_algebra::Triviality::Trivial
             });
@@ -305,7 +304,7 @@ fn check_triangles(
     let needs_h1 = nontrivial;
 
     // Joint H1 system over all triangles with non-trivial π1 components.
-    match joint_h1_feasible(task, triangles, edges, edge_graphs, g) {
+    match joint_h1_feasible(links, presentations, g) {
         false => TriangleCheck::HomologyFail(triangles[needs_h1[0]].clone()),
         true if abelian_ok => {
             certs.push(format!(
@@ -345,53 +344,43 @@ fn base_loop_word(
     group.word_of_walk(&walk)
 }
 
-/// The subcomplex of `k` induced by the connected component containing
-/// `seed`.
-fn component_containing(k: &Complex, seed: Vertex) -> Complex {
-    let comps = k.connected_components();
-    let comp = comps
-        .into_iter()
-        .find(|c| c.contains(&seed))
-        .unwrap_or_default();
-    k.filtered(|s| s.iter().all(|v| comp.contains(v)))
-}
-
 /// Joint integer feasibility of the abelianized triangle conditions:
 /// unknowns are re-routing multiples of each input edge's attachable cycle
 /// basis and per-triangle 2-chain corrections; the system demands that
 /// every triangle's boundary loop become a boundary.
+///
+/// The assignment-independent ingredients — fundamental-cycle walks per
+/// edge graph and chain complexes per triangle — come precomputed from
+/// the [`LinkGraphs`] and [`Presentations`] artifacts; only the base
+/// paths and the component filter depend on the assignment `g`.
 fn joint_h1_feasible(
-    task: &Task,
-    triangles: &[Simplex],
-    edges: &[Simplex],
-    edge_graphs: &[Graph],
+    links: &LinkGraphs,
+    presentations: &Presentations,
     g: &BTreeMap<Vertex, Vertex>,
 ) -> bool {
+    let triangles = &links.triangles;
+    let edges = &links.edges;
+    let edge_graphs = &links.edge_graphs;
     // Base paths and attachable cycles per input edge.
     struct EdgeEnv {
         base: Vec<Vertex>,        // walk g(x) → g(x')
         cycles: Vec<Vec<Vertex>>, // closed walks (attachable basis)
     }
     let mut envs: BTreeMap<&Simplex, EdgeEnv> = BTreeMap::new();
-    for (e, graph) in edges.iter().zip(edge_graphs) {
+    for (ei, (e, graph)) in edges.iter().zip(edge_graphs).enumerate() {
         let vs = e.vertices();
         let (a, b) = (&g[&vs[0]], &g[&vs[1]]);
         let Some(base) = graph.shortest_path(a, b) else {
             return false; // edge condition failed (caller prunes earlier)
         };
-        // Fundamental cycles of the component containing the base path.
-        let mut cycles = Vec::new();
-        for (u, w) in graph.non_tree_edges() {
-            if !graph.connected(&u, a) {
-                continue; // unattachable: different component
-            }
-            let mut walk = graph
-                .shortest_path(&u, &w)
-                .expect("tree path within a component"); // chromata-lint: allow(P1): both endpoints were proven to lie in one spanning-tree component
-                                                         // Close the cycle with the non-tree edge w → u.
-            walk.push(u.clone());
-            cycles.push(walk);
-        }
+        // Fundamental cycles of the component containing the base path:
+        // the closed walks were precomputed per non-tree edge; only the
+        // attachability filter depends on the assignment.
+        let cycles: Vec<Vec<Vertex>> = links.edge_cycles[ei]
+            .iter()
+            .filter(|(u, _)| graph.connected(u, a))
+            .map(|(_, walk)| walk.clone())
+            .collect();
         envs.insert(e, EdgeEnv { base, cycles });
     }
 
@@ -406,10 +395,11 @@ fn joint_h1_feasible(
             ncols += 1;
         }
     }
-    // Triangle chain complexes.
-    let chain_complexes: Vec<ChainComplex> = triangles
+    // Triangle chain complexes, precomputed in the presentations artifact.
+    let chain_complexes: Vec<&chromata_algebra::ChainComplex> = presentations
+        .per_triangle
         .iter()
-        .map(|sigma| ChainComplex::new(task.delta().image_of(sigma)))
+        .map(|tp| &tp.chain)
         .collect();
     let tri_col_start: Vec<usize> = chain_complexes
         .iter()

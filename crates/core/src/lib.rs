@@ -51,6 +51,7 @@ mod corollaries;
 mod lap;
 mod pipeline;
 mod splitting;
+pub mod stages;
 mod two_process;
 
 pub use act::{
@@ -61,14 +62,25 @@ pub use chromata_topology::{Budget, CancelToken, Interrupt};
 pub use continuous::{continuous_map_exists, ContinuousOutcome, ImpossibilityReason};
 pub use corollaries::{corollary_5_5, crossing_graph, every_cycle_crosses_a_lap};
 pub use lap::{first_lap_of_facet, laps, Lap};
+#[allow(deprecated)] // the shim is re-exported for source compatibility
+pub use pipeline::decision_cache_stats;
 pub use pipeline::{
-    analyze, analyze_governed, clear_decision_cache, decision_cache_stats,
+    analyze, analyze_batch, analyze_batch_governed, analyze_governed, clear_decision_cache,
     set_decision_cache_capacity, Analysis, DecisionCacheStats, Obstruction, PipelineOptions,
     Verdict,
 };
 pub use splitting::{
     split_all, split_once, transport_witness, unsplit_simplex, unsplit_vertex, SplitOutcome,
 };
+pub use stages::artifacts::{
+    ComponentPresentation, ExplorationReport, HomologyReport, LinkGraphs, Presentations,
+    SubdividedComplex, TrianglePresentations,
+};
+pub use stages::cache::{
+    clear_stage_caches, set_stage_cache_capacity, stage_cache_stats, ArtifactKind, ArtifactStore,
+    SharedCache, StageCache,
+};
+pub use stages::{CacheEvent, EvidenceChain, Stage, StageEvidence, StageOutcome};
 pub use two_process::{decide_two_process, synthesize_two_process};
 
 pub use chromata_algebra as algebra;

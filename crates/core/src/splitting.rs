@@ -81,16 +81,22 @@ pub fn split_once(task: &Task, lap: &Lap) -> Result<Task, Vertex> {
                 // vertices' link component.
                 match rho.iter().find(|z| *z != y) {
                     Some(z) => {
-                        let i = lap.component_of(z).unwrap_or_else(|| {
-                            // chromata-lint: allow(P1): guaranteed by Lemma 4.1; a violation is a soundness bug worth aborting on
-                            panic!("residual vertex {z} of {rho} not in any link component of {y}")
-                        });
-                        facets.push(rho.substituted(y, copies[i].clone()));
+                        let copy = lap
+                            .component_of(z)
+                            .and_then(|i| copies.get(i))
+                            .unwrap_or_else(|| {
+                                // chromata-lint: allow(P1): guaranteed by Lemma 4.1; a violation is a soundness bug worth aborting on
+                                panic!(
+                                    "residual vertex {z} of {rho} not in any link component of {y}"
+                                )
+                            });
+                        facets.push(rho.substituted(y, copy.clone()));
                     }
                     None => {
                         // ρ = {y} at the vertex level: intersection rule.
                         for i in allowed_copies_for_solo(task, lap, tau) {
-                            facets.push(Simplex::vertex(copies[i].clone()));
+                            let copy = copies.get(i).expect("allowed copy index in range"); // chromata-lint: allow(P1): allowed_copies_for_solo draws indices from 0..component_count = copies.len()
+                            facets.push(Simplex::vertex(copy.clone()));
                         }
                     }
                 }
@@ -104,7 +110,12 @@ pub fn split_once(task: &Task, lap: &Lap) -> Result<Task, Vertex> {
         if facets.is_empty() {
             // Degenerate: a solo image vanished; the original task is
             // unsolvable (module docs).
-            return Err(tau.vertices()[0].clone());
+            let x = tau
+                .vertices()
+                .first()
+                .expect("carrier-map domains are non-empty simplices") // chromata-lint: allow(P1): Δ is keyed by simplices, which have at least one vertex
+                .clone();
+            return Err(x);
         }
         delta.insert(tau.clone(), Complex::from_facets(facets));
     }

@@ -1,0 +1,584 @@
+//! Per-stage artifact caches: bounded, fingerprint-ordered, poison-safe.
+//!
+//! The staged verdict engine replaces the former single opaque decision
+//! cache with one [`StageCache`] per artifact kind, all living in the
+//! process-wide [`ArtifactStore`]. Every cache keeps the semantics the
+//! old cache was tested for:
+//!
+//! * **FIFO bound** — insertion order is tracked in a queue and the
+//!   oldest entries are evicted first once `capacity` is reached;
+//! * **poison recovery** — a worker that panics while holding a cache
+//!   lock may leave the map and the queue out of sync; the next locker
+//!   re-validates the invariants, dropping orphaned queue keys and
+//!   re-queuing unqueued map keys in *structural-fingerprint* order
+//!   (hash-map iteration order must never decide future evictions —
+//!   rule D1);
+//! * **stats** — hits, misses and evictions are counted per cache and
+//!   survive poison recovery.
+
+// chromata-lint: allow(D1): imported for the key-addressed stage caches; every use is justified at its site
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use chromata_task::Task;
+use chromata_topology::structural_fingerprint;
+
+use super::artifacts::{
+    ExplorationReport, HomologyReport, LinkGraphs, Presentations, SubdividedComplex,
+};
+use super::DecisionRecord;
+
+/// Hit/miss/eviction counters for one stage cache (and, via the
+/// deprecated [`crate::decision_cache_stats`] shim, for the verdict
+/// cache alone).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DecisionCacheStats {
+    /// Artifacts served from the cache without recomputation.
+    pub hits: u64,
+    /// Artifacts computed by the stage and then cached.
+    pub misses: u64,
+    /// Entries evicted to keep the cache within its capacity.
+    pub evictions: u64,
+}
+
+/// The artifact kinds the engine caches, one [`StageCache`] each.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArtifactKind {
+    /// [`SubdividedComplex`] — the §4 splitting deformation.
+    Split,
+    /// [`LinkGraphs`] — vertex domains, edge graphs, triangle lists.
+    LinkGraphs,
+    /// [`Presentations`] — per-triangle π₁ presentations + chain data.
+    Presentations,
+    /// [`HomologyReport`] — the continuous-map tier outcome.
+    Homology,
+    /// [`ExplorationReport`] — the bounded ACT exploration outcome.
+    Exploration,
+    /// The final verdict record with its replayable evidence traces.
+    Verdict,
+}
+
+impl ArtifactKind {
+    /// Stable lower-case name, used in reports and `chromata explain`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactKind::Split => "split",
+            ArtifactKind::LinkGraphs => "link-graphs",
+            ArtifactKind::Presentations => "presentations",
+            ArtifactKind::Homology => "homology",
+            ArtifactKind::Exploration => "explore",
+            ArtifactKind::Verdict => "verdict",
+        }
+    }
+}
+
+impl fmt::Display for ArtifactKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Default capacity of each stage cache (entries), overridable with the
+/// `CHROMATA_DECISION_CACHE_CAP` environment variable or
+/// [`set_stage_cache_capacity`].
+const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// A bounded FIFO cache for one artifact kind.
+///
+/// Invariant: `queue` holds each key of `map` exactly once. The cache is
+/// key-addressed; the only iteration (poison recovery) sorts by
+/// structural fingerprint so no hash-map order leaks into evictions.
+pub struct StageCache<K, V> {
+    // chromata-lint: allow(D1): key-addressed only; the one iteration (poison recovery) sorts by structural fingerprint
+    map: HashMap<K, V>,
+    queue: VecDeque<K>,
+    capacity: usize,
+    stats: DecisionCacheStats,
+}
+
+impl<K: Clone + Eq + Hash, V: Clone> StageCache<K, V> {
+    /// An empty cache bounded at `capacity` entries.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        StageCache {
+            map: HashMap::new(), // chromata-lint: allow(D1): see the struct field's justification
+            queue: VecDeque::new(),
+            capacity,
+            stats: DecisionCacheStats::default(),
+        }
+    }
+
+    /// Looks up an artifact, bumping the hit/miss counters.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let found = self.map.get(key).cloned();
+        if found.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        found
+    }
+
+    /// Inserts an artifact, evicting the oldest entries past capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(key.clone(), value).is_none() {
+            self.queue.push_back(key);
+        }
+        self.evict_to_capacity();
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> DecisionCacheStats {
+        self.stats
+    }
+
+    /// Number of cached artifacts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Replaces the capacity bound, evicting the oldest entries if the
+    /// cache currently exceeds it. A capacity of 0 disables caching.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        self.restore_invariants();
+    }
+
+    /// Validate-or-drop after recovering a poisoned lock: a worker that
+    /// panicked mid-update may have inserted into `map` without
+    /// recording the key in `queue` (or vice versa). Individual entries
+    /// are never torn (both structures are updated with complete
+    /// values), so recovery re-derives the queue from the surviving map:
+    /// orphaned queue keys are dropped, unqueued map keys are re-queued
+    /// in structural-fingerprint order, and the capacity bound is
+    /// re-imposed. The stats — including evictions performed here —
+    /// survive recovery.
+    pub fn restore_invariants(&mut self) {
+        // chromata-lint: allow(D1): re-queue order is made deterministic by the fingerprint sort below
+        let mut seen = std::collections::HashSet::new();
+        let map = &self.map;
+        self.queue
+            .retain(|k| map.contains_key(k) && seen.insert(k.clone()));
+        let mut unqueued: Vec<K> = self
+            .map
+            .keys()
+            .filter(|k| !seen.contains(*k))
+            .cloned()
+            .collect();
+        unqueued.sort_by_key(|k| structural_fingerprint(k));
+        for k in unqueued {
+            self.queue.push_back(k);
+        }
+        self.evict_to_capacity();
+    }
+
+    /// Drops all artifacts and resets the counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.queue.clear();
+        self.stats = DecisionCacheStats::default();
+    }
+
+    fn evict_to_capacity(&mut self) {
+        while self.map.len() > self.capacity {
+            let Some(oldest) = self.queue.pop_front() else {
+                break;
+            };
+            self.map.remove(&oldest);
+            self.stats.evictions += 1;
+        }
+    }
+
+    #[cfg(test)]
+    fn raw_parts(&mut self) -> (&mut HashMap<K, V>, &mut VecDeque<K>) {
+        (&mut self.map, &mut self.queue)
+    }
+}
+
+/// A [`StageCache`] behind a mutex whose lock transparently recovers
+/// from poisoning by re-validating the cache invariants.
+pub struct SharedCache<K, V> {
+    inner: Mutex<StageCache<K, V>>,
+}
+
+impl<K: Clone + Eq + Hash, V: Clone> SharedCache<K, V> {
+    /// An empty shared cache bounded at `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        SharedCache {
+            inner: Mutex::new(StageCache::with_capacity(capacity)),
+        }
+    }
+
+    /// Locks the cache. If a thread panicked while holding the lock, the
+    /// cross-structure invariants are re-validated (and violating
+    /// entries dropped) before the guard is handed out.
+    pub fn lock(&self) -> MutexGuard<'_, StageCache<K, V>> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.restore_invariants();
+                guard
+            }
+        }
+    }
+}
+
+/// The process-wide store of per-stage caches the verdict engine runs
+/// against. One instance exists per process (see [`store`]); every
+/// analysis — sequential or batched — shares it, which is what lets
+/// [`crate::analyze_batch`] reuse subdivision and presentation artifacts
+/// across tasks.
+pub struct ArtifactStore {
+    pub(crate) split: SharedCache<Task, Arc<SubdividedComplex>>,
+    pub(crate) links: SharedCache<Task, Arc<LinkGraphs>>,
+    pub(crate) presentations: SharedCache<Task, Arc<Presentations>>,
+    pub(crate) homology: SharedCache<Task, Arc<HomologyReport>>,
+    pub(crate) exploration: SharedCache<(Task, usize), Arc<ExplorationReport>>,
+    pub(crate) verdict: SharedCache<(Task, usize), DecisionRecord>,
+}
+
+impl ArtifactStore {
+    fn with_capacity(capacity: usize) -> Self {
+        ArtifactStore {
+            split: SharedCache::new(capacity),
+            links: SharedCache::new(capacity),
+            presentations: SharedCache::new(capacity),
+            homology: SharedCache::new(capacity),
+            exploration: SharedCache::new(capacity),
+            verdict: SharedCache::new(capacity),
+        }
+    }
+
+    /// Stats of one cache by kind.
+    fn stats_of(&self, kind: ArtifactKind) -> DecisionCacheStats {
+        match kind {
+            ArtifactKind::Split => self.split.lock().stats(),
+            ArtifactKind::LinkGraphs => self.links.lock().stats(),
+            ArtifactKind::Presentations => self.presentations.lock().stats(),
+            ArtifactKind::Homology => self.homology.lock().stats(),
+            ArtifactKind::Exploration => self.exploration.lock().stats(),
+            ArtifactKind::Verdict => self.verdict.lock().stats(),
+        }
+    }
+
+    fn set_capacity_of(&self, kind: ArtifactKind, capacity: usize) {
+        match kind {
+            ArtifactKind::Split => self.split.lock().set_capacity(capacity),
+            ArtifactKind::LinkGraphs => self.links.lock().set_capacity(capacity),
+            ArtifactKind::Presentations => self.presentations.lock().set_capacity(capacity),
+            ArtifactKind::Homology => self.homology.lock().set_capacity(capacity),
+            ArtifactKind::Exploration => self.exploration.lock().set_capacity(capacity),
+            ArtifactKind::Verdict => self.verdict.lock().set_capacity(capacity),
+        }
+    }
+
+    fn clear_all(&self) {
+        self.split.lock().clear();
+        self.links.lock().clear();
+        self.presentations.lock().clear();
+        self.homology.lock().clear();
+        self.exploration.lock().clear();
+        self.verdict.lock().clear();
+    }
+}
+
+/// Every artifact kind, in the fixed reporting order.
+pub(crate) const ALL_KINDS: [ArtifactKind; 6] = [
+    ArtifactKind::Split,
+    ArtifactKind::LinkGraphs,
+    ArtifactKind::Presentations,
+    ArtifactKind::Homology,
+    ArtifactKind::Exploration,
+    ArtifactKind::Verdict,
+];
+
+/// The process-wide [`ArtifactStore`].
+pub(crate) fn store() -> &'static ArtifactStore {
+    static STORE: OnceLock<ArtifactStore> = OnceLock::new();
+    STORE.get_or_init(|| {
+        // Environment reads go through `govern` (rule D2): configuration
+        // is sampled once at store initialization, never on a decision.
+        let capacity = chromata_topology::govern::env_usize("CHROMATA_DECISION_CACHE_CAP")
+            .unwrap_or(DEFAULT_CACHE_CAPACITY);
+        ArtifactStore::with_capacity(capacity)
+    })
+}
+
+/// Per-stage cache counters (process-wide), one entry per
+/// [`ArtifactKind`] in declaration order.
+#[must_use]
+pub fn stage_cache_stats() -> Vec<(ArtifactKind, DecisionCacheStats)> {
+    let s = store();
+    ALL_KINDS.iter().map(|&k| (k, s.stats_of(k))).collect()
+}
+
+/// Replaces one stage cache's capacity (process-wide), evicting the
+/// oldest entries if that cache currently exceeds the new bound. A
+/// capacity of 0 disables caching for that stage.
+pub fn set_stage_cache_capacity(kind: ArtifactKind, capacity: usize) {
+    store().set_capacity_of(kind, capacity);
+}
+
+/// Drops every cached artifact of every stage and resets all counters.
+pub fn clear_stage_caches() {
+    store().clear_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Verdict;
+    use chromata_task::library::{constant_task, identity_task, two_process_consensus};
+
+    fn fp(key: &(Task, usize)) -> u64 {
+        structural_fingerprint(key)
+    }
+
+    #[test]
+    fn cache_is_bounded_with_fifo_eviction() {
+        // Unit-level, on a private instance: the global store is shared
+        // with concurrently running tests.
+        let mut cache: StageCache<(Task, usize), Verdict> = StageCache::with_capacity(2);
+        let key = |n: usize| (identity_task(2), n);
+        let v = Verdict::Unknown { reason: "x".into() };
+        cache.insert(key(0), v.clone());
+        cache.insert(key(1), v.clone());
+        cache.insert(key(2), v.clone());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // FIFO: the oldest key was evicted, the newer two survive.
+        assert!(cache.get(&key(0)).is_none());
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_some());
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(cache.stats().misses, 1);
+        // Re-inserting an existing key neither grows nor evicts.
+        cache.insert(key(1), v);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // A zero-capacity cache stores nothing.
+        let mut off: StageCache<(Task, usize), Verdict> = StageCache::with_capacity(0);
+        off.insert(key(9), Verdict::Unknown { reason: "y".into() });
+        assert!(off.is_empty());
+    }
+
+    #[test]
+    fn poison_recovery_validates_or_drops() {
+        // Unit-level check of the recovery routine itself: an orphaned
+        // queue key (map insert lost to a panic) is dropped; an unqueued
+        // map key (queue push lost to a panic) is re-queued, not dropped.
+        let mut cache: StageCache<(Task, usize), Verdict> = StageCache::with_capacity(4);
+        let v = Verdict::Unknown { reason: "x".into() };
+        cache.insert((identity_task(2), 0), v.clone());
+        let (map, queue) = cache.raw_parts();
+        queue.push_back((identity_task(2), 7)); // orphan: not in map
+        map.insert((identity_task(2), 8), v); // unqueued
+        cache.restore_invariants();
+        let (map, queue) = cache.raw_parts();
+        assert_eq!(queue.len(), map.len());
+        assert!(map.contains_key(&(identity_task(2), 8)));
+        assert!(!queue.contains(&(identity_task(2), 7)));
+        let queue = queue.clone();
+        assert!(queue.iter().all(|k| cache.raw_parts().0.contains_key(k)));
+    }
+
+    #[test]
+    fn eviction_stats_survive_poison_recovery() {
+        // Regression (satellite): the eviction counter accumulated before
+        // a worker panic must survive the poisoned-lock recovery, and the
+        // evictions the recovery itself performs must be counted on top.
+        let shared: SharedCache<(Task, usize), Verdict> = SharedCache::new(2);
+        let v = Verdict::Unknown { reason: "x".into() };
+        {
+            let mut guard = shared.lock();
+            guard.insert((identity_task(2), 0), v.clone());
+            guard.insert((identity_task(2), 1), v.clone());
+            guard.insert((identity_task(2), 2), v.clone());
+            assert_eq!(guard.stats().evictions, 1);
+            let _ = guard.get(&(identity_task(2), 2));
+        }
+        let before = shared.lock().stats();
+        // A worker dies holding the lock after tearing the invariant the
+        // way an interrupted insert would: map entries beyond capacity
+        // with no queue record.
+        std::thread::scope(|s| {
+            let _ = s
+                .spawn(|| {
+                    let mut guard = shared.lock();
+                    let (map, _) = guard.raw_parts();
+                    map.insert((identity_task(2), 3), v.clone());
+                    map.insert((identity_task(2), 4), v.clone());
+                    panic!("worker dies mid-insert");
+                })
+                .join();
+        });
+        // The next lock recovers: capacity re-imposed (2 forced evictions)
+        // and the pre-panic counters still present.
+        let guard = shared.lock();
+        let after = guard.stats();
+        assert_eq!(after.hits, before.hits, "hits survive recovery");
+        assert_eq!(after.misses, before.misses, "misses survive recovery");
+        assert_eq!(
+            after.evictions,
+            before.evictions + 2,
+            "pre-panic evictions survive and recovery evictions are counted"
+        );
+    }
+
+    /// The cross-structure invariants every cache op must preserve:
+    /// `queue` holds each key of `map` exactly once, and the capacity
+    /// bound is respected.
+    fn assert_cache_invariants(cache: &mut StageCache<(Task, usize), Verdict>, context: &str) {
+        let capacity = cache.capacity;
+        let (map, queue) = cache.raw_parts();
+        assert_eq!(queue.len(), map.len(), "{context}");
+        assert!(map.len() <= capacity, "{context}");
+        let mut seen = std::collections::BTreeSet::new();
+        for k in queue.iter() {
+            assert!(map.contains_key(k), "orphan queue key: {context}");
+            assert!(seen.insert(fp(k)), "duplicate queue key: {context}");
+        }
+    }
+
+    /// Loom-style exhaustive op-level model check of the FIFO stage
+    /// cache (see `chromata_topology::interleave`): every op runs under
+    /// the cache mutex, so concurrent behaviour is fully determined by
+    /// the commit order. Enumerate every interleaving of the per-thread
+    /// op programs, replay each sequentially, and assert (a) the
+    /// cross-structure invariants after every op, and (b) that replaying
+    /// the same schedule twice produces the identical queue — no
+    /// hash-map iteration order may leak into eviction order (rule D1).
+    /// `--cfg chromata_loom` raises thread count and depth.
+    #[test]
+    fn stage_cache_exhaustive_interleavings() {
+        use chromata_topology::interleave::{depth_budget, for_each_interleaving, max_threads};
+
+        #[derive(Clone, Copy)]
+        enum Op {
+            /// Insert a verdict for key `k`.
+            Insert(usize),
+            /// Look up key `k`.
+            Get(usize),
+            /// Poison recovery ran (models a worker panic + re-lock).
+            Restore,
+        }
+        let keys: Vec<(Task, usize)> = vec![
+            (identity_task(2), 0),
+            (identity_task(2), 1),
+            (constant_task(2), 0),
+            (two_process_consensus(), 0),
+        ];
+        let verdict = Verdict::Solvable {
+            certificate: "model".into(),
+        };
+        let threads = max_threads();
+        let depth = depth_budget();
+        // Thread t's program: insert its own key, probe a shared key,
+        // insert the shared key (contended), then recover — truncated to
+        // the depth budget.
+        let programs: Vec<Vec<Op>> = (0..threads)
+            .map(|t| {
+                let mut p = vec![
+                    Op::Insert(t),
+                    Op::Get(threads),
+                    Op::Insert(threads),
+                    Op::Restore,
+                ];
+                p.truncate(depth);
+                p
+            })
+            .collect();
+        let counts: Vec<usize> = programs.iter().map(Vec::len).collect();
+        let replay = |schedule: &[usize]| -> Vec<u64> {
+            let mut cache: StageCache<(Task, usize), Verdict> = StageCache::with_capacity(2);
+            let mut pc = vec![0usize; threads];
+            for (step, &t) in schedule.iter().enumerate() {
+                let op = programs[t][pc[t]];
+                pc[t] += 1;
+                match op {
+                    Op::Insert(k) => cache.insert(keys[k].clone(), verdict.clone()),
+                    Op::Get(k) => {
+                        cache.get(&keys[k]);
+                    }
+                    Op::Restore => cache.restore_invariants(),
+                }
+                assert_cache_invariants(&mut cache, &format!("after step {step} of {schedule:?}"));
+            }
+            cache.raw_parts().1.iter().map(fp).collect()
+        };
+        let mut schedules = 0usize;
+        for_each_interleaving(&counts, |schedule| {
+            schedules += 1;
+            assert_eq!(
+                replay(schedule),
+                replay(schedule),
+                "non-deterministic replay of {schedule:?}"
+            );
+        });
+        assert!(
+            schedules >= 20,
+            "expected full enumeration, got {schedules}"
+        );
+    }
+
+    /// Poison recovery repairs torn states deterministically: keys
+    /// inserted into `map` without being queued (the worst a panic
+    /// mid-update can leave behind) are re-queued in structural-
+    /// fingerprint order, independent of hash-map iteration order.
+    #[test]
+    fn stage_cache_restore_repairs_torn_writes() {
+        let keys: Vec<(Task, usize)> = (0..4usize).map(|r| (identity_task(2), r)).collect();
+        let run = |insertion_order: &[usize]| -> Vec<u64> {
+            let mut cache: StageCache<(Task, usize), Verdict> = StageCache::with_capacity(8);
+            for &i in insertion_order {
+                // Tear: map updated, queue not (simulates a panic between
+                // the two updates under the lock).
+                cache.raw_parts().0.insert(
+                    keys[i].clone(),
+                    Verdict::Solvable {
+                        certificate: "model".into(),
+                    },
+                );
+            }
+            // Also an orphan queue entry with no artifact.
+            cache.raw_parts().1.push_back((constant_task(2), 9));
+            cache.restore_invariants();
+            assert_cache_invariants(&mut cache, "after restore");
+            cache.raw_parts().1.iter().map(fp).collect()
+        };
+        let a = run(&[0, 1, 2, 3]);
+        let b = run(&[3, 1, 0, 2]);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a, b, "re-queue order must not depend on insertion order");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(a, sorted, "re-queue order is fingerprint-sorted");
+    }
+
+    #[test]
+    fn stage_cache_stats_reports_every_kind() {
+        let all = stage_cache_stats();
+        assert_eq!(all.len(), ALL_KINDS.len());
+        for (kind, _) in &all {
+            assert!(ALL_KINDS.contains(kind));
+        }
+        assert_eq!(ArtifactKind::Verdict.name(), "verdict");
+        assert_eq!(format!("{}", ArtifactKind::LinkGraphs), "link-graphs");
+    }
+}

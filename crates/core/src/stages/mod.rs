@@ -1,0 +1,609 @@
+//! The staged verdict engine (architecture layer under [`crate::analyze`]).
+//!
+//! The decision procedure is inherently staged — canonicalize, split
+//! (§4), build link graphs, derive π₁ presentations, run the
+//! homology/word-problem tiers (§5), fall back to the bounded ACT
+//! exploration — and this module makes the stages explicit:
+//!
+//! ```text
+//! canonicalize ─▶ split ─▶ link-graphs ─▶ presentations ─▶ homology ─▶ explore
+//!     (live)    [cached]     [cached]        [cached]       [cached]   [cached]
+//! ```
+//!
+//! Every stage implements [`Stage`]: it names itself, derives a
+//! structural-fingerprint cache key, and `run`s against the
+//! [`ArtifactStore`](cache::ArtifactStore) — returning its typed
+//! artifact plus a [`StageEvidence`] record (detail, work counter,
+//! cache event, wall clock). The engine threads the evidence into the
+//! [`EvidenceChain`] every [`crate::Analysis`] now carries, which is
+//! what `chromata explain` prints.
+
+pub mod artifacts;
+pub mod cache;
+
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+use std::time::Duration;
+
+use chromata_task::Task;
+use chromata_topology::{structural_fingerprint, Budget, CancelToken, Stopwatch};
+
+use crate::act::solve_act_governed_with_stats;
+use crate::act::ActOutcome;
+use crate::continuous::{continuous_map_exists_with, ContinuousOutcome, ImpossibilityReason};
+use crate::pipeline::Verdict;
+use crate::splitting::split_all;
+
+use artifacts::{
+    exists_summary, ExplorationReport, HomologyReport, LinkGraphs, Presentations, SubdividedComplex,
+};
+use cache::{ArtifactKind, ArtifactStore, SharedCache};
+
+/// How a stage's artifact interacted with its cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheEvent {
+    /// Served from the stage cache without recomputation.
+    Hit,
+    /// Computed by the stage and inserted into the cache.
+    Miss,
+    /// Computed but not cached (budget-dependent or per-call work).
+    Uncached,
+    /// Replayed from a cached verdict record (the stage did not run).
+    Replayed,
+}
+
+impl CacheEvent {
+    /// Stable lower-case label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheEvent::Hit => "hit",
+            CacheEvent::Miss => "miss",
+            CacheEvent::Uncached => "uncached",
+            CacheEvent::Replayed => "replay",
+        }
+    }
+}
+
+impl fmt::Display for CacheEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One stage's contribution to an analysis: what it concluded, how much
+/// work it did, and how it interacted with its cache.
+#[derive(Clone, Debug)]
+pub struct StageEvidence {
+    /// Stage name (one of the engine's fixed stage names).
+    pub stage: &'static str,
+    /// Deterministic human-readable summary of the artifact.
+    pub detail: String,
+    /// Deterministic work counter (facets, assignments, search nodes …).
+    pub work: u64,
+    /// Cache interaction for this run.
+    pub cache: CacheEvent,
+    /// Wall-clock time the stage took in this run (zero when replayed).
+    /// Excluded from [`EvidenceChain::deterministic_digest`].
+    pub wall: Duration,
+}
+
+/// The full evidence chain of one analysis: every stage that ran (or
+/// was replayed from the verdict cache) plus the stage that decided.
+#[derive(Clone, Debug)]
+pub struct EvidenceChain {
+    /// Per-stage evidence, in execution order.
+    pub stages: Vec<StageEvidence>,
+    /// Name of the stage whose answer became the verdict.
+    pub decided_by: &'static str,
+}
+
+impl EvidenceChain {
+    pub(crate) fn new() -> Self {
+        EvidenceChain {
+            stages: Vec::new(),
+            decided_by: "unknown",
+        }
+    }
+
+    /// A fingerprint over the *deterministic* parts of the chain — stage
+    /// names, details, work counters and the deciding stage — excluding
+    /// wall-clock and cache events, which legitimately differ between a
+    /// cold and a warm run of the same analysis. Two analyses of the
+    /// same task under the same options always agree on this digest,
+    /// whether run alone, repeated, or inside [`crate::analyze_batch`].
+    #[must_use]
+    pub fn deterministic_digest(&self) -> u64 {
+        let parts: Vec<(&str, &str, u64)> = self
+            .stages
+            .iter()
+            .map(|s| (s.stage, s.detail.as_str(), s.work))
+            .collect();
+        structural_fingerprint(&(parts, self.decided_by))
+    }
+}
+
+impl fmt::Display for EvidenceChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "decided by: {}", self.decided_by)?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "  {:<13} {:<8} work {:>8}  {:>9.3}ms  {}",
+                s.stage,
+                s.cache,
+                s.work,
+                s.wall.as_secs_f64() * 1e3,
+                s.detail,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The compact, replayable form of a stage's evidence stored in the
+/// verdict cache: everything deterministic, nothing circumstantial.
+#[derive(Clone, Debug)]
+pub(crate) struct StageTrace {
+    pub stage: &'static str,
+    pub detail: String,
+    pub work: u64,
+}
+
+impl StageTrace {
+    pub(crate) fn of(ev: &StageEvidence) -> Self {
+        StageTrace {
+            stage: ev.stage,
+            detail: ev.detail.clone(),
+            work: ev.work,
+        }
+    }
+
+    pub(crate) fn replay(&self) -> StageEvidence {
+        StageEvidence {
+            stage: self.stage,
+            detail: self.detail.clone(),
+            work: self.work,
+            cache: CacheEvent::Replayed,
+            wall: Duration::ZERO,
+        }
+    }
+}
+
+/// What the verdict cache stores: the verdict, the deciding stage, and
+/// the deterministic traces of the post-split stages that produced it,
+/// so a cache hit replays the identical evidence chain.
+#[derive(Clone, Debug)]
+pub(crate) struct DecisionRecord {
+    pub verdict: Verdict,
+    pub decided_by: &'static str,
+    pub stages: Vec<StageTrace>,
+}
+
+/// A stage's result: the typed artifact plus its evidence record.
+pub struct StageOutcome<A> {
+    /// The artifact the stage produced (or fetched from its cache).
+    pub artifact: A,
+    /// The evidence record for this run.
+    pub evidence: StageEvidence,
+}
+
+/// One stage of the verdict engine: a name, a structural-fingerprint
+/// cache key, and a `run` against the artifact store that either serves
+/// the typed artifact from the stage's bounded cache or computes and
+/// caches it — always emitting a [`StageEvidence`] record.
+pub trait Stage {
+    /// The stage's fixed name (also its evidence label).
+    const NAME: &'static str;
+    /// Which [`ArtifactKind`] cache the stage uses.
+    const KIND: ArtifactKind;
+    /// Cache key; its structural fingerprint orders poison recovery.
+    type Key: Clone + Eq + Hash;
+    /// The typed artifact the stage produces.
+    type Artifact: Clone;
+
+    /// The cache key for this stage instance.
+    fn key(&self) -> Self::Key;
+    /// The stage's cache within the store.
+    fn cache(store: &ArtifactStore) -> &SharedCache<Self::Key, Self::Artifact>;
+    /// Computes the artifact (cache miss path).
+    fn compute(&self, budget: &Budget) -> Self::Artifact;
+    /// Deterministic one-line summary of an artifact.
+    fn detail(artifact: &Self::Artifact) -> String;
+    /// Deterministic work counter of an artifact.
+    fn work(artifact: &Self::Artifact) -> u64;
+    /// Whether an artifact is budget-independent and safe to memoize.
+    fn cacheable(_artifact: &Self::Artifact) -> bool {
+        true
+    }
+
+    /// Runs the stage: cache lookup, compute-on-miss outside the lock
+    /// (a racing miss recomputes the same artifact), insert if
+    /// cacheable, and evidence emission.
+    fn run(&self, store: &ArtifactStore, budget: &Budget) -> StageOutcome<Self::Artifact> {
+        let clock = Stopwatch::start();
+        let key = self.key();
+        if let Some(hit) = Self::cache(store).lock().get(&key) {
+            let evidence = StageEvidence {
+                stage: Self::NAME,
+                detail: Self::detail(&hit),
+                work: Self::work(&hit),
+                cache: CacheEvent::Hit,
+                wall: clock.elapsed(),
+            };
+            return StageOutcome {
+                artifact: hit,
+                evidence,
+            };
+        }
+        let artifact = self.compute(budget);
+        let cache = if Self::cacheable(&artifact) {
+            Self::cache(store).lock().insert(key, artifact.clone());
+            CacheEvent::Miss
+        } else {
+            CacheEvent::Uncached
+        };
+        let evidence = StageEvidence {
+            stage: Self::NAME,
+            detail: Self::detail(&artifact),
+            work: Self::work(&artifact),
+            cache,
+            wall: clock.elapsed(),
+        };
+        StageOutcome { artifact, evidence }
+    }
+}
+
+/// §4 splitting of a canonical three-process task.
+pub(crate) struct SplitStage {
+    pub canonical: Task,
+}
+
+impl Stage for SplitStage {
+    const NAME: &'static str = "split";
+    const KIND: ArtifactKind = ArtifactKind::Split;
+    type Key = Task;
+    type Artifact = Arc<SubdividedComplex>;
+
+    fn key(&self) -> Task {
+        self.canonical.clone()
+    }
+
+    fn cache(store: &ArtifactStore) -> &SharedCache<Task, Arc<SubdividedComplex>> {
+        &store.split
+    }
+
+    fn compute(&self, _budget: &Budget) -> Arc<SubdividedComplex> {
+        Arc::new(SubdividedComplex {
+            split: split_all(&self.canonical),
+        })
+    }
+
+    fn detail(artifact: &Arc<SubdividedComplex>) -> String {
+        let split = &artifact.split;
+        match &split.degenerate {
+            Some(x) => format!(
+                "{} split step(s); degenerate at input vertex {x}",
+                split.steps.len()
+            ),
+            None => format!(
+                "{} split step(s); O' = {} facet(s)",
+                split.steps.len(),
+                split.task.output().facet_count()
+            ),
+        }
+    }
+
+    fn work(artifact: &Arc<SubdividedComplex>) -> u64 {
+        artifact.split.steps.len() as u64
+    }
+}
+
+/// Vertex domains, edge image graphs and triangle lists of the split task.
+pub(crate) struct LinkStage {
+    pub task: Task,
+}
+
+impl Stage for LinkStage {
+    const NAME: &'static str = "link-graphs";
+    const KIND: ArtifactKind = ArtifactKind::LinkGraphs;
+    type Key = Task;
+    type Artifact = Arc<LinkGraphs>;
+
+    fn key(&self) -> Task {
+        self.task.clone()
+    }
+
+    fn cache(store: &ArtifactStore) -> &SharedCache<Task, Arc<LinkGraphs>> {
+        &store.links
+    }
+
+    fn compute(&self, _budget: &Budget) -> Arc<LinkGraphs> {
+        Arc::new(LinkGraphs::build(&self.task))
+    }
+
+    fn detail(artifact: &Arc<LinkGraphs>) -> String {
+        format!(
+            "{} vertex domain(s), {} edge graph(s), {} triangle(s)",
+            artifact.vertices.len(),
+            artifact.edges.len(),
+            artifact.triangles.len()
+        )
+    }
+
+    fn work(artifact: &Arc<LinkGraphs>) -> u64 {
+        (artifact.vertices.len() + artifact.edges.len() + artifact.triangles.len()) as u64
+    }
+}
+
+/// π₁ presentations and chain complexes per triangle image component.
+pub(crate) struct PresentationStage {
+    pub task: Task,
+    pub links: Arc<LinkGraphs>,
+}
+
+impl Stage for PresentationStage {
+    const NAME: &'static str = "presentations";
+    const KIND: ArtifactKind = ArtifactKind::Presentations;
+    type Key = Task;
+    type Artifact = Arc<Presentations>;
+
+    fn key(&self) -> Task {
+        self.task.clone()
+    }
+
+    fn cache(store: &ArtifactStore) -> &SharedCache<Task, Arc<Presentations>> {
+        &store.presentations
+    }
+
+    fn compute(&self, _budget: &Budget) -> Arc<Presentations> {
+        Arc::new(Presentations::build(&self.task, &self.links))
+    }
+
+    fn detail(artifact: &Arc<Presentations>) -> String {
+        format!(
+            "{} component presentation(s) across {} triangle(s); {} fully simply connected",
+            artifact.component_count(),
+            artifact.per_triangle.len(),
+            artifact.simply_connected_triangles()
+        )
+    }
+
+    fn work(artifact: &Arc<Presentations>) -> u64 {
+        artifact.component_count() as u64
+    }
+}
+
+/// The continuous-map tiers of §5 (vertex/edge/triangle conditions).
+pub(crate) struct HomologyStage {
+    pub task: Task,
+    pub links: Arc<LinkGraphs>,
+    pub presentations: Arc<Presentations>,
+}
+
+impl Stage for HomologyStage {
+    const NAME: &'static str = "homology";
+    const KIND: ArtifactKind = ArtifactKind::Homology;
+    type Key = Task;
+    type Artifact = Arc<HomologyReport>;
+
+    fn key(&self) -> Task {
+        self.task.clone()
+    }
+
+    fn cache(store: &ArtifactStore) -> &SharedCache<Task, Arc<HomologyReport>> {
+        &store.homology
+    }
+
+    fn compute(&self, _budget: &Budget) -> Arc<HomologyReport> {
+        let (outcome, assignments) = continuous_map_exists_with(&self.links, &self.presentations);
+        Arc::new(HomologyReport {
+            outcome,
+            assignments,
+        })
+    }
+
+    fn detail(artifact: &Arc<HomologyReport>) -> String {
+        match &artifact.outcome {
+            ContinuousOutcome::Exists { .. } => {
+                let (assigned, certs) = exists_summary(&artifact.outcome).unwrap_or((0, 0));
+                format!(
+                    "carried map exists: {assigned} vertex assignment(s), {certs} certificate(s)"
+                )
+            }
+            ContinuousOutcome::Impossible { reason } => match reason {
+                ImpossibilityReason::EmptyVertexImage(x) => {
+                    format!("impossible: empty image at input vertex {x}")
+                }
+                ImpossibilityReason::SkeletonDisconnected { edge } => {
+                    format!("impossible: skeleton disconnected across input edge {edge}")
+                }
+                ImpossibilityReason::HomologyObstruction { triangle } => {
+                    format!("impossible: H1 obstruction at input triangle {triangle}")
+                }
+            },
+            ContinuousOutcome::Undetermined { reason } => format!("undetermined: {reason}"),
+        }
+    }
+
+    fn work(artifact: &Arc<HomologyReport>) -> u64 {
+        artifact.assignments
+    }
+}
+
+/// The bounded ACT exploration ladder (the paper's superseded baseline,
+/// used as the fallback for the undecidable residue).
+pub(crate) struct ExploreStage {
+    pub task: Task,
+    pub undetermined_reason: String,
+    pub configured_rounds: usize,
+    pub cancel: CancelToken,
+}
+
+impl Stage for ExploreStage {
+    const NAME: &'static str = "explore";
+    const KIND: ArtifactKind = ArtifactKind::Exploration;
+    type Key = (Task, usize);
+    type Artifact = Arc<ExplorationReport>;
+
+    fn key(&self) -> (Task, usize) {
+        (self.task.clone(), self.configured_rounds)
+    }
+
+    fn cache(store: &ArtifactStore) -> &SharedCache<(Task, usize), Arc<ExplorationReport>> {
+        &store.exploration
+    }
+
+    /// The retry-escalation ladder around the governed ACT fallback:
+    /// start at the configured round cap (clamped by the budget) and,
+    /// when a deadline is set, keep doubling the cap while wall-clock
+    /// remains — cheap first attempt, deeper retries only with leftover
+    /// time.
+    fn compute(&self, budget: &Budget) -> Arc<ExplorationReport> {
+        let t = &self.task;
+        let reason = &self.undetermined_reason;
+        let mut cap = self.configured_rounds.min(budget.max_act_rounds);
+        let mut nodes = 0u64;
+        loop {
+            let (outcome, searched) =
+                solve_act_governed_with_stats(t, &budget.with_max_act_rounds(cap), &self.cancel);
+            nodes += searched;
+            match outcome {
+                ActOutcome::Solvable { rounds, .. } => {
+                    // A witness is budget-independent: always cacheable.
+                    return Arc::new(ExplorationReport {
+                        verdict: Verdict::Solvable {
+                            certificate: format!(
+                                "ACT fallback found a decision map at {rounds} round(s)"
+                            ),
+                        },
+                        nodes,
+                        rounds_cap: cap,
+                        budget_independent: true,
+                    });
+                }
+                ActOutcome::Interrupted {
+                    rounds_completed,
+                    interrupt,
+                } => {
+                    return Arc::new(ExplorationReport {
+                        verdict: Verdict::Unknown {
+                            reason: format!(
+                                "{reason}; ACT fallback {interrupt} after ruling out \
+                                 {rounds_completed} of {cap} round(s)"
+                            ),
+                        },
+                        nodes,
+                        rounds_cap: cap,
+                        budget_independent: false,
+                    });
+                }
+                ActOutcome::Exhausted { .. } => {
+                    let next = cap.saturating_mul(2).min(budget.max_act_rounds);
+                    if budget.deadline.is_none() || budget.deadline_exceeded() || next == cap {
+                        // The verdict depends on the budget unless the
+                        // ladder stopped exactly at the configured bound.
+                        return Arc::new(ExplorationReport {
+                            verdict: Verdict::Unknown {
+                                reason: format!("{reason}; ACT fallback exhausted {cap} round(s)"),
+                            },
+                            nodes,
+                            rounds_cap: cap,
+                            budget_independent: cap == self.configured_rounds,
+                        });
+                    }
+                    cap = next;
+                }
+            }
+        }
+    }
+
+    fn detail(artifact: &Arc<ExplorationReport>) -> String {
+        let kind = match &artifact.verdict {
+            Verdict::Solvable { .. } => "found a decision map",
+            Verdict::Unsolvable { .. } => "refuted",
+            Verdict::Unknown { .. } => "exhausted",
+        };
+        format!(
+            "ACT ladder {kind} at round cap {}; {} node(s) expanded",
+            artifact.rounds_cap, artifact.nodes
+        )
+    }
+
+    fn work(artifact: &Arc<ExplorationReport>) -> u64 {
+        artifact.nodes
+    }
+
+    fn cacheable(artifact: &Arc<ExplorationReport>) -> bool {
+        artifact.budget_independent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chromata_task::library::{identity_task, two_set_agreement};
+
+    #[test]
+    fn stage_runs_hit_their_cache_on_repeat() {
+        // A local assertion against the process-wide store: the second
+        // identical run must be a hit (the first may be hit or miss
+        // depending on concurrently running tests).
+        let canonical = chromata_task::canonicalize(&two_set_agreement());
+        let stage = SplitStage {
+            canonical: canonical.clone(),
+        };
+        let budget = Budget::unlimited();
+        let first = stage.run(cache::store(), &budget);
+        let second = stage.run(cache::store(), &budget);
+        assert_eq!(second.evidence.cache, CacheEvent::Hit);
+        assert_eq!(first.evidence.detail, second.evidence.detail);
+        assert_eq!(first.evidence.work, second.evidence.work);
+        assert_eq!(second.evidence.stage, "split");
+    }
+
+    #[test]
+    fn evidence_digest_ignores_wall_and_cache_events() {
+        let mut a = EvidenceChain::new();
+        a.decided_by = "homology";
+        a.stages.push(StageEvidence {
+            stage: "split",
+            detail: "0 split step(s); O' = 3 facet(s)".into(),
+            work: 0,
+            cache: CacheEvent::Miss,
+            wall: Duration::from_millis(7),
+        });
+        let mut b = a.clone();
+        b.stages[0].cache = CacheEvent::Hit;
+        b.stages[0].wall = Duration::ZERO;
+        assert_eq!(a.deterministic_digest(), b.deterministic_digest());
+        // But the deterministic parts do matter.
+        b.stages[0].work = 1;
+        assert_ne!(a.deterministic_digest(), b.deterministic_digest());
+        let mut c = a.clone();
+        c.decided_by = "explore";
+        assert_ne!(a.deterministic_digest(), c.deterministic_digest());
+    }
+
+    #[test]
+    fn explore_stage_is_uncacheable_when_budget_dependent() {
+        let report = ExplorationReport {
+            verdict: Verdict::Unknown { reason: "x".into() },
+            nodes: 12,
+            rounds_cap: 4,
+            budget_independent: false,
+        };
+        assert!(!ExploreStage::cacheable(&Arc::new(report)));
+        let witness = ExplorationReport {
+            verdict: Verdict::Solvable {
+                certificate: "c".into(),
+            },
+            nodes: 12,
+            rounds_cap: 4,
+            budget_independent: true,
+        };
+        assert!(ExploreStage::cacheable(&Arc::new(witness)));
+        let _ = identity_task(2);
+    }
+}

@@ -55,6 +55,7 @@ mod memory;
 mod oracle;
 mod protocol;
 mod snapshot;
+mod stage;
 mod verify;
 
 pub use cell::Cell;
@@ -78,6 +79,7 @@ pub use oracle::{
 };
 pub use protocol::{execute_decision_map, DecisionConfig, DecisionProtocol};
 pub use snapshot::AtomicSnapshot;
+pub use stage::{verify_figure7_crash_staged, verify_figure7_staged, RuntimeEvidence};
 pub use verify::{
     verify_figure7, verify_figure7_governed, verify_figure7_with_crashes, CrashVerificationReport,
     VerificationReport, VerifyError,

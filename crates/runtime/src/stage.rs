@@ -1,0 +1,140 @@
+//! Evidence-reporting adapters around the Figure 7 verifiers.
+//!
+//! The verdict engine in `chromata` records per-stage evidence (detail,
+//! work counter, wall clock) for every analysis. The runtime crate does
+//! not depend on `chromata`, so it carries its own lightweight record —
+//! shape-compatible with the engine's `StageEvidence` — letting callers
+//! (the CLI, benches, experiment scripts) fold operational verification
+//! runs into the same evidence tables as the decision stages.
+
+use std::time::Duration;
+
+use chromata_task::Task;
+use chromata_topology::{Budget, CancelToken, Stopwatch};
+
+use crate::verify::{
+    verify_figure7_governed, verify_figure7_with_crashes, CrashVerificationReport,
+    VerificationReport, VerifyError,
+};
+
+/// One operational stage's evidence: what ran, how much state it
+/// explored, and how long it took.
+#[derive(Clone, Debug)]
+pub struct RuntimeEvidence {
+    /// Stage name (`"verify-fig7"` or `"verify-fig7-crash"`).
+    pub stage: &'static str,
+    /// Deterministic human-readable summary of the run.
+    pub detail: String,
+    /// Work counter: total distinct system states explored (0 when the
+    /// exploration failed before reporting).
+    pub work: u64,
+    /// Wall-clock time of the run.
+    pub wall: Duration,
+}
+
+/// [`verify_figure7_governed`] with an evidence record: the report (or
+/// error) plus the stage's states-explored counter and wall clock.
+pub fn verify_figure7_staged(
+    task: &Task,
+    budget: &Budget,
+    cancel: &CancelToken,
+) -> (Result<VerificationReport, VerifyError>, RuntimeEvidence) {
+    let clock = Stopwatch::start();
+    let result = verify_figure7_governed(task, budget, cancel);
+    let (detail, work) = match &result {
+        Ok(r) => (
+            format!(
+                "{} participant set(s), {} outcome(s), {} state(s)",
+                r.participant_sets, r.outcomes, r.states
+            ),
+            r.states as u64,
+        ),
+        Err(e) => (format!("verification failed: {e}"), 0),
+    };
+    let evidence = RuntimeEvidence {
+        stage: "verify-fig7",
+        detail,
+        work,
+        wall: clock.elapsed(),
+    };
+    (result, evidence)
+}
+
+/// [`verify_figure7_with_crashes`] with an evidence record.
+pub fn verify_figure7_crash_staged(
+    task: &Task,
+    budget: &Budget,
+    cancel: &CancelToken,
+    max_crashes: usize,
+) -> (
+    Result<CrashVerificationReport, VerifyError>,
+    RuntimeEvidence,
+) {
+    let clock = Stopwatch::start();
+    let result = verify_figure7_with_crashes(task, budget, cancel, max_crashes);
+    let (detail, work) = match &result {
+        Ok(r) => (
+            format!(
+                "{} participant set(s), {} outcome(s) ({} crashed), {} state(s), ≤{max_crashes} crash(es)",
+                r.participant_sets, r.outcomes, r.crashed_outcomes, r.states
+            ),
+            r.states as u64,
+        ),
+        Err(e) => (format!("verification failed: {e}"), 0),
+    };
+    let evidence = RuntimeEvidence {
+        stage: "verify-fig7-crash",
+        detail,
+        work,
+        wall: clock.elapsed(),
+    };
+    (result, evidence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chromata_task::library::identity_task;
+
+    #[test]
+    fn staged_verification_reports_states_as_work() {
+        let budget = Budget::unlimited()
+            .with_max_states(1_000_000)
+            .with_max_steps(500);
+        let (result, evidence) =
+            verify_figure7_staged(&identity_task(2), &budget, &CancelToken::new());
+        let report = result.expect("identity is verifiable");
+        assert_eq!(evidence.stage, "verify-fig7");
+        assert_eq!(evidence.work, report.states as u64);
+        assert!(
+            evidence.detail.contains("participant set(s)"),
+            "{}",
+            evidence.detail
+        );
+    }
+
+    #[test]
+    fn staged_verification_surfaces_failures_in_evidence() {
+        // A zero-state budget cannot finish exploring: the error is
+        // returned and the evidence records the failure with zero work.
+        let budget = Budget::unlimited().with_max_states(1).with_max_steps(500);
+        let (result, evidence) =
+            verify_figure7_staged(&identity_task(2), &budget, &CancelToken::new());
+        assert!(result.is_err());
+        assert_eq!(evidence.work, 0);
+        assert!(evidence.detail.contains("failed"), "{}", evidence.detail);
+    }
+
+    #[test]
+    fn staged_crash_verification_counts_crashed_outcomes() {
+        let budget = Budget::unlimited()
+            .with_max_states(2_000_000)
+            .with_max_steps(500);
+        let (result, evidence) =
+            verify_figure7_crash_staged(&identity_task(2), &budget, &CancelToken::new(), 1);
+        let report = result.expect("identity is crash-verifiable");
+        assert_eq!(evidence.stage, "verify-fig7-crash");
+        assert_eq!(evidence.work, report.states as u64);
+        assert!(evidence.detail.contains("crash"), "{}", evidence.detail);
+    }
+}

@@ -34,6 +34,6 @@ mod schedule;
 
 pub use chromatic::{
     barycentric_subdivision, carrier_of_simplex, chromatic_subdivision,
-    iterated_chromatic_subdivision, Subdivision,
+    iterated_chromatic_subdivision, subdivision_memo_stats, Subdivision,
 };
 pub use schedule::{ordered_partitions, schedule_facet, schedule_views, view_vertex, Schedule};

@@ -26,6 +26,30 @@ pub fn env_usize(name: &str) -> Option<usize> {
     std::env::var(name).ok().and_then(|s| s.trim().parse().ok())
 }
 
+/// A monotonic wall-clock stopwatch for stage-level evidence.
+///
+/// Rule D2 confines clock reads to this module: pipeline stages that want
+/// to *report* how long they took (never to *decide* anything) start a
+/// `Stopwatch` here and read the elapsed duration when they finish. The
+/// measured time is diagnostic metadata — it must never feed a verdict,
+/// a cache key, or any other deterministic output.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Wall-clock time elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+}
+
 /// A cooperative cancellation flag, cheaply cloneable and shareable
 /// across threads. Cancelling any clone cancels them all.
 #[derive(Clone, Debug, Default)]

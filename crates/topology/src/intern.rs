@@ -55,8 +55,13 @@ impl Hasher for StructuralHasher {
 }
 
 /// The structural fingerprint of any hashable value, via the fixed hasher.
-#[cfg_attr(not(test), allow(dead_code))]
-pub(crate) fn fingerprint<T: Hash + ?Sized>(value: &T) -> u64 {
+///
+/// Identical across runs, builds and feature configurations on a given
+/// platform, so it can key caches, order poison-recovery re-queues, and
+/// label artifacts without leaking `RandomState` nondeterminism. Stage
+/// artifacts in the verdict engine are addressed by this fingerprint.
+#[must_use]
+pub fn structural_fingerprint<T: Hash + ?Sized>(value: &T) -> u64 {
     let mut h = StructuralHasher::default();
     value.hash(&mut h);
     h.finish()
@@ -139,9 +144,15 @@ mod tests {
 
     #[test]
     fn fingerprints_are_deterministic() {
-        assert_eq!(fingerprint(&42u64), fingerprint(&42u64));
-        assert_ne!(fingerprint(&42u64), fingerprint(&43u64));
-        assert_eq!(fingerprint("abc"), fingerprint("abc"));
+        assert_eq!(
+            structural_fingerprint(&42u64),
+            structural_fingerprint(&42u64)
+        );
+        assert_ne!(
+            structural_fingerprint(&42u64),
+            structural_fingerprint(&43u64)
+        );
+        assert_eq!(structural_fingerprint("abc"), structural_fingerprint("abc"));
     }
 
     #[test]

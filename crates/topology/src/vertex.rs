@@ -160,7 +160,7 @@ pub(crate) fn vertex_fingerprint(color: Color, value: &Value) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::intern::fingerprint;
+    use crate::intern::structural_fingerprint as fingerprint;
 
     #[test]
     fn accessors_and_rewrap() {

@@ -85,7 +85,7 @@ pub fn role_for(rel: &str) -> Option<Role> {
         verdict_path: VERDICT_PATH_CRATES.contains(&krate),
         library: LIBRARY_CRATES.contains(&krate),
         clock_exempt: rel.ends_with("src/govern.rs"),
-        lock_exempt: rel == "crates/core/src/pipeline.rs",
+        lock_exempt: rel == "crates/core/src/stages/cache.rs",
     })
 }
 

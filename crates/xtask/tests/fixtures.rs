@@ -65,6 +65,40 @@ fn d1_hash_iteration_fixture() {
 }
 
 #[test]
+fn d1_stage_cache_fixture() {
+    // The staged verdict engine's cache module is the main in-tree D1
+    // surface: justified allows on the sanctioned map+queue shape stay
+    // clean, unjustified hash containers still fire, test modules are
+    // exempt.
+    let diags = check(
+        "d1_stages",
+        include_str!("../fixtures/d1_stages.rs"),
+        role(true, false),
+    );
+    assert!(diags.iter().all(|d| d.severity == Severity::Deny));
+    assert!(
+        diags.iter().any(|d| d.message.contains("HashSet")),
+        "{diags:?}"
+    );
+    // Outside a verdict-path crate D1 never fires — so the justified
+    // allows themselves degrade to U1 stale-annotation warnings, and
+    // nothing else remains.
+    let other = lint_source(
+        "crates/fixture/src/d1_stages.rs",
+        include_str!("../fixtures/d1_stages.rs"),
+        role(false, false),
+        &Config::default(),
+    );
+    assert!(
+        other
+            .iter()
+            .all(|d| d.rule == "U1" && d.severity == Severity::Warn),
+        "{other:?}"
+    );
+    assert_eq!(other.len(), 2, "{other:?}");
+}
+
+#[test]
 fn d2_clock_and_env_fixture() {
     let diags = check(
         "d2_clock",
@@ -129,7 +163,7 @@ fn l1_lock_unwrap_fixture() {
         ..role(false, false)
     };
     let none = lint_source(
-        "crates/core/src/pipeline.rs",
+        "crates/core/src/stages/cache.rs",
         include_str!("../fixtures/l1_lock_unwrap.rs"),
         exempt,
         &Config::default(),
