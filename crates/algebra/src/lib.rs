@@ -39,6 +39,7 @@ mod homology;
 mod linear;
 mod matrix;
 mod presentation;
+mod serde_impls;
 mod smith;
 mod todd_coxeter;
 mod word;

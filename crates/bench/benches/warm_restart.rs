@@ -1,0 +1,145 @@
+//! E10 — warm restart: what durable stage caches buy across process
+//! restarts (PR 5).
+//!
+//! Three comparisons on the task library:
+//!
+//! * **decide cold vs warm-from-disk** — a full library pass against an
+//!   empty store, versus the same pass after restoring the snapshots a
+//!   previous "process" wrote (`load_cache_dir` simulates the restart by
+//!   wiping the in-memory store first);
+//! * **snapshot / restore cost** — the raw price of `persist_now` over a
+//!   fully populated store and of reloading those files, the overhead a
+//!   long-lived service pays per checkpoint;
+//! * **series dump** — restored-entry counts and on-disk snapshot sizes,
+//!   the numbers behind EXPERIMENTS.md §E10.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+use chromata::{
+    analyze_batch, clear_stage_caches, load_cache_dir, persist_now, CacheDirConfig, PipelineOptions,
+};
+use chromata_task::library::{
+    adaptive_renaming, approximate_agreement, consensus, hourglass, identity_task, leader_election,
+    majority_consensus, pinwheel, two_set_agreement,
+};
+use chromata_task::Task;
+
+fn library() -> Vec<Task> {
+    vec![
+        identity_task(3),
+        hourglass(),
+        pinwheel(),
+        two_set_agreement(),
+        majority_consensus(),
+        consensus(3),
+        leader_election(),
+        approximate_agreement(1),
+        adaptive_renaming(),
+    ]
+}
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("chromata-bench-e10-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Populates the store with a full library pass and snapshots it,
+/// returning the digests the warm runs must reproduce.
+fn seed_snapshots(tasks: &[Task], config: &CacheDirConfig) -> Vec<u64> {
+    clear_stage_caches();
+    let cold = analyze_batch(tasks, PipelineOptions::default());
+    persist_now(config)
+        .expect("persistence enabled")
+        .expect("snapshot write");
+    cold.iter()
+        .map(|a| a.evidence.deterministic_digest())
+        .collect()
+}
+
+fn bench_decide_cold_vs_warm_disk(c: &mut Criterion) {
+    let tasks = library();
+    let dir = scratch_dir();
+    let config = CacheDirConfig::at(&dir);
+    let digests = seed_snapshots(&tasks, &config);
+
+    let mut group = c.benchmark_group("persist/decide");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            clear_stage_caches();
+            analyze_batch(black_box(&tasks), PipelineOptions::default()).len()
+        });
+    });
+    group.bench_function("warm-from-disk", |b| {
+        b.iter(|| {
+            // A restart: empty store, then restore and decide.
+            clear_stage_caches();
+            let loaded = load_cache_dir(&config).expect("persistence enabled");
+            assert_eq!(loaded.recovery_events(), 0, "{loaded:?}");
+            let warm = analyze_batch(black_box(&tasks), PipelineOptions::default());
+            for (a, d) in warm.iter().zip(&digests) {
+                assert_eq!(a.evidence.deterministic_digest(), *d);
+            }
+            warm.len()
+        });
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_snapshot_and_restore(c: &mut Criterion) {
+    let tasks = library();
+    let dir = scratch_dir();
+    let config = CacheDirConfig::at(&dir);
+    seed_snapshots(&tasks, &config);
+
+    let mut group = c.benchmark_group("persist/io");
+    group.sample_size(10);
+    group.bench_function("snapshot", |b| {
+        b.iter(|| {
+            persist_now(black_box(&config))
+                .expect("persistence enabled")
+                .expect("snapshot write")
+                .entries_written
+        });
+    });
+    group.bench_function("restore", |b| {
+        b.iter(|| {
+            clear_stage_caches();
+            load_cache_dir(black_box(&config))
+                .expect("persistence enabled")
+                .restored
+        });
+    });
+    group.finish();
+
+    // The numbers behind EXPERIMENTS.md §E10.
+    clear_stage_caches();
+    let loaded = load_cache_dir(&config).expect("persistence enabled");
+    println!(
+        "[series] warm-restart: restored {} rejected {} torn {} corrupt {}",
+        loaded.restored, loaded.rejected_snapshots, loaded.torn_entries, loaded.corrupt_entries
+    );
+    if let Ok(entries) = std::fs::read_dir(&dir) {
+        for entry in entries.flatten() {
+            if let Ok(meta) = entry.metadata() {
+                println!(
+                    "[series] snapshot-bytes {}: {}",
+                    entry.file_name().to_string_lossy(),
+                    meta.len()
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    benches,
+    bench_decide_cold_vs_warm_disk,
+    bench_snapshot_and_restore
+);
+criterion_main!(benches);

@@ -5,8 +5,9 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use chromata::{
-    analyze, analyze_batch, analyze_governed, laps, solve_act, stage_cache_stats, ActOutcome,
-    Budget, CancelToken, PipelineOptions, Verdict,
+    analyze, analyze_batch_persistent, analyze_governed, analyze_persistent, audit_cache_dir,
+    clear_cache_dir, laps, persist_now, solve_act, stage_cache_stats, warm_start, ActOutcome,
+    Budget, CacheDirConfig, CancelToken, PersistenceReport, PipelineOptions, Verdict,
 };
 use chromata_runtime::{verify_figure7, verify_figure7_with_crashes, VerifyError};
 use chromata_task::Task;
@@ -36,15 +37,21 @@ pub enum Command {
         act_fallback: usize,
         /// Emit machine-readable JSON instead of the text table.
         json: bool,
+        /// Durable stage-cache directory (`--cache-dir`, falling back
+        /// to `CHROMATA_CACHE_DIR`).
+        cache_dir: Option<PathBuf>,
     },
-    /// `chromata batch [--act-fallback N] [task...]` — analyze many
-    /// tasks through the shared artifact store (whole library if no
-    /// tasks are named), one verdict line per task.
+    /// `chromata batch [--act-fallback N] [--cache-dir DIR] [task...]`
+    /// — analyze many tasks through the shared artifact store (whole
+    /// library if no tasks are named), one verdict line per task.
     Batch {
         /// Registry names or paths (empty = the whole library).
         tasks: Vec<String>,
         /// ACT fallback rounds for undetermined verdicts.
         act_fallback: usize,
+        /// Durable stage-cache directory (`--cache-dir`, falling back
+        /// to `CHROMATA_CACHE_DIR`).
+        cache_dir: Option<PathBuf>,
     },
     /// `chromata act <task> [--rounds N]`
     Act {
@@ -87,6 +94,19 @@ pub enum Command {
         act_rounds: usize,
         /// Maximum crash faults injected by the wait-freedom check.
         max_crashes: usize,
+        /// Durable stage-cache directory (`--cache-dir`, falling back
+        /// to `CHROMATA_CACHE_DIR`).
+        cache_dir: Option<PathBuf>,
+    },
+    /// `chromata cache <stats|verify|clear> [--cache-dir DIR]` —
+    /// offline maintenance of a durable stage-cache directory. `verify`
+    /// exits nonzero when any snapshot is rejected, torn, or corrupt.
+    Cache {
+        /// `stats`, `verify`, or `clear`.
+        action: CacheAction,
+        /// The cache directory (`--cache-dir`, falling back to
+        /// `CHROMATA_CACHE_DIR`).
+        cache_dir: Option<PathBuf>,
     },
     /// `chromata lint [--deny-all] [PATH...]` — the workspace
     /// static-analysis pass (same engine as `cargo xtask lint`).
@@ -98,6 +118,17 @@ pub enum Command {
     },
     /// `chromata help` or `--help`
     Help,
+}
+
+/// The three offline `chromata cache` maintenance actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAction {
+    /// Print per-kind snapshot statistics.
+    Stats,
+    /// Audit snapshot integrity; nonzero exit on any corruption.
+    Verify,
+    /// Delete every snapshot (and stray temp file) in the directory.
+    Clear,
 }
 
 /// Errors produced by parsing or executing a command.
@@ -142,12 +173,19 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let task = required(&mut it, "explain needs a task name or file")?;
             let mut act_fallback = 0usize;
             let mut json = false;
+            let mut cache_dir = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--act-fallback" => {
                         act_fallback = parse_number(&mut it, "--act-fallback")?;
                     }
                     "--json" => json = true,
+                    "--cache-dir" => {
+                        cache_dir = Some(PathBuf::from(required(
+                            &mut it,
+                            "--cache-dir needs a path",
+                        )?));
+                    }
                     other => return Err(CliError(format!("unknown flag {other}"))),
                 }
             }
@@ -155,15 +193,23 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 task,
                 act_fallback,
                 json,
+                cache_dir,
             })
         }
         "batch" => {
             let mut tasks = Vec::new();
             let mut act_fallback = 0usize;
+            let mut cache_dir = None;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--act-fallback" => {
                         act_fallback = parse_number(&mut it, "--act-fallback")?;
+                    }
+                    "--cache-dir" => {
+                        cache_dir = Some(PathBuf::from(required(
+                            &mut it,
+                            "--cache-dir needs a path",
+                        )?));
                     }
                     flag if flag.starts_with('-') => {
                         return Err(CliError(format!("unknown flag {flag}")));
@@ -174,6 +220,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             Ok(Command::Batch {
                 tasks,
                 act_fallback,
+                cache_dir,
             })
         }
         "act" => {
@@ -224,6 +271,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut max_states = 5_000_000usize;
             let mut act_rounds = 2usize;
             let mut max_crashes = 2usize;
+            let mut cache_dir = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--budget-ms" => {
@@ -232,6 +280,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--max-states" => max_states = parse_number(&mut it, "--max-states")?,
                     "--act-rounds" => act_rounds = parse_number(&mut it, "--act-rounds")?,
                     "--max-crashes" => max_crashes = parse_number(&mut it, "--max-crashes")?,
+                    "--cache-dir" => {
+                        cache_dir = Some(PathBuf::from(required(
+                            &mut it,
+                            "--cache-dir needs a path",
+                        )?));
+                    }
                     other => return Err(CliError(format!("unknown flag {other}"))),
                 }
             }
@@ -241,7 +295,35 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 max_states,
                 act_rounds,
                 max_crashes,
+                cache_dir,
             })
+        }
+        "cache" => {
+            let action = match required(&mut it, "cache needs an action: stats, verify or clear")?
+                .as_str()
+            {
+                "stats" => CacheAction::Stats,
+                "verify" => CacheAction::Verify,
+                "clear" => CacheAction::Clear,
+                other => {
+                    return Err(CliError(format!(
+                        "unknown cache action `{other}`; expected stats, verify or clear"
+                    )))
+                }
+            };
+            let mut cache_dir = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--cache-dir" => {
+                        cache_dir = Some(PathBuf::from(required(
+                            &mut it,
+                            "--cache-dir needs a path",
+                        )?));
+                    }
+                    other => return Err(CliError(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Cache { action, cache_dir })
         }
         "lint" => {
             let mut paths = Vec::new();
@@ -282,6 +364,42 @@ fn parse_number(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usi
     let raw = required(it, &format!("{flag} needs a number"))?;
     raw.parse()
         .map_err(|_| CliError(format!("{flag}: `{raw}` is not a number")))
+}
+
+/// Appends the persistence bookkeeping lines a command prints when a
+/// durable cache directory is active (restores, snapshot writes, and
+/// non-fatal save failures).
+fn cache_report_lines(out: &mut String, config: &CacheDirConfig, report: &PersistenceReport) {
+    let Some(dir) = config.dir() else { return };
+    if let Some(loaded) = &report.loaded {
+        let _ = writeln!(
+            out,
+            "cache: restored {} artifact(s) from {} ({} rejected, {} torn, {} corrupt)",
+            loaded.restored,
+            dir.display(),
+            loaded.rejected_snapshots,
+            loaded.torn_entries,
+            loaded.corrupt_entries
+        );
+    }
+    if let Some(saved) = &report.saved {
+        let _ = writeln!(
+            out,
+            "cache: persisted {} entr{} across {} snapshot(s) to {}",
+            saved.entries_written,
+            if saved.entries_written == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            saved.files_written,
+            dir.display()
+        );
+    }
+    if let Some(err) = &report.save_error {
+        // Persistence failures never poison a verdict: warn and go on.
+        let _ = writeln!(out, "cache: WARNING — snapshot not written: {err}");
+    }
 }
 
 /// Loads a task by registry name or from a JSON file path.
@@ -354,13 +472,16 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             task,
             act_fallback,
             json,
+            cache_dir,
         } => {
             let t = load_task(&task)?;
-            let analysis = analyze(
+            let cache_config = CacheDirConfig::resolve(cache_dir);
+            let (analysis, persistence) = analyze_persistent(
                 &t,
                 PipelineOptions {
                     act_fallback_rounds: act_fallback,
                 },
+                &cache_config,
             );
             if json {
                 use serde_json::Value;
@@ -423,18 +544,22 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             for (kind, stats) in stage_cache_stats() {
                 let _ = writeln!(
                     out,
-                    "  {:<13} hits {:>6}  misses {:>6}  evictions {:>6}",
+                    "  {:<13} hits {:>6}  misses {:>6}  evictions {:>6}  restored {:>6}  recovered {:>3}",
                     kind.name(),
                     stats.hits,
                     stats.misses,
-                    stats.evictions
+                    stats.evictions,
+                    stats.restored,
+                    stats.recovery_events()
                 );
             }
+            cache_report_lines(&mut out, &cache_config, &persistence);
             Ok(out)
         }
         Command::Batch {
             tasks,
             act_fallback,
+            cache_dir,
         } => {
             let specs: Vec<String> = if tasks.is_empty() {
                 registry::entries()
@@ -448,11 +573,13 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 .iter()
                 .map(|s| load_task(s))
                 .collect::<Result<_, _>>()?;
-            let analyses = analyze_batch(
+            let cache_config = CacheDirConfig::resolve(cache_dir);
+            let (analyses, persistence) = analyze_batch_persistent(
                 &loaded,
                 PipelineOptions {
                     act_fallback_rounds: act_fallback,
                 },
+                &cache_config,
             );
             let mut out = String::new();
             for (spec, a) in specs.iter().zip(&analyses) {
@@ -462,6 +589,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                     spec, a.evidence.decided_by, a.verdict
                 );
             }
+            cache_report_lines(&mut out, &cache_config, &persistence);
             Ok(out)
         }
         Command::Act { task, rounds } => {
@@ -556,8 +684,14 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             max_states,
             act_rounds,
             max_crashes,
+            cache_dir,
         } => {
             let t = load_task(&task)?;
+            let cache_config = CacheDirConfig::resolve(cache_dir);
+            let mut persistence = PersistenceReport {
+                loaded: warm_start(&cache_config),
+                ..PersistenceReport::default()
+            };
             let mut budget = Budget::unlimited()
                 .with_max_states(max_states)
                 .with_max_steps(500)
@@ -609,6 +743,69 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                     }
                 }
             }
+            match persist_now(&cache_config) {
+                Some(Ok(saved)) => persistence.saved = Some(saved),
+                Some(Err(error)) => persistence.save_error = Some(error),
+                None => {}
+            }
+            cache_report_lines(&mut out, &cache_config, &persistence);
+            Ok(out)
+        }
+        Command::Cache { action, cache_dir } => {
+            let config = CacheDirConfig::resolve(cache_dir);
+            let Some(dir) = config.dir() else {
+                return Err(CliError(
+                    "cache needs a directory: pass --cache-dir DIR or set CHROMATA_CACHE_DIR"
+                        .to_owned(),
+                ));
+            };
+            let mut out = String::new();
+            match action {
+                CacheAction::Clear => {
+                    let removed = clear_cache_dir(dir).map_err(|e| CliError(e.to_string()))?;
+                    let _ = writeln!(
+                        out,
+                        "removed {removed} snapshot file(s) from {}",
+                        dir.display()
+                    );
+                }
+                CacheAction::Stats | CacheAction::Verify => {
+                    let audits = audit_cache_dir(dir);
+                    let mut dirty = 0usize;
+                    for a in &audits {
+                        let _ = writeln!(
+                            out,
+                            "{:<13} {:<8} entries {:>5}  capacity {:>5}  hits {:>6}  misses {:>6}  \
+                             evictions {:>6}  torn {:>3}  corrupt {:>3}",
+                            a.kind.name(),
+                            a.status.label(),
+                            a.entries,
+                            a.capacity,
+                            a.hits,
+                            a.misses,
+                            a.evictions,
+                            a.torn_entries,
+                            a.corrupt_entries
+                        );
+                        for issue in &a.issues {
+                            let _ = writeln!(out, "    issue: {issue}");
+                        }
+                        if !a.is_clean() {
+                            dirty += 1;
+                        }
+                    }
+                    if action == CacheAction::Verify {
+                        if dirty > 0 {
+                            let _ = writeln!(
+                                out,
+                                "verify: FAILED — {dirty} snapshot(s) rejected, torn or corrupt"
+                            );
+                            return Err(CliError(out));
+                        }
+                        let _ = writeln!(out, "verify: OK — every snapshot intact");
+                    }
+                }
+            }
             Ok(out)
         }
         Command::Lint { paths, deny_all } => {
@@ -646,11 +843,11 @@ COMMANDS:
     list                         list the built-in task library
     analyze <task> [--act-fallback N]
                                  run the paper's decision pipeline
-    explain <task> [--act-fallback N] [--json]
+    explain <task> [--act-fallback N] [--json] [--cache-dir DIR]
                                  verdict plus its evidence chain: deciding
                                  stage, per-stage work/wall-clock counters,
                                  and stage-cache statistics
-    batch [--act-fallback N] [task...]
+    batch [--act-fallback N] [--cache-dir DIR] [task...]
                                  analyze many tasks (whole library if none
                                  named) through the shared artifact store
     inspect <task>               complex statistics, homology, LAP counts
@@ -659,14 +856,22 @@ COMMANDS:
     verify-fig7 <task> [--max-states N]
                                  exhaustively verify the Figure 7 algorithm
     decide <task> [--budget-ms N] [--max-states N] [--act-rounds N] [--max-crashes N]
+           [--cache-dir DIR]
                                  governed verdict + crash-tolerant wait-freedom
                                  check; budget exhaustion degrades to a
                                  structured UNKNOWN with a replayable trace
+    cache <stats|verify|clear> [--cache-dir DIR]
+                                 offline audit / maintenance of a durable
+                                 stage-cache directory; `verify` exits nonzero
+                                 on any rejected, torn or corrupt snapshot
     lint [--deny-all] [PATH...]  run the workspace static-analysis rules
                                  (same engine as `cargo xtask lint`)
     help                         show this message
 
 <task> is a library name (see `list`) or a path to a task JSON file.
+--cache-dir (or the CHROMATA_CACHE_DIR environment variable) makes the
+stage caches durable: snapshots are written atomically after each run
+and reloaded — tolerating torn or corrupt records — on the next one.
 ";
 
 #[cfg(test)]
@@ -783,6 +988,7 @@ mod tests {
         assert_eq!(
             parse(&args(&["explain", "consensus", "--json"])).unwrap(),
             Command::Explain {
+                cache_dir: None,
                 task: "consensus".into(),
                 act_fallback: 0,
                 json: true
@@ -791,6 +997,7 @@ mod tests {
         assert_eq!(
             parse(&args(&["explain", "consensus", "--act-fallback", "2"])).unwrap(),
             Command::Explain {
+                cache_dir: None,
                 task: "consensus".into(),
                 act_fallback: 2,
                 json: false
@@ -800,6 +1007,7 @@ mod tests {
         assert_eq!(
             parse(&args(&["batch", "hourglass", "consensus"])).unwrap(),
             Command::Batch {
+                cache_dir: None,
                 tasks: vec!["hourglass".into(), "consensus".into()],
                 act_fallback: 0
             }
@@ -807,6 +1015,7 @@ mod tests {
         assert_eq!(
             parse(&args(&["batch"])).unwrap(),
             Command::Batch {
+                cache_dir: None,
                 tasks: vec![],
                 act_fallback: 0
             }
@@ -817,6 +1026,7 @@ mod tests {
     #[test]
     fn run_explain_prints_the_evidence_chain() {
         let out = run(Command::Explain {
+            cache_dir: None,
             task: "consensus".into(),
             act_fallback: 0,
             json: false,
@@ -840,6 +1050,7 @@ mod tests {
     #[test]
     fn run_explain_json_is_machine_readable() {
         let out = run(Command::Explain {
+            cache_dir: None,
             task: "consensus".into(),
             act_fallback: 0,
             json: true,
@@ -870,6 +1081,7 @@ mod tests {
     #[test]
     fn run_batch_covers_named_tasks() {
         let out = run(Command::Batch {
+            cache_dir: None,
             tasks: vec!["identity".into(), "hourglass".into()],
             act_fallback: 0,
         })
@@ -952,6 +1164,7 @@ mod tests {
             ]))
             .unwrap(),
             Command::Decide {
+                cache_dir: None,
                 task: "identity".into(),
                 budget_ms: Some(500),
                 max_states: 100,
@@ -964,11 +1177,140 @@ mod tests {
     }
 
     #[test]
+    fn parse_cache_dir_flags() {
+        assert_eq!(
+            parse(&args(&["decide", "identity", "--cache-dir", "/tmp/c"])).unwrap(),
+            Command::Decide {
+                task: "identity".into(),
+                budget_ms: None,
+                max_states: 5_000_000,
+                act_rounds: 2,
+                max_crashes: 2,
+                cache_dir: Some(PathBuf::from("/tmp/c")),
+            }
+        );
+        assert_eq!(
+            parse(&args(&["explain", "identity", "--cache-dir", "/tmp/c"])).unwrap(),
+            Command::Explain {
+                task: "identity".into(),
+                act_fallback: 0,
+                json: false,
+                cache_dir: Some(PathBuf::from("/tmp/c")),
+            }
+        );
+        assert_eq!(
+            parse(&args(&["batch", "identity", "--cache-dir", "/tmp/c"])).unwrap(),
+            Command::Batch {
+                tasks: vec!["identity".into()],
+                act_fallback: 0,
+                cache_dir: Some(PathBuf::from("/tmp/c")),
+            }
+        );
+        assert!(parse(&args(&["decide", "identity", "--cache-dir"])).is_err());
+    }
+
+    #[test]
+    fn parse_cache_subcommand() {
+        assert_eq!(
+            parse(&args(&["cache", "stats", "--cache-dir", "/tmp/c"])).unwrap(),
+            Command::Cache {
+                action: CacheAction::Stats,
+                cache_dir: Some(PathBuf::from("/tmp/c")),
+            }
+        );
+        assert_eq!(
+            parse(&args(&["cache", "verify"])).unwrap(),
+            Command::Cache {
+                action: CacheAction::Verify,
+                cache_dir: None,
+            }
+        );
+        assert_eq!(
+            parse(&args(&["cache", "clear", "--cache-dir", "/tmp/c"])).unwrap(),
+            Command::Cache {
+                action: CacheAction::Clear,
+                cache_dir: Some(PathBuf::from("/tmp/c")),
+            }
+        );
+        assert!(parse(&args(&["cache"])).is_err());
+        assert!(parse(&args(&["cache", "defrag"])).is_err());
+    }
+
+    #[test]
+    fn cache_subcommand_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("chromata-cli-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Without a directory (flag or env) the command refuses to guess.
+        let err = run(Command::Cache {
+            action: CacheAction::Stats,
+            cache_dir: None,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("cache needs a directory"), "{err}");
+
+        // A decide with --cache-dir persists snapshots...
+        let out = run(Command::Decide {
+            task: "identity".into(),
+            budget_ms: None,
+            max_states: 10_000,
+            act_rounds: 1,
+            max_crashes: 1,
+            cache_dir: Some(dir.clone()),
+        })
+        .unwrap();
+        assert!(out.contains("cache: persisted"), "{out}");
+
+        // ...which stats and verify then see as intact.
+        let stats = run(Command::Cache {
+            action: CacheAction::Stats,
+            cache_dir: Some(dir.clone()),
+        })
+        .unwrap();
+        assert!(stats.contains("verdict"), "{stats}");
+        let verify = run(Command::Cache {
+            action: CacheAction::Verify,
+            cache_dir: Some(dir.clone()),
+        })
+        .unwrap();
+        assert!(verify.contains("verify: OK"), "{verify}");
+
+        // Corrupt one snapshot byte: verify must fail (nonzero exit).
+        let snap = dir.join("verdict.snap");
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0x01;
+        std::fs::write(&snap, &bytes).unwrap();
+        let err = run(Command::Cache {
+            action: CacheAction::Verify,
+            cache_dir: Some(dir.clone()),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("verify: FAILED"), "{err}");
+
+        // Clear removes the snapshots; verify is clean again.
+        let cleared = run(Command::Cache {
+            action: CacheAction::Clear,
+            cache_dir: Some(dir.clone()),
+        })
+        .unwrap();
+        assert!(cleared.contains("removed"), "{cleared}");
+        let verify = run(Command::Cache {
+            action: CacheAction::Verify,
+            cache_dir: Some(dir.clone()),
+        })
+        .unwrap();
+        assert!(verify.contains("verify: OK"), "{verify}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn decide_starved_budget_degrades_to_structured_unknown() {
         // The smoke-test contract: a starved state budget must NOT panic
         // or error out — it answers UNKNOWN (exit 0) with a structured
         // reason containing a replayable trace.
         let out = run(Command::Decide {
+            cache_dir: None,
             task: "identity".into(),
             budget_ms: None,
             max_states: 50,
@@ -985,6 +1327,7 @@ mod tests {
     #[test]
     fn decide_constant_verifies_wait_freedom() {
         let out = run(Command::Decide {
+            cache_dir: None,
             task: "constant".into(),
             budget_ms: None,
             max_states: 2_000_000,
@@ -1000,6 +1343,7 @@ mod tests {
     #[test]
     fn decide_unsolvable_skips_wait_freedom() {
         let out = run(Command::Decide {
+            cache_dir: None,
             task: "hourglass".into(),
             budget_ms: None,
             max_states: 1000,

@@ -10,4 +10,4 @@
 mod app;
 pub mod registry;
 
-pub use app::{load_task, parse, run, CliError, Command};
+pub use app::{load_task, parse, run, CacheAction, CliError, Command};

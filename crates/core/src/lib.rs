@@ -65,9 +65,9 @@ pub use lap::{first_lap_of_facet, laps, Lap};
 #[allow(deprecated)] // the shim is re-exported for source compatibility
 pub use pipeline::decision_cache_stats;
 pub use pipeline::{
-    analyze, analyze_batch, analyze_batch_governed, analyze_governed, clear_decision_cache,
-    set_decision_cache_capacity, Analysis, DecisionCacheStats, Obstruction, PipelineOptions,
-    Verdict,
+    analyze, analyze_batch, analyze_batch_governed, analyze_batch_persistent, analyze_governed,
+    analyze_persistent, clear_decision_cache, set_decision_cache_capacity, Analysis,
+    DecisionCacheStats, Obstruction, PersistenceReport, PipelineOptions, Verdict,
 };
 pub use splitting::{
     split_all, split_once, transport_witness, unsplit_simplex, unsplit_vertex, SplitOutcome,
@@ -79,6 +79,10 @@ pub use stages::artifacts::{
 pub use stages::cache::{
     clear_stage_caches, set_stage_cache_capacity, stage_cache_stats, ArtifactKind, ArtifactStore,
     SharedCache, StageCache,
+};
+pub use stages::persist::{
+    audit_cache_dir, clear_cache_dir, load_cache_dir, persist_now, warm_start, CacheDirConfig,
+    LoadReport, PersistError, SaveReport, SnapshotAudit, SnapshotStatus, CACHE_DIR_ENV,
 };
 pub use stages::{CacheEvent, EvidenceChain, Stage, StageEvidence, StageOutcome};
 pub use two_process::{decide_two_process, synthesize_two_process};

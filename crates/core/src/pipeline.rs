@@ -33,6 +33,7 @@ use crate::continuous::{ContinuousOutcome, ImpossibilityReason};
 use crate::splitting::SplitOutcome;
 use crate::stages::artifacts::SubdividedComplex;
 use crate::stages::cache::{self, ArtifactKind, ArtifactStore};
+use crate::stages::persist;
 use crate::stages::{
     CacheEvent, DecisionRecord, EvidenceChain, ExploreStage, HomologyStage, LinkStage,
     PresentationStage, SplitStage, Stage, StageEvidence, StageTrace,
@@ -326,6 +327,67 @@ pub fn analyze_batch_governed(
     cancel: &CancelToken,
 ) -> Vec<Analysis> {
     par_map(tasks, |t| analyze_governed(t, options, budget, cancel))
+}
+
+/// The persistence bookkeeping of one [`analyze_persistent`] /
+/// [`analyze_batch_persistent`] call. A save failure is reported here —
+/// never raised — because persistence must not poison a verdict.
+#[derive(Clone, Debug, Default)]
+pub struct PersistenceReport {
+    /// What the warm start restored — `None` when persistence is
+    /// disabled or this directory was already loaded by this process.
+    pub loaded: Option<persist::LoadReport>,
+    /// What the post-analysis snapshot wrote, when it succeeded.
+    pub saved: Option<persist::SaveReport>,
+    /// The snapshot failure, when saving did not succeed. Verdicts are
+    /// unaffected; the previous on-disk snapshots stay valid.
+    pub save_error: Option<persist::PersistError>,
+}
+
+fn persist_after(cache_dir: &persist::CacheDirConfig, report: &mut PersistenceReport) {
+    match persist::persist_now(cache_dir) {
+        Some(Ok(saved)) => report.saved = Some(saved),
+        Some(Err(error)) => report.save_error = Some(error),
+        None => {}
+    }
+}
+
+/// [`analyze`] with durable stage caches: warm-starts the process-wide
+/// [`ArtifactStore`] from `cache_dir` (once per directory per process),
+/// analyzes, then snapshots the caches back. Verdicts and evidence
+/// digests are byte-identical to a cold [`analyze`]; corruption on disk
+/// degrades to recovery counters, and a save failure is reported — not
+/// raised.
+#[must_use]
+pub fn analyze_persistent(
+    task: &Task,
+    options: PipelineOptions,
+    cache_dir: &persist::CacheDirConfig,
+) -> (Analysis, PersistenceReport) {
+    let mut report = PersistenceReport {
+        loaded: persist::warm_start(cache_dir),
+        ..PersistenceReport::default()
+    };
+    let analysis = analyze(task, options);
+    persist_after(cache_dir, &mut report);
+    (analysis, report)
+}
+
+/// [`analyze_batch`] with durable stage caches: one warm start before
+/// the fan-out, one snapshot after every task is decided.
+#[must_use]
+pub fn analyze_batch_persistent(
+    tasks: &[Task],
+    options: PipelineOptions,
+    cache_dir: &persist::CacheDirConfig,
+) -> (Vec<Analysis>, PersistenceReport) {
+    let mut report = PersistenceReport {
+        loaded: persist::warm_start(cache_dir),
+        ..PersistenceReport::default()
+    };
+    let analyses = analyze_batch(tasks, options);
+    persist_after(cache_dir, &mut report);
+    (analyses, report)
 }
 
 /// Runs one stage, appending its evidence to the live chain and its

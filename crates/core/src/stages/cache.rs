@@ -41,6 +41,28 @@ pub struct DecisionCacheStats {
     pub misses: u64,
     /// Entries evicted to keep the cache within its capacity.
     pub evictions: u64,
+    /// Entries restored intact from a disk snapshot (see
+    /// [`super::persist`]). Process-local, never persisted.
+    pub restored: u64,
+    /// Whole snapshot files discarded on load: bad magic, unsupported
+    /// version, unreadable header, or an I/O error mid-read.
+    pub rejected_snapshots: u64,
+    /// Truncated trailing records skipped on load — the signature of a
+    /// torn write (crash mid-append before the final newline).
+    pub torn_entries: u64,
+    /// Complete-looking records skipped on load: checksum mismatch,
+    /// undecodable payload, or an inadmissible artifact (e.g. a
+    /// budget-dependent exploration that must never be memoized).
+    pub corrupt_entries: u64,
+}
+
+impl DecisionCacheStats {
+    /// Sum of the per-cause recovery counters (everything the loader
+    /// skipped or discarded).
+    #[must_use]
+    pub fn recovery_events(&self) -> u64 {
+        self.rejected_snapshots + self.torn_entries + self.corrupt_entries
+    }
 }
 
 /// The artifact kinds the engine caches, one [`StageCache`] each.
@@ -137,6 +159,40 @@ impl<K: Clone + Eq + Hash, V: Clone> StageCache<K, V> {
     #[must_use]
     pub fn stats(&self) -> DecisionCacheStats {
         self.stats
+    }
+
+    /// Mutable counters, for the persist layer's recovery accounting.
+    pub(crate) fn stats_mut(&mut self) -> &mut DecisionCacheStats {
+        &mut self.stats
+    }
+
+    /// The current capacity bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Every `(key, value)` in insertion (eviction) order — the order a
+    /// snapshot must preserve so a reloaded cache evicts identically.
+    pub(crate) fn entries_in_order(&self) -> Vec<(K, V)> {
+        self.queue
+            .iter()
+            .filter_map(|k| self.map.get(k).map(|v| (k.clone(), v.clone())))
+            .collect()
+    }
+
+    /// Re-inserts an entry restored from a snapshot: counted in
+    /// `restored` (not as a miss), appended in call order so the
+    /// snapshot's insertion order becomes this cache's eviction order.
+    pub(crate) fn restore_entry(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(key.clone(), value).is_none() {
+            self.queue.push_back(key);
+        }
+        self.stats.restored += 1;
+        self.evict_to_capacity();
     }
 
     /// Number of cached artifacts.
@@ -254,7 +310,7 @@ pub struct ArtifactStore {
 }
 
 impl ArtifactStore {
-    fn with_capacity(capacity: usize) -> Self {
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
         ArtifactStore {
             split: SharedCache::new(capacity),
             links: SharedCache::new(capacity),
@@ -375,6 +431,59 @@ mod tests {
         // A zero-capacity cache stores nothing.
         let mut off: StageCache<(Task, usize), Verdict> = StageCache::with_capacity(0);
         off.insert(key(9), Verdict::Unknown { reason: "y".into() });
+        assert!(off.is_empty());
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_fifo_and_counts() {
+        // Regression (satellite): shrinking the bound below the current
+        // population must evict the *oldest* entries first and count each
+        // one, exactly like an insert-driven eviction would.
+        let mut cache: StageCache<(Task, usize), Verdict> = StageCache::with_capacity(4);
+        let key = |n: usize| (identity_task(2), n);
+        let v = Verdict::Unknown { reason: "x".into() };
+        for n in 0..4 {
+            cache.insert(key(n), v.clone());
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().evictions, 0);
+        cache.set_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 2, "shrink evictions are counted");
+        // FIFO: the two oldest went, the two newest survive.
+        assert!(cache.get(&key(0)).is_none());
+        assert!(cache.get(&key(1)).is_none());
+        assert!(cache.get(&key(2)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        // Growing the bound never evicts.
+        cache.set_capacity(10);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn restore_entry_counts_restored_not_misses() {
+        let mut cache: StageCache<(Task, usize), Verdict> = StageCache::with_capacity(2);
+        let key = |n: usize| (identity_task(2), n);
+        let v = Verdict::Unknown { reason: "x".into() };
+        cache.restore_entry(key(0), v.clone());
+        cache.restore_entry(key(1), v.clone());
+        cache.restore_entry(key(2), v.clone());
+        let stats = cache.stats();
+        assert_eq!(stats.restored, 3);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.evictions, 1, "restores respect the capacity bound");
+        // Restoration order is eviction order: key(0) was the oldest.
+        let order = cache.entries_in_order();
+        assert_eq!(
+            order.iter().map(|(k, _)| k.1).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        // Zero-capacity caches restore nothing.
+        let mut off: StageCache<(Task, usize), Verdict> = StageCache::with_capacity(0);
+        off.restore_entry(key(9), v);
         assert!(off.is_empty());
     }
 

@@ -20,6 +20,7 @@
 
 pub mod artifacts;
 pub mod cache;
+pub mod persist;
 
 use std::fmt;
 use std::hash::Hash;

@@ -1,0 +1,1705 @@
+//! Crash-safe persistence for the [`ArtifactStore`]: durable stage-cache
+//! snapshots with corruption-tolerant recovery.
+//!
+//! Each stage cache is snapshot to its own file under a cache directory
+//! (`<dir>/<kind>.snap`), written with the classic durable protocol —
+//! temp file, fsync, atomic rename, directory fsync — so a crash at any
+//! instant leaves each kind's file equal to either the old snapshot or
+//! the new one, never a mix. The format is line-oriented and
+//! per-record-checksummed:
+//!
+//! ```text
+//! chromata-snap v1 <kind>\n          (magic + version + kind)
+//! H <fnv1a-16hex> [cap,h,m,e]\n      (capacity + cumulative counters)
+//! E <fnv1a-16hex> [key,value]\n      (one cache entry, insertion order)
+//! ```
+//!
+//! Loading is paranoid and graceful — persistence must never poison a
+//! verdict. The recovery taxonomy (counted per cause in
+//! [`DecisionCacheStats`](super::cache::DecisionCacheStats)):
+//!
+//! * **rejected snapshot** — missing newline before the header, bad
+//!   magic, unsupported version, unreadable header, or an I/O error:
+//!   the whole file is discarded and the cache stays as it was;
+//! * **torn entry** — a trailing record with no final newline (crash
+//!   mid-append): the fragment is skipped, every complete record
+//!   before it is kept;
+//! * **corrupt entry** — a complete-looking record whose checksum,
+//!   payload, or admissibility check fails (e.g. a forged
+//!   budget-dependent exploration): the record is skipped.
+//!
+//! Budget-truncated explorations are excluded at save time (and
+//! re-checked at load time): a verdict that depends on the configured
+//! budget must never be memoized across processes.
+//!
+//! All filesystem traffic goes through the [`PersistIo`] seam so the
+//! test suite can inject every `io::ErrorKind` at every operation and
+//! kill the process model at every point of the write protocol (rule
+//! D3 confines `std::fs` to this module).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::hash::Hash;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+use chromata_task::Task;
+use chromata_topology::govern;
+use serde::{Deserialize, Serialize};
+
+use super::artifacts::ExplorationReport;
+use super::cache::{store, ArtifactKind, ArtifactStore, SharedCache, ALL_KINDS};
+
+/// Magic prefix of every snapshot file (version-bearing): the first
+/// line is this prefix followed by the artifact-kind name.
+const MAGIC_PREFIX: &str = "chromata-snap v1 ";
+
+/// Environment variable read (via [`govern::env_string`], rule D2) by
+/// [`CacheDirConfig::from_env`].
+pub const CACHE_DIR_ENV: &str = "CHROMATA_CACHE_DIR";
+
+/// FNV-1a over a byte string — the per-record checksum. Same constants
+/// as the workspace's structural fingerprinting, applied to raw bytes.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// The I/O seam
+// ---------------------------------------------------------------------------
+
+/// The filesystem operations the persist layer performs, factored out so
+/// tests can fail or kill any one of them (mirrors `runtime/fault.rs`).
+pub(crate) trait PersistIo {
+    /// Creates the cache directory (and parents).
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Writes the full snapshot body to the temp path.
+    fn write_tmp(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Flushes the temp file's contents to stable storage.
+    fn sync_tmp(&self, path: &Path) -> io::Result<()>;
+    /// Atomically renames the temp file over the final snapshot.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Flushes the directory entry of the rename to stable storage
+    /// (best effort — not all platforms support directory fsync).
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Reads a whole file; `Ok(None)` when it does not exist.
+    fn read(&self, path: &Path) -> io::Result<Option<Vec<u8>>>;
+    /// Removes a file; missing files are not an error.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The real filesystem.
+pub(crate) struct RealIo;
+
+impl PersistIo for RealIo {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn write_tmp(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn sync_tmp(&self, path: &Path) -> io::Result<()> {
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Directory handles cannot be fsynced everywhere; swallow the
+        // platform's refusal but surface real failures.
+        match std::fs::File::open(dir).and_then(|d| d.sync_all()) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::PermissionDenied => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Option<Vec<u8>>> {
+        match std::fs::read(path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        match std::fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors and reports
+// ---------------------------------------------------------------------------
+
+/// A persistence failure: which protocol step failed, on which path,
+/// and the underlying message. Saving aborts on the first error (the
+/// per-file atomic protocol keeps everything already on disk
+/// consistent); loading never raises this — corruption degrades to
+/// recovery counters instead.
+#[derive(Clone, Debug)]
+pub struct PersistError {
+    /// Protocol step that failed (`create-dir`, `encode`, `write-tmp`,
+    /// `sync-tmp`, `rename`, `sync-dir`, `remove`).
+    pub step: &'static str,
+    /// The path the step was operating on.
+    pub path: PathBuf,
+    /// The underlying error message.
+    pub message: String,
+}
+
+impl PersistError {
+    fn new(step: &'static str, path: &Path, message: impl fmt::Display) -> Self {
+        PersistError {
+            step,
+            path: path.to_path_buf(),
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache persistence failed at {} ({}): {}",
+            self.step,
+            self.path.display(),
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// What a successful [`persist_now`] wrote.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SaveReport {
+    /// Snapshot files written (one per artifact kind).
+    pub files_written: usize,
+    /// Cache entries persisted across all kinds.
+    pub entries_written: u64,
+    /// Entries excluded as budget-dependent (never memoized on disk).
+    pub entries_skipped: u64,
+}
+
+/// What a [`warm_start`] / [`load_cache_dir`] recovered, summed across
+/// every artifact kind. The same per-cause counters also land in each
+/// cache's [`DecisionCacheStats`](super::cache::DecisionCacheStats).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LoadReport {
+    /// Entries restored intact into the stage caches.
+    pub restored: u64,
+    /// Whole snapshot files discarded (bad magic/version/header/read).
+    pub rejected_snapshots: u64,
+    /// Truncated trailing records skipped (torn writes).
+    pub torn_entries: u64,
+    /// Complete-looking records skipped (checksum/payload/admissibility).
+    pub corrupt_entries: u64,
+    /// Kinds with no snapshot file at all (a fresh directory).
+    pub missing: usize,
+}
+
+impl LoadReport {
+    /// Sum of the per-cause recovery counters.
+    #[must_use]
+    pub fn recovery_events(&self) -> u64 {
+        self.rejected_snapshots + self.torn_entries + self.corrupt_entries
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot rendering
+// ---------------------------------------------------------------------------
+
+fn snapshot_path(dir: &Path, kind: ArtifactKind) -> PathBuf {
+    dir.join(format!("{}.snap", kind.name()))
+}
+
+fn tmp_path(dir: &Path, kind: ArtifactKind) -> PathBuf {
+    dir.join(format!("{}.snap.tmp", kind.name()))
+}
+
+/// Appends `<tag> <16-hex fnv1a(payload)> <payload>\n`.
+fn push_record(out: &mut String, tag: char, payload: &str) {
+    out.push(tag);
+    out.push(' ');
+    out.push_str(&format!("{:016x}", fnv1a(payload.as_bytes())));
+    out.push(' ');
+    out.push_str(payload);
+    out.push('\n');
+}
+
+/// Renders a full snapshot body for one cache: magic, header, entries
+/// in insertion (eviction) order, filtered by `keep`.
+fn render_snapshot<K: Serialize, V: Serialize>(
+    kind: ArtifactKind,
+    capacity: usize,
+    stats: super::cache::DecisionCacheStats,
+    entries: &[(K, V)],
+    keep: impl Fn(&K, &V) -> bool,
+    skipped: &mut u64,
+    written: &mut u64,
+) -> Result<String, String> {
+    let mut out = String::new();
+    out.push_str(MAGIC_PREFIX);
+    out.push_str(kind.name());
+    out.push('\n');
+    let header = serde_json::to_string(&vec![
+        capacity as u64,
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+    ])
+    .map_err(|e| format!("header: {e}"))?;
+    push_record(&mut out, 'H', &header);
+    for (k, v) in entries {
+        if !keep(k, v) {
+            *skipped += 1;
+            continue;
+        }
+        let payload = serde_json::to_string(&(k, v)).map_err(|e| format!("entry: {e}"))?;
+        push_record(&mut out, 'E', &payload);
+        *written += 1;
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot parsing
+// ---------------------------------------------------------------------------
+
+/// A decoded snapshot: everything recoverable plus what was skipped.
+struct ParsedSnapshot<K, V> {
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    entries: Vec<(K, V)>,
+    torn_entries: u64,
+    corrupt_entries: u64,
+    issues: Vec<String>,
+}
+
+/// Splits a byte string into complete (newline-terminated) lines plus
+/// the torn trailing fragment, if any bytes follow the last newline.
+fn split_lines(bytes: &[u8]) -> (Vec<&[u8]>, Option<&[u8]>) {
+    let mut lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+    let tail = match lines.pop() {
+        Some(last) if !last.is_empty() => Some(last),
+        _ => None,
+    };
+    (lines, tail)
+}
+
+/// Parses `<tag> <16-hex> <payload>`, returning the stated checksum and
+/// the raw payload bytes.
+fn parse_tagged_line(line: &[u8], tag: u8) -> Result<(u64, &[u8]), String> {
+    let rest = line
+        .strip_prefix([tag, b' '].as_slice())
+        .ok_or_else(|| format!("expected a '{}' record", char::from(tag)))?;
+    let hex = rest.get(..16).ok_or("record shorter than its checksum")?;
+    if rest.get(16) != Some(&b' ') {
+        return Err("malformed checksum separator".to_owned());
+    }
+    let payload = rest.get(17..).ok_or("record missing its payload")?;
+    let hex = std::str::from_utf8(hex).map_err(|_| "non-ASCII checksum".to_owned())?;
+    let checksum =
+        u64::from_str_radix(hex, 16).map_err(|_| "non-hexadecimal checksum".to_owned())?;
+    Ok((checksum, payload))
+}
+
+/// Verifies and decodes one tagged record's payload as JSON.
+fn decode_record<'a, T: Deserialize<'a>>(line: &'a [u8], tag: u8) -> Result<T, String> {
+    let (stated, payload) = parse_tagged_line(line, tag)?;
+    let actual = fnv1a(payload);
+    if stated != actual {
+        return Err(format!(
+            "checksum mismatch (stated {stated:016x}, actual {actual:016x})"
+        ));
+    }
+    let text = std::str::from_utf8(payload).map_err(|_| "non-UTF-8 payload".to_owned())?;
+    serde_json::from_str(text).map_err(|e| format!("undecodable payload: {e}"))
+}
+
+/// Parses a whole snapshot body. `Err` rejects the snapshot outright
+/// (nothing before a valid header is trustworthy); after a valid
+/// header, every failure degrades to a per-entry recovery counter.
+fn parse_snapshot<K, V>(
+    kind: ArtifactKind,
+    bytes: &[u8],
+    admissible: &dyn Fn(&K, &V) -> bool,
+) -> Result<ParsedSnapshot<K, V>, String>
+where
+    K: for<'de> Deserialize<'de>,
+    V: for<'de> Deserialize<'de>,
+{
+    let (lines, tail) = split_lines(bytes);
+    let mut complete = lines.iter();
+    let magic = format!("{MAGIC_PREFIX}{}", kind.name());
+    match complete.next() {
+        None if tail.is_some() => return Err("truncated before the magic line".to_owned()),
+        None => return Err("empty snapshot".to_owned()),
+        Some(first) if *first != magic.as_bytes() => {
+            return Err(format!(
+                "bad magic (expected '{magic}', found '{}')",
+                String::from_utf8_lossy(first)
+            ))
+        }
+        Some(_) => {}
+    }
+    let Some(header_line) = complete.next() else {
+        return Err("truncated before the header".to_owned());
+    };
+    let header: Vec<u64> = decode_record(header_line, b'H').map_err(|e| format!("header: {e}"))?;
+    let &[capacity, hits, misses, evictions] = header.as_slice() else {
+        return Err("header must hold exactly [capacity, hits, misses, evictions]".to_owned());
+    };
+    let capacity =
+        usize::try_from(capacity).map_err(|_| "capacity exceeds this platform".to_owned())?;
+
+    let mut parsed = ParsedSnapshot {
+        capacity,
+        hits,
+        misses,
+        evictions,
+        entries: Vec::new(),
+        torn_entries: 0,
+        corrupt_entries: 0,
+        issues: Vec::new(),
+    };
+    for (index, line) in complete.enumerate() {
+        match decode_record::<(K, V)>(line, b'E') {
+            Ok((k, v)) if admissible(&k, &v) => parsed.entries.push((k, v)),
+            Ok(_) => {
+                parsed.corrupt_entries += 1;
+                parsed.issues.push(format!(
+                    "entry {index}: inadmissible artifact (budget-dependent)"
+                ));
+            }
+            Err(why) => {
+                parsed.corrupt_entries += 1;
+                parsed.issues.push(format!("entry {index}: {why}"));
+            }
+        }
+    }
+    if tail.is_some() {
+        parsed.torn_entries += 1;
+        parsed
+            .issues
+            .push("torn trailing record (no final newline)".to_owned());
+    }
+    Ok(parsed)
+}
+
+// ---------------------------------------------------------------------------
+// Save / load over an ArtifactStore
+// ---------------------------------------------------------------------------
+
+/// Snapshots one cache to disk with the durable write protocol.
+fn save_one<K, V>(
+    cache: &SharedCache<K, V>,
+    kind: ArtifactKind,
+    dir: &Path,
+    io: &dyn PersistIo,
+    keep: impl Fn(&K, &V) -> bool,
+    report: &mut SaveReport,
+) -> Result<(), PersistError>
+where
+    K: Clone + Eq + Hash + Serialize,
+    V: Clone + Serialize,
+{
+    let (capacity, stats, entries) = {
+        let guard = cache.lock();
+        (guard.capacity(), guard.stats(), guard.entries_in_order())
+    };
+    let target = snapshot_path(dir, kind);
+    let body = render_snapshot(
+        kind,
+        capacity,
+        stats,
+        &entries,
+        keep,
+        &mut report.entries_skipped,
+        &mut report.entries_written,
+    )
+    .map_err(|e| PersistError::new("encode", &target, e))?;
+    let tmp = tmp_path(dir, kind);
+    io.write_tmp(&tmp, body.as_bytes())
+        .map_err(|e| PersistError::new("write-tmp", &tmp, e))?;
+    io.sync_tmp(&tmp)
+        .map_err(|e| PersistError::new("sync-tmp", &tmp, e))?;
+    io.rename(&tmp, &target)
+        .map_err(|e| PersistError::new("rename", &target, e))?;
+    io.sync_dir(dir)
+        .map_err(|e| PersistError::new("sync-dir", dir, e))?;
+    report.files_written += 1;
+    Ok(())
+}
+
+/// Restores one cache from its snapshot file; every failure mode
+/// degrades to recovery counters on that cache's stats.
+fn load_one<K, V>(
+    cache: &SharedCache<K, V>,
+    kind: ArtifactKind,
+    dir: &Path,
+    io: &dyn PersistIo,
+    admissible: &dyn Fn(&K, &V) -> bool,
+    report: &mut LoadReport,
+) where
+    K: Clone + Eq + Hash + for<'de> Deserialize<'de>,
+    V: Clone + for<'de> Deserialize<'de>,
+{
+    let path = snapshot_path(dir, kind);
+    let bytes = match io.read(&path) {
+        Ok(Some(bytes)) => bytes,
+        Ok(None) => {
+            report.missing += 1;
+            return;
+        }
+        Err(_) => {
+            report.rejected_snapshots += 1;
+            cache.lock().stats_mut().rejected_snapshots += 1;
+            return;
+        }
+    };
+    match parse_snapshot(kind, &bytes, admissible) {
+        Err(_) => {
+            report.rejected_snapshots += 1;
+            cache.lock().stats_mut().rejected_snapshots += 1;
+        }
+        Ok(parsed) => {
+            let mut guard = cache.lock();
+            guard.set_capacity(parsed.capacity);
+            {
+                let stats = guard.stats_mut();
+                stats.hits += parsed.hits;
+                stats.misses += parsed.misses;
+                stats.evictions += parsed.evictions;
+                stats.torn_entries += parsed.torn_entries;
+                stats.corrupt_entries += parsed.corrupt_entries;
+            }
+            report.restored += parsed.entries.len() as u64;
+            report.torn_entries += parsed.torn_entries;
+            report.corrupt_entries += parsed.corrupt_entries;
+            for (k, v) in parsed.entries {
+                guard.restore_entry(k, v);
+            }
+        }
+    }
+}
+
+/// Keep-filter for the exploration cache: only budget-independent
+/// reports may cross a process boundary.
+fn exploration_admissible(_k: &(Task, usize), v: &std::sync::Arc<ExplorationReport>) -> bool {
+    v.budget_independent
+}
+
+/// Snapshots every stage cache of `store` into `dir`. Aborts on the
+/// first I/O failure — files already renamed stay valid, files not yet
+/// rewritten keep their previous valid contents.
+pub(crate) fn save_store(
+    store: &ArtifactStore,
+    dir: &Path,
+    io: &dyn PersistIo,
+) -> Result<SaveReport, PersistError> {
+    io.create_dir_all(dir)
+        .map_err(|e| PersistError::new("create-dir", dir, e))?;
+    let mut report = SaveReport::default();
+    save_one(
+        &store.split,
+        ArtifactKind::Split,
+        dir,
+        io,
+        |_, _| true,
+        &mut report,
+    )?;
+    save_one(
+        &store.links,
+        ArtifactKind::LinkGraphs,
+        dir,
+        io,
+        |_, _| true,
+        &mut report,
+    )?;
+    save_one(
+        &store.presentations,
+        ArtifactKind::Presentations,
+        dir,
+        io,
+        |_, _| true,
+        &mut report,
+    )?;
+    save_one(
+        &store.homology,
+        ArtifactKind::Homology,
+        dir,
+        io,
+        |_, _| true,
+        &mut report,
+    )?;
+    save_one(
+        &store.exploration,
+        ArtifactKind::Exploration,
+        dir,
+        io,
+        exploration_admissible,
+        &mut report,
+    )?;
+    save_one(
+        &store.verdict,
+        ArtifactKind::Verdict,
+        dir,
+        io,
+        |_, _| true,
+        &mut report,
+    )?;
+    Ok(report)
+}
+
+/// Restores every stage cache of `store` from the snapshots in `dir`.
+/// Never fails: every corruption mode degrades to recovery counters.
+pub(crate) fn load_store(store: &ArtifactStore, dir: &Path, io: &dyn PersistIo) -> LoadReport {
+    let mut report = LoadReport::default();
+    load_one(
+        &store.split,
+        ArtifactKind::Split,
+        dir,
+        io,
+        &|_, _| true,
+        &mut report,
+    );
+    load_one(
+        &store.links,
+        ArtifactKind::LinkGraphs,
+        dir,
+        io,
+        &|_, _| true,
+        &mut report,
+    );
+    load_one(
+        &store.presentations,
+        ArtifactKind::Presentations,
+        dir,
+        io,
+        &|_, _| true,
+        &mut report,
+    );
+    load_one(
+        &store.homology,
+        ArtifactKind::Homology,
+        dir,
+        io,
+        &|_, _| true,
+        &mut report,
+    );
+    load_one(
+        &store.exploration,
+        ArtifactKind::Exploration,
+        dir,
+        io,
+        &exploration_admissible,
+        &mut report,
+    );
+    load_one(
+        &store.verdict,
+        ArtifactKind::Verdict,
+        dir,
+        io,
+        &|_, _| true,
+        &mut report,
+    );
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Public configuration + entry points
+// ---------------------------------------------------------------------------
+
+/// Where (and whether) to persist the stage caches. Disabled by
+/// default; enabled by an explicit directory (`--cache-dir`) or the
+/// `CHROMATA_CACHE_DIR` environment variable.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CacheDirConfig {
+    dir: Option<PathBuf>,
+}
+
+impl CacheDirConfig {
+    /// Persistence off (the default).
+    #[must_use]
+    pub fn disabled() -> Self {
+        CacheDirConfig { dir: None }
+    }
+
+    /// Persistence on, rooted at `dir`.
+    #[must_use]
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        CacheDirConfig {
+            dir: Some(dir.into()),
+        }
+    }
+
+    /// Reads `CHROMATA_CACHE_DIR` (via `govern`, rule D2); unset or
+    /// blank means disabled.
+    #[must_use]
+    pub fn from_env() -> Self {
+        CacheDirConfig {
+            dir: govern::env_string(CACHE_DIR_ENV).map(PathBuf::from),
+        }
+    }
+
+    /// CLI-style resolution: an explicit directory wins over the
+    /// environment variable; neither means disabled.
+    #[must_use]
+    pub fn resolve(explicit: Option<PathBuf>) -> Self {
+        match explicit {
+            Some(dir) => CacheDirConfig::at(dir),
+            None => CacheDirConfig::from_env(),
+        }
+    }
+
+    /// The configured cache directory, if persistence is enabled.
+    #[must_use]
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Whether persistence is enabled.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+}
+
+/// Directories already warm-started by this process, so repeated
+/// [`warm_start`] calls (one per `analyze`) load each directory once.
+fn warmed_dirs() -> &'static Mutex<BTreeSet<PathBuf>> {
+    static WARMED: OnceLock<Mutex<BTreeSet<PathBuf>>> = OnceLock::new();
+    WARMED.get_or_init(|| Mutex::new(BTreeSet::new()))
+}
+
+/// Marks `dir` warmed; returns whether it was fresh.
+fn mark_warmed(dir: &Path) -> bool {
+    let mut guard = match warmed_dirs().lock() {
+        Ok(guard) => guard,
+        // The set is just inserted into; a panicking holder cannot have
+        // left it torn. Recover the data and continue.
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    guard.insert(dir.to_path_buf())
+}
+
+/// Loads the configured cache directory into the process-wide store —
+/// once per directory per process. Returns the load report on the
+/// first call for a directory, `None` when persistence is disabled or
+/// the directory was already warmed.
+pub fn warm_start(config: &CacheDirConfig) -> Option<LoadReport> {
+    let dir = config.dir()?;
+    if !mark_warmed(dir) {
+        return None;
+    }
+    Some(load_store(store(), dir, &RealIo))
+}
+
+/// Unconditionally loads the configured cache directory into the
+/// process-wide store (and marks it warmed). `None` when disabled.
+pub fn load_cache_dir(config: &CacheDirConfig) -> Option<LoadReport> {
+    let dir = config.dir()?;
+    mark_warmed(dir);
+    Some(load_store(store(), dir, &RealIo))
+}
+
+/// Snapshots the process-wide store into the configured cache
+/// directory. `None` when persistence is disabled.
+pub fn persist_now(config: &CacheDirConfig) -> Option<Result<SaveReport, PersistError>> {
+    let dir = config.dir()?;
+    Some(save_store(store(), dir, &RealIo))
+}
+
+// ---------------------------------------------------------------------------
+// Offline audit + maintenance
+// ---------------------------------------------------------------------------
+
+/// Integrity status of one kind's snapshot file.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SnapshotStatus {
+    /// No snapshot file exists for this kind.
+    Missing,
+    /// The snapshot decoded (possibly with skipped entries — check the
+    /// recovery counters).
+    Valid,
+    /// The whole snapshot was rejected (bad magic/version/header/read).
+    Rejected,
+}
+
+impl SnapshotStatus {
+    /// Stable lower-case label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SnapshotStatus::Missing => "missing",
+            SnapshotStatus::Valid => "valid",
+            SnapshotStatus::Rejected => "rejected",
+        }
+    }
+}
+
+impl fmt::Display for SnapshotStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The offline integrity report for one kind's snapshot, produced by
+/// [`audit_cache_dir`] without touching the process-wide store.
+#[derive(Clone, Debug)]
+pub struct SnapshotAudit {
+    /// The artifact kind this snapshot caches.
+    pub kind: ArtifactKind,
+    /// Whole-file status.
+    pub status: SnapshotStatus,
+    /// Fully decoded, admissible entries.
+    pub entries: u64,
+    /// The capacity recorded in the header.
+    pub capacity: usize,
+    /// Cumulative hits recorded in the header.
+    pub hits: u64,
+    /// Cumulative misses recorded in the header.
+    pub misses: u64,
+    /// Cumulative evictions recorded in the header.
+    pub evictions: u64,
+    /// Torn trailing records detected.
+    pub torn_entries: u64,
+    /// Corrupt (checksum/payload/admissibility) records detected.
+    pub corrupt_entries: u64,
+    /// Human-readable descriptions of every problem found.
+    pub issues: Vec<String>,
+}
+
+impl SnapshotAudit {
+    /// Whether this snapshot is fully intact (missing counts as clean —
+    /// a fresh directory is not corrupt).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.status != SnapshotStatus::Rejected
+            && self.torn_entries == 0
+            && self.corrupt_entries == 0
+    }
+}
+
+fn empty_audit(kind: ArtifactKind, status: SnapshotStatus) -> SnapshotAudit {
+    SnapshotAudit {
+        kind,
+        status,
+        entries: 0,
+        capacity: 0,
+        hits: 0,
+        misses: 0,
+        evictions: 0,
+        torn_entries: 0,
+        corrupt_entries: 0,
+        issues: Vec::new(),
+    }
+}
+
+/// Typed offline audit of one kind's snapshot.
+fn audit_one<K, V>(
+    kind: ArtifactKind,
+    dir: &Path,
+    io: &dyn PersistIo,
+    admissible: &dyn Fn(&K, &V) -> bool,
+) -> SnapshotAudit
+where
+    K: for<'de> Deserialize<'de>,
+    V: for<'de> Deserialize<'de>,
+{
+    let path = snapshot_path(dir, kind);
+    let bytes = match io.read(&path) {
+        Ok(Some(bytes)) => bytes,
+        Ok(None) => return empty_audit(kind, SnapshotStatus::Missing),
+        Err(e) => {
+            let mut audit = empty_audit(kind, SnapshotStatus::Rejected);
+            audit.issues.push(format!("unreadable: {e}"));
+            return audit;
+        }
+    };
+    match parse_snapshot(kind, &bytes, admissible) {
+        Err(why) => {
+            let mut audit = empty_audit(kind, SnapshotStatus::Rejected);
+            audit.issues.push(why);
+            audit
+        }
+        Ok(parsed) => SnapshotAudit {
+            kind,
+            status: SnapshotStatus::Valid,
+            entries: parsed.entries.len() as u64,
+            capacity: parsed.capacity,
+            hits: parsed.hits,
+            misses: parsed.misses,
+            evictions: parsed.evictions,
+            torn_entries: parsed.torn_entries,
+            corrupt_entries: parsed.corrupt_entries,
+            issues: parsed.issues,
+        },
+    }
+}
+
+fn audit_kind(kind: ArtifactKind, dir: &Path, io: &dyn PersistIo) -> SnapshotAudit {
+    use std::sync::Arc;
+
+    use super::artifacts::{HomologyReport, LinkGraphs, Presentations, SubdividedComplex};
+    use super::DecisionRecord;
+
+    match kind {
+        ArtifactKind::Split => {
+            audit_one::<Task, Arc<SubdividedComplex>>(kind, dir, io, &|_, _| true)
+        }
+        ArtifactKind::LinkGraphs => audit_one::<Task, Arc<LinkGraphs>>(kind, dir, io, &|_, _| true),
+        ArtifactKind::Presentations => {
+            audit_one::<Task, Arc<Presentations>>(kind, dir, io, &|_, _| true)
+        }
+        ArtifactKind::Homology => {
+            audit_one::<Task, Arc<HomologyReport>>(kind, dir, io, &|_, _| true)
+        }
+        ArtifactKind::Exploration => audit_one::<(Task, usize), Arc<ExplorationReport>>(
+            kind,
+            dir,
+            io,
+            &exploration_admissible,
+        ),
+        ArtifactKind::Verdict => {
+            audit_one::<(Task, usize), DecisionRecord>(kind, dir, io, &|_, _| true)
+        }
+    }
+}
+
+/// Audits every snapshot in `dir` offline — full typed decode, checksum
+/// verification, admissibility checks — without loading anything into
+/// the process-wide store. One report per artifact kind, in the fixed
+/// reporting order.
+#[must_use]
+pub fn audit_cache_dir(dir: &Path) -> Vec<SnapshotAudit> {
+    ALL_KINDS
+        .iter()
+        .map(|&kind| audit_kind(kind, dir, &RealIo))
+        .collect()
+}
+
+/// Removes every snapshot (and stray temp file) in `dir`, returning how
+/// many files were deleted. The directory itself is kept.
+pub fn clear_cache_dir(dir: &Path) -> Result<usize, PersistError> {
+    let io = RealIo;
+    let mut removed = 0;
+    for &kind in &ALL_KINDS {
+        for path in [snapshot_path(dir, kind), tmp_path(dir, kind)] {
+            match io.read(&path) {
+                Ok(Some(_)) => {
+                    io.remove(&path)
+                        .map_err(|e| PersistError::new("remove", &path, e))?;
+                    removed += 1;
+                }
+                Ok(None) => {}
+                Err(e) => return Err(PersistError::new("remove", &path, e)),
+            }
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    use proptest::prelude::*;
+
+    use chromata_task::library::{constant_task, identity_task, two_set_agreement};
+
+    use super::super::artifacts::{HomologyReport, LinkGraphs, Presentations, SubdividedComplex};
+    use super::super::{DecisionRecord, StageTrace};
+    use super::*;
+    use crate::continuous::continuous_map_exists_with;
+    use crate::pipeline::Verdict;
+    use crate::splitting::split_all;
+
+    // -- fixtures ----------------------------------------------------------
+
+    /// A unique, pre-cleaned scratch directory per call.
+    fn test_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("chromata-persist-{}-{tag}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    type Built = (
+        Arc<SubdividedComplex>,
+        Arc<LinkGraphs>,
+        Arc<Presentations>,
+        Arc<HomologyReport>,
+    );
+
+    /// Real pipeline artifacts for `task`, built the way the stages do.
+    fn artifacts_for(task: &chromata_task::Task) -> Built {
+        let split = Arc::new(SubdividedComplex {
+            split: split_all(task),
+        });
+        let links = Arc::new(LinkGraphs::build(&split.split.task));
+        let pres = Arc::new(Presentations::build(&split.split.task, &links));
+        let (outcome, assignments) = continuous_map_exists_with(&links, &pres);
+        let hom = Arc::new(HomologyReport {
+            outcome,
+            assignments,
+        });
+        (split, links, pres, hom)
+    }
+
+    fn exploration(budget_independent: bool) -> Arc<ExplorationReport> {
+        Arc::new(ExplorationReport {
+            verdict: Verdict::Unknown {
+                reason: "exploration exhausted".to_owned(),
+            },
+            nodes: 17,
+            rounds_cap: 3,
+            budget_independent,
+        })
+    }
+
+    fn record() -> DecisionRecord {
+        DecisionRecord {
+            verdict: Verdict::Solvable {
+                certificate: "test certificate".to_owned(),
+            },
+            decided_by: "explore",
+            stages: vec![StageTrace {
+                stage: "split",
+                detail: "2 split step(s)".to_owned(),
+                work: 2,
+            }],
+        }
+    }
+
+    /// A private store seeded with real artifacts for `tasks`.
+    fn seeded_store_with(capacity: usize, tasks: &[chromata_task::Task]) -> ArtifactStore {
+        let store = ArtifactStore::with_capacity(capacity);
+        for task in tasks {
+            let (s, l, p, h) = artifacts_for(task);
+            store.split.lock().insert(task.clone(), s);
+            store.links.lock().insert(task.clone(), l);
+            store.presentations.lock().insert(task.clone(), p);
+            store.homology.lock().insert(task.clone(), h);
+            store
+                .exploration
+                .lock()
+                .insert((task.clone(), 5), exploration(true));
+            store.verdict.lock().insert((task.clone(), 5), record());
+        }
+        store
+    }
+
+    fn seeded_store(capacity: usize) -> ArtifactStore {
+        seeded_store_with(capacity, &[two_set_agreement(), constant_task(2)])
+    }
+
+    fn snapshot_bytes(dir: &Path) -> Vec<(ArtifactKind, Vec<u8>)> {
+        ALL_KINDS
+            .iter()
+            .map(|&kind| {
+                (
+                    kind,
+                    std::fs::read(snapshot_path(dir, kind)).expect("snapshot exists"),
+                )
+            })
+            .collect()
+    }
+
+    // -- round trips -------------------------------------------------------
+
+    #[test]
+    fn roundtrip_is_byte_identical_and_restores_capacity() {
+        let store = seeded_store(8);
+        let dir = test_dir("roundtrip");
+        let report = save_store(&store, &dir, &RealIo).expect("save");
+        assert_eq!(report.files_written, 6);
+        assert_eq!(report.entries_written, 12);
+        assert_eq!(report.entries_skipped, 0);
+
+        // Load into a store with a *different* capacity: the snapshot's
+        // capacity must win, and a re-save must be byte-identical.
+        let fresh = ArtifactStore::with_capacity(99);
+        let load = load_store(&fresh, &dir, &RealIo);
+        assert_eq!(load.restored, 12);
+        assert_eq!(load.recovery_events(), 0);
+        assert_eq!(load.missing, 0);
+        assert_eq!(fresh.verdict.lock().capacity(), 8);
+        assert_eq!(fresh.split.lock().capacity(), 8);
+
+        let dir2 = test_dir("roundtrip-resave");
+        save_store(&fresh, &dir2, &RealIo).expect("re-save");
+        assert_eq!(snapshot_bytes(&dir), snapshot_bytes(&dir2));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn stats_merge_additively_and_restored_is_counted() {
+        let store = seeded_store(8);
+        // Bump some counters: 2 hits, 1 miss on the verdict cache.
+        let probe = two_set_agreement();
+        store.verdict.lock().get(&(probe.clone(), 5));
+        store.verdict.lock().get(&(probe.clone(), 5));
+        store.verdict.lock().get(&(probe, 999));
+        let dir = test_dir("stats");
+        save_store(&store, &dir, &RealIo).expect("save");
+
+        let fresh = ArtifactStore::with_capacity(4);
+        // Pre-existing counters must survive the merge.
+        fresh.verdict.lock().stats_mut().hits = 10;
+        load_store(&fresh, &dir, &RealIo);
+        let stats = fresh.verdict.lock().stats();
+        assert_eq!(stats.hits, 12);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.restored, 2);
+        assert_eq!(stats.recovery_events(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restored_order_drives_future_evictions() {
+        let tasks = [
+            two_set_agreement(),
+            constant_task(2),
+            identity_task(2),
+            constant_task(3),
+        ];
+        let store = ArtifactStore::with_capacity(4);
+        for t in &tasks {
+            store.verdict.lock().insert((t.clone(), 1), record());
+        }
+        let dir = test_dir("order");
+        save_store(&store, &dir, &RealIo).expect("save");
+
+        let fresh = ArtifactStore::with_capacity(4);
+        load_store(&fresh, &dir, &RealIo);
+        {
+            let guard = fresh.verdict.lock();
+            let keys: Vec<_> = guard
+                .entries_in_order()
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect();
+            let expected: Vec<_> = tasks.iter().map(|t| (t.clone(), 1usize)).collect();
+            assert_eq!(keys, expected, "snapshot order must be insertion order");
+        }
+        // One more insert evicts the *oldest restored* entry.
+        fresh.verdict.lock().insert((identity_task(3), 1), record());
+        let guard = fresh.verdict.lock();
+        assert_eq!(guard.len(), 4);
+        let keys: Vec<_> = guard
+            .entries_in_order()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert!(!keys.contains(&(two_set_agreement(), 1)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serialization_is_independent_of_construction_order() {
+        // Build the same artifacts in opposite orders: the serialized
+        // form must not depend on global interning history.
+        let a1 = artifacts_for(&two_set_agreement());
+        let b1 = artifacts_for(&constant_task(2));
+        let b2 = artifacts_for(&constant_task(2));
+        let a2 = artifacts_for(&two_set_agreement());
+        for (x, y) in [(&a1, &a2), (&b1, &b2)] {
+            assert_eq!(
+                serde_json::to_string(&x.0).expect("ser"),
+                serde_json::to_string(&y.0).expect("ser")
+            );
+            assert_eq!(
+                serde_json::to_string(&x.1).expect("ser"),
+                serde_json::to_string(&y.1).expect("ser")
+            );
+            assert_eq!(
+                serde_json::to_string(&x.2).expect("ser"),
+                serde_json::to_string(&y.2).expect("ser")
+            );
+            assert_eq!(
+                serde_json::to_string(&x.3).expect("ser"),
+                serde_json::to_string(&y.3).expect("ser")
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Snapshot → reload preserves entries, order and capacity for
+        /// any insertion sequence, under any pre-existing capacity.
+        #[test]
+        fn roundtrip_identity_under_any_order(
+            capacity in 1usize..6,
+            order in proptest::collection::vec(0usize..4, 1..10),
+            reload_capacity in 1usize..9,
+        ) {
+            let pool = [
+                (two_set_agreement(), 3usize),
+                (two_set_agreement(), 7usize),
+                (constant_task(2), 3usize),
+                (identity_task(2), 3usize),
+            ];
+            let store = ArtifactStore::with_capacity(capacity);
+            for &i in &order {
+                let key = pool[i].clone();
+                store.verdict.lock().insert(key, record());
+            }
+            let dir = test_dir("prop");
+            save_store(&store, &dir, &RealIo).expect("save");
+            let fresh = ArtifactStore::with_capacity(reload_capacity);
+            let report = load_store(&fresh, &dir, &RealIo);
+            prop_assert_eq!(report.recovery_events(), 0);
+
+            let original = store.verdict.lock().entries_in_order();
+            let restored = fresh.verdict.lock().entries_in_order();
+            prop_assert_eq!(report.restored as usize, original.len());
+            prop_assert_eq!(fresh.verdict.lock().capacity(), capacity);
+            prop_assert_eq!(original.len(), restored.len());
+            for ((k1, v1), (k2, v2)) in original.iter().zip(restored.iter()) {
+                prop_assert_eq!(k1, k2);
+                prop_assert_eq!(
+                    serde_json::to_string(v1).expect("ser"),
+                    serde_json::to_string(v2).expect("ser")
+                );
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    // -- torn writes -------------------------------------------------------
+
+    #[test]
+    fn torn_write_matrix_every_truncation_point() {
+        let store = ArtifactStore::with_capacity(4);
+        store.verdict.lock().insert((constant_task(2), 1), record());
+        store.verdict.lock().insert((identity_task(2), 1), record());
+        let dir = test_dir("torn-src");
+        save_store(&store, &dir, &RealIo).expect("save");
+        let full = std::fs::read(snapshot_path(&dir, ArtifactKind::Verdict)).expect("read");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let work = test_dir("torn");
+        std::fs::create_dir_all(&work).expect("mkdir");
+        let target = snapshot_path(&work, ArtifactKind::Verdict);
+        for cut in 0..=full.len() {
+            let prefix = &full[..cut];
+            std::fs::write(&target, prefix).expect("write truncated");
+            let fresh = ArtifactStore::with_capacity(4);
+            let report = load_store(&fresh, &work, &RealIo);
+            assert_eq!(report.missing, 5, "only verdict.snap exists (cut {cut})");
+
+            let newlines = prefix.iter().filter(|&&b| b == b'\n').count();
+            let torn_tail = !prefix.is_empty() && *prefix.last().expect("nonempty") != b'\n';
+            if newlines < 2 {
+                // Magic or header incomplete: the whole snapshot goes.
+                assert_eq!(report.rejected_snapshots, 1, "cut {cut}");
+                assert_eq!(report.restored, 0, "cut {cut}");
+                assert_eq!(report.torn_entries, 0, "cut {cut}");
+            } else {
+                let complete_entries = (newlines - 2) as u64;
+                assert_eq!(report.rejected_snapshots, 0, "cut {cut}");
+                assert_eq!(report.restored, complete_entries, "cut {cut}");
+                assert_eq!(report.torn_entries, u64::from(torn_tail), "cut {cut}");
+                assert_eq!(report.corrupt_entries, 0, "cut {cut}");
+                assert_eq!(fresh.verdict.lock().capacity(), 4, "cut {cut}");
+                // Restored entries must be checksum-valid originals.
+                for (k, _) in fresh.verdict.lock().entries_in_order() {
+                    assert!(k == (constant_task(2), 1) || k == (identity_task(2), 1));
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&work);
+    }
+
+    // -- injected I/O faults ----------------------------------------------
+
+    #[derive(Clone, Copy, Debug)]
+    enum IoFaultMode {
+        /// The targeted operation fails with this `ErrorKind`.
+        Error(io::ErrorKind),
+        /// The process model dies at the targeted operation: it fails,
+        /// writes tear halfway, and every later operation fails too.
+        Kill,
+        /// A write persists a 7-bytes-short prefix, then errors.
+        ShortWrite,
+    }
+
+    /// Counting fault injector over the real filesystem, in the style
+    /// of `runtime/fault.rs`: operation `trigger_op` misbehaves.
+    struct FaultIo {
+        inner: RealIo,
+        op: Cell<u64>,
+        killed: Cell<bool>,
+        trigger_op: u64,
+        mode: IoFaultMode,
+    }
+
+    impl FaultIo {
+        fn new(trigger_op: u64, mode: IoFaultMode) -> Self {
+            FaultIo {
+                inner: RealIo,
+                op: Cell::new(0),
+                killed: Cell::new(false),
+                trigger_op,
+                mode,
+            }
+        }
+
+        /// Counts this operation; `Ok(true)` means "fault it now".
+        fn gate(&self) -> io::Result<bool> {
+            if self.killed.get() {
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "process is dead",
+                ));
+            }
+            let n = self.op.get();
+            self.op.set(n + 1);
+            Ok(n == self.trigger_op)
+        }
+
+        fn fault(&self) -> io::Error {
+            match self.mode {
+                IoFaultMode::Error(kind) => io::Error::new(kind, "injected fault"),
+                IoFaultMode::Kill => {
+                    self.killed.set(true);
+                    io::Error::new(io::ErrorKind::Interrupted, "killed")
+                }
+                IoFaultMode::ShortWrite => io::Error::new(io::ErrorKind::WriteZero, "short write"),
+            }
+        }
+    }
+
+    impl PersistIo for FaultIo {
+        fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+            if self.gate()? {
+                return Err(self.fault());
+            }
+            self.inner.create_dir_all(dir)
+        }
+
+        fn write_tmp(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+            if self.gate()? {
+                // Torn writes are the interesting failure here: persist
+                // a prefix before erroring, like a real crash would.
+                let cut = match self.mode {
+                    IoFaultMode::Kill => bytes.len() / 2,
+                    IoFaultMode::ShortWrite => bytes.len().saturating_sub(7),
+                    IoFaultMode::Error(_) => 0,
+                };
+                if cut > 0 {
+                    let _ = self.inner.write_tmp(path, &bytes[..cut]);
+                }
+                return Err(self.fault());
+            }
+            self.inner.write_tmp(path, bytes)
+        }
+
+        fn sync_tmp(&self, path: &Path) -> io::Result<()> {
+            if self.gate()? {
+                return Err(self.fault());
+            }
+            self.inner.sync_tmp(path)
+        }
+
+        fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+            if self.gate()? {
+                return Err(self.fault());
+            }
+            self.inner.rename(from, to)
+        }
+
+        fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+            if self.gate()? {
+                return Err(self.fault());
+            }
+            self.inner.sync_dir(dir)
+        }
+
+        fn read(&self, path: &Path) -> io::Result<Option<Vec<u8>>> {
+            if self.gate()? {
+                return Err(self.fault());
+            }
+            self.inner.read(path)
+        }
+
+        fn remove(&self, path: &Path) -> io::Result<()> {
+            if self.gate()? {
+                return Err(self.fault());
+            }
+            self.inner.remove(path)
+        }
+    }
+
+    /// Operations a full save performs: 1 create-dir + 4 per kind.
+    const SAVE_OPS: u64 = 1 + 4 * 6;
+
+    #[test]
+    fn every_errorkind_at_every_killpoint_leaves_store_consistent() {
+        let error_kinds = [
+            io::ErrorKind::NotFound,
+            io::ErrorKind::PermissionDenied,
+            io::ErrorKind::ConnectionRefused,
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::ConnectionAborted,
+            io::ErrorKind::NotConnected,
+            io::ErrorKind::AddrInUse,
+            io::ErrorKind::AddrNotAvailable,
+            io::ErrorKind::BrokenPipe,
+            io::ErrorKind::AlreadyExists,
+            io::ErrorKind::WouldBlock,
+            io::ErrorKind::InvalidInput,
+            io::ErrorKind::InvalidData,
+            io::ErrorKind::TimedOut,
+            io::ErrorKind::WriteZero,
+            io::ErrorKind::Interrupted,
+            io::ErrorKind::Unsupported,
+            io::ErrorKind::UnexpectedEof,
+            io::ErrorKind::OutOfMemory,
+            io::ErrorKind::Other,
+        ];
+        let mut modes: Vec<IoFaultMode> = error_kinds.into_iter().map(IoFaultMode::Error).collect();
+        modes.push(IoFaultMode::Kill);
+        modes.push(IoFaultMode::ShortWrite);
+
+        // Old state: one task. New state: old plus another task.
+        let old_store = seeded_store_with(8, &[two_set_agreement()]);
+        let new_store = seeded_store_with(8, &[two_set_agreement(), identity_task(2)]);
+        let old_dir = test_dir("fault-old");
+        let new_dir = test_dir("fault-new");
+        save_store(&old_store, &old_dir, &RealIo).expect("baseline old");
+        save_store(&new_store, &new_dir, &RealIo).expect("baseline new");
+        let old_bytes = snapshot_bytes(&old_dir);
+        let new_bytes = snapshot_bytes(&new_dir);
+
+        let work = test_dir("fault-work");
+        for mode in modes {
+            for trigger in 0..SAVE_OPS {
+                // Reset to the old, fully valid on-disk state.
+                let _ = std::fs::remove_dir_all(&work);
+                save_store(&old_store, &work, &RealIo).expect("reset");
+
+                let io = FaultIo::new(trigger, mode);
+                let result = save_store(&new_store, &work, &io);
+                assert!(result.is_err(), "op {trigger} under {mode:?} must fail");
+
+                // Crash-consistency: every kind's file is wholly the old
+                // or wholly the new snapshot — never a mix, never torn.
+                for (i, &(kind, ref old)) in old_bytes.iter().enumerate() {
+                    let on_disk =
+                        std::fs::read(snapshot_path(&work, kind)).expect("snapshot survives");
+                    let (_, ref new) = new_bytes[i];
+                    assert!(
+                        &on_disk == old || &on_disk == new,
+                        "{kind} is a hybrid after faulting op {trigger} ({mode:?})"
+                    );
+                }
+                // And a paranoid load sees zero corruption.
+                let fresh = ArtifactStore::with_capacity(8);
+                let report = load_store(&fresh, &work, &RealIo);
+                assert_eq!(
+                    report.recovery_events(),
+                    0,
+                    "recovery needed after op {trigger} ({mode:?})"
+                );
+
+                // A healthy retry converges to the new state exactly.
+                save_store(&new_store, &work, &RealIo).expect("retry");
+                assert_eq!(
+                    snapshot_bytes(&work),
+                    new_bytes,
+                    "retry after {trigger} ({mode:?})"
+                );
+            }
+        }
+        for d in [&old_dir, &new_dir, &work] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn read_failure_rejects_that_snapshot_only() {
+        let store = seeded_store_with(4, &[constant_task(2)]);
+        let dir = test_dir("read-fail");
+        save_store(&store, &dir, &RealIo).expect("save");
+
+        // Op 0 is the first read (the split snapshot).
+        let io = FaultIo::new(0, IoFaultMode::Error(io::ErrorKind::PermissionDenied));
+        let fresh = ArtifactStore::with_capacity(4);
+        let report = load_store(&fresh, &dir, &io);
+        assert_eq!(report.rejected_snapshots, 1);
+        assert_eq!(fresh.split.lock().stats().rejected_snapshots, 1);
+        assert!(fresh.split.lock().is_empty());
+        // The other five kinds load normally.
+        assert_eq!(report.restored, 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // -- corruption classification ----------------------------------------
+
+    #[test]
+    fn flipped_payload_byte_is_corrupt_rest_restored() {
+        let store = ArtifactStore::with_capacity(4);
+        store.verdict.lock().insert((constant_task(2), 1), record());
+        store.verdict.lock().insert((identity_task(2), 1), record());
+        let dir = test_dir("flip");
+        save_store(&store, &dir, &RealIo).expect("save");
+
+        let path = snapshot_path(&dir, ArtifactKind::Verdict);
+        let mut bytes = std::fs::read(&path).expect("read");
+        // Flip one payload byte of the last entry record: 'E', space,
+        // 16 hex digits, space — the payload starts 19 bytes in.
+        let last_e = bytes
+            .windows(3)
+            .rposition(|w| w == b"\nE ")
+            .expect("an entry record");
+        bytes[last_e + 20] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("rewrite");
+
+        let fresh = ArtifactStore::with_capacity(4);
+        let report = load_store(&fresh, &dir, &RealIo);
+        assert_eq!(report.corrupt_entries, 1);
+        assert_eq!(report.restored, 1);
+        assert_eq!(report.rejected_snapshots, 0);
+        assert_eq!(report.torn_entries, 0);
+        let stats = fresh.verdict.lock().stats();
+        assert_eq!(stats.corrupt_entries, 1);
+        assert_eq!(stats.restored, 1);
+        let keys: Vec<_> = fresh
+            .verdict
+            .lock()
+            .entries_in_order()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(keys, vec![(constant_task(2), 1)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_magic_rejects_the_whole_snapshot() {
+        let store = seeded_store_with(4, &[constant_task(2)]);
+        let dir = test_dir("magic");
+        save_store(&store, &dir, &RealIo).expect("save");
+        let path = snapshot_path(&dir, ArtifactKind::Homology);
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[0] ^= 0x20;
+        std::fs::write(&path, &bytes).expect("rewrite");
+
+        let fresh = ArtifactStore::with_capacity(4);
+        let report = load_store(&fresh, &dir, &RealIo);
+        assert_eq!(report.rejected_snapshots, 1);
+        assert!(fresh.homology.lock().is_empty());
+        assert_eq!(fresh.homology.lock().stats().rejected_snapshots, 1);
+        assert_eq!(report.restored, 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_kind_magic_is_rejected() {
+        // A verdict snapshot copied over the split snapshot must not
+        // load: the magic line binds the file to its kind.
+        let store = seeded_store_with(4, &[constant_task(2)]);
+        let dir = test_dir("cross-kind");
+        save_store(&store, &dir, &RealIo).expect("save");
+        std::fs::copy(
+            snapshot_path(&dir, ArtifactKind::Verdict),
+            snapshot_path(&dir, ArtifactKind::Split),
+        )
+        .expect("copy");
+        let fresh = ArtifactStore::with_capacity(4);
+        let report = load_store(&fresh, &dir, &RealIo);
+        assert_eq!(report.rejected_snapshots, 1);
+        assert!(fresh.split.lock().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_dependent_explorations_never_cross_the_disk() {
+        // Save side: filtered out and counted.
+        let store = ArtifactStore::with_capacity(4);
+        store
+            .exploration
+            .lock()
+            .insert((constant_task(2), 9), exploration(false));
+        store
+            .exploration
+            .lock()
+            .insert((constant_task(2), 5), exploration(true));
+        let dir = test_dir("budget-save");
+        let report = save_store(&store, &dir, &RealIo).expect("save");
+        assert_eq!(report.entries_skipped, 1);
+        assert_eq!(report.entries_written, 1);
+
+        // Load side: a forged snapshot carrying a budget-dependent
+        // report is classified corrupt, not restored.
+        let forged_dir = test_dir("budget-forge");
+        std::fs::create_dir_all(&forged_dir).expect("mkdir");
+        let (capacity, stats, entries) = {
+            let guard = store.exploration.lock();
+            (guard.capacity(), guard.stats(), guard.entries_in_order())
+        };
+        let mut skipped = 0;
+        let mut written = 0;
+        let body = render_snapshot(
+            ArtifactKind::Exploration,
+            capacity,
+            stats,
+            &entries,
+            |_, _| true, // forge: keep even the inadmissible one
+            &mut skipped,
+            &mut written,
+        )
+        .expect("render");
+        std::fs::write(snapshot_path(&forged_dir, ArtifactKind::Exploration), body).expect("write");
+        let fresh = ArtifactStore::with_capacity(4);
+        let load = load_store(&fresh, &forged_dir, &RealIo);
+        assert_eq!(load.corrupt_entries, 1);
+        assert_eq!(load.restored, 1);
+        let keys: Vec<_> = fresh
+            .exploration
+            .lock()
+            .entries_in_order()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(keys, vec![(constant_task(2), 5)]);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&forged_dir);
+    }
+
+    // -- audit + clear -----------------------------------------------------
+
+    #[test]
+    fn audit_classifies_valid_corrupt_and_missing() {
+        let store = seeded_store_with(4, &[constant_task(2)]);
+        let dir = test_dir("audit");
+        save_store(&store, &dir, &RealIo).expect("save");
+
+        let audits = audit_cache_dir(&dir);
+        assert_eq!(audits.len(), 6);
+        for audit in &audits {
+            assert_eq!(audit.status, SnapshotStatus::Valid, "{}", audit.kind);
+            assert!(audit.is_clean(), "{}", audit.kind);
+            assert_eq!(audit.entries, 1, "{}", audit.kind);
+            assert_eq!(audit.capacity, 4, "{}", audit.kind);
+        }
+
+        // Flip a payload byte: the audit must flag exactly that kind.
+        let path = snapshot_path(&dir, ArtifactKind::Presentations);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let last_e = bytes
+            .windows(3)
+            .rposition(|w| w == b"\nE ")
+            .expect("an entry record");
+        bytes[last_e + 20] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        let audits = audit_cache_dir(&dir);
+        let flagged: Vec<_> = audits.iter().filter(|a| !a.is_clean()).collect();
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].kind, ArtifactKind::Presentations);
+        assert_eq!(flagged[0].corrupt_entries, 1);
+        assert!(!flagged[0].issues.is_empty());
+
+        // Clearing removes every snapshot; the audit then reads missing.
+        let removed = clear_cache_dir(&dir).expect("clear");
+        assert_eq!(removed, 6);
+        for audit in audit_cache_dir(&dir) {
+            assert_eq!(audit.status, SnapshotStatus::Missing);
+            assert!(audit.is_clean());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // -- configuration + warm start ---------------------------------------
+
+    #[test]
+    fn cache_dir_config_resolution() {
+        assert!(!CacheDirConfig::disabled().is_enabled());
+        assert!(!CacheDirConfig::default().is_enabled());
+        let explicit = CacheDirConfig::resolve(Some(PathBuf::from("/tmp/explicit")));
+        assert_eq!(explicit.dir(), Some(Path::new("/tmp/explicit")));
+
+        std::env::set_var(CACHE_DIR_ENV, "/tmp/from-env");
+        assert_eq!(
+            CacheDirConfig::from_env().dir(),
+            Some(Path::new("/tmp/from-env"))
+        );
+        // Explicit still wins over the environment.
+        let winner = CacheDirConfig::resolve(Some(PathBuf::from("/tmp/explicit")));
+        assert_eq!(winner.dir(), Some(Path::new("/tmp/explicit")));
+        let fallback = CacheDirConfig::resolve(None);
+        assert_eq!(fallback.dir(), Some(Path::new("/tmp/from-env")));
+        std::env::remove_var(CACHE_DIR_ENV);
+        assert!(!CacheDirConfig::from_env().is_enabled());
+    }
+
+    #[test]
+    fn warm_start_runs_once_per_directory() {
+        assert!(warm_start(&CacheDirConfig::disabled()).is_none());
+        let dir = test_dir("warm-once");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let config = CacheDirConfig::at(&dir);
+        let first = warm_start(&config).expect("first warm start loads");
+        assert_eq!(first.missing, 6, "empty directory: nothing to restore");
+        assert!(
+            warm_start(&config).is_none(),
+            "second warm start is a no-op"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // -- parser hardening --------------------------------------------------
+
+    #[test]
+    fn parse_tagged_line_rejects_malformed_records() {
+        assert!(parse_tagged_line(b"", b'E').is_err());
+        assert!(parse_tagged_line(b"X 0000000000000000 []", b'E').is_err());
+        assert!(parse_tagged_line(b"E 00", b'E').is_err());
+        assert!(parse_tagged_line(b"E 000000000000000g []", b'E').is_err());
+        assert!(parse_tagged_line(b"E 0000000000000000[]", b'E').is_err());
+        let ok = parse_tagged_line(b"E 00000000000000ff []", b'E').expect("well-formed");
+        assert_eq!(ok.0, 0xff);
+        assert_eq!(ok.1, b"[]");
+    }
+
+    #[test]
+    fn split_lines_classifies_torn_tails() {
+        assert_eq!(split_lines(b""), (vec![], None));
+        assert_eq!(split_lines(b"a\n"), (vec![b"a".as_slice()], None));
+        assert_eq!(
+            split_lines(b"a\nb"),
+            (vec![b"a".as_slice()], Some(b"b".as_slice()))
+        );
+        assert_eq!(
+            split_lines(b"a\nb\n"),
+            (vec![b"a".as_slice(), b"b".as_slice()], None)
+        );
+    }
+}

@@ -26,6 +26,17 @@ pub fn env_usize(name: &str) -> Option<usize> {
     std::env::var(name).ok().and_then(|s| s.trim().parse().ok())
 }
 
+/// Reads a string configuration knob from the process environment.
+///
+/// Same D2 contract as [`env_usize`]: this module is the sole sanctioned
+/// observation point for the environment. Unset or empty values yield
+/// `None` (an empty `CHROMATA_CACHE_DIR` means "no cache dir", not "the
+/// current directory").
+#[must_use]
+pub fn env_string(name: &str) -> Option<String> {
+    std::env::var(name).ok().filter(|s| !s.trim().is_empty())
+}
+
 /// A monotonic wall-clock stopwatch for stage-level evidence.
 ///
 /// Rule D2 confines clock reads to this module: pipeline stages that want
@@ -243,6 +254,11 @@ mod tests {
     #[test]
     fn env_usize_parses_or_none() {
         assert_eq!(env_usize("CHROMATA_TEST_SURELY_UNSET_KNOB"), None);
+    }
+
+    #[test]
+    fn env_string_unset_is_none() {
+        assert_eq!(env_string("CHROMATA_TEST_SURELY_UNSET_KNOB"), None);
     }
 
     /// Exhaustive op-level model check of `CancelToken` (loom-style; see

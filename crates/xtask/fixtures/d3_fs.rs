@@ -1,0 +1,45 @@
+// Fixture: rule D3 — filesystem access confined to `stages/persist.rs`.
+
+use std::fs;
+use std::fs::File;
+use std::path::Path;
+
+pub fn read_config(path: &Path) -> Option<String> {
+    fs::read_to_string(path).ok() //~ D3
+}
+
+pub fn open_log(path: &Path) -> std::io::Result<File> {
+    File::open(path) //~ D3
+}
+
+pub fn touch(path: &Path) -> std::io::Result<File> {
+    std::fs::OpenOptions::new().append(true).open(path) //~ D3
+}
+
+pub fn write_marker(path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, b"done") //~ D3
+}
+
+pub fn wipe(path: &Path) -> std::io::Result<()> {
+    fs::remove_file(path) //~ D3
+}
+
+// Naming the types without touching the disk is fine: a function may
+// accept an already-open handle, and `fs::File` in a signature or `use`
+// item is a path segment, not an access.
+pub fn size_of(file: &File) -> std::io::Result<u64> {
+    Ok(file.metadata()?.len())
+}
+
+pub fn allowed(path: &Path) -> Option<Vec<u8>> {
+    // chromata-lint: allow(D3): fixture — sanctioned read behind the persist facade
+    fs::read(path).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may touch the disk freely (temp dirs, fixtures).
+    pub fn scratch() -> std::io::Result<Vec<u8>> {
+        std::fs::read("/tmp/never-read")
+    }
+}

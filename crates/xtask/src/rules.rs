@@ -7,6 +7,7 @@
 //! |----|-------------|-----------|
 //! | D1 | hash-order  | no hash-ordered container on the verdict path |
 //! | D2 | clock-env   | no wall-clock / environment reads in pure decision code |
+//! | D3 | fs-confine  | filesystem access on the verdict path lives in `stages/persist.rs` |
 //! | P1 | panic       | library code degrades structurally, it does not panic |
 //! | P2 | index       | (advisory) prefer `get` over panicking indexing |
 //! | L1 | lock-unwrap | lock poisoning is recovered, never unwrapped |
@@ -28,11 +29,11 @@ use crate::diag::{Diagnostic, Severity};
 use crate::lexer::{self, Tok, TokKind};
 
 /// All rule identifiers the allow parser accepts.
-pub const KNOWN_RULES: &[&str] = &["D1", "D2", "P1", "P2", "L1", "A1", "U1"];
+pub const KNOWN_RULES: &[&str] = &["D1", "D2", "D3", "P1", "P2", "L1", "A1", "U1"];
 
 /// The rules enforced with `-D all` (the advisory rules P2/U1 stay at
 /// warn unless denied individually).
-pub const PRIMARY_RULES: &[&str] = &["D1", "D2", "P1", "L1", "A1"];
+pub const PRIMARY_RULES: &[&str] = &["D1", "D2", "D3", "P1", "L1", "A1"];
 
 /// Crates whose code can influence a [`Verdict`]: canonicalization,
 /// subdivision, the algebraic tiers and the pipeline itself.
@@ -60,6 +61,8 @@ pub struct Role {
     pub clock_exempt: bool,
     /// L1 does not apply (the poison-recovery module).
     pub lock_exempt: bool,
+    /// D3 does not apply (the durable persistence module).
+    pub fs_exempt: bool,
 }
 
 /// Classifies a workspace-relative path, `None` if out of lint scope
@@ -86,6 +89,7 @@ pub fn role_for(rel: &str) -> Option<Role> {
         library: LIBRARY_CRATES.contains(&krate),
         clock_exempt: rel.ends_with("src/govern.rs"),
         lock_exempt: rel == "crates/core/src/stages/cache.rs",
+        fs_exempt: rel == "crates/core/src/stages/persist.rs",
     })
 }
 
@@ -158,6 +162,7 @@ pub fn lint_source(rel: &str, src: &str, role: Role, config: &Config) -> Vec<Dia
     }
     rule_d1(&code, role, &mut findings);
     rule_d2(&code, role, &mut findings);
+    rule_d3(&code, role, &mut findings);
     rule_p1(&code, role, &mut findings);
     rule_p2(&code, role, &mut findings);
     rule_l1(&code, role, &mut findings);
@@ -316,6 +321,86 @@ fn rule_d2(code: &[&Tok], role: Role, findings: &mut Vec<Finding>) {
             });
         }
     }
+}
+
+/// D3: filesystem access in verdict-path crates outside the durable
+/// persistence module. Snapshot I/O is confined to
+/// `core/src/stages/persist.rs`, where every failure mode is classified
+/// and recovered (PR 5); a file read or write anywhere else on the
+/// verdict path would let on-disk state influence a verdict without
+/// passing through that corruption-tolerant layer.
+fn rule_d3(code: &[&Tok], role: Role, findings: &mut Vec<Finding>) {
+    if !role.verdict_path || role.fs_exempt {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let flagged = match t.text.as_str() {
+            // `fs::read(..)` / `std::fs::write(..)`: any call through the
+            // filesystem module. Naming a type (`fs::File` in a `use` or
+            // a signature) is not itself an access.
+            "fs" => {
+                if any_path_call(code, i) {
+                    Some("`std::fs` call")
+                } else {
+                    None
+                }
+            }
+            "File" => {
+                if path_call(code, i, &["open", "create", "create_new", "options"]) {
+                    Some("`File` constructor")
+                } else {
+                    None
+                }
+            }
+            "OpenOptions" => {
+                if path_call(code, i, &["new"]) {
+                    Some("`OpenOptions` builder")
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(what) = flagged {
+            findings.push(Finding {
+                rule: "D3",
+                line: t.line,
+                col: t.col,
+                len: t.text.chars().count(),
+                message: format!(
+                    "{what} in a verdict-path crate outside `stages/persist.rs`: \
+                     durable state must pass through the corruption-tolerant \
+                     persistence layer"
+                ),
+                help: "route snapshot I/O through `core::stages::persist` (checksummed, \
+                       atomically renamed, recovery-classified) or annotate \
+                       `// chromata-lint: allow(D3): <why>`"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+/// Whether `code[i]` is followed by `:: <ident> (` — a call through the
+/// module or type at `i` (the trailing paren distinguishes a call from a
+/// path segment in a `use` item or type position).
+fn any_path_call(code: &[&Tok], i: usize) -> bool {
+    let Some(c1) = code.get(i + 1) else {
+        return false;
+    };
+    let Some(c2) = code.get(i + 2) else {
+        return false;
+    };
+    let Some(callee) = code.get(i + 3) else {
+        return false;
+    };
+    let Some(paren) = code.get(i + 4) else {
+        return false;
+    };
+    c1.is_punct(':') && c2.is_punct(':') && callee.kind == TokKind::Ident && paren.is_punct('(')
 }
 
 /// Whether `code[i]` is followed by `:: <one of names> (`.

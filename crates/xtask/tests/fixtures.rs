@@ -18,6 +18,7 @@ fn role(verdict_path: bool, library: bool) -> Role {
         library,
         clock_exempt: false,
         lock_exempt: false,
+        fs_exempt: false,
     }
 }
 
@@ -118,6 +119,58 @@ fn d2_clock_and_env_fixture() {
         &Config::default(),
     );
     assert!(none.is_empty(), "{none:?}");
+}
+
+#[test]
+fn d3_fs_confinement_fixture() {
+    let diags = check(
+        "d3_fs",
+        include_str!("../fixtures/d3_fs.rs"),
+        role(true, false),
+    );
+    assert!(diags.iter().all(|d| d.severity == Severity::Deny));
+    assert!(
+        diags.iter().any(|d| d.message.contains("`std::fs` call")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("`File` constructor")),
+        "{diags:?}"
+    );
+    // The persistence module itself is the sanctioned home: exempt.
+    let exempt = Role {
+        fs_exempt: true,
+        ..role(true, false)
+    };
+    let none = lint_source(
+        "crates/core/src/stages/persist.rs",
+        include_str!("../fixtures/d3_fs.rs"),
+        exempt,
+        &Config::default(),
+    );
+    assert!(
+        none.iter()
+            .all(|d| d.rule == "U1" && d.severity == Severity::Warn),
+        "{none:?}"
+    );
+    // Outside a verdict-path crate D3 never fires (the CLI loads task
+    // files from disk legitimately); the justified allow degrades to a
+    // U1 stale-annotation warning, nothing else remains.
+    let other = lint_source(
+        "crates/fixture/src/d3_fs.rs",
+        include_str!("../fixtures/d3_fs.rs"),
+        role(false, false),
+        &Config::default(),
+    );
+    assert!(
+        other
+            .iter()
+            .all(|d| d.rule == "U1" && d.severity == Severity::Warn),
+        "{other:?}"
+    );
+    assert_eq!(other.len(), 1, "{other:?}");
 }
 
 #[test]

@@ -482,14 +482,27 @@ impl<'a> Parser<'a> {
                         }
                     }
                 }
+                _ if b < 0x80 => out.push(b as char),
                 _ => {
-                    // Re-decode the UTF-8 character starting at pos - 1.
+                    // Re-decode the multi-byte UTF-8 character starting at
+                    // pos - 1, validating only its own bytes (the leading
+                    // byte fixes the width) so parsing stays linear.
                     let start = self.pos - 1;
-                    let rest = std::str::from_utf8(&self.bytes[start..])
-                        .map_err(|_| Error("invalid UTF-8".to_owned()))?;
-                    let ch = rest.chars().next().expect("non-empty");
+                    let width = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(Error("invalid UTF-8".to_owned())),
+                    };
+                    let end = start + width;
+                    let ch = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|w| std::str::from_utf8(w).ok())
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| Error("invalid UTF-8".to_owned()))?;
                     out.push(ch);
-                    self.pos = start + ch.len_utf8();
+                    self.pos = end;
                 }
             }
         }
@@ -550,6 +563,17 @@ mod tests {
         assert_eq!(v["y"], Value::Int(2));
         v["x"] = json!([]);
         assert_eq!(to_string(&v).unwrap(), r#"{"x":[],"y":2}"#);
+    }
+
+    #[test]
+    fn multibyte_strings_roundtrip() {
+        let original = "héllo → 🎯 ∂Δ".to_owned();
+        let json = to_string(&original).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, original);
+        // An unterminated string ending on a multi-byte character is an
+        // error, not a panic.
+        assert!(from_str::<String>("\"🎯").is_err());
     }
 
     #[test]
