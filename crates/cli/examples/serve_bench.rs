@@ -1,0 +1,143 @@
+//! Throughput/latency benchmark for `chromata serve`.
+//!
+//! Boots an in-process server (loopback, ephemeral port), then measures
+//! three request series against the shared artifact store:
+//!
+//! 1. `cold/sequential` — one client walks the task set against a
+//!    freshly cleared store: per-request latency with every stage cache
+//!    missing.
+//! 2. `warm/sequential` — the same walk again: every verdict replays
+//!    from the store, so this isolates wire + dispatch overhead.
+//! 3. `warm/concurrent` — W client threads each issue N requests over
+//!    the (rotated) task set: p50/p99 latency and aggregate
+//!    requests-per-second under contention.
+//!
+//! Prints a BENCH_PR6.json-shaped report to stdout. Run with:
+//!
+//! ```text
+//! cargo run --release -p chromata-cli --example serve_bench
+//! ```
+
+use std::time::Instant;
+
+use chromata::clear_stage_caches;
+use chromata_cli::serve::request_line;
+use chromata_cli::{ServeOptions, Server};
+
+/// Overlapping task set: small enough to finish cold in seconds, varied
+/// enough to exercise all pipeline stages (solvable and unsolvable).
+const TASKS: &[&str] = &["hourglass", "2-set-agreement", "identity", "pinwheel"];
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 24;
+
+fn timed_request(addr: &str, task: &str) -> f64 {
+    let line = format!("{{\"task\":\"{task}\"}}");
+    let start = Instant::now();
+    let resp = request_line(addr, &line, 300).expect("request failed");
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        resp.contains("\"status\":\"ok\"") && resp.contains("\"evidence_digest\""),
+        "unexpected response: {resp}"
+    );
+    ms
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn summary(mut samples: Vec<f64>) -> (f64, f64, f64) {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latency is finite"));
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    (mean, percentile(&samples, 0.50), percentile(&samples, 0.99))
+}
+
+fn main() {
+    clear_stage_caches();
+    let server = Server::start(ServeOptions {
+        addr: "127.0.0.1:0".to_owned(),
+        threads: CLIENTS,
+        persist_secs: 0,
+        idle_timeout_secs: 60,
+        ..ServeOptions::default()
+    })
+    .expect("server start");
+    let addr = server.local_addr().to_string();
+
+    // 1. Cold sequential walk.
+    let cold: Vec<f64> = TASKS.iter().map(|t| timed_request(&addr, t)).collect();
+    let (cold_mean, cold_p50, cold_p99) = summary(cold);
+
+    // 2. Warm sequential walk (verdict-cache replay).
+    let warm: Vec<f64> = TASKS.iter().map(|t| timed_request(&addr, t)).collect();
+    let (warm_mean, warm_p50, warm_p99) = summary(warm);
+
+    // 3. Warm concurrent fan-out.
+    let wall = Instant::now();
+    let samples: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|worker| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    (0..REQUESTS_PER_CLIENT)
+                        .map(|i| timed_request(&addr, TASKS[(worker + i) % TASKS.len()]))
+                        .collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let total = samples.len();
+    let rps = total as f64 / wall_secs;
+    let (conc_mean, conc_p50, conc_p99) = summary(samples);
+
+    let shutdown = request_line(&addr, r#"{"op":"shutdown"}"#, 60).expect("shutdown");
+    assert!(
+        shutdown.contains("\"status\":\"ok\""),
+        "bad shutdown: {shutdown}"
+    );
+    let _ = server.wait();
+
+    println!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"crates/cli/examples/serve_bench.rs ",
+            "({clients} clients x {per_client} requests, {tasks}-task set)\",\n",
+            "  \"series\": {{\n",
+            "    \"serve/cold/sequential\": {{\"mean_ms\": {cold_mean:.3}, ",
+            "\"p50_ms\": {cold_p50:.3}, \"p99_ms\": {cold_p99:.3}}},\n",
+            "    \"serve/warm/sequential\": {{\"mean_ms\": {warm_mean:.3}, ",
+            "\"p50_ms\": {warm_p50:.3}, \"p99_ms\": {warm_p99:.3}}},\n",
+            "    \"serve/warm/concurrent\": {{\"mean_ms\": {conc_mean:.3}, ",
+            "\"p50_ms\": {conc_p50:.3}, \"p99_ms\": {conc_p99:.3}, ",
+            "\"requests\": {total}, \"wall_s\": {wall_secs:.3}, ",
+            "\"rps\": {rps:.1}}}\n",
+            "  }}\n",
+            "}}"
+        ),
+        clients = CLIENTS,
+        per_client = REQUESTS_PER_CLIENT,
+        tasks = TASKS.len(),
+        cold_mean = cold_mean,
+        cold_p50 = cold_p50,
+        cold_p99 = cold_p99,
+        warm_mean = warm_mean,
+        warm_p50 = warm_p50,
+        warm_p99 = warm_p99,
+        conc_mean = conc_mean,
+        conc_p50 = conc_p50,
+        conc_p99 = conc_p99,
+        total = total,
+        wall_secs = wall_secs,
+        rps = rps,
+    );
+}

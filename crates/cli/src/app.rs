@@ -98,6 +98,52 @@ pub enum Command {
         /// to `CHROMATA_CACHE_DIR`).
         cache_dir: Option<PathBuf>,
     },
+    /// `chromata serve [--addr A] [--threads N] [--admission N]
+    /// [--queue N] [--max-payload N] [--budget-ms N] [--cache-dir DIR]
+    /// [--persist-secs N] [--idle-secs N]` — the long-lived verdict
+    /// daemon: newline-delimited JSON requests over TCP, a shared warm
+    /// artifact store, layered admission control, and background
+    /// persistence (see `crate::serve`).
+    Serve {
+        /// Bind address (port 0 = OS-assigned; printed on boot).
+        addr: String,
+        /// Worker threads (0 = available parallelism).
+        threads: usize,
+        /// Concurrent-analysis permits (default: one per worker).
+        admission: Option<usize>,
+        /// Pending-connection queue bound (default: 4 × workers).
+        queue: Option<usize>,
+        /// Per-request payload bound in bytes.
+        max_payload: usize,
+        /// Server-side per-request wall-clock cap in milliseconds.
+        budget_ms: Option<u64>,
+        /// Durable stage-cache directory (`--cache-dir`, falling back
+        /// to `CHROMATA_CACHE_DIR`).
+        cache_dir: Option<PathBuf>,
+        /// Background persistence cadence in seconds (0 = off).
+        persist_secs: u64,
+        /// Per-connection idle read timeout in seconds.
+        idle_secs: u64,
+    },
+    /// `chromata request [--addr A] [--op OP] [--act-fallback N]
+    /// [--budget-ms N] [--max-states N] [--json] [task]` — one-shot
+    /// client for a running `chromata serve`.
+    Request {
+        /// Server address.
+        addr: String,
+        /// Wire op: analyze (default), ping, stats, persist, shutdown.
+        op: String,
+        /// Task for analyze: registry name or path to a task JSON file.
+        task: Option<String>,
+        /// ACT fallback rounds for undetermined verdicts.
+        act_fallback: usize,
+        /// Requested wall-clock budget in milliseconds.
+        budget_ms: Option<u64>,
+        /// Requested state budget.
+        max_states: Option<usize>,
+        /// Print the raw JSON response line instead of a summary.
+        json: bool,
+    },
     /// `chromata cache <stats|verify|clear> [--cache-dir DIR]` —
     /// offline maintenance of a durable stage-cache directory. `verify`
     /// exits nonzero when any snapshot is rejected, torn, or corrupt.
@@ -275,7 +321,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--budget-ms" => {
-                        budget_ms = Some(parse_number(&mut it, "--budget-ms")? as u64);
+                        budget_ms = Some(parse_number_u64(&mut it, "--budget-ms")?);
                     }
                     "--max-states" => max_states = parse_number(&mut it, "--max-states")?,
                     "--act-rounds" => act_rounds = parse_number(&mut it, "--act-rounds")?,
@@ -296,6 +342,101 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 act_rounds,
                 max_crashes,
                 cache_dir,
+            })
+        }
+        "serve" => {
+            let mut addr = "127.0.0.1:7437".to_owned();
+            let mut threads = 0usize;
+            let mut admission = None;
+            let mut queue = None;
+            let mut max_payload = crate::wire::DEFAULT_MAX_PAYLOAD;
+            let mut budget_ms = None;
+            let mut cache_dir = None;
+            let mut persist_secs = 30u64;
+            let mut idle_secs = 30u64;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--addr" => addr = required(&mut it, "--addr needs HOST:PORT")?,
+                    "--threads" => threads = parse_number(&mut it, "--threads")?,
+                    "--admission" => admission = Some(parse_number(&mut it, "--admission")?),
+                    "--queue" => queue = Some(parse_number(&mut it, "--queue")?),
+                    "--max-payload" => max_payload = parse_number(&mut it, "--max-payload")?,
+                    "--budget-ms" => {
+                        budget_ms = Some(parse_number_u64(&mut it, "--budget-ms")?);
+                    }
+                    "--cache-dir" => {
+                        cache_dir = Some(PathBuf::from(required(
+                            &mut it,
+                            "--cache-dir needs a path",
+                        )?));
+                    }
+                    "--persist-secs" => {
+                        persist_secs = parse_number_u64(&mut it, "--persist-secs")?;
+                    }
+                    "--idle-secs" => idle_secs = parse_number_u64(&mut it, "--idle-secs")?,
+                    other => return Err(CliError(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Serve {
+                addr,
+                threads,
+                admission,
+                queue,
+                max_payload,
+                budget_ms,
+                cache_dir,
+                persist_secs,
+                idle_secs,
+            })
+        }
+        "request" => {
+            let mut addr = "127.0.0.1:7437".to_owned();
+            let mut op = "analyze".to_owned();
+            let mut task = None;
+            let mut act_fallback = 0usize;
+            let mut budget_ms = None;
+            let mut max_states = None;
+            let mut json = false;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--addr" => addr = required(&mut it, "--addr needs HOST:PORT")?,
+                    "--op" => op = required(&mut it, "--op needs an op name")?,
+                    "--act-fallback" => {
+                        act_fallback = parse_number(&mut it, "--act-fallback")?;
+                    }
+                    "--budget-ms" => {
+                        budget_ms = Some(parse_number_u64(&mut it, "--budget-ms")?);
+                    }
+                    "--max-states" => max_states = Some(parse_number(&mut it, "--max-states")?),
+                    "--json" => json = true,
+                    flag if flag.starts_with('-') => {
+                        return Err(CliError(format!("unknown flag {flag}")));
+                    }
+                    spec => {
+                        if task.is_some() {
+                            return Err(CliError("request takes at most one task".to_owned()));
+                        }
+                        task = Some(spec.to_owned());
+                    }
+                }
+            }
+            if op == "analyze" && task.is_none() {
+                return Err(CliError(
+                    "request needs a task name or file (or --op ping/stats/persist/shutdown)"
+                        .to_owned(),
+                ));
+            }
+            if op != "analyze" && task.is_some() {
+                return Err(CliError(format!("op `{op}` does not take a task")));
+            }
+            Ok(Command::Request {
+                addr,
+                op,
+                task,
+                act_fallback,
+                budget_ms,
+                max_states,
+                json,
             })
         }
         "cache" => {
@@ -364,6 +505,68 @@ fn parse_number(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usi
     let raw = required(it, &format!("{flag} needs a number"))?;
     raw.parse()
         .map_err(|_| CliError(format!("{flag}: `{raw}` is not a number")))
+}
+
+/// Parses a flag value as `u64` directly — never through `usize` — so
+/// 32-bit targets keep the full range and overflow is an explicit
+/// error instead of a silent truncation.
+fn parse_number_u64(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<u64, CliError> {
+    let raw = required(it, &format!("{flag} needs a number"))?;
+    raw.parse::<u64>().map_err(|e| match e.kind() {
+        std::num::IntErrorKind::PosOverflow => CliError(format!(
+            "{flag}: `{raw}` is out of range (maximum {})",
+            u64::MAX
+        )),
+        _ => CliError(format!("{flag}: `{raw}` is not a number")),
+    })
+}
+
+/// Renders a server response line as human-readable text. Server-side
+/// errors become a nonzero-exit [`CliError`]; non-analyze responses
+/// pass through as raw JSON.
+fn summarize_response(raw: &str) -> Result<String, CliError> {
+    use serde_json::Value;
+    let doc: Value = serde_json::from_str(raw)
+        .map_err(|e| CliError(format!("unparseable server response ({e}): {raw}")))?;
+    if doc["status"] == Value::String("error".to_owned()) {
+        let msg = match &doc["error"] {
+            Value::String(s) => s.clone(),
+            _ => raw.to_owned(),
+        };
+        return Err(CliError(format!("server error: {msg}")));
+    }
+    if doc["op"] != Value::String("analyze".to_owned()) {
+        return Ok(format!("{raw}\n"));
+    }
+    let mut out = String::new();
+    match (&doc["detail"], &doc["verdict"]) {
+        (Value::String(detail), _) => {
+            let _ = writeln!(out, "verdict: {detail}");
+        }
+        (_, Value::String(verdict)) => {
+            let _ = writeln!(out, "verdict: {verdict}");
+        }
+        _ => return Ok(format!("{raw}\n")),
+    }
+    if let Value::String(reason) = &doc["reason"] {
+        let _ = writeln!(out, "  {reason}");
+    }
+    if let (Value::String(decided_by), Value::String(digest)) =
+        (&doc["decided_by"], &doc["evidence_digest"])
+    {
+        let _ = writeln!(out, "decided by: {decided_by}; evidence digest: {digest}");
+    }
+    // The vendored parser reads non-negative integers back as `Int`.
+    match &doc["retry_after_ms"] {
+        Value::Int(ms) => {
+            let _ = writeln!(out, "retry after: {ms} ms");
+        }
+        Value::UInt(ms) => {
+            let _ = writeln!(out, "retry after: {ms} ms");
+        }
+        _ => {}
+    }
+    Ok(out)
 }
 
 /// Appends the persistence bookkeeping lines a command prints when a
@@ -751,6 +954,90 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             cache_report_lines(&mut out, &cache_config, &persistence);
             Ok(out)
         }
+        Command::Serve {
+            addr,
+            threads,
+            admission,
+            queue,
+            max_payload,
+            budget_ms,
+            cache_dir,
+            persist_secs,
+            idle_secs,
+        } => {
+            use std::io::Write as _;
+            let server = crate::serve::Server::start(crate::serve::ServeOptions {
+                addr,
+                threads,
+                analysis_slots: admission,
+                queue,
+                max_payload,
+                budget_ms,
+                max_states: usize::MAX,
+                cache_dir,
+                persist_secs,
+                idle_timeout_secs: idle_secs,
+            })?;
+            // The banner goes out before the blocking wait (and is
+            // flushed) so scripts can scrape an OS-assigned port.
+            println!("serve: listening on {}", server.local_addr());
+            if let Some(loaded) = server.loaded() {
+                println!(
+                    "serve: warm-started {} artifact(s) ({} rejected, {} torn, {} corrupt)",
+                    loaded.restored,
+                    loaded.rejected_snapshots,
+                    loaded.torn_entries,
+                    loaded.corrupt_entries
+                );
+            }
+            let _ = std::io::stdout().flush();
+            Ok(format!("{}\n", server.wait()))
+        }
+        Command::Request {
+            addr,
+            op,
+            task,
+            act_fallback,
+            budget_ms,
+            max_states,
+            json,
+        } => {
+            use serde_json::Value;
+            let line = if op == "analyze" {
+                let spec = task.ok_or_else(|| CliError("request needs a task".to_owned()))?;
+                // A registry name travels by name; anything else is
+                // loaded locally and shipped inline.
+                let task_value = if registry::find(&spec).is_some() {
+                    Value::String(spec)
+                } else {
+                    serde_json::to_value(&load_task(&spec)?)
+                        .map_err(|e| CliError(format!("serialize task: {e}")))?
+                };
+                let mut fields = vec![
+                    ("op", Value::String("analyze".to_owned())),
+                    ("task", task_value),
+                ];
+                if act_fallback > 0 {
+                    fields.push(("act_fallback", Value::UInt(act_fallback as u64)));
+                }
+                if let Some(ms) = budget_ms {
+                    fields.push(("budget_ms", Value::UInt(ms)));
+                }
+                if let Some(n) = max_states {
+                    fields.push(("max_states", Value::UInt(n as u64)));
+                }
+                serde_json::to_string(&json_object(fields))
+                    .map_err(|e| CliError(format!("serialize request: {e}")))?
+            } else {
+                serde_json::to_string(&json_object(vec![("op", Value::String(op))]))
+                    .map_err(|e| CliError(format!("serialize request: {e}")))?
+            };
+            let response = crate::serve::request_line(&addr, &line, 120)?;
+            if json {
+                return Ok(format!("{response}\n"));
+            }
+            summarize_response(&response)
+        }
         Command::Cache { action, cache_dir } => {
             let config = CacheDirConfig::resolve(cache_dir);
             let Some(dir) = config.dir() else {
@@ -860,6 +1147,16 @@ COMMANDS:
                                  governed verdict + crash-tolerant wait-freedom
                                  check; budget exhaustion degrades to a
                                  structured UNKNOWN with a replayable trace
+    serve [--addr A] [--threads N] [--admission N] [--queue N] [--max-payload N]
+          [--budget-ms N] [--cache-dir DIR] [--persist-secs N] [--idle-secs N]
+                                 long-lived verdict daemon: newline-delimited
+                                 JSON over TCP against one shared warm artifact
+                                 store; overload degrades to UNKNOWN with a
+                                 retry hint, never a dropped connection
+    request [--addr A] [--op OP] [--act-fallback N] [--budget-ms N]
+            [--max-states N] [--json] [task]
+                                 one-shot client for a running serve
+                                 (ops: analyze, ping, stats, persist, shutdown)
     cache <stats|verify|clear> [--cache-dir DIR]
                                  offline audit / maintenance of a durable
                                  stage-cache directory; `verify` exits nonzero
@@ -1174,6 +1471,129 @@ mod tests {
         );
         assert!(parse(&args(&["decide"])).is_err());
         assert!(parse(&args(&["decide", "x", "--budget-ms", "soon"])).is_err());
+    }
+
+    #[test]
+    fn budget_ms_parses_the_full_u64_range() {
+        // Regression: the flag used to go through `usize` and an `as
+        // u64` cast, which truncates on 32-bit targets and hides
+        // overflow. u64::MAX must parse exactly...
+        let cmd = parse(&args(&[
+            "decide",
+            "x",
+            "--budget-ms",
+            "18446744073709551615",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Decide {
+                cache_dir: None,
+                task: "x".into(),
+                budget_ms: Some(u64::MAX),
+                max_states: 5_000_000,
+                act_rounds: 2,
+                max_crashes: 2,
+            }
+        );
+        // ...and u64::MAX + 1 must be an explicit out-of-range error,
+        // not a wrapped or truncated value.
+        let err = parse(&args(&[
+            "decide",
+            "x",
+            "--budget-ms",
+            "18446744073709551616",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("--budget-ms"), "{err}");
+        assert!(err.0.contains("out of range"), "{err}");
+        let err = parse(&args(&["serve", "--budget-ms", "18446744073709551616"])).unwrap_err();
+        assert!(err.0.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn parse_serve_and_request() {
+        assert_eq!(
+            parse(&args(&["serve"])).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7437".into(),
+                threads: 0,
+                admission: None,
+                queue: None,
+                max_payload: crate::wire::DEFAULT_MAX_PAYLOAD,
+                budget_ms: None,
+                cache_dir: None,
+                persist_secs: 30,
+                idle_secs: 30,
+            }
+        );
+        assert_eq!(
+            parse(&args(&[
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--threads",
+                "2",
+                "--admission",
+                "0",
+                "--queue",
+                "8",
+                "--budget-ms",
+                "250",
+                "--cache-dir",
+                "/tmp/c",
+                "--persist-secs",
+                "5",
+            ]))
+            .unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                threads: 2,
+                admission: Some(0),
+                queue: Some(8),
+                max_payload: crate::wire::DEFAULT_MAX_PAYLOAD,
+                budget_ms: Some(250),
+                cache_dir: Some(PathBuf::from("/tmp/c")),
+                persist_secs: 5,
+                idle_secs: 30,
+            }
+        );
+        assert!(parse(&args(&["serve", "--frobnicate"])).is_err());
+        assert_eq!(
+            parse(&args(&[
+                "request",
+                "hourglass",
+                "--budget-ms",
+                "100",
+                "--json"
+            ]))
+            .unwrap(),
+            Command::Request {
+                addr: "127.0.0.1:7437".into(),
+                op: "analyze".into(),
+                task: Some("hourglass".into()),
+                act_fallback: 0,
+                budget_ms: Some(100),
+                max_states: None,
+                json: true,
+            }
+        );
+        assert_eq!(
+            parse(&args(&["request", "--op", "ping"])).unwrap(),
+            Command::Request {
+                addr: "127.0.0.1:7437".into(),
+                op: "ping".into(),
+                task: None,
+                act_fallback: 0,
+                budget_ms: None,
+                max_states: None,
+                json: false,
+            }
+        );
+        // analyze needs a task; control ops refuse one.
+        assert!(parse(&args(&["request"])).is_err());
+        assert!(parse(&args(&["request", "--op", "ping", "hourglass"])).is_err());
+        assert!(parse(&args(&["request", "a", "b"])).is_err());
     }
 
     #[test]

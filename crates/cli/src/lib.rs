@@ -9,5 +9,8 @@
 
 mod app;
 pub mod registry;
+pub mod serve;
+pub mod wire;
 
 pub use app::{load_task, parse, run, CacheAction, CliError, Command};
+pub use serve::{ServeOptions, Server};

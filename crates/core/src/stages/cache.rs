@@ -35,6 +35,11 @@ use super::DecisionRecord;
 /// cache alone).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct DecisionCacheStats {
+    /// Total cache lookups. Under the coherence invariant every lookup
+    /// is classified exactly once, so `lookups == hits + misses` must
+    /// hold at any observation point — including under contention, since
+    /// all three counters move together under the cache lock.
+    pub lookups: u64,
     /// Artifacts served from the cache without recomputation.
     pub hits: u64,
     /// Artifacts computed by the stage and then cached.
@@ -62,6 +67,15 @@ impl DecisionCacheStats {
     #[must_use]
     pub fn recovery_events(&self) -> u64 {
         self.rejected_snapshots + self.torn_entries + self.corrupt_entries
+    }
+
+    /// The coherence invariant every observation must satisfy: each
+    /// lookup was classified as exactly one hit or miss. Snapshot
+    /// restores merge `hits + misses` into `lookups` so the invariant
+    /// survives warm starts too.
+    #[must_use]
+    pub fn is_coherent(&self) -> bool {
+        self.lookups == self.hits + self.misses
     }
 }
 
@@ -133,9 +147,12 @@ impl<K: Clone + Eq + Hash, V: Clone> StageCache<K, V> {
         }
     }
 
-    /// Looks up an artifact, bumping the hit/miss counters.
+    /// Looks up an artifact, bumping the lookup and hit/miss counters
+    /// (all under the caller's lock, so `lookups == hits + misses` is
+    /// never observably violated).
     pub fn get(&mut self, key: &K) -> Option<V> {
         let found = self.map.get(key).cloned();
+        self.stats.lookups += 1;
         if found.is_some() {
             self.stats.hits += 1;
         } else {

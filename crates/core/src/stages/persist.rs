@@ -486,6 +486,11 @@ fn load_one<K, V>(
             guard.set_capacity(parsed.capacity);
             {
                 let stats = guard.stats_mut();
+                // The snapshot header predates the `lookups` counter, so
+                // the merged lookups are reconstructed from the invariant
+                // `lookups == hits + misses` to keep coherence observable
+                // across warm starts.
+                stats.lookups += parsed.hits + parsed.misses;
                 stats.hits += parsed.hits;
                 stats.misses += parsed.misses;
                 stats.evictions += parsed.evictions;

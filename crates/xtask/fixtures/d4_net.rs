@@ -1,0 +1,40 @@
+// Fixture: rule D4 — socket construction confined to `cli/src/serve.rs`.
+
+use std::net::{TcpListener, TcpStream, UdpSocket};
+use std::time::Duration;
+
+pub fn open_listener(addr: &str) -> std::io::Result<TcpListener> {
+    TcpListener::bind(addr) //~ D4
+}
+
+pub fn dial(addr: &str) -> std::io::Result<TcpStream> {
+    TcpStream::connect(addr) //~ D4
+}
+
+pub fn dial_bounded(addr: &std::net::SocketAddr) -> std::io::Result<TcpStream> {
+    TcpStream::connect_timeout(addr, Duration::from_secs(1)) //~ D4
+}
+
+pub fn datagram(addr: &str) -> std::io::Result<UdpSocket> {
+    std::net::UdpSocket::bind(addr) //~ D4
+}
+
+// Naming the types without opening a socket is fine: a function may
+// accept an already-connected stream, and `TcpStream` in a signature or
+// `use` item is a path segment, not an access.
+pub fn peer_of(stream: &TcpStream) -> std::io::Result<std::net::SocketAddr> {
+    stream.peer_addr()
+}
+
+pub fn allowed(addr: &str) -> std::io::Result<TcpStream> {
+    // chromata-lint: allow(D4): fixture — sanctioned dial behind the serve facade
+    TcpStream::connect(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may open sockets freely (loopback harnesses).
+    pub fn scratch() -> std::io::Result<std::net::TcpListener> {
+        std::net::TcpListener::bind("127.0.0.1:0")
+    }
+}

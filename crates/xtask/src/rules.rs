@@ -8,6 +8,7 @@
 //! | D1 | hash-order  | no hash-ordered container on the verdict path |
 //! | D2 | clock-env   | no wall-clock / environment reads in pure decision code |
 //! | D3 | fs-confine  | filesystem access on the verdict path lives in `stages/persist.rs` |
+//! | D4 | net-confine | socket construction lives in `cli/src/serve.rs` |
 //! | P1 | panic       | library code degrades structurally, it does not panic |
 //! | P2 | index       | (advisory) prefer `get` over panicking indexing |
 //! | L1 | lock-unwrap | lock poisoning is recovered, never unwrapped |
@@ -29,11 +30,11 @@ use crate::diag::{Diagnostic, Severity};
 use crate::lexer::{self, Tok, TokKind};
 
 /// All rule identifiers the allow parser accepts.
-pub const KNOWN_RULES: &[&str] = &["D1", "D2", "D3", "P1", "P2", "L1", "A1", "U1"];
+pub const KNOWN_RULES: &[&str] = &["D1", "D2", "D3", "D4", "P1", "P2", "L1", "A1", "U1"];
 
 /// The rules enforced with `-D all` (the advisory rules P2/U1 stay at
 /// warn unless denied individually).
-pub const PRIMARY_RULES: &[&str] = &["D1", "D2", "D3", "P1", "L1", "A1"];
+pub const PRIMARY_RULES: &[&str] = &["D1", "D2", "D3", "D4", "P1", "L1", "A1"];
 
 /// Crates whose code can influence a [`Verdict`]: canonicalization,
 /// subdivision, the algebraic tiers and the pipeline itself.
@@ -63,6 +64,8 @@ pub struct Role {
     pub lock_exempt: bool,
     /// D3 does not apply (the durable persistence module).
     pub fs_exempt: bool,
+    /// D4 does not apply (the verdict-service module).
+    pub net_exempt: bool,
 }
 
 /// Classifies a workspace-relative path, `None` if out of lint scope
@@ -90,6 +93,7 @@ pub fn role_for(rel: &str) -> Option<Role> {
         clock_exempt: rel.ends_with("src/govern.rs"),
         lock_exempt: rel == "crates/core/src/stages/cache.rs",
         fs_exempt: rel == "crates/core/src/stages/persist.rs",
+        net_exempt: rel == "crates/cli/src/serve.rs",
     })
 }
 
@@ -163,6 +167,7 @@ pub fn lint_source(rel: &str, src: &str, role: Role, config: &Config) -> Vec<Dia
     rule_d1(&code, role, &mut findings);
     rule_d2(&code, role, &mut findings);
     rule_d3(&code, role, &mut findings);
+    rule_d4(&code, role, &mut findings);
     rule_p1(&code, role, &mut findings);
     rule_p2(&code, role, &mut findings);
     rule_l1(&code, role, &mut findings);
@@ -378,6 +383,53 @@ fn rule_d3(code: &[&Tok], role: Role, findings: &mut Vec<Finding>) {
                 help: "route snapshot I/O through `core::stages::persist` (checksummed, \
                        atomically renamed, recovery-classified) or annotate \
                        `// chromata-lint: allow(D3): <why>`"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+/// D4: socket construction outside the verdict-service module. Network
+/// I/O — like clocks (D2) and the filesystem (D3) — is a nondeterminism
+/// source the decision pipeline must never observe directly. The one
+/// sanctioned home is `crates/cli/src/serve.rs`, where every request is
+/// framed, budgeted, and admission-controlled before it can reach
+/// `analyze_governed`. Naming a socket type (in a signature or a `use`)
+/// is fine; *constructing* one (`bind`, `connect`, …) is the access.
+fn rule_d4(code: &[&Tok], role: Role, findings: &mut Vec<Finding>) {
+    if role.net_exempt {
+        return;
+    }
+    const SOCKET_TYPES: &[&str] = &[
+        "TcpListener",
+        "TcpStream",
+        "UdpSocket",
+        "UnixListener",
+        "UnixStream",
+        "UnixDatagram",
+    ];
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || !SOCKET_TYPES.contains(&t.text.as_str()) {
+            continue;
+        }
+        if path_call(
+            code,
+            i,
+            &["bind", "connect", "connect_timeout", "pair", "unbound"],
+        ) {
+            findings.push(Finding {
+                rule: "D4",
+                line: t.line,
+                col: t.col,
+                len: t.text.chars().count(),
+                message: format!(
+                    "`{}` constructor outside `cli/src/serve.rs`: sockets are \
+                     confined to the verdict-service module",
+                    t.text
+                ),
+                help: "route network I/O through `chromata_cli::serve` (framed, \
+                       budgeted, admission-controlled) or annotate \
+                       `// chromata-lint: allow(D4): <why>`"
                     .to_owned(),
             });
         }

@@ -19,6 +19,7 @@ fn role(verdict_path: bool, library: bool) -> Role {
         clock_exempt: false,
         lock_exempt: false,
         fs_exempt: false,
+        net_exempt: false,
     }
 }
 
@@ -171,6 +172,46 @@ fn d3_fs_confinement_fixture() {
         "{other:?}"
     );
     assert_eq!(other.len(), 1, "{other:?}");
+}
+
+#[test]
+fn d4_net_confinement_fixture() {
+    let diags = check(
+        "d4_net",
+        include_str!("../fixtures/d4_net.rs"),
+        role(false, false),
+    );
+    assert!(diags.iter().all(|d| d.severity == Severity::Deny));
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("`TcpListener` constructor")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("`TcpStream` constructor")),
+        "{diags:?}"
+    );
+    // The verdict-service module itself is the sanctioned home: exempt,
+    // and its justified allow degrades to a U1 stale-annotation warning.
+    let exempt = Role {
+        net_exempt: true,
+        ..role(false, false)
+    };
+    let none = lint_source(
+        "crates/cli/src/serve.rs",
+        include_str!("../fixtures/d4_net.rs"),
+        exempt,
+        &Config::default(),
+    );
+    assert!(
+        none.iter()
+            .all(|d| d.rule == "U1" && d.severity == Severity::Warn),
+        "{none:?}"
+    );
+    assert_eq!(none.len(), 1, "{none:?}");
 }
 
 #[test]
