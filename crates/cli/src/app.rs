@@ -41,9 +41,12 @@ pub enum Command {
         /// to `CHROMATA_CACHE_DIR`).
         cache_dir: Option<PathBuf>,
     },
-    /// `chromata batch [--act-fallback N] [--cache-dir DIR] [task...]`
-    /// — analyze many tasks through the shared artifact store (whole
-    /// library if no tasks are named), one verdict line per task.
+    /// `chromata batch [--act-fallback N] [--cache-dir DIR]
+    /// [--shards A,B,C] [--digests] [task...]` — analyze many tasks through the
+    /// shared artifact store (whole library if no tasks are named), one
+    /// verdict line per task. With `--shards`, stage execution fans out
+    /// across the named `chromata worker` processes (degrading to local
+    /// recompute on any fault; verdicts and digests are unchanged).
     Batch {
         /// Registry names or paths (empty = the whole library).
         tasks: Vec<String>,
@@ -52,6 +55,12 @@ pub enum Command {
         /// Durable stage-cache directory (`--cache-dir`, falling back
         /// to `CHROMATA_CACHE_DIR`).
         cache_dir: Option<PathBuf>,
+        /// Worker shard addresses (`--shards`, comma-separated; empty =
+        /// purely local execution).
+        shards: Vec<String>,
+        /// Print each task's 16-hex evidence digest (`--digests`) —
+        /// the chaos CI greps these against single-machine goldens.
+        digests: bool,
     },
     /// `chromata act <task> [--rounds N]`
     Act {
@@ -117,6 +126,39 @@ pub enum Command {
         max_payload: usize,
         /// Server-side per-request wall-clock cap in milliseconds.
         budget_ms: Option<u64>,
+        /// Durable stage-cache directory (`--cache-dir`, falling back
+        /// to `CHROMATA_CACHE_DIR`).
+        cache_dir: Option<PathBuf>,
+        /// Background persistence cadence in seconds (0 = off).
+        persist_secs: u64,
+        /// Per-connection idle read timeout in seconds.
+        idle_secs: u64,
+        /// Worker shard addresses (`--shards`, comma-separated): the
+        /// server dispatches stage execution across them, degrading to
+        /// local recompute on any fault.
+        shards: Vec<String>,
+        /// Hedge a straggling stage dispatch against a second shard
+        /// after this many milliseconds (`--hedge-ms`; off if absent).
+        hedge_ms: Option<u64>,
+    },
+    /// `chromata worker [--addr A] [--threads N] [--admission N]
+    /// [--queue N] [--max-payload N] [--cache-dir DIR]
+    /// [--persist-secs N] [--idle-secs N]` — a stage-execution shard:
+    /// the same wire protocol and admission control as `serve`, booted
+    /// to answer `op: "stage"` requests from a sharded server or batch.
+    /// Workers never re-dispatch remotely, so a worker pool cannot
+    /// recurse.
+    Worker {
+        /// Bind address (port 0 = OS-assigned; printed on boot).
+        addr: String,
+        /// Worker threads (0 = available parallelism).
+        threads: usize,
+        /// Concurrent-analysis permits (default: one per worker).
+        admission: Option<usize>,
+        /// Pending-connection queue bound (default: 4 × workers).
+        queue: Option<usize>,
+        /// Per-request payload bound in bytes.
+        max_payload: usize,
         /// Durable stage-cache directory (`--cache-dir`, falling back
         /// to `CHROMATA_CACHE_DIR`).
         cache_dir: Option<PathBuf>,
@@ -246,16 +288,25 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut tasks = Vec::new();
             let mut act_fallback = 0usize;
             let mut cache_dir = None;
+            let mut shards = Vec::new();
+            let mut digests = false;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--act-fallback" => {
                         act_fallback = parse_number(&mut it, "--act-fallback")?;
                     }
+                    "--digests" => digests = true,
                     "--cache-dir" => {
                         cache_dir = Some(PathBuf::from(required(
                             &mut it,
                             "--cache-dir needs a path",
                         )?));
+                    }
+                    "--shards" => {
+                        shards = parse_shard_list(&required(
+                            &mut it,
+                            "--shards needs a comma-separated address list",
+                        )?)?;
                     }
                     flag if flag.starts_with('-') => {
                         return Err(CliError(format!("unknown flag {flag}")));
@@ -267,6 +318,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 tasks,
                 act_fallback,
                 cache_dir,
+                shards,
+                digests,
             })
         }
         "act" => {
@@ -354,6 +407,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut cache_dir = None;
             let mut persist_secs = 30u64;
             let mut idle_secs = 30u64;
+            let mut shards = Vec::new();
+            let mut hedge_ms = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--addr" => addr = required(&mut it, "--addr needs HOST:PORT")?,
@@ -374,6 +429,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         persist_secs = parse_number_u64(&mut it, "--persist-secs")?;
                     }
                     "--idle-secs" => idle_secs = parse_number_u64(&mut it, "--idle-secs")?,
+                    "--shards" => {
+                        shards = parse_shard_list(&required(
+                            &mut it,
+                            "--shards needs a comma-separated address list",
+                        )?)?;
+                    }
+                    "--hedge-ms" => hedge_ms = Some(parse_number_u64(&mut it, "--hedge-ms")?),
                     other => return Err(CliError(format!("unknown flag {other}"))),
                 }
             }
@@ -384,6 +446,48 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 queue,
                 max_payload,
                 budget_ms,
+                cache_dir,
+                persist_secs,
+                idle_secs,
+                shards,
+                hedge_ms,
+            })
+        }
+        "worker" => {
+            let mut addr = "127.0.0.1:7438".to_owned();
+            let mut threads = 0usize;
+            let mut admission = None;
+            let mut queue = None;
+            let mut max_payload = crate::wire::DEFAULT_MAX_PAYLOAD;
+            let mut cache_dir = None;
+            let mut persist_secs = 30u64;
+            let mut idle_secs = 30u64;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--addr" => addr = required(&mut it, "--addr needs HOST:PORT")?,
+                    "--threads" => threads = parse_number(&mut it, "--threads")?,
+                    "--admission" => admission = Some(parse_number(&mut it, "--admission")?),
+                    "--queue" => queue = Some(parse_number(&mut it, "--queue")?),
+                    "--max-payload" => max_payload = parse_number(&mut it, "--max-payload")?,
+                    "--cache-dir" => {
+                        cache_dir = Some(PathBuf::from(required(
+                            &mut it,
+                            "--cache-dir needs a path",
+                        )?));
+                    }
+                    "--persist-secs" => {
+                        persist_secs = parse_number_u64(&mut it, "--persist-secs")?;
+                    }
+                    "--idle-secs" => idle_secs = parse_number_u64(&mut it, "--idle-secs")?,
+                    other => return Err(CliError(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Worker {
+                addr,
+                threads,
+                admission,
+                queue,
+                max_payload,
                 cache_dir,
                 persist_secs,
                 idle_secs,
@@ -484,6 +588,22 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             "unknown command {other}; try `chromata help`"
         ))),
     }
+}
+
+/// Splits a `--shards` value into its non-empty `host:port` entries.
+fn parse_shard_list(value: &str) -> Result<Vec<String>, CliError> {
+    let shards: Vec<String> = value
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if shards.is_empty() {
+        return Err(CliError(
+            "--shards needs at least one HOST:PORT address".to_owned(),
+        ));
+    }
+    Ok(shards)
 }
 
 /// Builds an ordered JSON object from string keys (the vendored
@@ -698,6 +818,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                             ("detail", Value::String(s.detail.clone())),
                             ("work", Value::UInt(s.work)),
                             ("cache", Value::String(s.cache.label().to_owned())),
+                            ("origin", Value::String(s.origin.label())),
                             ("wall_ms", Value::Float(s.wall.as_secs_f64() * 1e3)),
                         ])
                     })
@@ -763,6 +884,8 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             tasks,
             act_fallback,
             cache_dir,
+            shards,
+            digests,
         } => {
             let specs: Vec<String> = if tasks.is_empty() {
                 registry::entries()
@@ -776,6 +899,9 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 .iter()
                 .map(|s| load_task(s))
                 .collect::<Result<_, _>>()?;
+            if !shards.is_empty() {
+                crate::shard::configure_shards(&shards, chromata::RemotePolicy::default())?;
+            }
             let cache_config = CacheDirConfig::resolve(cache_dir);
             let (analyses, persistence) = analyze_batch_persistent(
                 &loaded,
@@ -786,11 +912,30 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             );
             let mut out = String::new();
             for (spec, a) in specs.iter().zip(&analyses) {
+                if digests {
+                    let _ = writeln!(
+                        out,
+                        "{:<24} {:016x} decided by {:<9} {}",
+                        spec,
+                        a.evidence.deterministic_digest(),
+                        a.evidence.decided_by,
+                        a.verdict
+                    );
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "{:<24} decided by {:<9} {}",
+                        spec, a.evidence.decided_by, a.verdict
+                    );
+                }
+            }
+            if let Some(stats) = chromata::remote_stats() {
                 let _ = writeln!(
                     out,
-                    "{:<24} decided by {:<9} {}",
-                    spec, a.evidence.decided_by, a.verdict
+                    "shards: {} dispatched, {} fetched, {} retried, {} hedged, {} local fallback(s)",
+                    stats.dispatched, stats.fetched, stats.retries, stats.hedges, stats.local_fallbacks
                 );
+                chromata::clear_remote();
             }
             cache_report_lines(&mut out, &cache_config, &persistence);
             Ok(out)
@@ -964,8 +1109,17 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             cache_dir,
             persist_secs,
             idle_secs,
+            shards,
+            hedge_ms,
         } => {
             use std::io::Write as _;
+            if !shards.is_empty() {
+                let policy = chromata::RemotePolicy {
+                    hedge_after_ms: hedge_ms,
+                    ..chromata::RemotePolicy::default()
+                };
+                crate::shard::configure_shards(&shards, policy)?;
+            }
             let server = crate::serve::Server::start(crate::serve::ServeOptions {
                 addr,
                 threads,
@@ -981,9 +1135,52 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             // The banner goes out before the blocking wait (and is
             // flushed) so scripts can scrape an OS-assigned port.
             println!("serve: listening on {}", server.local_addr());
+            if !shards.is_empty() {
+                println!("serve: dispatching stages across {} shard(s)", shards.len());
+            }
             if let Some(loaded) = server.loaded() {
                 println!(
                     "serve: warm-started {} artifact(s) ({} rejected, {} torn, {} corrupt)",
+                    loaded.restored,
+                    loaded.rejected_snapshots,
+                    loaded.torn_entries,
+                    loaded.corrupt_entries
+                );
+            }
+            let _ = std::io::stdout().flush();
+            Ok(format!("{}\n", server.wait()))
+        }
+        Command::Worker {
+            addr,
+            threads,
+            admission,
+            queue,
+            max_payload,
+            cache_dir,
+            persist_secs,
+            idle_secs,
+        } => {
+            use std::io::Write as _;
+            // A worker is a serve that never re-dispatches remotely:
+            // stage requests run against the local store only, so a
+            // pool of workers cannot recurse through each other.
+            chromata::clear_remote();
+            let server = crate::serve::Server::start(crate::serve::ServeOptions {
+                addr,
+                threads,
+                analysis_slots: admission,
+                queue,
+                max_payload,
+                budget_ms: None,
+                max_states: usize::MAX,
+                cache_dir,
+                persist_secs,
+                idle_timeout_secs: idle_secs,
+            })?;
+            println!("worker: listening on {}", server.local_addr());
+            if let Some(loaded) = server.loaded() {
+                println!(
+                    "worker: warm-started {} artifact(s) ({} rejected, {} torn, {} corrupt)",
                     loaded.restored,
                     loaded.rejected_snapshots,
                     loaded.torn_entries,
@@ -1134,9 +1331,11 @@ COMMANDS:
                                  verdict plus its evidence chain: deciding
                                  stage, per-stage work/wall-clock counters,
                                  and stage-cache statistics
-    batch [--act-fallback N] [--cache-dir DIR] [task...]
+    batch [--act-fallback N] [--cache-dir DIR] [--shards A,B,C] [--digests] [task...]
                                  analyze many tasks (whole library if none
-                                 named) through the shared artifact store
+                                 named) through the shared artifact store;
+                                 --shards fans stage execution across worker
+                                 processes (verdicts and digests unchanged)
     inspect <task>               complex statistics, homology, LAP counts
     act <task> [--rounds N]      run the Herlihy–Shavit ACT baseline
     export <task> [-o FILE]      dump a library task as JSON
@@ -1149,10 +1348,18 @@ COMMANDS:
                                  structured UNKNOWN with a replayable trace
     serve [--addr A] [--threads N] [--admission N] [--queue N] [--max-payload N]
           [--budget-ms N] [--cache-dir DIR] [--persist-secs N] [--idle-secs N]
+          [--shards A,B,C] [--hedge-ms N]
                                  long-lived verdict daemon: newline-delimited
                                  JSON over TCP against one shared warm artifact
                                  store; overload degrades to UNKNOWN with a
-                                 retry hint, never a dropped connection
+                                 retry hint, never a dropped connection;
+                                 --shards dispatches stage execution to worker
+                                 processes with retry/hedge/local-fallback
+    worker [--addr A] [--threads N] [--admission N] [--queue N] [--max-payload N]
+           [--cache-dir DIR] [--persist-secs N] [--idle-secs N]
+                                 a stage-execution shard: the serve protocol
+                                 plus `op: \"stage\"`, answering artifacts with
+                                 checksums for a sharded serve or batch
     request [--addr A] [--op OP] [--act-fallback N] [--budget-ms N]
             [--max-states N] [--json] [task]
                                  one-shot client for a running serve
@@ -1306,7 +1513,9 @@ mod tests {
             Command::Batch {
                 cache_dir: None,
                 tasks: vec!["hourglass".into(), "consensus".into()],
-                act_fallback: 0
+                act_fallback: 0,
+                shards: vec![],
+                digests: false
             }
         );
         assert_eq!(
@@ -1314,7 +1523,9 @@ mod tests {
             Command::Batch {
                 cache_dir: None,
                 tasks: vec![],
-                act_fallback: 0
+                act_fallback: 0,
+                shards: vec![],
+                digests: false
             }
         );
         assert!(parse(&args(&["batch", "--frobnicate"])).is_err());
@@ -1381,6 +1592,8 @@ mod tests {
             cache_dir: None,
             tasks: vec!["identity".into(), "hourglass".into()],
             act_fallback: 0,
+            shards: vec![],
+            digests: false,
         })
         .unwrap();
         let lines: Vec<&str> = out.lines().collect();
@@ -1525,6 +1738,8 @@ mod tests {
                 cache_dir: None,
                 persist_secs: 30,
                 idle_secs: 30,
+                shards: vec![],
+                hedge_ms: None,
             }
         );
         assert_eq!(
@@ -1556,9 +1771,60 @@ mod tests {
                 cache_dir: Some(PathBuf::from("/tmp/c")),
                 persist_secs: 5,
                 idle_secs: 30,
+                shards: vec![],
+                hedge_ms: None,
             }
         );
         assert!(parse(&args(&["serve", "--frobnicate"])).is_err());
+        assert_eq!(
+            parse(&args(&[
+                "serve",
+                "--shards",
+                "127.0.0.1:7438, 127.0.0.1:7439",
+                "--hedge-ms",
+                "40",
+            ]))
+            .unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7437".into(),
+                threads: 0,
+                admission: None,
+                queue: None,
+                max_payload: crate::wire::DEFAULT_MAX_PAYLOAD,
+                budget_ms: None,
+                cache_dir: None,
+                persist_secs: 30,
+                idle_secs: 30,
+                shards: vec!["127.0.0.1:7438".into(), "127.0.0.1:7439".into()],
+                hedge_ms: Some(40),
+            }
+        );
+        assert!(parse(&args(&["serve", "--shards", " , "])).is_err());
+        assert_eq!(
+            parse(&args(&["worker", "--addr", "127.0.0.1:0", "--threads", "2"])).unwrap(),
+            Command::Worker {
+                addr: "127.0.0.1:0".into(),
+                threads: 2,
+                admission: None,
+                queue: None,
+                max_payload: crate::wire::DEFAULT_MAX_PAYLOAD,
+                cache_dir: None,
+                persist_secs: 30,
+                idle_secs: 30,
+            }
+        );
+        // A worker never re-dispatches, so it takes no --shards.
+        assert!(parse(&args(&["worker", "--shards", "127.0.0.1:1"])).is_err());
+        assert_eq!(
+            parse(&args(&["batch", "identity", "--shards", "127.0.0.1:7438"])).unwrap(),
+            Command::Batch {
+                tasks: vec!["identity".into()],
+                act_fallback: 0,
+                cache_dir: None,
+                shards: vec!["127.0.0.1:7438".into()],
+                digests: false,
+            }
+        );
         assert_eq!(
             parse(&args(&[
                 "request",
@@ -1624,6 +1890,8 @@ mod tests {
                 tasks: vec!["identity".into()],
                 act_fallback: 0,
                 cache_dir: Some(PathBuf::from("/tmp/c")),
+                shards: vec![],
+                digests: false,
             }
         );
         assert!(parse(&args(&["decide", "identity", "--cache-dir"])).is_err());

@@ -10,7 +10,9 @@
 mod app;
 pub mod registry;
 pub mod serve;
+pub mod shard;
 pub mod wire;
 
 pub use app::{load_task, parse, run, CacheAction, CliError, Command};
 pub use serve::{ServeOptions, Server};
+pub use shard::{configure_shards, TcpShardIo};

@@ -326,10 +326,11 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         let Ok(stream) = conn else { continue };
         let mut queue = lock(&shared.queue);
         if queue.len() >= shared.queue_cap {
+            let hint = wire::overload_retry_hint(queue.len(), shared.gate.in_flight());
             drop(queue);
             shared.overloaded.fetch_add(1, Ordering::Relaxed);
             shared.served.fetch_add(1, Ordering::Relaxed);
-            reject_connection(stream, shared.queue_cap);
+            reject_connection(stream, shared.queue_cap, hint);
         } else {
             queue.push_back(stream);
             drop(queue);
@@ -341,12 +342,12 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 /// Answers a connection the queue cannot hold: one overload line within
 /// a bounded write deadline, then close. Responding beats dropping —
 /// the client learns it should back off instead of hanging.
-fn reject_connection(mut stream: TcpStream, queue_cap: usize) {
+fn reject_connection(mut stream: TcpStream, queue_cap: usize, retry_after_ms: u64) {
     drop(stream.set_write_timeout(Some(Duration::from_secs(WRITE_TIMEOUT_SECS))));
     drop(stream.set_read_timeout(Some(Duration::from_secs(2))));
     let line = wire::overload_response(
         &format!("server overloaded: pending-connection queue is full ({queue_cap})"),
-        wire::OVERLOAD_RETRY_MS,
+        retry_after_ms,
     );
     drop(stream.write_all(line.as_bytes()));
     drop(stream.write_all(b"\n"));
@@ -398,19 +399,37 @@ enum LineError {
     /// stream was drained to the next newline (keep the connection) or
     /// not (close it).
     Oversized { resynced: bool },
-    /// Timeout, disconnect, or non-UTF-8 input: close the connection.
+    /// The read deadline elapsed. `partial` distinguishes a slow-loris
+    /// client stalled mid-line (answer a structured timeout error, then
+    /// close) from an idle connection between requests (close quietly).
+    TimedOut { partial: bool },
+    /// Disconnect or non-UTF-8 input: close the connection.
     Io,
 }
 
 /// Reads one `\n`-terminated line without ever buffering more than the
-/// payload bound plus one internal chunk.
+/// payload bound plus one internal chunk. The socket's read timeout
+/// doubles as the per-line deadline: a client that trickles a partial
+/// line and stalls is cut off within one timeout window, freeing the
+/// worker (slow-loris guard).
 fn read_bounded_line(
     reader: &mut BufReader<TcpStream>,
     max: usize,
 ) -> Result<Option<String>, LineError> {
     let mut buf = Vec::new();
     loop {
-        let chunk = reader.fill_buf().map_err(|_| LineError::Io)?;
+        let chunk = reader.fill_buf().map_err(|e| {
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                LineError::TimedOut {
+                    partial: !buf.is_empty(),
+                }
+            } else {
+                LineError::Io
+            }
+        })?;
         if chunk.is_empty() {
             if buf.is_empty() {
                 return Ok(None);
@@ -511,6 +530,23 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                     return;
                 }
             }
+            Err(LineError::TimedOut { partial }) => {
+                if partial {
+                    // Slow loris: a partial line was trickled in, then
+                    // nothing. Answer a structured timeout so the client
+                    // knows what happened, then free the worker.
+                    shared.served.fetch_add(1, Ordering::Relaxed);
+                    shared.malformed.fetch_add(1, Ordering::Relaxed);
+                    drop(write_line(
+                        &mut writer,
+                        &wire::error_response(&format!(
+                            "read timed out after {}s with a partial request; closing connection",
+                            shared.idle_timeout_secs
+                        )),
+                    ));
+                }
+                return;
+            }
             Err(LineError::Io) => return,
         }
     }
@@ -564,6 +600,39 @@ fn dispatch(line: &str, shared: &Shared) -> (String, bool) {
         },
         Ok(Request::Shutdown) => (wire::shutdown_response(), true),
         Ok(Request::Analyze(req)) => (handle_analyze(&req, shared), false),
+        Ok(Request::Stage(job)) => (handle_stage(&job, shared), false),
+    }
+}
+
+/// Executes one verdict-engine stage under the admission gate (worker
+/// mode). The response line — artifact plus checksum — is built by the
+/// socket-free core layer; a panic costs one response, not one worker.
+fn handle_stage(job: &chromata::StageJob, shared: &Shared) -> String {
+    let Some(_permit) = shared.gate.try_enter() else {
+        shared.overloaded.fetch_add(1, Ordering::Relaxed);
+        let hint = wire::overload_retry_hint(lock(&shared.queue).len(), shared.gate.in_flight());
+        return wire::overload_response(
+            &format!(
+                "worker overloaded: all {} analysis slot(s) in flight",
+                shared.gate.capacity()
+            ),
+            hint,
+        );
+    };
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        chromata::execute_stage_line(job)
+    }));
+    match outcome {
+        Err(_) => wire::error_response(&format!(
+            "internal: stage `{}` panicked; the worker recovered",
+            job.stage_name()
+        )),
+        Ok(Err(e)) => wire::error_response(&e),
+        Ok(Ok(line)) => {
+            shared.analyzed.fetch_add(1, Ordering::Relaxed);
+            shared.dirty.fetch_add(1, Ordering::Relaxed);
+            line
+        }
     }
 }
 
@@ -593,12 +662,13 @@ fn handle_analyze(req: &AnalyzeRequest, shared: &Shared) -> String {
     }
     let Some(_permit) = shared.gate.try_enter() else {
         shared.overloaded.fetch_add(1, Ordering::Relaxed);
+        let hint = wire::overload_retry_hint(lock(&shared.queue).len(), shared.gate.in_flight());
         return wire::overload_response(
             &format!(
                 "server overloaded: all {} analysis slot(s) in flight",
                 shared.gate.capacity()
             ),
-            wire::OVERLOAD_RETRY_MS,
+            hint,
         );
     };
     let effective_ms = match (req.budget_ms, shared.budget_cap_ms) {

@@ -27,8 +27,33 @@ use serde_json::Value;
 /// client cannot balloon a worker's memory.
 pub const DEFAULT_MAX_PAYLOAD: usize = 1 << 20;
 
-/// The retry hint (milliseconds) attached to admission-control rejects.
+/// The retry hint (milliseconds) attached to admission-control rejects
+/// on an otherwise idle server; [`overload_retry_hint`] scales it with
+/// the observed load.
 pub const OVERLOAD_RETRY_MS: u64 = 25;
+
+/// The wire-protocol version this build speaks. Requests may carry a
+/// `proto` field: absent means "whatever the server speaks" (old
+/// clients keep working), a matching value is accepted, anything else
+/// is answered with a named error rather than a misparse.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Upper bound on the load-derived retry hint (milliseconds).
+const MAX_RETRY_HINT_MS: u64 = 5_000;
+
+/// Derives the overload `retry_after_ms` hint from the observed load:
+/// the idle-server base plus a term per queued connection and per
+/// in-flight analysis, capped at five seconds. Monotone in both inputs,
+/// so a deepening queue tells clients to back off harder.
+#[must_use]
+pub fn overload_retry_hint(pending: usize, in_flight: usize) -> u64 {
+    let pending = u64::try_from(pending).unwrap_or(u64::MAX);
+    let in_flight = u64::try_from(in_flight).unwrap_or(u64::MAX);
+    OVERLOAD_RETRY_MS
+        .saturating_add(pending.saturating_mul(10))
+        .saturating_add(in_flight.saturating_mul(5))
+        .min(MAX_RETRY_HINT_MS)
+}
 
 /// A structured protocol error: the message becomes the `error` field
 /// of the response line.
@@ -72,6 +97,9 @@ pub struct AnalyzeRequest {
 pub enum Request {
     /// Decide a task (the default op).
     Analyze(AnalyzeRequest),
+    /// Execute one verdict-engine stage (worker mode; the dispatch side
+    /// lives in `chromata::stages::remote`).
+    Stage(Box<chromata::StageJob>),
     /// Liveness probe.
     Ping,
     /// Server + stage-cache counters.
@@ -119,6 +147,14 @@ pub fn parse_request(line: &str, max_payload: usize) -> Result<Request, WireErro
             return Err(WireError(format!("duplicate field `{key}`")));
         }
     }
+    if let Some((_, value)) = entries.iter().find(|(k, _)| k == "proto") {
+        let version = uint_field("proto", value)?;
+        if version != PROTO_VERSION {
+            return Err(WireError(format!(
+                "unsupported proto version {version}; this server speaks {PROTO_VERSION}"
+            )));
+        }
+    }
     let op = match entries.iter().find(|(k, _)| k == "op") {
         None => "analyze".to_owned(),
         Some((_, Value::String(op))) => op.clone(),
@@ -126,8 +162,11 @@ pub fn parse_request(line: &str, max_payload: usize) -> Result<Request, WireErro
     };
     match op.as_str() {
         "analyze" => parse_analyze(&entries),
+        "stage" => chromata::parse_stage_fields(&entries)
+            .map(|job| Request::Stage(Box::new(job)))
+            .map_err(WireError),
         "ping" | "stats" | "persist" | "shutdown" => {
-            if let Some((key, _)) = entries.iter().find(|(k, _)| k != "op") {
+            if let Some((key, _)) = entries.iter().find(|(k, _)| k != "op" && k != "proto") {
                 return Err(WireError(format!("unknown field `{key}` for op `{op}`")));
             }
             Ok(match op.as_str() {
@@ -138,7 +177,7 @@ pub fn parse_request(line: &str, max_payload: usize) -> Result<Request, WireErro
             })
         }
         other => Err(WireError(format!(
-            "unknown op `{other}`; expected analyze, ping, stats, persist or shutdown"
+            "unknown op `{other}`; expected analyze, stage, ping, stats, persist or shutdown"
         ))),
     }
 }
@@ -150,7 +189,7 @@ fn parse_analyze(entries: &[(String, Value)]) -> Result<Request, WireError> {
     let mut max_states = None;
     for (key, value) in entries {
         match key.as_str() {
-            "op" => {}
+            "op" | "proto" => {}
             "task" => match value {
                 Value::String(name) => task = Some(TaskSpec::Named(name.clone())),
                 Value::Object(_) => {
@@ -466,6 +505,63 @@ mod tests {
             let doc: Value = serde_json::from_str(&text).unwrap();
             assert!(matches!(doc, Value::Object(_)));
         }
+    }
+
+    #[test]
+    fn proto_version_round_trips_and_rejects_the_unsupported() {
+        // Absent: old clients keep working.
+        assert_eq!(
+            parse_request(r#"{"op":"ping"}"#, DEFAULT_MAX_PAYLOAD).unwrap(),
+            Request::Ping
+        );
+        // Present and matching: accepted on every op, including the
+        // implicit analyze default.
+        assert_eq!(
+            parse_request(r#"{"op":"ping","proto":1}"#, DEFAULT_MAX_PAYLOAD).unwrap(),
+            Request::Ping
+        );
+        assert!(matches!(
+            parse_request(r#"{"task":"consensus","proto":1}"#, DEFAULT_MAX_PAYLOAD).unwrap(),
+            Request::Analyze(_)
+        ));
+        // Unsupported: a named error, not a misparse.
+        let err = parse_request(r#"{"op":"ping","proto":2}"#, DEFAULT_MAX_PAYLOAD).unwrap_err();
+        assert!(
+            err.0.contains("unsupported proto version 2")
+                && err.0.contains(&format!("speaks {PROTO_VERSION}")),
+            "{err}"
+        );
+        // Ill-typed: named field error.
+        let err =
+            parse_request(r#"{"op":"ping","proto":"new"}"#, DEFAULT_MAX_PAYLOAD).unwrap_err();
+        assert!(err.0.contains("field `proto`"), "{err}");
+    }
+
+    #[test]
+    fn parses_a_stage_request_line() {
+        let task = chromata_task::canonicalize(&chromata_task::library::hourglass());
+        let job = chromata::StageJob::Links { task };
+        let line = chromata::stage_request_line(&job).unwrap();
+        let parsed = parse_request(&line, DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(parsed, Request::Stage(Box::new(job)));
+        // Bad stage payloads surface the core layer's named rejection.
+        let err = parse_request(r#"{"op":"stage"}"#, DEFAULT_MAX_PAYLOAD).unwrap_err();
+        assert!(err.0.contains("needs a `stage`"), "{err}");
+    }
+
+    #[test]
+    fn retry_hint_is_monotone_in_load_and_bounded() {
+        assert_eq!(overload_retry_hint(0, 0), OVERLOAD_RETRY_MS);
+        let mut previous = 0;
+        for pending in 0..32 {
+            let hint = overload_retry_hint(pending, 0);
+            assert!(hint >= previous, "hint must not shrink as the queue deepens");
+            previous = hint;
+        }
+        for in_flight in 1..8 {
+            assert!(overload_retry_hint(4, in_flight) > overload_retry_hint(4, in_flight - 1));
+        }
+        assert_eq!(overload_retry_hint(usize::MAX, usize::MAX), 5_000);
     }
 
     #[test]

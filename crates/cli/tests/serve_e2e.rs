@@ -413,6 +413,141 @@ fn fuzzed_request_bytes_never_kill_a_worker() {
     let _ = server.wait();
 }
 
+/// Slow-loris regression: a connection that sends half a request and
+/// then stalls must be cut loose by the per-connection read deadline —
+/// with a structured error naming the timeout — and the worker slot it
+/// held must be free for the next honest client.
+#[test]
+fn a_stalled_half_request_is_timed_out_and_frees_its_worker_slot() {
+    let _guard = store_guard();
+    let server = Server::start(ServeOptions {
+        threads: 1, // one slot: the loris would starve the whole pool
+        idle_timeout_secs: 1,
+        ..options()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Half a request, no newline, then silence.
+    let started = Instant::now();
+    let stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    writer.write_all(br#"{"task":"hourg"#).unwrap();
+    writer.flush().unwrap();
+    let mut response = String::new();
+    let _ = BufReader::new(stream).read_to_string(&mut response);
+    let elapsed = started.elapsed();
+    let line = response.lines().find(|l| !l.trim().is_empty()).unwrap_or_else(|| {
+        panic!("the loris got no structured error before the close")
+    });
+    let doc = json_line(line);
+    assert_eq!(str_field(&doc, "status"), "error", "{line}");
+    assert!(str_field(&doc, "error").contains("timed out"), "{line}");
+    assert!(
+        elapsed >= Duration::from_millis(900) && elapsed < Duration::from_secs(8),
+        "read deadline misfired: loris held the connection for {elapsed:?}"
+    );
+
+    // An idle connection that never sends a byte is closed silently —
+    // nothing was promised a response.
+    let idle = TcpStream::connect(&addr).unwrap();
+    idle.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut nothing = String::new();
+    let _ = BufReader::new(idle).read_to_string(&mut nothing);
+    assert!(
+        nothing.trim().is_empty(),
+        "an idle connection should close without a response: {nothing:?}"
+    );
+
+    // The single worker slot survived both: a real request decides.
+    let raw = request_line(&addr, r#"{"task":"hourglass"}"#, 60).unwrap();
+    let doc = json_line(&raw);
+    assert_eq!(str_field(&doc, "status"), "ok", "{raw}");
+    assert_eq!(str_field(&doc, "verdict"), "UNSOLVABLE", "{raw}");
+
+    server.shutdown();
+    let _ = server.wait();
+}
+
+/// Distributed stage execution over real sockets: two in-process
+/// workers serve `op:"stage"` jobs for a batch, one is killed
+/// mid-batch, and every verdict + digest still matches the
+/// single-machine golden.
+#[test]
+fn shard_pool_survives_a_worker_death_with_digest_parity() {
+    let _guard = store_guard();
+    let tasks = task_set();
+
+    // Single-machine goldens, engine off, cold caches.
+    chromata::clear_remote();
+    clear_stage_caches();
+    chromata::clear_decision_cache();
+    let goldens: Vec<(String, u64)> = tasks
+        .iter()
+        .map(|(_, t)| {
+            let a = analyze(t, PipelineOptions::default());
+            (a.verdict.to_string(), a.evidence.deterministic_digest())
+        })
+        .collect();
+
+    // Two workers on OS-assigned ports; route stages across both with
+    // fast retries so the post-kill connect faults resolve quickly.
+    let mut worker_a = Some(Server::start(options()).unwrap());
+    let worker_b = Server::start(options()).unwrap();
+    let pool = vec![
+        worker_a.as_ref().unwrap().local_addr().to_string(),
+        worker_b.local_addr().to_string(),
+    ];
+    chromata_cli::configure_shards(
+        &pool,
+        chromata::RemotePolicy {
+            attempts: 3,
+            base_backoff_ms: 1,
+            max_backoff_ms: 5,
+            ..chromata::RemotePolicy::default()
+        },
+    )
+    .unwrap();
+
+    clear_stage_caches();
+    chromata::clear_decision_cache();
+    let mid = tasks.len() / 2;
+    for (i, (name, task)) in tasks.iter().enumerate() {
+        if i == mid {
+            // SIGKILL-equivalent for an in-process worker: stop
+            // accepting and drop every live connection.
+            if let Some(worker) = worker_a.take() {
+                worker.shutdown();
+                let _ = worker.wait();
+            }
+        }
+        let a = analyze(task, PipelineOptions::default());
+        assert_eq!(
+            (a.verdict.to_string(), a.evidence.deterministic_digest()),
+            goldens[i],
+            "{name}: digest drift {} a worker death",
+            if i < mid { "before" } else { "after" }
+        );
+    }
+
+    let stats = chromata::remote_stats().expect("engine is configured");
+    assert!(
+        stats.fetched >= 1,
+        "no stage was actually served by a shard: {stats:?}"
+    );
+    assert!(
+        stats.connect_faults >= 1,
+        "the killed worker never surfaced a connect fault: {stats:?}"
+    );
+
+    chromata::clear_remote();
+    worker_b.shutdown();
+    let _ = worker_b.wait();
+}
+
 #[test]
 fn graceful_shutdown_persists_and_warm_restart_restores() {
     let _guard = store_guard();

@@ -84,7 +84,12 @@ pub use stages::persist::{
     audit_cache_dir, clear_cache_dir, load_cache_dir, persist_now, warm_start, CacheDirConfig,
     LoadReport, PersistError, SaveReport, SnapshotAudit, SnapshotStatus, CACHE_DIR_ENV,
 };
-pub use stages::{CacheEvent, EvidenceChain, Stage, StageEvidence, StageOutcome};
+pub use stages::remote::{
+    clear_remote, configure_remote, execute_stage_line, parse_stage_fields, remote_active,
+    remote_fault_trace, remote_stats, stage_request_line, RemotePolicy, RemoteStats, ShardIo,
+    ShardIoError, ShardStep, StageJob, STAGE_PROTO_VERSION,
+};
+pub use stages::{CacheEvent, EvidenceChain, Stage, StageEvidence, StageOrigin, StageOutcome};
 pub use two_process::{decide_two_process, synthesize_two_process};
 
 pub use chromata_algebra as algebra;

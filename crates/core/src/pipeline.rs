@@ -34,9 +34,10 @@ use crate::splitting::SplitOutcome;
 use crate::stages::artifacts::SubdividedComplex;
 use crate::stages::cache::{self, ArtifactKind, ArtifactStore};
 use crate::stages::persist;
+use crate::stages::remote;
 use crate::stages::{
     CacheEvent, DecisionRecord, EvidenceChain, ExploreStage, HomologyStage, LinkStage,
-    PresentationStage, SplitStage, Stage, StageEvidence, StageTrace,
+    PresentationStage, SplitStage, StageEvidence, StageOrigin, StageTrace,
 };
 
 pub use crate::stages::cache::DecisionCacheStats;
@@ -234,13 +235,17 @@ pub fn analyze_governed(
         work: canonical.output().facet_count() as u64,
         cache: CacheEvent::Uncached,
         wall: clock.elapsed(),
+        origin: StageOrigin::Local,
     });
 
     let split_art = if task.process_count() == 3 {
-        let outcome = SplitStage {
-            canonical: canonical.clone(),
-        }
-        .run(store, budget);
+        let outcome = remote::run_distributed(
+            &SplitStage {
+                canonical: canonical.clone(),
+            },
+            store,
+            budget,
+        );
         evidence.stages.push(outcome.evidence);
         outcome.artifact
     } else {
@@ -263,6 +268,7 @@ pub fn analyze_governed(
             work: 0,
             cache: CacheEvent::Uncached,
             wall: clock.elapsed(),
+            origin: StageOrigin::Local,
         });
         art
     };
@@ -390,16 +396,18 @@ pub fn analyze_batch_persistent(
     (analyses, report)
 }
 
-/// Runs one stage, appending its evidence to the live chain and its
-/// deterministic trace to the record destined for the verdict cache.
-fn run_stage<S: Stage>(
+/// Runs one stage — remotely when a shard pool is configured (see
+/// [`crate::stages::remote`]), locally otherwise — appending its
+/// evidence to the live chain and its deterministic trace to the record
+/// destined for the verdict cache.
+fn run_stage<S: remote::DistStage>(
     stage: &S,
     store: &ArtifactStore,
     budget: &Budget,
     evidence: &mut EvidenceChain,
     traces: &mut Vec<StageTrace>,
 ) -> S::Artifact {
-    let outcome = stage.run(store, budget);
+    let outcome = remote::run_distributed(stage, store, budget);
     traces.push(StageTrace::of(&outcome.evidence));
     evidence.stages.push(outcome.evidence);
     outcome.artifact

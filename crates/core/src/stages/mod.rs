@@ -21,6 +21,7 @@
 pub mod artifacts;
 pub mod cache;
 pub mod persist;
+pub mod remote;
 
 use std::fmt;
 use std::hash::Hash;
@@ -73,6 +74,47 @@ impl fmt::Display for CacheEvent {
     }
 }
 
+/// Where a stage's artifact was computed. Circumstantial provenance —
+/// like [`StageEvidence::wall`] and [`StageEvidence::cache`] it is
+/// excluded from [`EvidenceChain::deterministic_digest`], so a
+/// shard-computed analysis and a single-machine run agree byte-for-byte
+/// on their digests.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StageOrigin {
+    /// Computed in-process (no remote engine configured, a cache hit,
+    /// or a budget-sensitive stage pinned local for determinism).
+    Local,
+    /// Fetched from a worker shard on the given dispatch attempt
+    /// (1-based).
+    Shard {
+        /// Shard index within the configured pool.
+        shard: usize,
+        /// Dispatch attempt that succeeded (1 = first try).
+        attempt: u32,
+    },
+    /// Every remote option was exhausted; the stage was recomputed
+    /// locally (graceful degradation, never a missing artifact).
+    LocalFallback,
+}
+
+impl StageOrigin {
+    /// Stable label, e.g. `local`, `shard-1#2`, `local-fallback`.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            StageOrigin::Local => "local".to_owned(),
+            StageOrigin::Shard { shard, attempt } => format!("shard-{shard}#{attempt}"),
+            StageOrigin::LocalFallback => "local-fallback".to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for StageOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
 /// One stage's contribution to an analysis: what it concluded, how much
 /// work it did, and how it interacted with its cache.
 #[derive(Clone, Debug)]
@@ -88,6 +130,9 @@ pub struct StageEvidence {
     /// Wall-clock time the stage took in this run (zero when replayed).
     /// Excluded from [`EvidenceChain::deterministic_digest`].
     pub wall: Duration,
+    /// Which machine computed the artifact (shard, local, or fallback).
+    /// Excluded from [`EvidenceChain::deterministic_digest`].
+    pub origin: StageOrigin,
 }
 
 /// The full evidence chain of one analysis: every stage that ran (or
@@ -129,7 +174,7 @@ impl fmt::Display for EvidenceChain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "decided by: {}", self.decided_by)?;
         for s in &self.stages {
-            writeln!(
+            write!(
                 f,
                 "  {:<13} {:<8} work {:>8}  {:>9.3}ms  {}",
                 s.stage,
@@ -138,6 +183,10 @@ impl fmt::Display for EvidenceChain {
                 s.wall.as_secs_f64() * 1e3,
                 s.detail,
             )?;
+            if s.origin != StageOrigin::Local {
+                write!(f, "  [{}]", s.origin)?;
+            }
+            writeln!(f)?;
         }
         Ok(())
     }
@@ -168,6 +217,7 @@ impl StageTrace {
             work: self.work,
             cache: CacheEvent::Replayed,
             wall: Duration::ZERO,
+            origin: StageOrigin::Local,
         }
     }
 }
@@ -232,6 +282,7 @@ pub trait Stage {
                 work: Self::work(&hit),
                 cache: CacheEvent::Hit,
                 wall: clock.elapsed(),
+                origin: StageOrigin::Local,
             };
             return StageOutcome {
                 artifact: hit,
@@ -251,6 +302,7 @@ pub trait Stage {
             work: Self::work(&artifact),
             cache,
             wall: clock.elapsed(),
+            origin: StageOrigin::Local,
         };
         StageOutcome { artifact, evidence }
     }
@@ -574,10 +626,15 @@ mod tests {
             work: 0,
             cache: CacheEvent::Miss,
             wall: Duration::from_millis(7),
+            origin: StageOrigin::Local,
         });
         let mut b = a.clone();
         b.stages[0].cache = CacheEvent::Hit;
         b.stages[0].wall = Duration::ZERO;
+        b.stages[0].origin = StageOrigin::Shard {
+            shard: 1,
+            attempt: 2,
+        };
         assert_eq!(a.deterministic_digest(), b.deterministic_digest());
         // But the deterministic parts do matter.
         b.stages[0].work = 1;

@@ -8,7 +8,7 @@
 //! | D1 | hash-order  | no hash-ordered container on the verdict path |
 //! | D2 | clock-env   | no wall-clock / environment reads in pure decision code |
 //! | D3 | fs-confine  | filesystem access on the verdict path lives in `stages/persist.rs` |
-//! | D4 | net-confine | socket construction lives in `cli/src/serve.rs` |
+//! | D4 | net-confine | socket construction lives in `cli/src/serve.rs` + `cli/src/shard.rs` |
 //! | P1 | panic       | library code degrades structurally, it does not panic |
 //! | P2 | index       | (advisory) prefer `get` over panicking indexing |
 //! | L1 | lock-unwrap | lock poisoning is recovered, never unwrapped |
@@ -93,7 +93,7 @@ pub fn role_for(rel: &str) -> Option<Role> {
         clock_exempt: rel.ends_with("src/govern.rs"),
         lock_exempt: rel == "crates/core/src/stages/cache.rs",
         fs_exempt: rel == "crates/core/src/stages/persist.rs",
-        net_exempt: rel == "crates/cli/src/serve.rs",
+        net_exempt: rel == "crates/cli/src/serve.rs" || rel == "crates/cli/src/shard.rs",
     })
 }
 
@@ -423,8 +423,8 @@ fn rule_d4(code: &[&Tok], role: Role, findings: &mut Vec<Finding>) {
                 col: t.col,
                 len: t.text.chars().count(),
                 message: format!(
-                    "`{}` constructor outside `cli/src/serve.rs`: sockets are \
-                     confined to the verdict-service module",
+                    "`{}` constructor outside `cli/src/serve.rs`/`cli/src/shard.rs`: \
+                     sockets are confined to the verdict-service modules",
                     t.text
                 ),
                 help: "route network I/O through `chromata_cli::serve` (framed, \

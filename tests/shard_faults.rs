@@ -1,0 +1,530 @@
+//! Chaos parity for distributed stage execution: with the `ShardIo`
+//! fault seam injecting crashes, stalls, corruption, and partitions at
+//! every protocol step, every analysis must still yield a verdict —
+//! never a wrong one — and every evidence digest must be byte-identical
+//! to the single-machine run:
+//!
+//! ```text
+//! cargo test -p chromata --test shard_faults
+//! cargo test -p chromata --test shard_faults --no-default-features
+//! ```
+//!
+//! The matrix mirrors `persist.rs`'s durability torture tests: every
+//! `io::ErrorKind` at every dispatch step, a mid-response kill, a
+//! corrupted artifact payload, and a partitioned-then-healed shard —
+//! each case also asserting the expected fault-taxonomy counter.
+//!
+//! Every test funnels through [`store_guard`]: the remote engine and
+//! the stage caches are process-wide, so tests serialize and reset both.
+
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+use chromata::{
+    analyze, analyze_batch, clear_decision_cache, clear_remote, clear_stage_caches,
+    configure_remote, execute_stage_line, parse_stage_fields, remote_fault_trace, remote_stats,
+    Analysis, PipelineOptions, RemotePolicy, ShardIo, ShardIoError, ShardStep, StageOrigin,
+};
+use chromata_task::library::{
+    consensus, hourglass, identity_task, klein_bottle_doubled_loop, loop_agreement, pinwheel,
+    two_set_agreement,
+};
+use chromata_task::Task;
+use serde_json::Value;
+use std::sync::Arc;
+
+/// Serializes tests that touch the process-wide store + remote engine.
+fn store_guard() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Fresh local state: no remote engine, cold stage + verdict caches.
+fn reset() {
+    clear_remote();
+    clear_stage_caches();
+    clear_decision_cache();
+}
+
+/// The single-machine golden for a task: verdict text + evidence digest.
+fn golden(task: &Task, options: PipelineOptions) -> (String, u64) {
+    reset();
+    let analysis = analyze(task, options);
+    let digest = analysis.evidence.deterministic_digest();
+    (format!("{}", analysis.verdict), digest)
+}
+
+/// Asserts an analysis matches its golden byte-for-byte.
+fn assert_parity(task: &Task, analysis: &Analysis, golden: &(String, u64), context: &str) {
+    assert_eq!(
+        format!("{}", analysis.verdict),
+        golden.0,
+        "verdict drift on {} under {context}",
+        task.name()
+    );
+    assert_eq!(
+        analysis.evidence.deterministic_digest(),
+        golden.1,
+        "digest drift on {} under {context}",
+        task.name()
+    );
+}
+
+/// In-process shard: answers `ping` and executes `stage` jobs for real.
+fn serve_line(line: &str) -> Result<String, ShardIoError> {
+    let invalid = |msg: String| ShardIoError {
+        step: ShardStep::Recv,
+        kind: io::ErrorKind::InvalidData,
+        message: msg,
+    };
+    let value: Value = serde_json::from_str(line).map_err(|e| invalid(e.to_string()))?;
+    let Value::Object(entries) = value else {
+        return Err(invalid("not an object".to_owned()));
+    };
+    if entries
+        .iter()
+        .any(|(k, v)| k == "op" && *v == Value::String("ping".to_owned()))
+    {
+        return Ok(r#"{"status":"ok","op":"ping"}"#.to_owned());
+    }
+    let job = parse_stage_fields(&entries).map_err(invalid)?;
+    execute_stage_line(&job).map_err(invalid)
+}
+
+/// What the fault injector does to an exchange.
+#[derive(Clone, Copy, Debug)]
+enum FaultMode {
+    /// Fail at a protocol step with a chosen error kind.
+    Fail(ShardStep, io::ErrorKind),
+    /// Kill the shard mid-response: a truncated line reaches the client.
+    MidResponseKill,
+    /// Deliver a corrupted artifact payload (checksum must catch it).
+    CorruptPayload,
+    /// Stall past the deadline, then surface the timeout.
+    Stall,
+}
+
+/// A shard pool whose first `fault_budget` exchanges misbehave per
+/// `mode`, then behave; `usize::MAX` misbehaves forever.
+struct FaultIo {
+    shards: usize,
+    mode: FaultMode,
+    fault_budget: AtomicUsize,
+    exchanges: AtomicUsize,
+}
+
+impl FaultIo {
+    fn always(shards: usize, mode: FaultMode) -> Self {
+        FaultIo {
+            shards,
+            mode,
+            fault_budget: AtomicUsize::new(usize::MAX),
+            exchanges: AtomicUsize::new(0),
+        }
+    }
+
+    fn healing_after(shards: usize, mode: FaultMode, faults: usize) -> Self {
+        FaultIo {
+            shards,
+            mode,
+            fault_budget: AtomicUsize::new(faults),
+            exchanges: AtomicUsize::new(0),
+        }
+    }
+
+    fn take_fault(&self) -> bool {
+        self.fault_budget
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n > 0 && n != usize::MAX).then(|| n - 1).or({
+                    if n == usize::MAX {
+                        Some(n)
+                    } else {
+                        None
+                    }
+                })
+            })
+            .is_ok()
+    }
+}
+
+impl ShardIo for FaultIo {
+    fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    fn exchange(
+        &self,
+        _shard: usize,
+        line: &str,
+        deadline: Option<Duration>,
+    ) -> Result<String, ShardIoError> {
+        self.exchanges.fetch_add(1, Ordering::Relaxed);
+        if !self.take_fault() {
+            return serve_line(line);
+        }
+        match self.mode {
+            FaultMode::Fail(step, kind) => Err(ShardIoError {
+                step,
+                kind,
+                message: format!("injected {kind:?} at {}", step.label()),
+            }),
+            FaultMode::MidResponseKill => {
+                let full = serve_line(line)?;
+                Ok(full[..full.len() / 2].to_owned())
+            }
+            FaultMode::CorruptPayload => {
+                let full = serve_line(line)?;
+                // Flip payload bytes without breaking the JSON framing:
+                // the checksum, not the parser, must catch this.
+                Ok(full.replace(":[", ":[9,"))
+            }
+            FaultMode::Stall => {
+                std::thread::sleep(deadline.unwrap_or(Duration::from_millis(20)).min(
+                    Duration::from_millis(20),
+                ));
+                Err(ShardIoError {
+                    step: ShardStep::Recv,
+                    kind: io::ErrorKind::TimedOut,
+                    message: "injected stall past the deadline".to_owned(),
+                })
+            }
+        }
+    }
+}
+
+/// A fast policy for fault loops: one attempt, millisecond backoff.
+fn fast_policy(attempts: u32) -> RemotePolicy {
+    RemotePolicy {
+        attempts,
+        base_backoff_ms: 1,
+        max_backoff_ms: 2,
+        stage_deadline_ms: Some(2_000),
+        hedge_after_ms: None,
+        eject_after: 3,
+        probe_every: 2,
+    }
+}
+
+/// The `persist.rs` durability matrix's error-kind list, reused here so
+/// the wire layer is tortured at least as hard as the disk layer.
+const ERROR_KINDS: &[io::ErrorKind] = &[
+    io::ErrorKind::NotFound,
+    io::ErrorKind::PermissionDenied,
+    io::ErrorKind::ConnectionRefused,
+    io::ErrorKind::ConnectionReset,
+    io::ErrorKind::ConnectionAborted,
+    io::ErrorKind::NotConnected,
+    io::ErrorKind::AddrInUse,
+    io::ErrorKind::AddrNotAvailable,
+    io::ErrorKind::BrokenPipe,
+    io::ErrorKind::AlreadyExists,
+    io::ErrorKind::WouldBlock,
+    io::ErrorKind::InvalidInput,
+    io::ErrorKind::InvalidData,
+    io::ErrorKind::TimedOut,
+    io::ErrorKind::WriteZero,
+    io::ErrorKind::Interrupted,
+    io::ErrorKind::Unsupported,
+    io::ErrorKind::UnexpectedEof,
+    io::ErrorKind::OutOfMemory,
+    io::ErrorKind::Other,
+];
+
+#[test]
+fn every_errorkind_at_every_step_preserves_verdict_and_digest() {
+    let _guard = store_guard();
+    let task = hourglass();
+    let options = PipelineOptions::default();
+    let gold = golden(&task, options);
+    for &step in &[ShardStep::Connect, ShardStep::Send, ShardStep::Recv] {
+        for &kind in ERROR_KINDS {
+            reset();
+            configure_remote(
+                Arc::new(FaultIo::always(2, FaultMode::Fail(step, kind))),
+                fast_policy(1),
+            );
+            let analysis = analyze(&task, options);
+            let context = format!("{kind:?} at {}", step.label());
+            assert_parity(&task, &analysis, &gold, &context);
+            let stats = remote_stats().expect("engine is configured");
+            let step_faults = match step {
+                ShardStep::Connect => stats.connect_faults,
+                ShardStep::Send => stats.send_faults,
+                ShardStep::Recv => stats.recv_faults,
+                ShardStep::Decode => stats.decode_faults,
+            };
+            assert!(step_faults >= 1, "no {context} fault counted: {stats:?}");
+            assert!(
+                stats.local_fallbacks >= 1,
+                "no local fallback under {context}: {stats:?}"
+            );
+            let timed_out =
+                matches!(kind, io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock);
+            assert_eq!(
+                stats.timeouts > 0,
+                timed_out,
+                "timeout taxonomy mismatch under {context}: {stats:?}"
+            );
+            // Every stage the engine could not fetch is recorded as a
+            // local fallback in the evidence chain — digest-excluded.
+            assert!(
+                analysis
+                    .evidence
+                    .stages
+                    .iter()
+                    .any(|s| s.origin == StageOrigin::LocalFallback),
+                "no local-fallback origin recorded under {context}"
+            );
+        }
+    }
+    clear_remote();
+}
+
+#[test]
+fn mid_response_kill_and_corruption_are_decode_faults_with_parity() {
+    let _guard = store_guard();
+    let task = pinwheel();
+    let options = PipelineOptions::default();
+    let gold = golden(&task, options);
+    for (mode, context) in [
+        (FaultMode::MidResponseKill, "mid-response kill"),
+        (FaultMode::CorruptPayload, "corrupted artifact payload"),
+    ] {
+        reset();
+        configure_remote(Arc::new(FaultIo::always(2, mode)), fast_policy(2));
+        let analysis = analyze(&task, options);
+        assert_parity(&task, &analysis, &gold, context);
+        let stats = remote_stats().expect("engine is configured");
+        assert!(
+            stats.decode_faults >= 1,
+            "no decode fault counted under {context}: {stats:?}"
+        );
+        assert!(
+            stats.fetched == 0,
+            "a corrupted payload must never be accepted under {context}: {stats:?}"
+        );
+        assert!(
+            stats.local_fallbacks >= 1,
+            "no local fallback under {context}: {stats:?}"
+        );
+        let traces = remote_fault_trace();
+        assert!(!traces.is_empty(), "no fault trace under {context}");
+        assert!(
+            traces.iter().all(|t| !t.contains('\n') && t.contains("step=decode")),
+            "traces must be one-line decode records under {context}: {traces:?}"
+        );
+    }
+    clear_remote();
+}
+
+#[test]
+fn stalled_shard_times_out_retries_and_falls_back() {
+    let _guard = store_guard();
+    let task = two_set_agreement();
+    let options = PipelineOptions::default();
+    let gold = golden(&task, options);
+    reset();
+    configure_remote(Arc::new(FaultIo::always(2, FaultMode::Stall)), fast_policy(2));
+    let analysis = analyze(&task, options);
+    assert_parity(&task, &analysis, &gold, "stalled shard");
+    let stats = remote_stats().expect("engine is configured");
+    assert!(stats.timeouts >= 1, "stall must count as timeout: {stats:?}");
+    assert!(stats.retries >= 1, "stall must be retried: {stats:?}");
+    assert!(stats.local_fallbacks >= 1, "{stats:?}");
+    clear_remote();
+}
+
+#[test]
+fn partitioned_then_healed_shard_is_ejected_and_readmitted() {
+    let _guard = store_guard();
+    let options = PipelineOptions::default();
+    let tasks = [hourglass(), consensus(3), two_set_agreement()];
+    let goldens: Vec<_> = tasks.iter().map(|t| golden(t, options)).collect();
+    reset();
+    // The single shard refuses 12 exchanges (enough to eject at 3
+    // consecutive failures), then heals.
+    let io = Arc::new(FaultIo::healing_after(
+        1,
+        FaultMode::Fail(ShardStep::Connect, io::ErrorKind::ConnectionRefused),
+        12,
+    ));
+    configure_remote(io, fast_policy(1));
+    // Phase 1: partitioned. Every analysis degrades to local recompute.
+    let partitioned = analyze(&tasks[0], options);
+    assert_parity(&tasks[0], &partitioned, &goldens[0], "partitioned shard");
+    let stats = remote_stats().expect("engine is configured");
+    assert!(stats.ejections >= 1, "partition must eject: {stats:?}");
+    // Phase 2: keep analyzing; probes burn through the remaining fault
+    // budget and eventually re-admit the healed shard.
+    let mut readmitted = false;
+    for round in 0..20 {
+        reset_caches_only();
+        let i = round % tasks.len();
+        let analysis = analyze(&tasks[i], options);
+        assert_parity(&tasks[i], &analysis, &goldens[i], "during healing");
+        let stats = remote_stats().expect("engine is configured");
+        if stats.readmissions >= 1 && stats.fetched >= 1 {
+            readmitted = true;
+            break;
+        }
+    }
+    let stats = remote_stats().expect("engine is configured");
+    assert!(
+        readmitted,
+        "healed shard was never probed back into rotation: {stats:?}"
+    );
+    assert!(stats.probes >= 1, "{stats:?}");
+    clear_remote();
+}
+
+/// Clears caches but keeps the configured engine (mid-scenario reset).
+fn reset_caches_only() {
+    clear_stage_caches();
+    clear_decision_cache();
+}
+
+#[test]
+fn healthy_pool_fans_a_library_batch_and_matches_sequential_goldens() {
+    let _guard = store_guard();
+    let options = PipelineOptions {
+        act_fallback_rounds: 1,
+    };
+    // A verdict-diverse slice of the library, including the ACT
+    // exploration residue (klein-squared) so the explore stage ships too.
+    let tasks = vec![
+        identity_task(3),
+        hourglass(),
+        pinwheel(),
+        consensus(3),
+        two_set_agreement(),
+        loop_agreement("loop-klein-squared", klein_bottle_doubled_loop()),
+    ];
+    let goldens: Vec<_> = tasks.iter().map(|t| golden(t, options)).collect();
+    reset();
+    configure_remote(
+        Arc::new(FaultIo::healing_after(3, FaultMode::Stall, 0)),
+        fast_policy(2),
+    );
+    let batch = analyze_batch(&tasks, options);
+    for ((task, analysis), gold) in tasks.iter().zip(&batch).zip(&goldens) {
+        assert_parity(task, analysis, gold, "healthy 3-shard pool");
+    }
+    let stats = remote_stats().expect("engine is configured");
+    assert!(
+        stats.fetched >= 1,
+        "a healthy pool must actually serve stages: {stats:?}"
+    );
+    // Shard-computed stages carry their provenance in the evidence.
+    assert!(
+        batch.iter().flat_map(|a| &a.evidence.stages).any(|s| {
+            matches!(s.origin, StageOrigin::Shard { .. })
+        }),
+        "no stage evidence records a shard origin"
+    );
+    clear_remote();
+}
+
+#[test]
+fn hedged_dispatch_races_a_second_shard_with_parity() {
+    let _guard = store_guard();
+    let task = hourglass();
+    let options = PipelineOptions::default();
+    let gold = golden(&task, options);
+    reset();
+    // Shard exchanges stall 20ms; hedging fires after 5ms to a second
+    // shard which stalls too, so every dispatch exhausts and falls back
+    // — the interesting assertion is parity plus the hedge counters.
+    let policy = RemotePolicy {
+        hedge_after_ms: Some(5),
+        ..fast_policy(1)
+    };
+    configure_remote(Arc::new(FaultIo::always(2, FaultMode::Stall)), policy);
+    let analysis = analyze(&task, options);
+    assert_parity(&task, &analysis, &gold, "hedged stalling pool");
+    let stats = remote_stats().expect("engine is configured");
+    assert!(stats.hedges >= 1, "no hedge fired: {stats:?}");
+    assert!(stats.local_fallbacks >= 1, "{stats:?}");
+    clear_remote();
+
+    // And when only the *primary* is slow, the hedge must win: shard
+    // exchanges succeed, so the race resolves to a fetched artifact.
+    reset();
+    let policy = RemotePolicy {
+        hedge_after_ms: Some(1),
+        ..fast_policy(1)
+    };
+    configure_remote(
+        Arc::new(SlowPrimaryIo {
+            inner_calls: AtomicUsize::new(0),
+        }),
+        policy,
+    );
+    let analysis = analyze(&task, options);
+    assert_parity(&task, &analysis, &gold, "slow-primary hedge");
+    let stats = remote_stats().expect("engine is configured");
+    assert!(stats.fetched >= 1, "{stats:?}");
+    assert!(stats.hedges >= 1, "{stats:?}");
+    clear_remote();
+}
+
+/// Two shards: shard 0 answers slowly (but correctly), shard 1 fast —
+/// the straggler-cutoff scenario hedging exists for.
+struct SlowPrimaryIo {
+    inner_calls: AtomicUsize,
+}
+
+impl ShardIo for SlowPrimaryIo {
+    fn shard_count(&self) -> usize {
+        2
+    }
+
+    fn exchange(
+        &self,
+        shard: usize,
+        line: &str,
+        _deadline: Option<Duration>,
+    ) -> Result<String, ShardIoError> {
+        self.inner_calls.fetch_add(1, Ordering::Relaxed);
+        if shard == 0 {
+            std::thread::sleep(Duration::from_millis(15));
+        }
+        serve_line(line)
+    }
+}
+
+#[test]
+fn remote_execution_is_invisible_to_the_digest_under_every_mode() {
+    // The cross-cutting invariant, pinned once more end-to-end: the
+    // same task analyzed locally, via a healthy pool, and via a faulty
+    // pool produces one digest.
+    let _guard = store_guard();
+    let task = consensus(3);
+    let options = PipelineOptions::default();
+    let gold = golden(&task, options);
+    let modes: Vec<(Arc<dyn ShardIo>, &str)> = vec![
+        (
+            Arc::new(FaultIo::healing_after(2, FaultMode::Stall, 0)),
+            "healthy",
+        ),
+        (
+            Arc::new(FaultIo::always(
+                2,
+                FaultMode::Fail(ShardStep::Connect, io::ErrorKind::ConnectionRefused),
+            )),
+            "dead pool",
+        ),
+        (Arc::new(FaultIo::always(2, FaultMode::CorruptPayload)), "corrupting pool"),
+    ];
+    for (io, context) in modes {
+        reset();
+        configure_remote(io, fast_policy(2));
+        let analysis = analyze(&task, options);
+        assert_parity(&task, &analysis, &gold, context);
+    }
+    clear_remote();
+}
