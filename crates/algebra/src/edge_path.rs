@@ -5,6 +5,8 @@
 //! relator per triangle. A loop in `K` is contractible iff its word is
 //! trivial in this group — the residual (generally undecidable) obstruction
 //! of the paper's characterization (§5, §7).
+//!
+//! chromata-lint: allow(P3): edge and word indices are derived from the lengths of the same spanning-tree tables; every site is advisory-flagged by P2 for per-site review
 
 use std::collections::BTreeMap;
 

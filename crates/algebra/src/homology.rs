@@ -5,6 +5,8 @@
 //! (annulus, torus, projective plane), and "is this 1-cycle a boundary?"
 //! is the abelianized contractibility obstruction — a *sound* certificate
 //! of unsolvability, exact whenever the fundamental group is abelian.
+//!
+//! chromata-lint: allow(P3): row/column indices are bounded by the boundary-matrix shape computed from the same complex; every site is advisory-flagged by P2 for per-site review
 
 use std::collections::BTreeMap;
 

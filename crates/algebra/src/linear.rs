@@ -4,6 +4,8 @@
 //! reduces to feasibility of `A·x = b` over the integers: "can the boundary
 //! of some 2-chain, plus integer combinations of cycle-basis shifts, equal
 //! the given loop?" (paper, §5 and §6.2).
+//!
+//! chromata-lint: allow(P3): row/column indices are bounded by the matrix shape checked at entry; every site is advisory-flagged by P2 for per-site review
 
 use crate::matrix::IntMatrix;
 use crate::smith::smith_normal_form;

@@ -4,6 +4,8 @@
 //! handed to this module as presentations `⟨ g₁ … gₙ | r₁ … rₘ ⟩`. Tietze
 //! moves shrink them enough to *recognize* the decidable regimes: trivial
 //! groups, free groups, and evidently-abelian groups.
+//!
+//! chromata-lint: allow(P3): generator/relator indices are bounded by the presentation tables built in the same pass; every site is advisory-flagged by P2 for per-site review
 
 use crate::matrix::IntMatrix;
 use crate::word::{

@@ -6,6 +6,8 @@
 //! the contractibility tier of the solvability pipeline (paper, §5; the
 //! general problem is undecidable, §7). The enumeration is bounded: if the
 //! coset table exceeds the budget, the caller falls back to weaker tiers.
+//!
+//! chromata-lint: allow(P3): coset-table indices are bounded by the table length, which the enumeration loop grows before any row is addressed; every site is advisory-flagged by P2 for per-site review
 
 use crate::presentation::Presentation;
 use crate::word::Word;

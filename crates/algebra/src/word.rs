@@ -4,6 +4,8 @@
 //! `k-1`, `-k` its inverse. Words represent edge-loops in the edge-path
 //! fundamental group (paper, §5: contractibility of loops in output
 //! complexes).
+//!
+//! chromata-lint: allow(P3): letter indices are bounded by the word length the same loop iterates; every site is advisory-flagged by P2 for per-site review
 
 /// A word over generators `1..=n` and their inverses (`-1..=-n`).
 pub type Word = Vec<i32>;

@@ -196,13 +196,16 @@ pub enum Command {
         /// `CHROMATA_CACHE_DIR`).
         cache_dir: Option<PathBuf>,
     },
-    /// `chromata lint [--deny-all] [PATH...]` — the workspace
+    /// `chromata lint [--deny-all] [--json] [PATH...]` — the workspace
     /// static-analysis pass (same engine as `cargo xtask lint`).
     Lint {
         /// Workspace-relative paths to lint (whole workspace if empty).
         paths: Vec<String>,
         /// Treat every primary rule as an error.
         deny_all: bool,
+        /// Emit the stable machine-readable JSON document instead of
+        /// rustc-style diagnostics.
+        json: bool,
     },
     /// `chromata help` or `--help`
     Help,
@@ -573,16 +576,22 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "lint" => {
             let mut paths = Vec::new();
             let mut deny_all = false;
+            let mut json = false;
             for arg in it {
                 match arg.as_str() {
                     "--deny-all" => deny_all = true,
+                    "--json" => json = true,
                     flag if flag.starts_with('-') => {
                         return Err(CliError(format!("unknown flag {flag}")));
                     }
                     path => paths.push(path.to_owned()),
                 }
             }
-            Ok(Command::Lint { paths, deny_all })
+            Ok(Command::Lint {
+                paths,
+                deny_all,
+                json,
+            })
         }
         other => Err(CliError(format!(
             "unknown command {other}; try `chromata help`"
@@ -1292,7 +1301,11 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
-        Command::Lint { paths, deny_all } => {
+        Command::Lint {
+            paths,
+            deny_all,
+            json,
+        } => {
             // chromata-lint: allow(D2): the lint subcommand resolves the workspace from the invocation directory — tooling, not decision code
             let cwd = std::env::current_dir()
                 .map_err(|e| CliError(format!("cannot read working directory: {e}")))?;
@@ -1310,6 +1323,15 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 chromata_xtask::lint_paths(&root, &paths, &config)
             }
             .map_err(|e| CliError(format!("lint failed: {e}")))?;
+            if json {
+                // The JSON document is the contract either way: CI
+                // parses it from stdout on success and from the error
+                // text on failure.
+                if report.failed() {
+                    return Err(CliError(report.to_json()));
+                }
+                return Ok(format!("{}\n", report.to_json()));
+            }
             if report.failed() {
                 return Err(CliError(format!("{report}")));
             }
@@ -1368,8 +1390,10 @@ COMMANDS:
                                  offline audit / maintenance of a durable
                                  stage-cache directory; `verify` exits nonzero
                                  on any rejected, torn or corrupt snapshot
-    lint [--deny-all] [PATH...]  run the workspace static-analysis rules
-                                 (same engine as `cargo xtask lint`)
+    lint [--deny-all] [--json] [PATH...]
+                                 run the workspace static-analysis rules
+                                 (same engine as `cargo xtask lint`);
+                                 --json emits the stable machine format
     help                         show this message
 
 <task> is a library name (see `list`) or a path to a task JSON file.
@@ -1422,19 +1446,22 @@ mod tests {
             parse(&args(&["lint"])).unwrap(),
             Command::Lint {
                 paths: vec![],
-                deny_all: false
+                deny_all: false,
+                json: false
             }
         );
         assert_eq!(
             parse(&args(&[
                 "lint",
                 "--deny-all",
+                "--json",
                 "crates/core/src/pipeline.rs"
             ]))
             .unwrap(),
             Command::Lint {
                 paths: vec!["crates/core/src/pipeline.rs".into()],
-                deny_all: true
+                deny_all: true,
+                json: true
             }
         );
     }
@@ -1444,9 +1471,21 @@ mod tests {
         let out = run(Command::Lint {
             paths: vec!["crates/topology/src/govern.rs".into()],
             deny_all: true,
+            json: false,
         })
         .unwrap();
         assert!(out.contains("1 file(s) scanned: 0 error(s)"), "{out}");
+        // The machine format carries the same verdict and parses as a
+        // flat JSON object with the documented top-level keys.
+        let out = run(Command::Lint {
+            paths: vec!["crates/topology/src/govern.rs".into()],
+            deny_all: true,
+            json: true,
+        })
+        .unwrap();
+        assert!(out.starts_with("{\"schema_version\":1,"), "{out}");
+        assert!(out.contains("\"errors\":0"), "{out}");
+        assert!(out.contains("\"diagnostics\":["), "{out}");
     }
 
     #[test]

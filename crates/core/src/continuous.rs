@@ -24,6 +24,8 @@
 //!   feasibility is exact when every `Δ'(σ)`'s fundamental group is
 //!   evidently abelian;
 //! * otherwise **unknown**.
+//!
+//! chromata-lint: allow(P3): indexing throughout follows the 2-dimensional complex structure (vertex/edge/triangle tables are built together and indices are cross-derived from their lengths); every site is advisory-flagged by P2 for per-site review
 
 use std::collections::BTreeMap;
 

@@ -1393,10 +1393,9 @@ mod tests {
         let stats = engine.counters.snapshot();
         assert_eq!(stats.readmissions, 1);
         assert!(stats.probes >= 1);
-        assert!(
-            remote_fault_trace().is_empty() || true,
-            "trace API is exercised via the engine-level ring elsewhere"
-        );
+        // The trace API is exercised for coverage; its contents are
+        // asserted via the engine-level ring elsewhere.
+        let _ = remote_fault_trace();
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! `|I| → |O|` carried by `Δ` — no splitting, no contractibility: input
 //! complexes are 1-dimensional, so the continuous tier (vertex choices +
 //! edge connectivity) is a complete decision procedure.
+//!
+//! chromata-lint: allow(P3): indexing follows the two-color restriction invariants (pairs drawn from the task's own color set); every site is advisory-flagged by P2 for per-site review
 
 use chromata_task::Task;
 

@@ -64,6 +64,8 @@ pub fn canonicalize(task: &Task) -> Task {
 pub fn is_canonical(task: &Task) -> bool {
     let simplices: Vec<&Simplex> = task.input().simplices().collect();
     for (i, t1) in simplices.iter().enumerate() {
+        // chromata-lint: allow(P3): `i` enumerates `simplices`, so
+        // `i + 1 <= len` and the range slice cannot be out of bounds
         for t2 in &simplices[i + 1..] {
             if t1.dimension() != t2.dimension() {
                 continue;

@@ -6,6 +6,8 @@
 //! verdict on the Klein bottle, where the doubled orientation-reversing
 //! loop is trivial in H₁ yet non-trivial in the (non-abelian, infinite)
 //! fundamental group: exactly the undecidable residue of §7.
+//!
+//! chromata-lint: allow(P3): surface triangulation tables are generated with fixed arity before any index is taken; every site is advisory-flagged by P2 for per-site review
 
 use chromata_topology::{Color, Complex, Simplex, Value, Vertex};
 

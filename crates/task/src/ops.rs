@@ -65,6 +65,8 @@ pub fn two_process_restrictions(task: &Task) -> Vec<Task> {
     let colors: Vec<_> = task.input().colors().iter().collect();
     let mut out = Vec::new();
     for (i, &a) in colors.iter().enumerate() {
+        // chromata-lint: allow(P3): `i` enumerates `colors`, so
+        // `i + 1 <= len` and the range slice cannot be out of bounds
         for &b in &colors[i + 1..] {
             let pair: ColorSet = [a, b].into_iter().collect();
             out.push(restricted_to_participants(task, pair));

@@ -5,6 +5,8 @@
 //! smallest shortest path*, and the edge-path fundamental group needs
 //! spanning forests and cycle bases. This module provides those primitives
 //! on top of [`Complex`], treating its 1-skeleton as an undirected graph.
+//!
+//! chromata-lint: allow(P3): adjacency indices come from vertex ids interned into the same arena; every site is advisory-flagged by P2 for per-site review
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 

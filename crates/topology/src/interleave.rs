@@ -21,6 +21,8 @@
 //!
 //! Gate the expensive shapes with [`max_threads`]/[`depth_budget`] rather
 //! than `cfg!` directly so the scaling policy lives in one place.
+//!
+//! chromata-lint: allow(P3): interleaving indices are derived from the lengths of the sequences being merged; every site is advisory-flagged by P2 for per-site review
 
 /// Calls `f` once per distinct interleaving of `k` threads where thread
 /// `t` performs `counts[t]` operations. Each schedule is a sequence of

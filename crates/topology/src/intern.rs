@@ -100,7 +100,7 @@ impl<T> Interner<T> {
         M: Fn(&T) -> bool,
         B: FnOnce() -> T,
     {
-        let shard = &self.shards[(hash as usize) & (SHARDS - 1)];
+        let shard = &self.shards[(hash as usize) & (SHARDS - 1)]; // chromata-lint: allow(P3): the index is masked by `SHARDS - 1` and `shards` holds exactly `SHARDS` (a power of two) entries
         let mut map = shard.lock().unwrap_or_else(PoisonError::into_inner);
         let bucket = map.entry(hash).or_default();
         if let Some(existing) = bucket.iter().find(|a| matches(a)) {

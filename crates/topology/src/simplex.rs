@@ -1,4 +1,6 @@
 //! Simplices: finite non-empty sets of vertices in canonical sorted form.
+//!
+//! chromata-lint: allow(P3): vertex indices are bounded by the simplex dimension invariant the type maintains; every site is advisory-flagged by P2 for per-site review
 
 use std::fmt;
 use std::hash::{Hash, Hasher};

@@ -1,0 +1,32 @@
+// Fixture: rule D2 through `use ... as` aliases — the classic evasion
+// `use std::time::Instant as Clock;` must not hide the clock read.
+// (`SystemTime` and `std::env::var` are flagged already at the import:
+// naming them at all is a clock/env dependency; `Instant` is pure as a
+// value type, so only `::now()` through the alias fires.)
+
+use std::time::Instant as Clock;
+use std::time::SystemTime as Wall; //~ D2
+use std::env as environment;
+use std::env::var as read_env; //~ D2
+
+pub fn aliased_instant() -> Clock {
+    Clock::now() //~ D2
+}
+
+pub fn aliased_system_time() -> Wall { //~ D2
+    Wall::now() //~ D2
+}
+
+pub fn aliased_env_module() -> Option<String> {
+    environment::var("CHROMATA_FIXTURE_KNOB").ok() //~ D2
+}
+
+pub fn aliased_env_fn() -> Option<String> {
+    read_env("CHROMATA_FIXTURE_KNOB").ok() //~ D2
+}
+
+// The alias as a *type* is still pure: naming `Clock` in a signature or
+// calling non-clock methods on a passed-in value observes nothing.
+pub fn remaining(deadline: Clock, now: Clock) -> std::time::Duration {
+    deadline.duration_since(now)
+}

@@ -1,0 +1,40 @@
+// Fixture: rule P3 — transitive panic-reachability. The public entry
+// point `solve` never panics itself; the panic hides three hops down a
+// private helper chain, where the per-site rule P1 also fires. P3 adds
+// the chain: the *public contract* is what makes the site an error.
+
+pub fn solve(n: u32) -> u32 {
+    descend(n)
+}
+
+fn descend(n: u32) -> u32 {
+    classify(n)
+}
+
+fn classify(n: u32) -> u32 {
+    finish(n)
+}
+
+fn finish(n: u32) -> u32 {
+    n.checked_mul(2).unwrap() //~ P1 P3
+}
+
+// A panic only reachable from a *private* root is P1's business alone:
+// no public API reaches `orphan`, so P3 stays quiet on it.
+fn orphan() {
+    unreachable!() //~ P1
+}
+
+// Indexing three hops down is the P2-flavoured variant of the same
+// chain: advisory per site, an error once `lookup` exposes it.
+pub fn lookup(xs: &[u32], i: usize) -> u32 {
+    hop_one(xs, i)
+}
+
+fn hop_one(xs: &[u32], i: usize) -> u32 {
+    hop_two(xs, i)
+}
+
+fn hop_two(xs: &[u32], i: usize) -> u32 {
+    xs[i] //~ P2 P3
+}

@@ -1,0 +1,42 @@
+// Fixture: symbol-table scoping. The item parser must qualify names by
+// their *enclosing* module/impl/trait chain, keep nested fns inside
+// their parents' bodies, and not lose its footing in closures or in
+// `impl Trait` return types (which are not impl *blocks*).
+
+pub mod outer {
+    pub struct Widget;
+
+    impl Widget {
+        pub fn build(n: u32) -> Widget {
+            fn helper(x: u32) -> u32 {
+                x + 1
+            }
+            let adjust = |v: u32| helper(v) * 2;
+            let _ = adjust(n);
+            Widget
+        }
+    }
+
+    pub trait Render {
+        fn render(&self) -> String;
+        fn tag(&self) -> &'static str {
+            "widget"
+        }
+    }
+
+    impl Render for Widget {
+        fn render(&self) -> String {
+            String::new()
+        }
+    }
+
+    pub fn make() -> impl Render {
+        Widget
+    }
+
+    pub mod inner {
+        pub fn leaf() -> u32 {
+            7
+        }
+    }
+}

@@ -32,6 +32,9 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix it (or how to silence it with a justification).
     pub help: String,
+    /// Extra context lines (`= note:`), e.g. the call chain an
+    /// interprocedural pass followed to reach the site.
+    pub notes: Vec<String>,
     /// The offending source line, for rendering.
     pub source_line: String,
 }
@@ -52,7 +55,57 @@ impl fmt::Display for Diagnostic {
         let underline_pad = " ".repeat(self.col.saturating_sub(1) as usize);
         let carets = "^".repeat(self.len.max(1));
         writeln!(f, "{pad} | {underline_pad}{carets}")?;
+        for note in &self.notes {
+            writeln!(f, "{pad} = note: {note}")?;
+        }
         writeln!(f, "{pad} = help: {}", self.help)
+    }
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic as one JSON object (stable field order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let level = match self.severity {
+            Severity::Deny => "error",
+            Severity::Warn => "warning",
+            Severity::Allow => "allowed",
+        };
+        let notes: Vec<String> = self
+            .notes
+            .iter()
+            .map(|n| format!("\"{}\"", json_escape(n)))
+            .collect();
+        format!(
+            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\
+             \"len\":{},\"message\":\"{}\",\"help\":\"{}\",\"notes\":[{}]}}",
+            json_escape(self.rule),
+            level,
+            json_escape(&self.path),
+            self.line,
+            self.col,
+            self.len,
+            json_escape(&self.message),
+            json_escape(&self.help),
+            notes.join(",")
+        )
     }
 }
 
@@ -88,6 +141,23 @@ impl Report {
     #[must_use]
     pub fn failed(&self) -> bool {
         self.errors() > 0
+    }
+
+    /// Renders the whole report as a stable machine-readable JSON
+    /// document (`schema_version` 1). Diagnostics appear in the same
+    /// deterministic `(path, line, col)` order as the human rendering,
+    /// so two runs over the same tree emit byte-identical output.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let diags: Vec<String> = self.diagnostics.iter().map(Diagnostic::to_json).collect();
+        format!(
+            "{{\"schema_version\":1,\"files_scanned\":{},\"errors\":{},\"warnings\":{},\
+             \"diagnostics\":[{}]}}",
+            self.files_scanned,
+            self.errors(),
+            self.warnings(),
+            diags.join(",")
+        )
     }
 }
 

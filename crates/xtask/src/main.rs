@@ -12,19 +12,24 @@ commands:
          -D <rule>|all   deny a rule (non-zero exit on violation)
          -W <rule>|all   downgrade a rule to a warning
          -A <rule>       suppress a rule entirely
+         --format <human|json>  output format (default human)
          --quiet         print only the summary line
+  graph  dump the workspace call graph (sorted `caller -> callee` lines)
+         --dot           emit Graphviz DOT instead
   deny   run the supply-chain checks (licenses, duplicate versions,
          offline advisory snapshot) against deny.toml and Cargo.lock
   help   show this message
 
-rules: D1 hash-order, D2 clock-env, P1 panic, P2 index (advisory),
-       L1 lock-unwrap, A1 bad-allow, U1 unused-allow (advisory)
+rules: D1 hash-order, D2 clock-env, D3 fs-confine, D4 net-confine,
+       D5 digest-taint, P1 panic, P2 index (advisory), P3 panic-reach,
+       L1 lock-unwrap, L2 lock-order, A1 bad-allow, U1 unused-allow
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
+        Some("graph") => run_graph(&args[1..]),
         Some("deny") => run_deny(),
         Some("help") | None => {
             print!("{USAGE}");
@@ -40,6 +45,7 @@ fn main() -> ExitCode {
 fn run_lint(args: &[String]) -> ExitCode {
     let mut config = Config::default();
     let mut quiet = false;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let (flag, severity) = match arg.as_str() {
@@ -48,6 +54,20 @@ fn run_lint(args: &[String]) -> ExitCode {
             "-A" | "--allow" => ("-A", Severity::Allow),
             "--quiet" | "-q" => {
                 quiet = true;
+                continue;
+            }
+            "--format" => {
+                match it.next().map(String::as_str) {
+                    Some("json") => json = true,
+                    Some("human") => json = false,
+                    other => {
+                        eprintln!(
+                            "--format needs `human` or `json`, got {:?}",
+                            other.unwrap_or("nothing")
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
                 continue;
             }
             other => {
@@ -74,7 +94,9 @@ fn run_lint(args: &[String]) -> ExitCode {
     };
     match lint_workspace(&root, &config) {
         Ok(report) => {
-            if quiet {
+            if json {
+                println!("{}", report.to_json());
+            } else if quiet {
                 println!(
                     "{} file(s) scanned: {} error(s), {} warning(s)",
                     report.files_scanned,
@@ -92,6 +114,32 @@ fn run_lint(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("xtask lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_graph(args: &[String]) -> ExitCode {
+    let mut dot = false;
+    for arg in args {
+        match arg.as_str() {
+            "--dot" => dot = true,
+            other => {
+                eprintln!("unknown graph option `{other}`\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(root) = current_root() else {
+        return ExitCode::FAILURE;
+    };
+    match chromata_xtask::graph_workspace(&root, dot) {
+        Ok(dump) => {
+            print!("{dump}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask graph: {e}");
             ExitCode::FAILURE
         }
     }

@@ -350,3 +350,34 @@ error[D1]: `HashMap` in a verdict-path crate: iteration order is not determinist
 ";
     assert_eq!(rendered, expected);
 }
+
+/// Regression for the alias evasion gap: `use std::time::Instant as
+/// Clock;` used to hide the clock read from D2's token patterns. The
+/// symbol table's alias map closes it.
+#[test]
+fn d2_alias_evasion_fixture() {
+    let diags = check(
+        "d2_alias",
+        include_str!("../fixtures/d2_alias.rs"),
+        role(false, false),
+    );
+    assert!(diags.iter().all(|d| d.severity == Severity::Deny));
+    assert!(
+        diags.iter().any(|d| d
+            .message
+            .contains("`Clock::now()` (aliasing `std::time::Instant`)")),
+        "{diags:?}"
+    );
+    // govern.rs remains the sanctioned boundary, alias or not.
+    let exempt = Role {
+        clock_exempt: true,
+        ..role(false, false)
+    };
+    let none = lint_source(
+        "crates/topology/src/govern.rs",
+        include_str!("../fixtures/d2_alias.rs"),
+        exempt,
+        &Config::default(),
+    );
+    assert!(none.is_empty(), "{none:?}");
+}

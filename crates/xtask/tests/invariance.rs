@@ -1,0 +1,116 @@
+//! Property tests: lint output is a function of the *code*, not of its
+//! layout. Injecting inline comments or horizontal whitespace at token
+//! boundaries, or appending a `#[cfg(test)]` module full of violations,
+//! must not change a single `(rule, line, message)` triple.
+
+use chromata_xtask::{lexer, lint_sources, Config, SourceFile};
+use proptest::prelude::*;
+
+/// The diagnostic fingerprint the properties compare. Columns are
+/// deliberately excluded: same-line insertions shift them.
+fn fingerprint(rel: &str, src: &str) -> Vec<(String, u32, String)> {
+    let report = lint_sources(
+        &[SourceFile {
+            rel: rel.to_owned(),
+            src: src.to_owned(),
+        }],
+        &Config::default(),
+    );
+    let mut out: Vec<(String, u32, String)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule.to_owned(), d.line, d.message.clone()))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Byte offset of each token's first character (fixtures are ASCII, so
+/// char columns are byte columns).
+fn token_offsets(src: &str) -> Vec<usize> {
+    let mut line_starts = vec![0usize];
+    for (i, b) in src.bytes().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    lexer::lex(src)
+        .iter()
+        .map(|t| line_starts[(t.line - 1) as usize] + (t.col - 1) as usize)
+        .collect()
+}
+
+/// Rebuilds `src` with `filler` inserted at the start of each chosen
+/// token (none of the fillers contain a newline, so lines survive).
+fn inject(src: &str, choices: &[(usize, &str)]) -> String {
+    let offsets = token_offsets(src);
+    let mut cuts: Vec<(usize, &str)> = choices
+        .iter()
+        .filter_map(|&(tok, filler)| offsets.get(tok).map(|&o| (o, filler)))
+        .collect();
+    cuts.sort_by_key(|&(o, _)| o);
+    let mut out = String::with_capacity(src.len() + cuts.len() * 8);
+    let mut at = 0usize;
+    for (o, filler) in cuts {
+        out.push_str(&src[at..o]);
+        out.push_str(filler);
+        at = o;
+    }
+    out.push_str(&src[at..]);
+    out
+}
+
+const FILLERS: &[&str] = &["/* noise */", "  ", "\t", "/*x*/ "];
+
+/// The fixture corpus: every interprocedural rule plus the alias-aware
+/// local rules, under the rels the fixture suite uses.
+const CORPUS: &[(&str, &str)] = &[
+    (
+        "crates/core/src/p3_chain.rs",
+        include_str!("../fixtures/p3_chain.rs"),
+    ),
+    (
+        "crates/runtime/src/d5_taint.rs",
+        include_str!("../fixtures/d5_taint.rs"),
+    ),
+    (
+        "crates/fixture/src/serve.rs",
+        include_str!("../fixtures/l2_locks.rs"),
+    ),
+    (
+        "crates/core/src/d2_alias.rs",
+        include_str!("../fixtures/d2_alias.rs"),
+    ),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn comment_and_whitespace_injection_is_invisible(
+        which in 0usize..4,
+        picks in proptest::collection::vec((0usize..600, 0usize..4), 0..24),
+    ) {
+        let (rel, src) = CORPUS[which];
+        let base = fingerprint(rel, src);
+        let choices: Vec<(usize, &str)> =
+            picks.iter().map(|&(t, f)| (t, FILLERS[f])).collect();
+        let mutated = inject(src, &choices);
+        prop_assert_eq!(base, fingerprint(rel, &mutated));
+    }
+
+    #[test]
+    fn appended_test_module_adds_nothing(which in 0usize..4) {
+        let (rel, src) = CORPUS[which];
+        let base = fingerprint(rel, src);
+        let mutated = format!(
+            "{src}\n#[cfg(test)]\nmod injected {{\n\
+             use std::collections::HashMap;\n\
+             pub fn bad() {{ let x: Option<u32> = None; x.unwrap(); }}\n\
+             pub fn clock() {{ let _t = std::time::Instant::now(); }}\n\
+             pub fn index(xs: &[u32]) -> u32 {{ xs[0] }}\n\
+             }}\n"
+        );
+        prop_assert_eq!(base, fingerprint(rel, &mutated));
+    }
+}
