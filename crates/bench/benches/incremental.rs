@@ -1,0 +1,184 @@
+//! E13 — incremental re-analysis: what per-branch stage keys buy on
+//! edit loops and mutation-fuzzing campaigns (PR 9).
+//!
+//! Two comparisons:
+//!
+//! * **edit one entry, cold vs warm** — a full cold decision of an
+//!   edited task (one output-map entry changed) versus re-deciding it
+//!   against the store already warmed by the *unedited* task, where
+//!   every branch artifact not downstream of the edited facet is
+//!   served from the cache;
+//! * **warm mutant batch** — a 1 000-mutant seeded campaign over
+//!   library bases through one shared store, the workload behind
+//!   `chromata fuzz`; the series dump reports throughput and the
+//!   granular reuse ratio.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use chromata::{analyze, clear_stage_caches, stage_cache_stats, ArtifactKind, PipelineOptions};
+use chromata_task::library::{consensus, hourglass, identity_task, pinwheel, two_set_agreement};
+use chromata_task::{mutate_task, mutate_with, MutationKind, Task};
+use chromata_topology::{Complex, Simplex, Vertex};
+
+const SEED: u64 = 0xBE_AC01;
+const MUTANTS: u64 = 200; // per base: 5 bases x 200 = 1 000 analyses
+
+fn bases() -> Vec<Task> {
+    vec![
+        consensus(3),
+        two_set_agreement(),
+        hourglass(),
+        pinwheel(),
+        identity_task(3),
+    ]
+}
+
+/// A base task and a copy with exactly one output-map entry edited:
+/// the edit-loop unit of work. `consensus(3)` with its first
+/// flip-entry mutant — a real library task, so the per-branch stages
+/// carry real weight.
+fn edit_pair() -> (Task, Task) {
+    let base = consensus(3);
+    let edited = (0..64)
+        .find_map(|draw| mutate_with(&base, MutationKind::FlipEntry, draw, "bench-edited"))
+        .expect("a flip-entry draw validates on consensus(3)");
+    (base, edited)
+}
+
+/// The two-facet toy pair (two triangles sharing an edge, one solo
+/// vertex moved): isolates the single-branch edit with no other work.
+fn toy_edit_pair() -> (Task, Task) {
+    let v = |c: u8, x: i64| Vertex::of(c, x);
+    let t1 = Simplex::new(vec![v(0, 0), v(1, 0), v(2, 0)]);
+    let t2 = Simplex::new(vec![v(0, 1), v(1, 0), v(2, 0)]);
+    let input = Complex::from_facets([t1.clone(), t2.clone()]);
+    let base = Task::from_facet_delta(
+        "bench-edit-base",
+        input.clone(),
+        |sigma| vec![sigma.clone()],
+    )
+    .expect("identity-style task is valid");
+    let edited = Task::from_facet_delta("bench-edit-edited", input, |sigma| {
+        if *sigma == t2 {
+            vec![t2.substituted(&v(0, 1), v(0, 7))]
+        } else {
+            vec![sigma.clone()]
+        }
+    })
+    .expect("edited task is valid");
+    (base, edited)
+}
+
+/// `(reuse_hits, lookups)` summed over the granular stage caches.
+fn granular() -> (u64, u64) {
+    let mut totals = (0, 0);
+    for (kind, stats) in stage_cache_stats() {
+        if matches!(kind, ArtifactKind::LinkGraphs | ArtifactKind::Presentations) {
+            totals.0 += stats.reuse_hits;
+            totals.1 += stats.lookups;
+        }
+    }
+    totals
+}
+
+fn bench_edit_one_entry(c: &mut Criterion) {
+    let options = PipelineOptions::default();
+    for (label, base, edited) in {
+        let (b1, e1) = edit_pair();
+        let (b2, e2) = toy_edit_pair();
+        [("consensus-3", b1, e1), ("toy-two-facet", b2, e2)]
+    } {
+        let mut group = c.benchmark_group(format!("incremental/edit-one-entry/{label}"));
+        group.bench_function("cold", |b| {
+            b.iter(|| {
+                clear_stage_caches();
+                analyze(black_box(&edited), options)
+                    .evidence
+                    .deterministic_digest()
+            });
+        });
+        group.bench_function("warm-after-base", |b| {
+            // Per-iteration setup (warm the store with the unedited
+            // task) must stay out of the measurement: time only the
+            // re-analysis.
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    clear_stage_caches();
+                    let _ = analyze(&base, options);
+                    let started = std::time::Instant::now();
+                    black_box(
+                        analyze(black_box(&edited), options)
+                            .evidence
+                            .deterministic_digest(),
+                    );
+                    total += started.elapsed();
+                }
+                total
+            });
+        });
+        group.finish();
+
+        // Digest parity + reuse, the invariant behind the comparison.
+        clear_stage_caches();
+        let cold = analyze(&edited, options).evidence.deterministic_digest();
+        clear_stage_caches();
+        let _ = analyze(&base, options);
+        let before = granular();
+        let warm = analyze(&edited, options).evidence.deterministic_digest();
+        let after = granular();
+        assert_eq!(cold, warm, "edit-loop digests must match ({label})");
+        println!(
+            "[series] edit-one-entry {label}: reuse_hits +{} over {} lookups, digest {warm:016x}",
+            after.0 - before.0,
+            after.1 - before.1,
+        );
+    }
+}
+
+fn bench_warm_mutant_batch(c: &mut Criterion) {
+    let bases = bases();
+    let options = PipelineOptions::default();
+
+    let mut group = c.benchmark_group("incremental/fuzz");
+    group.sample_size(10);
+    group.bench_function("1k-mutant-batch", |b| {
+        b.iter(|| {
+            clear_stage_caches();
+            let mut decided = 0u64;
+            for base in &bases {
+                for index in 0..MUTANTS {
+                    let mutant = mutate_task(black_box(base), SEED, index);
+                    let _ = analyze(&mutant, options);
+                    decided += 1;
+                }
+            }
+            decided
+        });
+    });
+    group.finish();
+
+    // The numbers behind EXPERIMENTS.md §E13.
+    clear_stage_caches();
+    let started = std::time::Instant::now();
+    let mut decided = 0u64;
+    for base in &bases {
+        for index in 0..MUTANTS {
+            let mutant = mutate_task(base, SEED, index);
+            let _ = analyze(&mutant, options);
+            decided += 1;
+        }
+    }
+    let secs = started.elapsed().as_secs_f64();
+    let (reuse, lookups) = granular();
+    println!(
+        "[series] fuzz-batch: {decided} mutants in {:.3} s ({:.0} task/s), reuse {reuse}/{lookups} = {:.3}",
+        secs,
+        decided as f64 / secs,
+        reuse as f64 / lookups as f64
+    );
+}
+
+criterion_group!(benches, bench_edit_one_entry, bench_warm_mutant_batch);
+criterion_main!(benches);

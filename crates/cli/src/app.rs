@@ -196,6 +196,24 @@ pub enum Command {
         /// `CHROMATA_CACHE_DIR`).
         cache_dir: Option<PathBuf>,
     },
+    /// `chromata fuzz [--seed N] [--rounds K] [--act-fallback N]
+    /// [task...]` — the mutation-fuzzing campaign behind the
+    /// incremental re-analysis claim: derive `K` seeded near-duplicate
+    /// mutants of each base task (whole library if none are named),
+    /// batch-analyze them through the shared per-branch artifact store,
+    /// and report the stage-artifact reuse ratio plus a sample of
+    /// warm-vs-cold evidence-digest parity lines.
+    Fuzz {
+        /// Registry names or paths (empty = the whole library).
+        tasks: Vec<String>,
+        /// Deterministic mutation seed: `(seed, index)` fully
+        /// determines each mutant.
+        seed: u64,
+        /// Mutants derived per base task.
+        rounds: usize,
+        /// ACT fallback rounds for undetermined verdicts.
+        act_fallback: usize,
+    },
     /// `chromata lint [--deny-all] [--json] [PATH...]` — the workspace
     /// static-analysis pass (same engine as `cargo xtask lint`).
     Lint {
@@ -573,6 +591,34 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Cache { action, cache_dir })
         }
+        "fuzz" => {
+            let mut tasks = Vec::new();
+            let mut seed = 1u64;
+            let mut rounds = 16usize;
+            let mut act_fallback = 0usize;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--seed" => seed = parse_number_u64(&mut it, "--seed")?,
+                    "--rounds" => rounds = parse_number(&mut it, "--rounds")?,
+                    "--act-fallback" => {
+                        act_fallback = parse_number(&mut it, "--act-fallback")?;
+                    }
+                    flag if flag.starts_with('-') => {
+                        return Err(CliError(format!("unknown flag {flag}")));
+                    }
+                    task => tasks.push(task.to_owned()),
+                }
+            }
+            if rounds == 0 {
+                return Err(CliError("--rounds must be at least 1".to_owned()));
+            }
+            Ok(Command::Fuzz {
+                tasks,
+                seed,
+                rounds,
+                act_fallback,
+            })
+        }
         "lint" => {
             let mut paths = Vec::new();
             let mut deny_all = false;
@@ -828,6 +874,8 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                             ("work", Value::UInt(s.work)),
                             ("cache", Value::String(s.cache.label().to_owned())),
                             ("origin", Value::String(s.origin.label())),
+                            ("reused", Value::Bool(s.reused)),
+                            ("subkeys", Value::UInt(s.subkeys as u64)),
                             ("wall_ms", Value::Float(s.wall.as_secs_f64() * 1e3)),
                         ])
                     })
@@ -838,6 +886,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                         json_object(vec![
                             ("cache", Value::String(kind.name().to_owned())),
                             ("hits", Value::UInt(stats.hits)),
+                            ("reuse_hits", Value::UInt(stats.reuse_hits)),
                             ("misses", Value::UInt(stats.misses)),
                             ("evictions", Value::UInt(stats.evictions)),
                         ])
@@ -877,9 +926,10 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             for (kind, stats) in stage_cache_stats() {
                 let _ = writeln!(
                     out,
-                    "  {:<13} hits {:>6}  misses {:>6}  evictions {:>6}  restored {:>6}  recovered {:>3}",
+                    "  {:<13} hits {:>6} (reuse {:>6})  misses {:>6}  evictions {:>6}  restored {:>6}  recovered {:>3}",
                     kind.name(),
                     stats.hits,
+                    stats.reuse_hits,
                     stats.misses,
                     stats.evictions,
                     stats.restored,
@@ -947,6 +997,104 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 chromata::clear_remote();
             }
             cache_report_lines(&mut out, &cache_config, &persistence);
+            Ok(out)
+        }
+        Command::Fuzz {
+            tasks,
+            seed,
+            rounds,
+            act_fallback,
+        } => {
+            use chromata::topology::govern::Stopwatch;
+            let specs: Vec<String> = if tasks.is_empty() {
+                registry::entries()
+                    .iter()
+                    .map(|e| e.name.to_owned())
+                    .collect()
+            } else {
+                tasks
+            };
+            let bases: Vec<Task> = specs
+                .iter()
+                .map(|s| load_task(s))
+                .collect::<Result<_, _>>()?;
+            let options = PipelineOptions {
+                act_fallback_rounds: act_fallback,
+            };
+            // Start cold so the reported ratio is the campaign's own,
+            // not inherited from an earlier command in this process.
+            chromata::clear_decision_cache();
+            let total = bases.len() * rounds;
+            let sample_step = (total / 8).max(1);
+            let watch = Stopwatch::start();
+            let mut analyzed = 0usize;
+            let mut sampled: Vec<(Task, u64)> = Vec::new();
+            for base in &bases {
+                for k in 0..rounds {
+                    let mutant = chromata_task::mutate_task(base, seed, k as u64);
+                    let a = analyze(&mutant, options);
+                    if analyzed.is_multiple_of(sample_step) {
+                        sampled.push((mutant, a.evidence.deterministic_digest()));
+                    }
+                    analyzed += 1;
+                }
+            }
+            let elapsed = watch.elapsed();
+            let (mut reuse, mut granular_lookups) = (0u64, 0u64);
+            for (kind, stats) in stage_cache_stats() {
+                if matches!(
+                    kind,
+                    chromata::ArtifactKind::LinkGraphs | chromata::ArtifactKind::Presentations
+                ) {
+                    reuse += stats.reuse_hits;
+                    granular_lookups += stats.lookups;
+                }
+            }
+            let mut out = String::new();
+            let secs = elapsed.as_secs_f64();
+            let rate = if secs > 0.0 {
+                analyzed as f64 / secs
+            } else {
+                f64::INFINITY
+            };
+            let _ = writeln!(
+                out,
+                "fuzz: seed {seed}, {} base task(s) x {rounds} mutant(s) = {analyzed} analyses in {:.0} ms ({rate:.0} task/s)",
+                bases.len(),
+                secs * 1e3,
+            );
+            let ratio = if granular_lookups > 0 {
+                reuse as f64 / granular_lookups as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "stage-artifact reuse: {reuse} reuse hit(s) / {granular_lookups} granular lookup(s) = ratio {ratio:.3}",
+            );
+            // Warm-vs-cold digest parity on a spread sample: clearing
+            // every cache and re-deciding must reproduce each sampled
+            // evidence digest byte-for-byte.
+            let mut parity_ok = 0usize;
+            for (mutant, warm) in &sampled {
+                chromata::clear_decision_cache();
+                let cold = analyze(mutant, options).evidence.deterministic_digest();
+                let verdict = if cold == *warm { "ok" } else { "MISMATCH" };
+                parity_ok += usize::from(cold == *warm);
+                let _ = writeln!(
+                    out,
+                    "digest-parity {} warm {warm:016x} cold {cold:016x} {verdict}",
+                    mutant.name(),
+                );
+            }
+            let _ = writeln!(out, "digest parity: {parity_ok}/{} ok", sampled.len());
+            if parity_ok != sampled.len() {
+                return Err(CliError(format!(
+                    "digest parity failed for {} of {} sampled mutant(s):\n{out}",
+                    sampled.len() - parity_ok,
+                    sampled.len()
+                )));
+            }
             Ok(out)
         }
         Command::Act { task, rounds } => {
@@ -1390,6 +1538,12 @@ COMMANDS:
                                  offline audit / maintenance of a durable
                                  stage-cache directory; `verify` exits nonzero
                                  on any rejected, torn or corrupt snapshot
+    fuzz [--seed N] [--rounds K] [--act-fallback N] [task...]
+                                 mutation-fuzzing campaign: analyze K seeded
+                                 near-duplicate mutants per base task through
+                                 the shared per-branch artifact store, then
+                                 report the stage-artifact reuse ratio and
+                                 warm-vs-cold evidence-digest parity samples
     lint [--deny-all] [--json] [PATH...]
                                  run the workspace static-analysis rules
                                  (same engine as `cargo xtask lint`);
@@ -1571,6 +1725,69 @@ mod tests {
     }
 
     #[test]
+    fn parse_fuzz() {
+        assert_eq!(
+            parse(&args(&[
+                "fuzz",
+                "--seed",
+                "42",
+                "--rounds",
+                "9",
+                "consensus"
+            ]))
+            .unwrap(),
+            Command::Fuzz {
+                tasks: vec!["consensus".into()],
+                seed: 42,
+                rounds: 9,
+                act_fallback: 0,
+            }
+        );
+        assert_eq!(
+            parse(&args(&["fuzz"])).unwrap(),
+            Command::Fuzz {
+                tasks: vec![],
+                seed: 1,
+                rounds: 16,
+                act_fallback: 0,
+            }
+        );
+        assert!(parse(&args(&["fuzz", "--rounds", "0"])).is_err());
+        assert!(parse(&args(&["fuzz", "--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn run_fuzz_reports_reuse_and_digest_parity() {
+        let out = run(Command::Fuzz {
+            tasks: vec!["consensus".into(), "identity".into()],
+            seed: 7,
+            rounds: 4,
+            act_fallback: 0,
+        })
+        .unwrap();
+        assert!(
+            out.contains("2 base task(s) x 4 mutant(s) = 8 analyses"),
+            "{out}"
+        );
+        // Near-duplicate mutants share per-branch artifacts, so the
+        // campaign must observe a nonzero reuse ratio.
+        let ratio_line = out
+            .lines()
+            .find(|l| l.starts_with("stage-artifact reuse:"))
+            .expect("a reuse line");
+        assert!(!ratio_line.contains("ratio 0.000"), "{out}");
+        // Every sampled warm digest reproduces cold, and the campaign
+        // says so in a greppable summary line.
+        assert!(out.contains("digest-parity "), "{out}");
+        assert!(!out.contains("MISMATCH"), "{out}");
+        let parity_line = out
+            .lines()
+            .find(|l| l.starts_with("digest parity:"))
+            .expect("a parity summary");
+        assert!(parity_line.ends_with("ok"), "{out}");
+    }
+
+    #[test]
     fn run_explain_prints_the_evidence_chain() {
         let out = run(Command::Explain {
             cache_dir: None,
@@ -1596,6 +1813,10 @@ mod tests {
 
     #[test]
     fn run_explain_json_is_machine_readable() {
+        // Force a live run: a verdict-cache replay reports subkeys 0
+        // (per-branch telemetry is process-circumstantial, not part of
+        // the replayable trace).
+        chromata::clear_decision_cache();
         let out = run(Command::Explain {
             cache_dir: None,
             task: "consensus".into(),
@@ -1615,10 +1836,41 @@ mod tests {
         assert!(stages
             .iter()
             .any(|s| s["stage"] == Value::String("homology".into())));
+        // Every stage reports its incremental-reuse telemetry: the
+        // reused flag and the number of per-branch sub-keys consulted.
+        for s in stages {
+            assert!(
+                matches!(s["reused"], Value::Bool(_)),
+                "stage must carry a boolean `reused`: {out}"
+            );
+            assert!(
+                matches!(s["subkeys"], Value::UInt(_) | Value::Int(_)),
+                "stage must carry an integer `subkeys`: {out}"
+            );
+        }
+        let link_stage = stages
+            .iter()
+            .find(|s| s["stage"] == Value::String("link-graphs".into()))
+            .expect("a link-graphs stage");
+        let subkeys = match link_stage["subkeys"] {
+            Value::UInt(n) => n,
+            Value::Int(n) => u64::try_from(n).expect("subkeys is non-negative"),
+            _ => panic!("subkeys must be an integer: {out}"),
+        };
+        assert!(
+            subkeys >= 1,
+            "link-graphs must report one sub-key per input facet: {out}"
+        );
         let Value::Array(caches) = &doc["stage_caches"] else {
             panic!("stage_caches must be an array: {out}");
         };
         assert_eq!(caches.len(), 6);
+        for c in caches {
+            assert!(
+                matches!(c["reuse_hits"], Value::UInt(_) | Value::Int(_)),
+                "cache must carry `reuse_hits`: {out}"
+            );
+        }
         let Value::String(digest) = &doc["evidence_digest"] else {
             panic!("digest must be a string: {out}");
         };
@@ -1840,7 +2092,14 @@ mod tests {
         );
         assert!(parse(&args(&["serve", "--shards", " , "])).is_err());
         assert_eq!(
-            parse(&args(&["worker", "--addr", "127.0.0.1:0", "--threads", "2"])).unwrap(),
+            parse(&args(&[
+                "worker",
+                "--addr",
+                "127.0.0.1:0",
+                "--threads",
+                "2"
+            ]))
+            .unwrap(),
             Command::Worker {
                 addr: "127.0.0.1:0".into(),
                 threads: 2,

@@ -80,8 +80,7 @@ impl TcpShardIo {
                 format!("shard {shard} is not in the pool"),
             ));
         };
-        let connect_deadline =
-            deadline.unwrap_or(Duration::from_secs(DEFAULT_CONNECT_SECS));
+        let connect_deadline = deadline.unwrap_or(Duration::from_secs(DEFAULT_CONNECT_SECS));
         let mut last: Option<std::io::Error> = None;
         for addr in candidates {
             match TcpStream::connect_timeout(addr, connect_deadline) {

@@ -36,7 +36,11 @@ pub const OVERLOAD_RETRY_MS: u64 = 25;
 /// `proto` field: absent means "whatever the server speaks" (old
 /// clients keep working), a matching value is accepted, anything else
 /// is answered with a named error rather than a misparse.
-pub const PROTO_VERSION: u64 = 1;
+///
+/// v2: the stage engine re-keyed link-graph/presentation/homology
+/// artifacts per split branch, so v1 peers would disagree about which
+/// artifacts a shard owns; the version gate keeps mixed fleets honest.
+pub const PROTO_VERSION: u64 = 2;
 
 /// Upper bound on the load-derived retry hint (milliseconds).
 const MAX_RETRY_HINT_MS: u64 = 5_000;
@@ -517,23 +521,23 @@ mod tests {
         // Present and matching: accepted on every op, including the
         // implicit analyze default.
         assert_eq!(
-            parse_request(r#"{"op":"ping","proto":1}"#, DEFAULT_MAX_PAYLOAD).unwrap(),
+            parse_request(r#"{"op":"ping","proto":2}"#, DEFAULT_MAX_PAYLOAD).unwrap(),
             Request::Ping
         );
         assert!(matches!(
-            parse_request(r#"{"task":"consensus","proto":1}"#, DEFAULT_MAX_PAYLOAD).unwrap(),
+            parse_request(r#"{"task":"consensus","proto":2}"#, DEFAULT_MAX_PAYLOAD).unwrap(),
             Request::Analyze(_)
         ));
-        // Unsupported: a named error, not a misparse.
-        let err = parse_request(r#"{"op":"ping","proto":2}"#, DEFAULT_MAX_PAYLOAD).unwrap_err();
+        // Unsupported: a named error, not a misparse. v1 peers keyed
+        // stage artifacts per whole task, so they are refused by name.
+        let err = parse_request(r#"{"op":"ping","proto":1}"#, DEFAULT_MAX_PAYLOAD).unwrap_err();
         assert!(
-            err.0.contains("unsupported proto version 2")
+            err.0.contains("unsupported proto version 1")
                 && err.0.contains(&format!("speaks {PROTO_VERSION}")),
             "{err}"
         );
         // Ill-typed: named field error.
-        let err =
-            parse_request(r#"{"op":"ping","proto":"new"}"#, DEFAULT_MAX_PAYLOAD).unwrap_err();
+        let err = parse_request(r#"{"op":"ping","proto":"new"}"#, DEFAULT_MAX_PAYLOAD).unwrap_err();
         assert!(err.0.contains("field `proto`"), "{err}");
     }
 
@@ -555,7 +559,10 @@ mod tests {
         let mut previous = 0;
         for pending in 0..32 {
             let hint = overload_retry_hint(pending, 0);
-            assert!(hint >= previous, "hint must not shrink as the queue deepens");
+            assert!(
+                hint >= previous,
+                "hint must not shrink as the queue deepens"
+            );
             previous = hint;
         }
         for in_flight in 1..8 {

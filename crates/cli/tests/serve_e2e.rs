@@ -440,9 +440,10 @@ fn a_stalled_half_request_is_timed_out_and_frees_its_worker_slot() {
     let mut response = String::new();
     let _ = BufReader::new(stream).read_to_string(&mut response);
     let elapsed = started.elapsed();
-    let line = response.lines().find(|l| !l.trim().is_empty()).unwrap_or_else(|| {
-        panic!("the loris got no structured error before the close")
-    });
+    let line = response
+        .lines()
+        .find(|l| !l.trim().is_empty())
+        .unwrap_or_else(|| panic!("the loris got no structured error before the close"));
     let doc = json_line(line);
     assert_eq!(str_field(&doc, "status"), "error", "{line}");
     assert!(str_field(&doc, "error").contains("timed out"), "{line}");
@@ -454,7 +455,8 @@ fn a_stalled_half_request_is_timed_out_and_frees_its_worker_slot() {
     // An idle connection that never sends a byte is closed silently —
     // nothing was promised a response.
     let idle = TcpStream::connect(&addr).unwrap();
-    idle.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    idle.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
     let mut nothing = String::new();
     let _ = BufReader::new(idle).read_to_string(&mut nothing);
     assert!(

@@ -24,21 +24,14 @@
 //! bounded ACT fallback to turn some unknowns into `Solvable`.
 
 use std::fmt;
-use std::sync::Arc;
 
-use chromata_task::{canonicalize, Task};
-use chromata_topology::{par_map, Budget, CancelToken, Stopwatch};
+use chromata_task::Task;
+use chromata_topology::{par_map, Budget, CancelToken};
 
-use crate::continuous::{ContinuousOutcome, ImpossibilityReason};
 use crate::splitting::SplitOutcome;
-use crate::stages::artifacts::SubdividedComplex;
-use crate::stages::cache::{self, ArtifactKind, ArtifactStore};
+use crate::stages::cache::{self, ArtifactKind};
 use crate::stages::persist;
-use crate::stages::remote;
-use crate::stages::{
-    CacheEvent, DecisionRecord, EvidenceChain, ExploreStage, HomologyStage, LinkStage,
-    PresentationStage, SplitStage, StageEvidence, StageOrigin, StageTrace,
-};
+use crate::stages::EvidenceChain;
 
 pub use crate::stages::cache::DecisionCacheStats;
 
@@ -217,100 +210,11 @@ pub fn analyze_governed(
         task.process_count() <= 3,
         "the characterization is specific to at most three processes"
     );
-    let store = cache::store();
-    let mut evidence = EvidenceChain::new();
-
-    // Canonicalization is a cheap pure quotient — always run live so the
-    // evidence chain starts identically on cold and warm paths.
-    let clock = Stopwatch::start();
-    let reachable = task.restricted_to_reachable();
-    let canonical = canonicalize(&reachable);
-    evidence.stages.push(StageEvidence {
-        stage: "canonicalize",
-        detail: format!(
-            "|I| = {} facet(s); canonical |O*| = {} facet(s)",
-            canonical.input().facet_count(),
-            canonical.output().facet_count()
-        ),
-        work: canonical.output().facet_count() as u64,
-        cache: CacheEvent::Uncached,
-        wall: clock.elapsed(),
-        origin: StageOrigin::Local,
-    });
-
-    let split_art = if task.process_count() == 3 {
-        let outcome = remote::run_distributed(
-            &SplitStage {
-                canonical: canonical.clone(),
-            },
-            store,
-            budget,
-        );
-        evidence.stages.push(outcome.evidence);
-        outcome.artifact
-    } else {
-        // Proposition 5.4: two-process tasks are decided on the raw task;
-        // one-process tasks trivially.
-        let clock = Stopwatch::start();
-        let art = Arc::new(SubdividedComplex {
-            split: SplitOutcome {
-                task: canonical.clone(),
-                steps: Vec::new(),
-                degenerate: None,
-            },
-        });
-        evidence.stages.push(StageEvidence {
-            stage: "split",
-            detail: format!(
-                "splitting skipped for a {}-process task (Proposition 5.4)",
-                task.process_count()
-            ),
-            work: 0,
-            cache: CacheEvent::Uncached,
-            wall: clock.elapsed(),
-            origin: StageOrigin::Local,
-        });
-        art
-    };
-
-    let key = (canonical.clone(), options.act_fallback_rounds);
-    let cached = store.verdict.lock().get(&key);
-    // Decide outside the lock; a racing miss recomputes the same verdict.
-    let verdict = match cached {
-        Some(record) => {
-            // Replay the deterministic post-split traces: the evidence
-            // chain of a cache hit matches the chain that built it.
-            for trace in &record.stages {
-                evidence.stages.push(trace.replay());
-            }
-            evidence.decided_by = record.decided_by;
-            record.verdict
-        }
-        None => {
-            let (v, decided_by, traces, cacheable) =
-                decide_staged(&split_art, options, budget, cancel, store, &mut evidence);
-            evidence.decided_by = decided_by;
-            // Budget-induced answers are circumstantial — never poison the
-            // cache with them; a later unstarved run must re-decide.
-            if cacheable {
-                store.verdict.lock().insert(
-                    key,
-                    DecisionRecord {
-                        verdict: v.clone(),
-                        decided_by,
-                        stages: traces,
-                    },
-                );
-            }
-            v
-        }
-    };
-    Analysis {
-        canonical,
-        split: split_art.split.clone(),
-        verdict,
-        evidence,
-    }
+    // The entire decision path lives in the stage layer since PR 9 (the
+    // former monolith remnants — canonicalization evidence, the skip-split
+    // shortcut, verdict-cache replay and the tier walk — were folded into
+    // `stages::run_engine`); this façade only validates and delegates.
+    crate::stages::run_engine(task, options, budget, cancel)
 }
 
 /// [`analyze`] over a batch of tasks, fanned out with the workspace's
@@ -396,163 +300,10 @@ pub fn analyze_batch_persistent(
     (analyses, report)
 }
 
-/// Runs one stage — remotely when a shard pool is configured (see
-/// [`crate::stages::remote`]), locally otherwise — appending its
-/// evidence to the live chain and its deterministic trace to the record
-/// destined for the verdict cache.
-fn run_stage<S: remote::DistStage>(
-    stage: &S,
-    store: &ArtifactStore,
-    budget: &Budget,
-    evidence: &mut EvidenceChain,
-    traces: &mut Vec<StageTrace>,
-) -> S::Artifact {
-    let outcome = remote::run_distributed(stage, store, budget);
-    traces.push(StageTrace::of(&outcome.evidence));
-    evidence.stages.push(outcome.evidence);
-    outcome.artifact
-}
-
-/// Runs the post-split decision stages. Returns the verdict, the name of
-/// the deciding stage, the deterministic stage traces (for verdict-cache
-/// replay), and whether the verdict is budget-independent and therefore
-/// safe to memoize.
-fn decide_staged(
-    split: &SubdividedComplex,
-    options: PipelineOptions,
-    budget: &Budget,
-    cancel: &CancelToken,
-    store: &ArtifactStore,
-    evidence: &mut EvidenceChain,
-) -> (Verdict, &'static str, Vec<StageTrace>, bool) {
-    let mut traces = Vec::new();
-    if let Err(interrupt) = budget.check(cancel) {
-        return (
-            Verdict::Unknown {
-                reason: format!("analysis {interrupt} before the decision tiers ran"),
-            },
-            "budget",
-            traces,
-            false,
-        );
-    }
-    if let Some(x) = &split.split.degenerate {
-        return (
-            Verdict::Unsolvable {
-                obstruction: Obstruction::ArticulationPoints {
-                    witness: format!(
-                        "splitting emptied the solo image of input vertex {x}: \
-                         the incident edges force incompatible link components"
-                    ),
-                },
-            },
-            "split",
-            traces,
-            true,
-        );
-    }
-    let t = &split.split.task;
-    let links = run_stage(
-        &LinkStage { task: t.clone() },
-        store,
-        budget,
-        evidence,
-        &mut traces,
-    );
-    let presentations = run_stage(
-        &PresentationStage {
-            task: t.clone(),
-            links: Arc::clone(&links),
-        },
-        store,
-        budget,
-        evidence,
-        &mut traces,
-    );
-    let homology = run_stage(
-        &HomologyStage {
-            task: t.clone(),
-            links,
-            presentations,
-        },
-        store,
-        budget,
-        evidence,
-        &mut traces,
-    );
-    match &homology.outcome {
-        ContinuousOutcome::Exists { certificates, .. } => (
-            Verdict::Solvable {
-                certificate: if certificates.is_empty() {
-                    "continuous carried map exists (vertex/edge tiers)".to_owned()
-                } else {
-                    certificates.join("; ")
-                },
-            },
-            "homology",
-            traces,
-            true,
-        ),
-        ContinuousOutcome::Impossible { reason } => {
-            let obstruction = match reason {
-                ImpossibilityReason::SkeletonDisconnected { edge } => {
-                    Obstruction::ArticulationPoints {
-                        witness: format!(
-                            "after {} split step(s), no choice of solo outputs is connected across input edge {edge}",
-                            split.split.steps.len()
-                        ),
-                    }
-                }
-                ImpossibilityReason::HomologyObstruction { triangle } => {
-                    Obstruction::Contractibility {
-                        witness: format!(
-                            "the boundary loop of input triangle {triangle} is non-contractible (H1 certificate)"
-                        ),
-                    }
-                }
-                ImpossibilityReason::EmptyVertexImage(x) => Obstruction::ArticulationPoints {
-                    witness: format!("input vertex {x} has an empty image"),
-                },
-            };
-            (
-                Verdict::Unsolvable { obstruction },
-                "homology",
-                traces,
-                true,
-            )
-        }
-        ContinuousOutcome::Undetermined { reason } => {
-            if options.act_fallback_rounds == 0 {
-                return (
-                    Verdict::Unknown {
-                        reason: reason.clone(),
-                    },
-                    "homology",
-                    traces,
-                    true,
-                );
-            }
-            let report = run_stage(
-                &ExploreStage {
-                    task: t.clone(),
-                    undetermined_reason: reason.clone(),
-                    configured_rounds: options.act_fallback_rounds,
-                    cancel: cancel.clone(),
-                },
-                store,
-                budget,
-                evidence,
-                &mut traces,
-            );
-            let cacheable = report.budget_independent;
-            (report.verdict.clone(), "explore", traces, cacheable)
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stages::CacheEvent;
     use chromata_task::library::{
         adaptive_renaming, approximate_agreement, consensus, constant_task, disk_complex,
         hourglass, identity_task, leader_election, loop_agreement, majority_consensus, pinwheel,

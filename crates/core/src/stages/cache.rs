@@ -59,6 +59,12 @@ pub struct DecisionCacheStats {
     /// undecodable payload, or an inadmissible artifact (e.g. a
     /// budget-dependent exploration that must never be memoized).
     pub corrupt_entries: u64,
+    /// Hits on *sub-task-granular* entries (per-branch link graphs and
+    /// presentations): a nonzero value is the proof that an edited or
+    /// near-duplicate task reused artifacts computed for another task.
+    /// Always `<= hits`; stays 0 on whole-task caches. Process-local,
+    /// never persisted.
+    pub reuse_hits: u64,
 }
 
 impl DecisionCacheStats {
@@ -133,6 +139,11 @@ pub struct StageCache<K, V> {
     queue: VecDeque<K>,
     capacity: usize,
     stats: DecisionCacheStats,
+    /// Whether entries are keyed at sub-task granularity (per split
+    /// branch). Granular caches additionally count every hit in
+    /// `stats.reuse_hits` — the observable signal that an edit or a
+    /// near-duplicate task shared a branch artifact.
+    granular: bool,
 }
 
 impl<K: Clone + Eq + Hash, V: Clone> StageCache<K, V> {
@@ -144,17 +155,30 @@ impl<K: Clone + Eq + Hash, V: Clone> StageCache<K, V> {
             queue: VecDeque::new(),
             capacity,
             stats: DecisionCacheStats::default(),
+            granular: false,
         }
+    }
+
+    /// An empty *sub-task-granular* cache: hits also bump `reuse_hits`.
+    #[must_use]
+    pub fn with_capacity_granular(capacity: usize) -> Self {
+        let mut cache = Self::with_capacity(capacity);
+        cache.granular = true;
+        cache
     }
 
     /// Looks up an artifact, bumping the lookup and hit/miss counters
     /// (all under the caller's lock, so `lookups == hits + misses` is
-    /// never observably violated).
+    /// never observably violated). On granular caches a hit also bumps
+    /// `reuse_hits`.
     pub fn get(&mut self, key: &K) -> Option<V> {
         let found = self.map.get(key).cloned();
         self.stats.lookups += 1;
         if found.is_some() {
             self.stats.hits += 1;
+            if self.granular {
+                self.stats.reuse_hits += 1;
+            }
         } else {
             self.stats.misses += 1;
         }
@@ -297,6 +321,15 @@ impl<K: Clone + Eq + Hash, V: Clone> SharedCache<K, V> {
         }
     }
 
+    /// An empty shared cache whose entries are keyed at sub-task
+    /// granularity (hits also count as `reuse_hits`).
+    #[must_use]
+    pub fn new_granular(capacity: usize) -> Self {
+        SharedCache {
+            inner: Mutex::new(StageCache::with_capacity_granular(capacity)),
+        }
+    }
+
     /// Locks the cache. If a thread panicked while holding the lock, the
     /// cross-structure invariants are re-validated (and violating
     /// entries dropped) before the guard is handed out.
@@ -319,9 +352,15 @@ impl<K: Clone + Eq + Hash, V: Clone> SharedCache<K, V> {
 /// across tasks.
 pub struct ArtifactStore {
     pub(crate) split: SharedCache<Task, Arc<SubdividedComplex>>,
+    /// Keyed per split-branch sub-task (a name-erased single-facet
+    /// restriction), not per whole task — see `stages::branch_tasks`.
     pub(crate) links: SharedCache<Task, Arc<LinkGraphs>>,
+    /// Keyed per split-branch sub-task, like `links`.
     pub(crate) presentations: SharedCache<Task, Arc<Presentations>>,
-    pub(crate) homology: SharedCache<Task, Arc<HomologyReport>>,
+    /// Keyed on the ordered branch list of the split task: the homology
+    /// tier consumes the assembled global artifacts, so its key is the
+    /// full (name-free) branch decomposition.
+    pub(crate) homology: SharedCache<Vec<Task>, Arc<HomologyReport>>,
     pub(crate) exploration: SharedCache<(Task, usize), Arc<ExplorationReport>>,
     pub(crate) verdict: SharedCache<(Task, usize), DecisionRecord>,
 }
@@ -330,8 +369,8 @@ impl ArtifactStore {
     pub(crate) fn with_capacity(capacity: usize) -> Self {
         ArtifactStore {
             split: SharedCache::new(capacity),
-            links: SharedCache::new(capacity),
-            presentations: SharedCache::new(capacity),
+            links: SharedCache::new_granular(capacity),
+            presentations: SharedCache::new_granular(capacity),
             homology: SharedCache::new(capacity),
             exploration: SharedCache::new(capacity),
             verdict: SharedCache::new(capacity),
@@ -502,6 +541,25 @@ mod tests {
         let mut off: StageCache<(Task, usize), Verdict> = StageCache::with_capacity(0);
         off.restore_entry(key(9), v);
         assert!(off.is_empty());
+    }
+
+    #[test]
+    fn granular_caches_count_reuse_hits() {
+        let mut plain: StageCache<(Task, usize), Verdict> = StageCache::with_capacity(4);
+        let mut granular: StageCache<(Task, usize), Verdict> =
+            StageCache::with_capacity_granular(4);
+        let key = (identity_task(2), 0);
+        let v = Verdict::Unknown { reason: "x".into() };
+        for cache in [&mut plain, &mut granular] {
+            assert!(cache.get(&key).is_none());
+            cache.insert(key.clone(), v.clone());
+            assert!(cache.get(&key).is_some());
+            assert!(cache.get(&key).is_some());
+        }
+        assert_eq!(plain.stats().reuse_hits, 0, "whole-task caches never reuse");
+        assert_eq!(granular.stats().reuse_hits, 2);
+        assert!(granular.stats().reuse_hits <= granular.stats().hits);
+        assert!(plain.stats().is_coherent() && granular.stats().is_coherent());
     }
 
     #[test]

@@ -17,28 +17,42 @@
 //! cache event, wall clock). The engine threads the evidence into the
 //! [`EvidenceChain`] every [`crate::Analysis`] now carries, which is
 //! what `chromata explain` prints.
+//!
+//! Since PR 9 the link-graph and presentation stages are keyed **per
+//! split branch**: the split task is decomposed into one name-erased
+//! single-facet sub-task per input facet (see [`branch_tasks`]), each
+//! branch artifact is cached under that sub-task alone, and the global
+//! artifact is assembled from the branch parts. Two tasks whose splits
+//! overlap — a batch of near-duplicates, or one task across edits —
+//! share every common branch artifact; the sharing is observable as the
+//! `reuse_hits` cache counter and the per-stage
+//! [`StageEvidence::reused`] flag, while verdicts and
+//! [`EvidenceChain::deterministic_digest`] stay byte-identical to a
+//! cold whole-task run.
 
 pub mod artifacts;
 pub mod cache;
 pub mod persist;
 pub mod remote;
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::hash::Hash;
 use std::sync::Arc;
 use std::time::Duration;
 
-use chromata_task::Task;
+use chromata_task::{canonicalize, facet_restriction, Task};
 use chromata_topology::{structural_fingerprint, Budget, CancelToken, Stopwatch};
 
 use crate::act::solve_act_governed_with_stats;
 use crate::act::ActOutcome;
 use crate::continuous::{continuous_map_exists_with, ContinuousOutcome, ImpossibilityReason};
-use crate::pipeline::Verdict;
-use crate::splitting::split_all;
+use crate::pipeline::{Analysis, Obstruction, PipelineOptions, Verdict};
+use crate::splitting::{split_all, SplitOutcome};
 
 use artifacts::{
-    exists_summary, ExplorationReport, HomologyReport, LinkGraphs, Presentations, SubdividedComplex,
+    exists_summary, ExplorationReport, HomologyReport, LinkGraphs, Presentations,
+    SubdividedComplex, TrianglePresentations,
 };
 use cache::{ArtifactKind, ArtifactStore, SharedCache};
 
@@ -133,6 +147,15 @@ pub struct StageEvidence {
     /// Which machine computed the artifact (shard, local, or fallback).
     /// Excluded from [`EvidenceChain::deterministic_digest`].
     pub origin: StageOrigin,
+    /// Whether any part of the artifact was served from a cache — for
+    /// branch-keyed stages, whether at least one branch hit. Excluded
+    /// from [`EvidenceChain::deterministic_digest`] (it legitimately
+    /// differs between cold and warm runs).
+    pub reused: bool,
+    /// How many sub-task (branch) keys the stage consulted: the branch
+    /// count for branch-keyed stages, 0 for whole-task stages and
+    /// replays. Excluded from [`EvidenceChain::deterministic_digest`].
+    pub subkeys: usize,
 }
 
 /// The full evidence chain of one analysis: every stage that ran (or
@@ -186,6 +209,9 @@ impl fmt::Display for EvidenceChain {
             if s.origin != StageOrigin::Local {
                 write!(f, "  [{}]", s.origin)?;
             }
+            if s.reused && s.subkeys > 0 {
+                write!(f, "  [reused across {} sub-key(s)]", s.subkeys)?;
+            }
             writeln!(f)?;
         }
         Ok(())
@@ -218,6 +244,8 @@ impl StageTrace {
             cache: CacheEvent::Replayed,
             wall: Duration::ZERO,
             origin: StageOrigin::Local,
+            reused: true,
+            subkeys: 0,
         }
     }
 }
@@ -283,6 +311,8 @@ pub trait Stage {
                 cache: CacheEvent::Hit,
                 wall: clock.elapsed(),
                 origin: StageOrigin::Local,
+                reused: true,
+                subkeys: 0,
             };
             return StageOutcome {
                 artifact: hit,
@@ -303,6 +333,8 @@ pub trait Stage {
             cache,
             wall: clock.elapsed(),
             origin: StageOrigin::Local,
+            reused: false,
+            subkeys: 0,
         };
         StageOutcome { artifact, evidence }
     }
@@ -429,8 +461,17 @@ impl Stage for PresentationStage {
 }
 
 /// The continuous-map tiers of §5 (vertex/edge/triangle conditions).
+///
+/// Keyed on the split task's *branch decomposition* (the ordered list of
+/// name-erased single-facet sub-tasks): the outcome is a pure function
+/// of the assembled link/presentation artifacts, which are themselves
+/// determined by the branches — so renamed or re-batched tasks with the
+/// same decomposition share the report.
 pub(crate) struct HomologyStage {
+    /// The whole split task (what a remote homology job ships).
     pub task: Task,
+    /// Its branch decomposition (see [`branch_tasks`]) — the cache key.
+    pub branches: Vec<Task>,
     pub links: Arc<LinkGraphs>,
     pub presentations: Arc<Presentations>,
 }
@@ -438,14 +479,14 @@ pub(crate) struct HomologyStage {
 impl Stage for HomologyStage {
     const NAME: &'static str = "homology";
     const KIND: ArtifactKind = ArtifactKind::Homology;
-    type Key = Task;
+    type Key = Vec<Task>;
     type Artifact = Arc<HomologyReport>;
 
-    fn key(&self) -> Task {
-        self.task.clone()
+    fn key(&self) -> Vec<Task> {
+        self.branches.clone()
     }
 
-    fn cache(store: &ArtifactStore) -> &SharedCache<Task, Arc<HomologyReport>> {
+    fn cache(store: &ArtifactStore) -> &SharedCache<Vec<Task>, Arc<HomologyReport>> {
         &store.homology
     }
 
@@ -593,6 +634,472 @@ impl Stage for ExploreStage {
     }
 }
 
+/// The name-erased branch decomposition of a (typically split) task: one
+/// single-facet restriction per input facet, in complex (facet) order.
+/// These sub-tasks are the cache keys of the link-graph and presentation
+/// stages — identical branches of different tasks share artifacts.
+pub(crate) fn branch_tasks(task: &Task) -> Vec<Task> {
+    task.input()
+        .facets()
+        .map(|f| facet_restriction(task, f))
+        .collect()
+}
+
+/// Folds per-branch evidence into the single aggregated record the
+/// evidence chain carries: detail and work come from the *global*
+/// artifact (so the deterministic digest is identical to a whole-task
+/// run), cache is `Hit` only when every branch hit, `reused` when any
+/// branch did, and the origin reports the first non-local branch.
+fn aggregate_branch_evidence(
+    stage: &'static str,
+    detail: String,
+    work: u64,
+    branches: &[StageEvidence],
+    wall: Duration,
+) -> StageEvidence {
+    let all_hit = !branches.is_empty() && branches.iter().all(|e| e.cache == CacheEvent::Hit);
+    let any_hit = branches.iter().any(|e| e.cache == CacheEvent::Hit);
+    let origin = branches
+        .iter()
+        .map(|e| e.origin)
+        .find(|o| *o != StageOrigin::Local)
+        .unwrap_or(StageOrigin::Local);
+    StageEvidence {
+        stage,
+        detail,
+        work,
+        cache: if all_hit {
+            CacheEvent::Hit
+        } else {
+            CacheEvent::Miss
+        },
+        wall,
+        origin,
+        reused: any_hit,
+        subkeys: branches.len(),
+    }
+}
+
+/// Assembles the global [`LinkGraphs`] of `task` from its per-branch
+/// artifacts. A simplex shared by several facets has the *same* carrier
+/// entry in every branch containing it (restriction preserves entries),
+/// so any branch's part can stand in for the global computation; the
+/// global element order is re-derived from the task's own complex, which
+/// makes the result byte-identical to `LinkGraphs::build(task)`.
+fn assemble_links(task: &Task, branch_links: &[Arc<LinkGraphs>]) -> LinkGraphs {
+    let mut domain_of = BTreeMap::new();
+    let mut edge_data = BTreeMap::new();
+    for part in branch_links {
+        for (x, dom) in part.vertices.iter().zip(&part.domains) {
+            domain_of.entry(x.clone()).or_insert_with(|| dom.clone());
+        }
+        for ((e, graph), cycles) in part
+            .edges
+            .iter()
+            .zip(&part.edge_graphs)
+            .zip(&part.edge_cycles)
+        {
+            edge_data
+                .entry(e.clone())
+                .or_insert_with(|| (graph.clone(), cycles.clone()));
+        }
+    }
+    let input = task.input();
+    let vertices: Vec<_> = input.vertices().cloned().collect();
+    let domains: Vec<_> = vertices
+        .iter()
+        .map(|x| {
+            domain_of
+                .get(x)
+                .expect("every input vertex lies in some facet branch") // chromata-lint: allow(P1): each input simplex is a face of some facet, so its branch computed it
+                .clone()
+        })
+        .collect();
+    let edges: Vec<_> = input.simplices_of_dim(1).cloned().collect();
+    let (edge_graphs, edge_cycles): (Vec<_>, Vec<_>) = edges
+        .iter()
+        .map(|e| {
+            edge_data
+                .get(e)
+                .expect("every input edge lies in some facet branch") // chromata-lint: allow(P1): each input simplex is a face of some facet, so its branch computed it
+                .clone()
+        })
+        .unzip();
+    let triangles: Vec<_> = input.simplices_of_dim(2).cloned().collect();
+    LinkGraphs {
+        vertices,
+        domains,
+        edges,
+        edge_graphs,
+        edge_cycles,
+        triangles,
+    }
+}
+
+/// Assembles the global [`Presentations`] (parallel to the global
+/// triangle list) from per-branch presentation artifacts — the same
+/// shared-entry argument as [`assemble_links`].
+fn assemble_presentations(
+    global_links: &LinkGraphs,
+    branch_links: &[Arc<LinkGraphs>],
+    branch_presentations: &[Arc<Presentations>],
+) -> Presentations {
+    let mut by_triangle: BTreeMap<_, &TrianglePresentations> = BTreeMap::new();
+    for (links, pres) in branch_links.iter().zip(branch_presentations) {
+        for (sigma, tp) in links.triangles.iter().zip(&pres.per_triangle) {
+            by_triangle.entry(sigma.clone()).or_insert(tp);
+        }
+    }
+    let per_triangle = global_links
+        .triangles
+        .iter()
+        .map(|sigma| {
+            (*by_triangle
+                .get(sigma)
+                .expect("every input triangle lies in some facet branch")) // chromata-lint: allow(P1): each input simplex is a face of some facet, so its branch computed it
+            .clone()
+        })
+        .collect();
+    Presentations { per_triangle }
+}
+
+/// Runs the link-graph stage per branch — dispatching each branch to the
+/// shard pool when `dispatch` is set and one is configured — and
+/// assembles the global artifact, emitting one aggregated evidence
+/// record. Returns the branch artifacts too (the presentation stage
+/// consumes them branch-wise).
+pub(crate) fn run_links(
+    task: &Task,
+    branches: &[Task],
+    store: &ArtifactStore,
+    budget: &Budget,
+    dispatch: bool,
+) -> (Arc<LinkGraphs>, Vec<Arc<LinkGraphs>>, StageEvidence) {
+    let clock = Stopwatch::start();
+    let mut branch_links = Vec::with_capacity(branches.len());
+    let mut branch_evidence = Vec::with_capacity(branches.len());
+    for branch in branches {
+        let stage = LinkStage {
+            task: branch.clone(),
+        };
+        let outcome = if dispatch {
+            remote::run_distributed(&stage, store, budget)
+        } else {
+            stage.run(store, budget)
+        };
+        branch_links.push(outcome.artifact);
+        branch_evidence.push(outcome.evidence);
+    }
+    let global = Arc::new(assemble_links(task, &branch_links));
+    let evidence = aggregate_branch_evidence(
+        LinkStage::NAME,
+        LinkStage::detail(&global),
+        LinkStage::work(&global),
+        &branch_evidence,
+        clock.elapsed(),
+    );
+    (global, branch_links, evidence)
+}
+
+/// Runs the presentation stage per branch (each against that branch's
+/// own link artifact) and assembles the global artifact — the
+/// presentation-side counterpart of [`run_links`].
+pub(crate) fn run_presentations(
+    branches: &[Task],
+    branch_links: &[Arc<LinkGraphs>],
+    global_links: &Arc<LinkGraphs>,
+    store: &ArtifactStore,
+    budget: &Budget,
+    dispatch: bool,
+) -> (Arc<Presentations>, StageEvidence) {
+    let clock = Stopwatch::start();
+    let mut branch_presentations = Vec::with_capacity(branches.len());
+    let mut branch_evidence = Vec::with_capacity(branches.len());
+    for (branch, links) in branches.iter().zip(branch_links) {
+        let stage = PresentationStage {
+            task: branch.clone(),
+            links: Arc::clone(links),
+        };
+        let outcome = if dispatch {
+            remote::run_distributed(&stage, store, budget)
+        } else {
+            stage.run(store, budget)
+        };
+        branch_presentations.push(outcome.artifact);
+        branch_evidence.push(outcome.evidence);
+    }
+    let global = Arc::new(assemble_presentations(
+        global_links,
+        branch_links,
+        &branch_presentations,
+    ));
+    let evidence = aggregate_branch_evidence(
+        PresentationStage::NAME,
+        PresentationStage::detail(&global),
+        PresentationStage::work(&global),
+        &branch_evidence,
+        clock.elapsed(),
+    );
+    (global, evidence)
+}
+
+/// Runs one whole-task stage — remotely when a shard pool is configured
+/// (see [`remote`]), locally otherwise — appending its evidence to the
+/// live chain and its deterministic trace to the record destined for the
+/// verdict cache.
+fn run_stage<S: remote::DistStage>(
+    stage: &S,
+    store: &ArtifactStore,
+    budget: &Budget,
+    evidence: &mut EvidenceChain,
+    traces: &mut Vec<StageTrace>,
+) -> S::Artifact {
+    let outcome = remote::run_distributed(stage, store, budget);
+    traces.push(StageTrace::of(&outcome.evidence));
+    evidence.stages.push(outcome.evidence);
+    outcome.artifact
+}
+
+/// Runs the post-split decision stages. Returns the verdict, the name of
+/// the deciding stage, the deterministic stage traces (for verdict-cache
+/// replay), and whether the verdict is budget-independent and therefore
+/// safe to memoize.
+fn decide_staged(
+    split: &SubdividedComplex,
+    options: PipelineOptions,
+    budget: &Budget,
+    cancel: &CancelToken,
+    store: &ArtifactStore,
+    evidence: &mut EvidenceChain,
+) -> (Verdict, &'static str, Vec<StageTrace>, bool) {
+    let mut traces = Vec::new();
+    if let Err(interrupt) = budget.check(cancel) {
+        return (
+            Verdict::Unknown {
+                reason: format!("analysis {interrupt} before the decision tiers ran"),
+            },
+            "budget",
+            traces,
+            false,
+        );
+    }
+    if let Some(x) = &split.split.degenerate {
+        return (
+            Verdict::Unsolvable {
+                obstruction: Obstruction::ArticulationPoints {
+                    witness: format!(
+                        "splitting emptied the solo image of input vertex {x}: \
+                         the incident edges force incompatible link components"
+                    ),
+                },
+            },
+            "split",
+            traces,
+            true,
+        );
+    }
+    let t = &split.split.task;
+    let branches = branch_tasks(t);
+    let (links, branch_links, link_evidence) = run_links(t, &branches, store, budget, true);
+    traces.push(StageTrace::of(&link_evidence));
+    evidence.stages.push(link_evidence);
+    let (presentations, pres_evidence) =
+        run_presentations(&branches, &branch_links, &links, store, budget, true);
+    traces.push(StageTrace::of(&pres_evidence));
+    evidence.stages.push(pres_evidence);
+    let homology = run_stage(
+        &HomologyStage {
+            task: t.clone(),
+            branches,
+            links,
+            presentations,
+        },
+        store,
+        budget,
+        evidence,
+        &mut traces,
+    );
+    match &homology.outcome {
+        ContinuousOutcome::Exists { certificates, .. } => (
+            Verdict::Solvable {
+                certificate: if certificates.is_empty() {
+                    "continuous carried map exists (vertex/edge tiers)".to_owned()
+                } else {
+                    certificates.join("; ")
+                },
+            },
+            "homology",
+            traces,
+            true,
+        ),
+        ContinuousOutcome::Impossible { reason } => {
+            let obstruction = match reason {
+                ImpossibilityReason::SkeletonDisconnected { edge } => {
+                    Obstruction::ArticulationPoints {
+                        witness: format!(
+                            "after {} split step(s), no choice of solo outputs is connected across input edge {edge}",
+                            split.split.steps.len()
+                        ),
+                    }
+                }
+                ImpossibilityReason::HomologyObstruction { triangle } => {
+                    Obstruction::Contractibility {
+                        witness: format!(
+                            "the boundary loop of input triangle {triangle} is non-contractible (H1 certificate)"
+                        ),
+                    }
+                }
+                ImpossibilityReason::EmptyVertexImage(x) => Obstruction::ArticulationPoints {
+                    witness: format!("input vertex {x} has an empty image"),
+                },
+            };
+            (
+                Verdict::Unsolvable { obstruction },
+                "homology",
+                traces,
+                true,
+            )
+        }
+        ContinuousOutcome::Undetermined { reason } => {
+            if options.act_fallback_rounds == 0 {
+                return (
+                    Verdict::Unknown {
+                        reason: reason.clone(),
+                    },
+                    "homology",
+                    traces,
+                    true,
+                );
+            }
+            let report = run_stage(
+                &ExploreStage {
+                    task: t.clone(),
+                    undetermined_reason: reason.clone(),
+                    configured_rounds: options.act_fallback_rounds,
+                    cancel: cancel.clone(),
+                },
+                store,
+                budget,
+                evidence,
+                &mut traces,
+            );
+            let cacheable = report.budget_independent;
+            (report.verdict.clone(), "explore", traces, cacheable)
+        }
+    }
+}
+
+/// The full staged engine behind [`crate::analyze_governed`]: live
+/// canonicalization, the (possibly skipped) split stage, verdict-cache
+/// replay, and the per-branch decision tiers. This is the whole former
+/// monolith pipeline folded into the stage layer; the pipeline module
+/// keeps only the public façades and types.
+pub(crate) fn run_engine(
+    task: &Task,
+    options: PipelineOptions,
+    budget: &Budget,
+    cancel: &CancelToken,
+) -> Analysis {
+    let store = cache::store();
+    let mut evidence = EvidenceChain::new();
+
+    // Canonicalization is a cheap pure quotient — always run live so the
+    // evidence chain starts identically on cold and warm paths.
+    let clock = Stopwatch::start();
+    let reachable = task.restricted_to_reachable();
+    let canonical = canonicalize(&reachable);
+    evidence.stages.push(StageEvidence {
+        stage: "canonicalize",
+        detail: format!(
+            "|I| = {} facet(s); canonical |O*| = {} facet(s)",
+            canonical.input().facet_count(),
+            canonical.output().facet_count()
+        ),
+        work: canonical.output().facet_count() as u64,
+        cache: CacheEvent::Uncached,
+        wall: clock.elapsed(),
+        origin: StageOrigin::Local,
+        reused: false,
+        subkeys: 0,
+    });
+
+    let split_art = if task.process_count() == 3 {
+        let outcome = remote::run_distributed(
+            &SplitStage {
+                canonical: canonical.clone(),
+            },
+            store,
+            budget,
+        );
+        evidence.stages.push(outcome.evidence);
+        outcome.artifact
+    } else {
+        // Proposition 5.4: two-process tasks are decided on the raw task;
+        // one-process tasks trivially.
+        let clock = Stopwatch::start();
+        let art = Arc::new(SubdividedComplex {
+            split: SplitOutcome {
+                task: canonical.clone(),
+                steps: Vec::new(),
+                degenerate: None,
+            },
+        });
+        evidence.stages.push(StageEvidence {
+            stage: "split",
+            detail: format!(
+                "splitting skipped for a {}-process task (Proposition 5.4)",
+                task.process_count()
+            ),
+            work: 0,
+            cache: CacheEvent::Uncached,
+            wall: clock.elapsed(),
+            origin: StageOrigin::Local,
+            reused: false,
+            subkeys: 0,
+        });
+        art
+    };
+
+    let key = (canonical.clone(), options.act_fallback_rounds);
+    let cached = store.verdict.lock().get(&key);
+    // Decide outside the lock; a racing miss recomputes the same verdict.
+    let verdict = match cached {
+        Some(record) => {
+            // Replay the deterministic post-split traces: the evidence
+            // chain of a cache hit matches the chain that built it.
+            for trace in &record.stages {
+                evidence.stages.push(trace.replay());
+            }
+            evidence.decided_by = record.decided_by;
+            record.verdict
+        }
+        None => {
+            let (v, decided_by, traces, cacheable) =
+                decide_staged(&split_art, options, budget, cancel, store, &mut evidence);
+            evidence.decided_by = decided_by;
+            // Budget-induced answers are circumstantial — never poison the
+            // cache with them; a later unstarved run must re-decide.
+            if cacheable {
+                store.verdict.lock().insert(
+                    key,
+                    DecisionRecord {
+                        verdict: v.clone(),
+                        decided_by,
+                        stages: traces,
+                    },
+                );
+            }
+            v
+        }
+    };
+    Analysis {
+        canonical,
+        split: split_art.split.clone(),
+        verdict,
+        evidence,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -627,6 +1134,8 @@ mod tests {
             cache: CacheEvent::Miss,
             wall: Duration::from_millis(7),
             origin: StageOrigin::Local,
+            reused: false,
+            subkeys: 0,
         });
         let mut b = a.clone();
         b.stages[0].cache = CacheEvent::Hit;
@@ -635,6 +1144,8 @@ mod tests {
             shard: 1,
             attempt: 2,
         };
+        b.stages[0].reused = true;
+        b.stages[0].subkeys = 5;
         assert_eq!(a.deterministic_digest(), b.deterministic_digest());
         // But the deterministic parts do matter.
         b.stages[0].work = 1;
@@ -642,6 +1153,92 @@ mod tests {
         let mut c = a.clone();
         c.decided_by = "explore";
         assert_ne!(a.deterministic_digest(), c.deterministic_digest());
+    }
+
+    #[test]
+    fn editing_one_branch_reuses_the_others() {
+        use chromata_topology::{Complex, Simplex, Vertex};
+        // Two triangles sharing an edge; Δ maps each simplex to itself.
+        let v = |c: u8, x: i64| Vertex::of(c, x);
+        let t1 = Simplex::new(vec![v(0, 0), v(1, 0), v(2, 0)]);
+        let t2 = Simplex::new(vec![v(0, 1), v(1, 0), v(2, 0)]);
+        let input = Complex::from_facets([t1.clone(), t2.clone()]);
+        let base =
+            Task::from_facet_delta("branch-base", input.clone(), |sigma| vec![sigma.clone()])
+                .expect("identity-style task is valid");
+        // The "edit": only τ2's entry changes (its solo vertex moves),
+        // while every simplex of τ1's closure keeps its carrier — so
+        // exactly one branch differs.
+        let edited = Task::from_facet_delta("branch-edited", input, |sigma| {
+            if *sigma == t2 {
+                vec![t2.substituted(&v(0, 1), v(0, 7))]
+            } else {
+                vec![sigma.clone()]
+            }
+        })
+        .expect("edited task is valid");
+
+        // A private store isolates the counters from concurrent tests.
+        let store = ArtifactStore::with_capacity(64);
+        let budget = Budget::unlimited();
+        let branches = branch_tasks(&base);
+        assert_eq!(branches.len(), 2);
+        let (cold_links, cold_branch_links, cold_ev) =
+            run_links(&base, &branches, &store, &budget, false);
+        assert_eq!(cold_ev.cache, CacheEvent::Miss);
+        assert!(!cold_ev.reused);
+        assert_eq!(cold_ev.subkeys, 2);
+        let (_, cold_pres_ev) = run_presentations(
+            &branches,
+            &cold_branch_links,
+            &cold_links,
+            &store,
+            &budget,
+            false,
+        );
+        assert_eq!(cold_pres_ev.subkeys, 2);
+        let after_cold = store.links.lock().stats();
+        assert_eq!(after_cold.reuse_hits, 0, "cold run reuses nothing");
+        assert_eq!(after_cold.misses, 2);
+
+        // Re-analyzing the edited task re-runs only the edited branch:
+        // τ1's branch artifact is served from the cache (a reuse hit).
+        let edited_branches = branch_tasks(&edited);
+        let (edited_links, edited_branch_links, warm_ev) =
+            run_links(&edited, &edited_branches, &store, &budget, false);
+        assert!(warm_ev.reused, "the unedited branch must be reused");
+        assert_eq!(warm_ev.cache, CacheEvent::Miss, "one branch recomputed");
+        let after_edit = store.links.lock().stats();
+        assert_eq!(after_edit.lookups, after_cold.lookups + 2);
+        assert_eq!(after_edit.reuse_hits, 1, "exactly one branch reused");
+        assert_eq!(after_edit.misses, after_cold.misses + 1);
+        let (_, warm_pres_ev) = run_presentations(
+            &edited_branches,
+            &edited_branch_links,
+            &edited_links,
+            &store,
+            &budget,
+            false,
+        );
+        assert!(warm_pres_ev.reused);
+        assert_eq!(store.presentations.lock().stats().reuse_hits, 1);
+
+        // The assembled global artifact matches a direct whole-task
+        // build (detail and work feed the deterministic digest).
+        let direct = Arc::new(LinkGraphs::build(&edited));
+        assert_eq!(LinkStage::detail(&edited_links), LinkStage::detail(&direct));
+        assert_eq!(LinkStage::work(&edited_links), LinkStage::work(&direct));
+    }
+
+    #[test]
+    fn branch_tasks_are_name_erased_and_ordered() {
+        let task = chromata_task::canonicalize(&two_set_agreement());
+        let branches = branch_tasks(&task);
+        assert_eq!(branches.len(), task.input().facet_count());
+        for (facet, branch) in task.input().facets().zip(&branches) {
+            assert_eq!(branch.name(), "");
+            assert_eq!(branch.input().facets().next(), Some(facet));
+        }
     }
 
     #[test]

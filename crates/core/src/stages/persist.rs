@@ -9,10 +9,19 @@
 //! per-record-checksummed:
 //!
 //! ```text
-//! chromata-snap v1 <kind>\n          (magic + version + kind)
+//! chromata-snap v2 <kind>\n          (magic + version + kind)
 //! H <fnv1a-16hex> [cap,h,m,e]\n      (capacity + cumulative counters)
 //! E <fnv1a-16hex> [key,value]\n      (one cache entry, insertion order)
 //! ```
+//!
+//! Version history: v1 keyed link-graph, presentation, and homology
+//! entries on whole tasks; v2 keys them per split branch (`links` and
+//! `presentations` on single-facet restriction tasks, `homology` on the
+//! branch vector). A v1 snapshot therefore fails the magic check and is
+//! rejected wholesale — the engine degrades to a cold recompute, which
+//! is always sound, rather than attempting a cross-version key
+//! migration that could alias artifacts. `reuse_hits` is process-local
+//! telemetry and is deliberately absent from the `H` record.
 //!
 //! Loading is paranoid and graceful — persistence must never poison a
 //! verdict. The recovery taxonomy (counted per cause in
@@ -52,8 +61,11 @@ use super::artifacts::ExplorationReport;
 use super::cache::{store, ArtifactKind, ArtifactStore, SharedCache, ALL_KINDS};
 
 /// Magic prefix of every snapshot file (version-bearing): the first
-/// line is this prefix followed by the artifact-kind name.
-const MAGIC_PREFIX: &str = "chromata-snap v1 ";
+/// line is this prefix followed by the artifact-kind name. Bumped to v2
+/// with the per-branch re-keying of link-graph/presentation/homology
+/// artifacts; v1 snapshots are rejected (degrading to recompute), never
+/// reinterpreted under the new keys.
+const MAGIC_PREFIX: &str = "chromata-snap v2 ";
 
 /// Environment variable read (via [`govern::env_string`], rule D2) by
 /// [`CacheDirConfig::from_env`].
@@ -877,7 +889,7 @@ fn audit_kind(kind: ArtifactKind, dir: &Path, io: &dyn PersistIo) -> SnapshotAud
             audit_one::<Task, Arc<Presentations>>(kind, dir, io, &|_, _| true)
         }
         ArtifactKind::Homology => {
-            audit_one::<Task, Arc<HomologyReport>>(kind, dir, io, &|_, _| true)
+            audit_one::<Vec<Task>, Arc<HomologyReport>>(kind, dir, io, &|_, _| true)
         }
         ArtifactKind::Exploration => audit_one::<(Task, usize), Arc<ExplorationReport>>(
             kind,
@@ -1008,7 +1020,7 @@ mod tests {
             store.split.lock().insert(task.clone(), s);
             store.links.lock().insert(task.clone(), l);
             store.presentations.lock().insert(task.clone(), p);
-            store.homology.lock().insert(task.clone(), h);
+            store.homology.lock().insert(vec![task.clone()], h);
             store
                 .exploration
                 .lock()
@@ -1523,6 +1535,41 @@ mod tests {
         assert!(fresh.homology.lock().is_empty());
         assert_eq!(fresh.homology.lock().stats().rejected_snapshots, 1);
         assert_eq!(report.restored, 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn old_version_snapshot_degrades_to_recompute() {
+        // A pre-re-keying (v1) snapshot must be rejected wholesale, not
+        // reinterpreted under the per-branch keys: the cost is a cold
+        // recompute, never a wrong verdict from an aliased artifact.
+        let store = seeded_store_with(4, &[constant_task(2)]);
+        let dir = test_dir("old-version");
+        save_store(&store, &dir, &RealIo).expect("save");
+        for kind in ALL_KINDS {
+            let path = snapshot_path(&dir, kind);
+            let text = std::fs::read_to_string(&path).expect("read");
+            let downgraded = text.replacen("chromata-snap v2 ", "chromata-snap v1 ", 1);
+            assert_ne!(text, downgraded, "version token must be present");
+            std::fs::write(&path, downgraded).expect("rewrite");
+        }
+
+        let fresh = ArtifactStore::with_capacity(4);
+        let report = load_store(&fresh, &dir, &RealIo);
+        assert_eq!(report.rejected_snapshots, ALL_KINDS.len() as u64);
+        assert_eq!(report.restored, 0);
+        assert!(fresh.split.lock().is_empty());
+        assert!(fresh.links.lock().is_empty());
+        assert!(fresh.presentations.lock().is_empty());
+        assert!(fresh.homology.lock().is_empty());
+        assert!(fresh.exploration.lock().is_empty());
+        assert!(fresh.verdict.lock().is_empty());
+        // The degraded store re-saves as v2 and round-trips cleanly.
+        save_store(&store, &dir, &RealIo).expect("re-save");
+        let again = ArtifactStore::with_capacity(4);
+        let report = load_store(&again, &dir, &RealIo);
+        assert_eq!(report.rejected_snapshots, 0);
+        assert_eq!(report.restored, 6);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -58,7 +58,12 @@ use super::{
 };
 
 /// The protocol version stage requests carry (`proto` field).
-pub const STAGE_PROTO_VERSION: u64 = 1;
+///
+/// v2 (PR 9): link-graph and presentation jobs ship *branch sub-tasks*
+/// (name-erased single-facet restrictions) instead of whole split tasks,
+/// and homology jobs are routed by the branch decomposition fingerprint.
+/// The wire shapes are unchanged; the version records the re-keying.
+pub const STAGE_PROTO_VERSION: u64 = 2;
 
 /// Bound on retained fault-trace lines (oldest evicted first).
 const FAULT_TRACE_CAP: usize = 256;
@@ -140,7 +145,13 @@ impl ShardIoError {
 
 impl std::fmt::Display for ShardIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} failed ({:?}): {}", self.step.label(), self.kind, self.message)
+        write!(
+            f,
+            "{} failed ({:?}): {}",
+            self.step.label(),
+            self.kind,
+            self.message
+        )
     }
 }
 
@@ -247,6 +258,11 @@ impl StageJob {
             StageJob::Explore { task, rounds, .. } => {
                 structural_fingerprint(&(self.stage_name(), task, *rounds))
             }
+            // Homology is keyed (and therefore homed) on the branch
+            // decomposition, matching its cache key.
+            StageJob::Homology { task } => {
+                structural_fingerprint(&(self.stage_name(), super::branch_tasks(task)))
+            }
             _ => structural_fingerprint(&(self.stage_name(), self.task())),
         }
     }
@@ -255,7 +271,12 @@ impl StageJob {
 /// Builds an ordered JSON object (the vendored `serde_json` has no
 /// object-literal macro).
 fn object(entries: Vec<(&str, Value)>) -> Value {
-    Value::Object(entries.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+    )
 }
 
 /// Renders a [`StageJob`] as one `op: "stage"` request line (no
@@ -385,7 +406,9 @@ pub fn execute_stage_line(job: &StageJob) -> Result<String, String> {
             serde_json::to_string(&*out.artifact)
         }
         StageJob::Presentations { task } => {
-            let links = LinkStage { task: task.clone() }.run(store, &budget).artifact;
+            let links = LinkStage { task: task.clone() }
+                .run(store, &budget)
+                .artifact;
             let out = PresentationStage {
                 task: task.clone(),
                 links,
@@ -394,15 +417,17 @@ pub fn execute_stage_line(job: &StageJob) -> Result<String, String> {
             serde_json::to_string(&*out.artifact)
         }
         StageJob::Homology { task } => {
-            let links = LinkStage { task: task.clone() }.run(store, &budget).artifact;
-            let presentations = PresentationStage {
-                task: task.clone(),
-                links: Arc::clone(&links),
-            }
-            .run(store, &budget)
-            .artifact;
+            // Worker-side aggregation is strictly local (`dispatch:
+            // false`): a worker that is itself configured with a shard
+            // pool must never re-dispatch the per-branch prerequisites,
+            // or an in-process loopback would recurse forever.
+            let branches = super::branch_tasks(task);
+            let (links, branch_links, _) = super::run_links(task, &branches, store, &budget, false);
+            let (presentations, _) =
+                super::run_presentations(&branches, &branch_links, &links, store, &budget, false);
             let out = HomologyStage {
                 task: task.clone(),
+                branches,
                 links,
                 presentations,
             }
@@ -424,7 +449,12 @@ pub fn execute_stage_line(job: &StageJob) -> Result<String, String> {
             serde_json::to_string(&*out.artifact)
         }
     }
-    .map_err(|e| format!("stage `{}`: artifact serialization failed: {e}", job.stage_name()))?;
+    .map_err(|e| {
+        format!(
+            "stage `{}`: artifact serialization failed: {e}",
+            job.stage_name()
+        )
+    })?;
     let check = fnv1a(payload.as_bytes());
     serde_json::to_string(&object(vec![
         ("status", Value::String("ok".to_owned())),
@@ -813,7 +843,8 @@ impl RemoteEngine {
         let deadline = Some(Duration::from_millis(
             self.policy.stage_deadline_ms.unwrap_or(1_000).min(1_000),
         ));
-        match self.io.exchange(shard, r#"{"op":"ping","proto":1}"#, deadline) {
+        let ping = format!(r#"{{"op":"ping","proto":{STAGE_PROTO_VERSION}}}"#);
+        match self.io.exchange(shard, &ping, deadline) {
             Ok(text) => match serde_json::from_str::<Value>(&text) {
                 Ok(Value::Object(entries)) => entries
                     .iter()
@@ -842,7 +873,14 @@ impl RemoteEngine {
 
     /// Counts a fault in the taxonomy, appends its replayable one-line
     /// trace, and updates the shard's health (possibly ejecting it).
-    fn note_fault(&self, stage: &'static str, fingerprint: u64, shard: usize, attempt: u32, err: &ShardIoError) {
+    fn note_fault(
+        &self,
+        stage: &'static str,
+        fingerprint: u64,
+        shard: usize,
+        attempt: u32,
+        err: &ShardIoError,
+    ) {
         let counter = match err.step {
             ShardStep::Connect => &self.counters.connect_faults,
             ShardStep::Send => &self.counters.send_faults,
@@ -850,7 +888,10 @@ impl RemoteEngine {
             ShardStep::Decode => &self.counters.decode_faults,
         };
         counter.fetch_add(1, Ordering::Relaxed);
-        if matches!(err.kind, io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock) {
+        if matches!(
+            err.kind,
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+        ) {
             self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
         }
         let trace = format!(
@@ -971,7 +1012,11 @@ impl RemoteEngine {
     /// decode, verify — retrying with backoff across the pool, ejecting
     /// sick shards along the way. `Err` means every remote option is
     /// exhausted and the caller must recompute locally.
-    fn fetch<S: DistStage>(&self, job: &StageJob, budget: &Budget) -> Result<(S::Artifact, StageOrigin), ()> {
+    fn fetch<S: DistStage>(
+        &self,
+        job: &StageJob,
+        budget: &Budget,
+    ) -> Result<(S::Artifact, StageOrigin), ()> {
         let line = match stage_request_line(job) {
             Ok(line) => line,
             Err(_) => return Err(()),
@@ -997,26 +1042,29 @@ impl RemoteEngine {
             }
             let deadline = self.attempt_deadline(budget);
             match self.exchange_hedged(shard, &line, deadline, pool) {
-                Ok((text, winner)) => match artifact_payload(&text, S::NAME)
-                    .and_then(|payload| S::decode(&payload))
-                {
-                    Ok(artifact) => {
-                        self.note_success(winner);
-                        self.counters.fetched.fetch_add(1, Ordering::Relaxed);
-                        return Ok((
-                            artifact,
-                            StageOrigin::Shard {
-                                shard: winner,
-                                attempt,
-                            },
-                        ));
+                Ok((text, winner)) => {
+                    match artifact_payload(&text, S::NAME).and_then(|payload| S::decode(&payload)) {
+                        Ok(artifact) => {
+                            self.note_success(winner);
+                            self.counters.fetched.fetch_add(1, Ordering::Relaxed);
+                            return Ok((
+                                artifact,
+                                StageOrigin::Shard {
+                                    shard: winner,
+                                    attempt,
+                                },
+                            ));
+                        }
+                        Err(message) => {
+                            let err = ShardIoError::new(
+                                ShardStep::Decode,
+                                io::ErrorKind::InvalidData,
+                                message,
+                            );
+                            self.note_fault(S::NAME, fingerprint, winner, attempt, &err);
+                        }
                     }
-                    Err(message) => {
-                        let err =
-                            ShardIoError::new(ShardStep::Decode, io::ErrorKind::InvalidData, message);
-                        self.note_fault(S::NAME, fingerprint, winner, attempt, &err);
-                    }
-                },
+                }
                 Err(err) => {
                     self.note_fault(S::NAME, fingerprint, shard, attempt, &err);
                 }
@@ -1031,7 +1079,9 @@ impl RemoteEngine {
                 }
             }
         }
-        self.counters.local_fallbacks.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .local_fallbacks
+            .fetch_add(1, Ordering::Relaxed);
         Err(())
     }
 }
@@ -1057,13 +1107,17 @@ fn current_engine() -> Option<Arc<RemoteEngine>> {
 /// previously configured pool (health and counters start fresh).
 pub fn configure_remote(io: Arc<dyn ShardIo>, policy: RemotePolicy) {
     let engine = Arc::new(RemoteEngine::new(io, policy));
-    *engine_slot().write().unwrap_or_else(PoisonError::into_inner) = Some(engine);
+    *engine_slot()
+        .write()
+        .unwrap_or_else(PoisonError::into_inner) = Some(engine);
 }
 
 /// Removes the configured shard pool; analyses run purely locally
 /// again. Verdicts and digests are unaffected either way.
 pub fn clear_remote() {
-    *engine_slot().write().unwrap_or_else(PoisonError::into_inner) = None;
+    *engine_slot()
+        .write()
+        .unwrap_or_else(PoisonError::into_inner) = None;
 }
 
 /// Whether a shard pool is currently configured.
@@ -1111,6 +1165,8 @@ pub(crate) fn run_distributed<S: DistStage>(
             cache: CacheEvent::Hit,
             wall: clock.elapsed(),
             origin: StageOrigin::Local,
+            reused: true,
+            subkeys: 0,
         };
         return StageOutcome {
             artifact: hit,
@@ -1146,6 +1202,8 @@ pub(crate) fn run_distributed<S: DistStage>(
         cache,
         wall: clock.elapsed(),
         origin,
+        reused: false,
+        subkeys: 0,
     };
     StageOutcome { artifact, evidence }
 }
@@ -1174,8 +1232,9 @@ mod tests {
     }
 
     fn serve_line(line: &str) -> Result<String, ShardIoError> {
-        let value: Value = serde_json::from_str(line)
-            .map_err(|e| ShardIoError::new(ShardStep::Recv, io::ErrorKind::InvalidData, e.to_string()))?;
+        let value: Value = serde_json::from_str(line).map_err(|e| {
+            ShardIoError::new(ShardStep::Recv, io::ErrorKind::InvalidData, e.to_string())
+        })?;
         let Value::Object(entries) = value else {
             return Err(ShardIoError::new(
                 ShardStep::Recv,
@@ -1337,7 +1396,11 @@ mod tests {
         let first = engine.pick_shard(fp, 1, 3).unwrap();
         assert_eq!(first, engine.pick_shard(fp, 1, 3).unwrap());
         let second = engine.pick_shard(fp, 2, 3).unwrap();
-        assert_eq!(second, (first + 1) % 3, "attempt 2 rotates to the next shard");
+        assert_eq!(
+            second,
+            (first + 1) % 3,
+            "attempt 2 rotates to the next shard"
+        );
     }
 
     #[test]
@@ -1407,7 +1470,13 @@ mod tests {
         assert_eq!(faults.len(), 1);
         let line = &faults[0];
         assert!(!line.contains('\n'));
-        for needle in ["stage=homology", "shard=1", "attempt=2", "step=recv", "TimedOut"] {
+        for needle in [
+            "stage=homology",
+            "shard=1",
+            "attempt=2",
+            "step=recv",
+            "TimedOut",
+        ] {
             assert!(line.contains(needle), "missing {needle} in {line}");
         }
         assert_eq!(engine.counters.snapshot().timeouts, 1);
@@ -1425,7 +1494,9 @@ mod tests {
         assert!(stage
             .job(&Budget::unlimited().with_deadline_in(Duration::from_secs(5)))
             .is_none());
-        assert!(stage.job(&Budget::unlimited().with_max_states(10)).is_none());
+        assert!(stage
+            .job(&Budget::unlimited().with_max_states(10))
+            .is_none());
         assert!(stage
             .job(&Budget::unlimited().with_max_act_rounds(2))
             .is_none());

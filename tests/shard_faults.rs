@@ -184,9 +184,11 @@ impl ShardIo for FaultIo {
                 Ok(full.replace(":[", ":[9,"))
             }
             FaultMode::Stall => {
-                std::thread::sleep(deadline.unwrap_or(Duration::from_millis(20)).min(
-                    Duration::from_millis(20),
-                ));
+                std::thread::sleep(
+                    deadline
+                        .unwrap_or(Duration::from_millis(20))
+                        .min(Duration::from_millis(20)),
+                );
                 Err(ShardIoError {
                     step: ShardStep::Recv,
                     kind: io::ErrorKind::TimedOut,
@@ -263,8 +265,7 @@ fn every_errorkind_at_every_step_preserves_verdict_and_digest() {
                 stats.local_fallbacks >= 1,
                 "no local fallback under {context}: {stats:?}"
             );
-            let timed_out =
-                matches!(kind, io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock);
+            let timed_out = matches!(kind, io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock);
             assert_eq!(
                 stats.timeouts > 0,
                 timed_out,
@@ -315,7 +316,9 @@ fn mid_response_kill_and_corruption_are_decode_faults_with_parity() {
         let traces = remote_fault_trace();
         assert!(!traces.is_empty(), "no fault trace under {context}");
         assert!(
-            traces.iter().all(|t| !t.contains('\n') && t.contains("step=decode")),
+            traces
+                .iter()
+                .all(|t| !t.contains('\n') && t.contains("step=decode")),
             "traces must be one-line decode records under {context}: {traces:?}"
         );
     }
@@ -329,11 +332,17 @@ fn stalled_shard_times_out_retries_and_falls_back() {
     let options = PipelineOptions::default();
     let gold = golden(&task, options);
     reset();
-    configure_remote(Arc::new(FaultIo::always(2, FaultMode::Stall)), fast_policy(2));
+    configure_remote(
+        Arc::new(FaultIo::always(2, FaultMode::Stall)),
+        fast_policy(2),
+    );
     let analysis = analyze(&task, options);
     assert_parity(&task, &analysis, &gold, "stalled shard");
     let stats = remote_stats().expect("engine is configured");
-    assert!(stats.timeouts >= 1, "stall must count as timeout: {stats:?}");
+    assert!(
+        stats.timeouts >= 1,
+        "stall must count as timeout: {stats:?}"
+    );
     assert!(stats.retries >= 1, "stall must be retried: {stats:?}");
     assert!(stats.local_fallbacks >= 1, "{stats:?}");
     clear_remote();
@@ -421,9 +430,10 @@ fn healthy_pool_fans_a_library_batch_and_matches_sequential_goldens() {
     );
     // Shard-computed stages carry their provenance in the evidence.
     assert!(
-        batch.iter().flat_map(|a| &a.evidence.stages).any(|s| {
-            matches!(s.origin, StageOrigin::Shard { .. })
-        }),
+        batch
+            .iter()
+            .flat_map(|a| &a.evidence.stages)
+            .any(|s| { matches!(s.origin, StageOrigin::Shard { .. }) }),
         "no stage evidence records a shard origin"
     );
     clear_remote();
@@ -518,7 +528,10 @@ fn remote_execution_is_invisible_to_the_digest_under_every_mode() {
             )),
             "dead pool",
         ),
-        (Arc::new(FaultIo::always(2, FaultMode::CorruptPayload)), "corrupting pool"),
+        (
+            Arc::new(FaultIo::always(2, FaultMode::CorruptPayload)),
+            "corrupting pool",
+        ),
     ];
     for (io, context) in modes {
         reset();
