@@ -168,8 +168,8 @@ pub enum Command {
         idle_secs: u64,
     },
     /// `chromata request [--addr A] [--op OP] [--act-fallback N]
-    /// [--budget-ms N] [--max-states N] [--json] [task]` — one-shot
-    /// client for a running `chromata serve`.
+    /// [--budget-ms N] [--max-states N] [--retry N] [--json] [task]` —
+    /// one-shot client for a running `chromata serve`.
     Request {
         /// Server address.
         addr: String,
@@ -183,6 +183,10 @@ pub enum Command {
         budget_ms: Option<u64>,
         /// Requested state budget.
         max_states: Option<usize>,
+        /// Retry budget for overload rejections: each retry sleeps for
+        /// the server's `retry_after_ms` hint (capped exponential
+        /// backoff when the response carries none) before resending.
+        retry: u32,
         /// Print the raw JSON response line instead of a summary.
         json: bool,
     },
@@ -213,6 +217,25 @@ pub enum Command {
         rounds: usize,
         /// ACT fallback rounds for undetermined verdicts.
         act_fallback: usize,
+    },
+    /// `chromata chaos [--seed N] [--rounds K] [--faults LIST]
+    /// [--shards N] [--cache-dir DIR]` — the randomized end-to-end
+    /// fault campaign: replay a seeded mutation-fuzzed task stream
+    /// through a live serve + in-process shard pool while a seeded
+    /// schedule injects persist/shard/net/signal faults, asserting
+    /// verdict and digest parity against a clean oracle run after every
+    /// round (see `crate::chaos`).
+    Chaos {
+        /// Seed for the mutation stream and the fault schedule.
+        seed: u64,
+        /// Campaign rounds (one mutant per round).
+        rounds: usize,
+        /// Enabled fault families (`--faults persist,shard,net,signal`).
+        faults: Vec<chromata::FaultKind>,
+        /// In-process shard pool size.
+        shards: usize,
+        /// Cache directory (a fresh temp directory when absent).
+        cache_dir: Option<PathBuf>,
     },
     /// `chromata lint [--deny-all] [--json] [PATH...]` — the workspace
     /// static-analysis pass (same engine as `cargo xtask lint`).
@@ -521,6 +544,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut act_fallback = 0usize;
             let mut budget_ms = None;
             let mut max_states = None;
+            let mut retry = 0u32;
             let mut json = false;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
@@ -533,6 +557,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         budget_ms = Some(parse_number_u64(&mut it, "--budget-ms")?);
                     }
                     "--max-states" => max_states = Some(parse_number(&mut it, "--max-states")?),
+                    "--retry" => {
+                        retry = u32::try_from(parse_number(&mut it, "--retry")?)
+                            .map_err(|_| CliError("--retry is out of range".to_owned()))?;
+                    }
                     "--json" => json = true,
                     flag if flag.starts_with('-') => {
                         return Err(CliError(format!("unknown flag {flag}")));
@@ -561,6 +589,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 act_fallback,
                 budget_ms,
                 max_states,
+                retry,
                 json,
             })
         }
@@ -617,6 +646,44 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 seed,
                 rounds,
                 act_fallback,
+            })
+        }
+        "chaos" => {
+            let mut seed = 1u64;
+            let mut rounds = 20usize;
+            let mut faults = chromata::ALL_FAULT_KINDS.to_vec();
+            let mut shards = 3usize;
+            let mut cache_dir = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--seed" => seed = parse_number_u64(&mut it, "--seed")?,
+                    "--rounds" => rounds = parse_number(&mut it, "--rounds")?,
+                    "--faults" => {
+                        let spec = required(
+                            &mut it,
+                            "--faults needs a comma-separated list (persist,shard,net,signal)",
+                        )?;
+                        faults = chromata::parse_fault_kinds(&spec).map_err(CliError)?;
+                    }
+                    "--shards" => shards = parse_number(&mut it, "--shards")?,
+                    "--cache-dir" => {
+                        cache_dir = Some(PathBuf::from(required(
+                            &mut it,
+                            "--cache-dir needs a path",
+                        )?));
+                    }
+                    other => return Err(CliError(format!("unknown flag {other}"))),
+                }
+            }
+            if rounds == 0 {
+                return Err(CliError("--rounds must be at least 1".to_owned()));
+            }
+            Ok(Command::Chaos {
+                seed,
+                rounds,
+                faults,
+                shards,
+                cache_dir,
             })
         }
         "lint" => {
@@ -1097,6 +1164,19 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        Command::Chaos {
+            seed,
+            rounds,
+            faults,
+            shards,
+            cache_dir,
+        } => crate::chaos::run_campaign(&crate::chaos::ChaosOptions {
+            seed,
+            rounds,
+            kinds: faults,
+            shards,
+            cache_dir,
+        }),
         Command::Act { task, rounds } => {
             let t = load_task(&task)?;
             let mut out = String::new();
@@ -1277,6 +1357,10 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 };
                 crate::shard::configure_shards(&shards, policy)?;
             }
+            // SIGTERM/SIGINT must be masked before the server spawns
+            // its threads so they inherit the mask and delivery funnels
+            // to the dedicated watcher below.
+            let signals_masked = chromata_signal::block_termination();
             let server = crate::serve::Server::start(crate::serve::ServeOptions {
                 addr,
                 threads,
@@ -1289,9 +1373,18 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 persist_secs,
                 idle_timeout_secs: idle_secs,
             })?;
+            let watch = if signals_masked {
+                let handle = server.shutdown_handle();
+                chromata_signal::watch_termination(move |_sig| handle.request())
+            } else {
+                None
+            };
             // The banner goes out before the blocking wait (and is
             // flushed) so scripts can scrape an OS-assigned port.
             println!("serve: listening on {}", server.local_addr());
+            if watch.is_some() {
+                println!("serve: SIGTERM/SIGINT trigger graceful shutdown with persistence");
+            }
             if !shards.is_empty() {
                 println!("serve: dispatching stages across {} shard(s)", shards.len());
             }
@@ -1305,7 +1398,11 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 );
             }
             let _ = std::io::stdout().flush();
-            Ok(format!("{}\n", server.wait()))
+            let summary = server.wait();
+            if let Some(watch) = watch {
+                watch.stop();
+            }
+            Ok(format!("{summary}\n"))
         }
         Command::Worker {
             addr,
@@ -1322,6 +1419,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             // stage requests run against the local store only, so a
             // pool of workers cannot recurse through each other.
             chromata::clear_remote();
+            let signals_masked = chromata_signal::block_termination();
             let server = crate::serve::Server::start(crate::serve::ServeOptions {
                 addr,
                 threads,
@@ -1334,7 +1432,16 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 persist_secs,
                 idle_timeout_secs: idle_secs,
             })?;
+            let watch = if signals_masked {
+                let handle = server.shutdown_handle();
+                chromata_signal::watch_termination(move |_sig| handle.request())
+            } else {
+                None
+            };
             println!("worker: listening on {}", server.local_addr());
+            if watch.is_some() {
+                println!("worker: SIGTERM/SIGINT trigger graceful shutdown with persistence");
+            }
             if let Some(loaded) = server.loaded() {
                 println!(
                     "worker: warm-started {} artifact(s) ({} rejected, {} torn, {} corrupt)",
@@ -1345,7 +1452,11 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 );
             }
             let _ = std::io::stdout().flush();
-            Ok(format!("{}\n", server.wait()))
+            let summary = server.wait();
+            if let Some(watch) = watch {
+                watch.stop();
+            }
+            Ok(format!("{summary}\n"))
         }
         Command::Request {
             addr,
@@ -1354,6 +1465,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             act_fallback,
             budget_ms,
             max_states,
+            retry,
             json,
         } => {
             use serde_json::Value;
@@ -1386,7 +1498,23 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 serde_json::to_string(&json_object(vec![("op", Value::String(op))]))
                     .map_err(|e| CliError(format!("serialize request: {e}")))?
             };
-            let response = crate::serve::request_line(&addr, &line, 120)?;
+            let mut response = crate::serve::request_line(&addr, &line, 120)?;
+            // Overload rejections carry a `retry_after_ms` hint; within
+            // the --retry attempt budget, honor it (capped exponential
+            // backoff when a response carries none) and resend. Final
+            // verdicts — including budget-exhaustion UNKNOWNs, which
+            // carry an evidence digest — are never retried.
+            let mut attempt = 0u32;
+            while attempt < retry {
+                let Some(hint) = crate::wire::overload_retry_hint_of(&response) else {
+                    break;
+                };
+                std::thread::sleep(std::time::Duration::from_millis(
+                    crate::wire::retry_backoff_ms(attempt, Some(hint)),
+                ));
+                response = crate::serve::request_line(&addr, &line, 120)?;
+                attempt += 1;
+            }
             if json {
                 return Ok(format!("{response}\n"));
             }
@@ -1531,9 +1659,11 @@ COMMANDS:
                                  plus `op: \"stage\"`, answering artifacts with
                                  checksums for a sharded serve or batch
     request [--addr A] [--op OP] [--act-fallback N] [--budget-ms N]
-            [--max-states N] [--json] [task]
+            [--max-states N] [--retry N] [--json] [task]
                                  one-shot client for a running serve
-                                 (ops: analyze, ping, stats, persist, shutdown)
+                                 (ops: analyze, ping, stats, persist, shutdown);
+                                 --retry resends after overload rejections,
+                                 honoring the server's retry_after_ms hint
     cache <stats|verify|clear> [--cache-dir DIR]
                                  offline audit / maintenance of a durable
                                  stage-cache directory; `verify` exits nonzero
@@ -1544,6 +1674,12 @@ COMMANDS:
                                  the shared per-branch artifact store, then
                                  report the stage-artifact reuse ratio and
                                  warm-vs-cold evidence-digest parity samples
+    chaos [--seed N] [--rounds K] [--faults LIST] [--shards N] [--cache-dir DIR]
+                                 randomized end-to-end fault campaign: replay
+                                 a seeded mutant stream through a live serve
+                                 with injected persist/shard/net/signal faults,
+                                 asserting verdict + digest parity against a
+                                 clean oracle run; nonzero exit on any breach
     lint [--deny-all] [--json] [PATH...]
                                  run the workspace static-analysis rules
                                  (same engine as `cargo xtask lint`);
@@ -1754,6 +1890,46 @@ mod tests {
         );
         assert!(parse(&args(&["fuzz", "--rounds", "0"])).is_err());
         assert!(parse(&args(&["fuzz", "--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn parse_chaos() {
+        assert_eq!(
+            parse(&args(&["chaos"])).unwrap(),
+            Command::Chaos {
+                seed: 1,
+                rounds: 20,
+                faults: chromata::ALL_FAULT_KINDS.to_vec(),
+                shards: 3,
+                cache_dir: None,
+            }
+        );
+        assert_eq!(
+            parse(&args(&[
+                "chaos",
+                "--seed",
+                "9",
+                "--rounds",
+                "50",
+                "--faults",
+                "persist,net",
+                "--shards",
+                "2",
+                "--cache-dir",
+                "/tmp/chaos",
+            ]))
+            .unwrap(),
+            Command::Chaos {
+                seed: 9,
+                rounds: 50,
+                faults: vec![chromata::FaultKind::Persist, chromata::FaultKind::Net],
+                shards: 2,
+                cache_dir: Some(PathBuf::from("/tmp/chaos")),
+            }
+        );
+        assert!(parse(&args(&["chaos", "--rounds", "0"])).is_err());
+        assert!(parse(&args(&["chaos", "--faults", "gamma-rays"])).is_err());
+        assert!(parse(&args(&["chaos", "--frobnicate"])).is_err());
     }
 
     #[test]
@@ -2139,11 +2315,12 @@ mod tests {
                 act_fallback: 0,
                 budget_ms: Some(100),
                 max_states: None,
+                retry: 0,
                 json: true,
             }
         );
         assert_eq!(
-            parse(&args(&["request", "--op", "ping"])).unwrap(),
+            parse(&args(&["request", "--op", "ping", "--retry", "5"])).unwrap(),
             Command::Request {
                 addr: "127.0.0.1:7437".into(),
                 op: "ping".into(),
@@ -2151,6 +2328,7 @@ mod tests {
                 act_fallback: 0,
                 budget_ms: None,
                 max_states: None,
+                retry: 5,
                 json: false,
             }
         );

@@ -8,11 +8,13 @@
 #![warn(missing_docs)]
 
 mod app;
+pub mod chaos;
 pub mod registry;
 pub mod serve;
 pub mod shard;
 pub mod wire;
 
 pub use app::{load_task, parse, run, CacheAction, CliError, Command};
-pub use serve::{ServeOptions, Server};
+pub use chaos::{run_campaign, ChaosOptions};
+pub use serve::{ServeOptions, Server, ShutdownHandle};
 pub use shard::{configure_shards, TcpShardIo};

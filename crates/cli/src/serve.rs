@@ -23,13 +23,28 @@
 //! on a fixed cadence, and persists once more on graceful shutdown.
 //! Because snapshots are written atomically (temp + fsync + rename), an
 //! abrupt SIGKILL loses at most the last cadence interval, never the
-//! on-disk history.
+//! on-disk history. SIGTERM/SIGINT are gentler: the CLI entry point
+//! watches for them with `chromata-signal` and turns either into the
+//! same graceful shutdown a wire `{"op":"shutdown"}` triggers — final
+//! persist included — via [`Server::shutdown_handle`].
+//!
+//! Failure containment added by the chaos PR:
+//!
+//! * a failed snapshot (ENOSPC, short write) leaves the previous
+//!   snapshot intact, flips the store into read-through degradation,
+//!   and is retried on the next cadence — serving never wedges;
+//! * a task whose analysis panics a worker repeatedly is quarantined
+//!   by structural fingerprint and answered with a structured
+//!   `UNKNOWN(poisoned)` line instead of costing more workers;
+//! * shutdown drains in-flight connections under a hard deadline
+//!   ([`SHUTDOWN_DRAIN_SECS`]); a stalled client cannot hold
+//!   [`Server::wait`] hostage.
 //!
 //! This module is the **only** place in the workspace allowed to touch
 //! socket types (xtask rule D4), which keeps network I/O auditable the
 //! same way D2 confines clocks and D3 confines the filesystem.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -39,9 +54,10 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use chromata::topology::govern::{Gate, Stopwatch};
+use chromata::topology::structural_fingerprint;
 use chromata::{
-    analyze_governed, load_cache_dir, persist_now, stage_cache_stats, Budget, CacheDirConfig,
-    CancelToken, LoadReport, PipelineOptions, Verdict,
+    analyze_governed, load_cache_dir, persist_failures, persist_now, stage_cache_stats,
+    store_read_through, Budget, CacheDirConfig, CancelToken, LoadReport, PipelineOptions, Verdict,
 };
 
 use crate::app::CliError;
@@ -57,6 +73,62 @@ const RESYNC_DRAIN_CAP: usize = 64 << 20;
 /// absorb one line within this window forfeits its connection; the
 /// worker moves on.
 const WRITE_TIMEOUT_SECS: u64 = 10;
+
+/// Hard deadline (seconds) for draining in-flight connections after a
+/// shutdown request. A worker still serving past it — e.g. pinned by a
+/// stalled client holding a connection open — is abandoned rather than
+/// joined, so [`Server::wait`] always returns promptly. Abandoned
+/// workers hold no state the final persist needs: the store's own
+/// locks recover from poisoning and snapshots are atomic.
+pub const SHUTDOWN_DRAIN_SECS: u64 = 5;
+
+/// How many analysis panics the same task (by structural fingerprint)
+/// may cost before it is quarantined to an immediate structured
+/// `UNKNOWN(poisoned)` answer.
+const POISON_QUARANTINE_AFTER: u32 = 2;
+
+/// Tracks tasks whose analysis panicked, keyed by structural
+/// fingerprint. A fingerprint that reaches [`POISON_QUARANTINE_AFTER`]
+/// panics is quarantined: the server refuses to re-run it and answers
+/// with a structured poison verdict instead (the second worker death is
+/// the proof the first was no fluke). The table is process-lifetime —
+/// a restart retries, which is the desired behavior after a fix.
+struct PoisonTable {
+    panics: Mutex<BTreeMap<u64, u32>>,
+}
+
+impl PoisonTable {
+    fn new() -> PoisonTable {
+        PoisonTable {
+            panics: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Records one analysis panic for `fingerprint` and returns the
+    /// total observed so far.
+    fn note_panic(&self, fingerprint: u64) -> u32 {
+        let mut panics = lock(&self.panics);
+        let count = panics.entry(fingerprint).or_insert(0);
+        *count = count.saturating_add(1);
+        *count
+    }
+
+    /// Whether `fingerprint` has crossed the quarantine threshold.
+    fn is_quarantined(&self, fingerprint: u64) -> bool {
+        lock(&self.panics)
+            .get(&fingerprint)
+            .is_some_and(|&count| count >= POISON_QUARANTINE_AFTER)
+    }
+
+    /// Every quarantined fingerprint, ascending (for the stats line).
+    fn quarantined(&self) -> Vec<u64> {
+        lock(&self.panics)
+            .iter()
+            .filter(|&(_, &count)| count >= POISON_QUARANTINE_AFTER)
+            .map(|(&fingerprint, _)| fingerprint)
+            .collect()
+    }
+}
 
 /// Tuning knobs for [`Server::start`]. `Default` gives a loopback
 /// server sized to the machine with persistence disabled.
@@ -142,6 +214,7 @@ struct Shared {
     malformed: AtomicU64,
     save_errors: AtomicU64,
     dirty: AtomicU64,
+    poison: PoisonTable,
 }
 
 impl Shared {
@@ -156,11 +229,28 @@ impl Shared {
         self.ready.notify_all();
         self.persist_cv.notify_all();
         // `incoming()` has no timeout; a loopback connect is the
-        // portable way to unblock it without unsafe signal handling.
+        // portable way to unblock it. This path is also how SIGTERM/
+        // SIGINT land: the `chromata-signal` watcher thread (wired up
+        // by the CLI entry point) calls into here as ordinary code, so
+        // no work happens in async-signal context.
         drop(TcpStream::connect_timeout(
             &self.addr,
             Duration::from_secs(5),
         ));
+    }
+}
+
+/// A cloneable, thread-safe handle that requests a graceful shutdown
+/// of the server it came from. The signal watcher holds one; embedders
+/// and tests may too. Requesting shutdown more than once is harmless.
+#[derive(Clone)]
+pub struct ShutdownHandle(Arc<Shared>);
+
+impl ShutdownHandle {
+    /// Triggers the same graceful shutdown a wire `{"op":"shutdown"}`
+    /// request does: stop accepting, drain, final persist.
+    pub fn request(&self) {
+        self.0.request_shutdown();
     }
 }
 
@@ -222,6 +312,7 @@ impl Server {
             malformed: AtomicU64::new(0),
             save_errors: AtomicU64::new(0),
             dirty: AtomicU64::new(0),
+            poison: PoisonTable::new(),
         });
         let spawn_err = |e: std::io::Error| CliError(format!("serve: cannot spawn thread: {e}"));
         let accept = {
@@ -279,16 +370,46 @@ impl Server {
         self.shared.request_shutdown();
     }
 
+    /// A detachable handle for requesting shutdown from another thread
+    /// — the signal watcher cannot borrow the server it must stop,
+    /// because [`Server::wait`] consumes it.
+    #[must_use]
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shared))
+    }
+
     /// Blocks until the server shuts down, joins every thread, runs the
     /// final persist, and returns a one-paragraph summary.
+    ///
+    /// Worker joins are bounded by [`SHUTDOWN_DRAIN_SECS`]: in-flight
+    /// requests get that long to finish, then stalled workers (e.g.
+    /// pinned by a client that opened a connection and went silent) are
+    /// abandoned and counted in the summary. Without the bound, one
+    /// stalled client could hold `wait` hostage for a full idle-timeout
+    /// window — or forever, if it keeps trickling bytes.
     #[must_use]
     pub fn wait(mut self) -> String {
         if let Some(accept) = self.accept.take() {
             drop(accept.join());
         }
-        for worker in self.workers.drain(..) {
-            drop(worker.join());
+        let drain = Stopwatch::start();
+        let mut workers: Vec<JoinHandle<()>> = self.workers.drain(..).collect();
+        loop {
+            let (finished, running): (Vec<_>, Vec<_>) =
+                workers.into_iter().partition(JoinHandle::is_finished);
+            for worker in finished {
+                drop(worker.join());
+            }
+            workers = running;
+            if workers.is_empty() || drain.elapsed() >= Duration::from_secs(SHUTDOWN_DRAIN_SECS) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
         }
+        let stalled = workers.len();
+        // Dropping the handles detaches the stalled workers; they exit
+        // on their own once their client disconnects or times out.
+        drop(workers);
         if let Some(persister) = self.persister.take() {
             drop(persister.join());
         }
@@ -306,8 +427,13 @@ impl Server {
             }
         }
         let shared = &self.shared;
+        let abandoned = if stalled > 0 {
+            format!("; abandoned {stalled} stalled connection(s)")
+        } else {
+            String::new()
+        };
         format!(
-            "serve: stopped after {} request(s) ({} analyzed, {} overloaded, {} malformed){persisted}",
+            "serve: stopped after {} request(s) ({} analyzed, {} overloaded, {} malformed){persisted}{abandoned}",
             shared.served.load(Ordering::Relaxed),
             shared.analyzed.load(Ordering::Relaxed),
             shared.overloaded.load(Ordering::Relaxed),
@@ -575,6 +701,11 @@ fn dispatch(line: &str, shared: &Shared) -> (String, bool) {
                 .iter()
                 .map(|(kind, stats)| wire::cache_stats_value(kind.name(), stats))
                 .collect();
+            let health = wire::HealthStats {
+                persist_failures: persist_failures(),
+                read_through: store_read_through(),
+                quarantined: shared.poison.quarantined(),
+            };
             (
                 wire::stats_response(
                     shared.served.load(Ordering::Relaxed),
@@ -582,6 +713,7 @@ fn dispatch(line: &str, shared: &Shared) -> (String, bool) {
                     shared.overloaded.load(Ordering::Relaxed),
                     shared.malformed.load(Ordering::Relaxed),
                     shared.gate.in_flight(),
+                    &health,
                     caches,
                 ),
                 false,
@@ -663,6 +795,12 @@ fn handle_analyze(req: &AnalyzeRequest, shared: &Shared) -> String {
             task.process_count()
         ));
     }
+    // Poison quarantine: a task that already cost two workers a panic
+    // is answered immediately, before it can take an analysis slot.
+    let fingerprint = structural_fingerprint(&task);
+    if shared.poison.is_quarantined(fingerprint) {
+        return wire::poisoned_response(task.name(), fingerprint);
+    }
     let Some(_permit) = shared.gate.try_enter() else {
         shared.overloaded.fetch_add(1, Ordering::Relaxed);
         let hint = wire::overload_retry_hint(lock(&shared.queue).len(), shared.gate.in_flight());
@@ -698,10 +836,18 @@ fn handle_analyze(req: &AnalyzeRequest, shared: &Shared) -> String {
     }));
     let wall_ms = clock.elapsed().as_secs_f64() * 1000.0;
     match outcome {
-        Err(_) => wire::error_response(&format!(
-            "internal: analysis of `{}` panicked; the worker recovered",
-            task.name()
-        )),
+        Err(_) => {
+            let count = shared.poison.note_panic(fingerprint);
+            let quarantined = if count >= POISON_QUARANTINE_AFTER {
+                "; the task is now quarantined"
+            } else {
+                ""
+            };
+            wire::error_response(&format!(
+                "internal: analysis of `{}` panicked; the worker recovered{quarantined}",
+                task.name()
+            ))
+        }
         Ok(analysis) => {
             shared.analyzed.fetch_add(1, Ordering::Relaxed);
             shared.dirty.fetch_add(1, Ordering::Relaxed);
@@ -745,6 +891,10 @@ fn persist_loop(shared: &Shared) {
         }
         if let Some(Err(_)) = persist_now(&shared.cache) {
             shared.save_errors.fetch_add(1, Ordering::Relaxed);
+            // The snapshot failed after `dirty` was already swapped to
+            // zero; re-mark it so the next cadence retries instead of
+            // silently dropping the delta until another request lands.
+            shared.dirty.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -785,4 +935,35 @@ pub fn request_line(addr: &str, line: &str, timeout_secs: u64) -> Result<String,
         ));
     }
     Ok(response.trim_end().to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poison_table_quarantines_after_two_panics() {
+        let table = PoisonTable::new();
+        assert!(!table.is_quarantined(7));
+        assert_eq!(table.note_panic(7), 1);
+        assert!(
+            !table.is_quarantined(7),
+            "one panic may be a budget fluke; no quarantine yet"
+        );
+        assert_eq!(table.note_panic(7), 2);
+        assert!(table.is_quarantined(7));
+        assert!(!table.is_quarantined(8), "fingerprints are independent");
+        assert_eq!(table.quarantined(), vec![7]);
+    }
+
+    #[test]
+    fn poison_table_lists_quarantined_fingerprints_sorted() {
+        let table = PoisonTable::new();
+        for fp in [42u64, 3, 99] {
+            table.note_panic(fp);
+            table.note_panic(fp);
+        }
+        table.note_panic(1); // below threshold: not listed
+        assert_eq!(table.quarantined(), vec![3, 42, 99]);
+    }
 }

@@ -59,6 +59,35 @@ pub fn overload_retry_hint(pending: usize, in_flight: usize) -> u64 {
         .min(MAX_RETRY_HINT_MS)
 }
 
+/// The delay before retry `attempt` (0-based), honoring the server's
+/// `retry_after_ms` hint when one was given. The server's hint is
+/// load-derived and used as-is; without one (e.g. a transport error)
+/// the client backs off exponentially from [`OVERLOAD_RETRY_MS`].
+/// Either way the delay is capped at [`MAX_RETRY_HINT_MS`].
+#[must_use]
+pub fn retry_backoff_ms(attempt: u32, hint: Option<u64>) -> u64 {
+    let base = hint.unwrap_or_else(|| OVERLOAD_RETRY_MS.saturating_mul(1u64 << attempt.min(8)));
+    base.min(MAX_RETRY_HINT_MS)
+}
+
+/// Extracts the retry hint from a *non-final* response: an
+/// admission-control reject carries `retry_after_ms` but no
+/// `evidence_digest`. A completed analysis — even a budget-induced
+/// `UNKNOWN`, which also hints — is final and returns `None`, so a
+/// retry loop never discards a real verdict.
+#[must_use]
+pub fn overload_retry_hint_of(response: &str) -> Option<u64> {
+    let doc: Value = serde_json::from_str(response).ok()?;
+    if matches!(doc["evidence_digest"], Value::String(_)) {
+        return None;
+    }
+    match doc["retry_after_ms"] {
+        Value::UInt(ms) => Some(ms),
+        Value::Int(ms) => u64::try_from(ms).ok(),
+        _ => None,
+    }
+}
+
 /// A structured protocol error: the message becomes the `error` field
 /// of the response line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -339,6 +368,22 @@ pub fn cache_stats_value(kind: &str, stats: &chromata::DecisionCacheStats) -> Va
     ])
 }
 
+/// Health counters surfaced by the stats response beyond the request
+/// tallies: persistence degradation and the poison-quarantine table.
+#[derive(Clone, Debug, Default)]
+pub struct HealthStats {
+    /// Snapshot attempts that failed (ENOSPC, short write, …). The
+    /// store stays serving read-through; the persister retries.
+    pub persist_failures: u64,
+    /// Whether the store is currently in read-through degradation
+    /// (the last snapshot attempt failed and has not yet been retried
+    /// successfully).
+    pub read_through: bool,
+    /// Structural fingerprints of quarantined poison tasks, rendered
+    /// as 16-hex-digit strings.
+    pub quarantined: Vec<u64>,
+}
+
 /// The stats answer: server counters plus per-kind cache counters.
 #[must_use]
 pub fn stats_response(
@@ -347,6 +392,7 @@ pub fn stats_response(
     overloaded: u64,
     malformed: u64,
     in_flight: usize,
+    health: &HealthStats,
     caches: Vec<Value>,
 ) -> String {
     line(&object(vec![
@@ -357,7 +403,41 @@ pub fn stats_response(
         ("overloaded", Value::UInt(overloaded)),
         ("malformed", Value::UInt(malformed)),
         ("in_flight", Value::UInt(in_flight as u64)),
+        ("persist_failures", Value::UInt(health.persist_failures)),
+        ("read_through", Value::Bool(health.read_through)),
+        (
+            "quarantined",
+            Value::Array(
+                health
+                    .quarantined
+                    .iter()
+                    .map(|fp| Value::String(format!("{fp:016x}")))
+                    .collect(),
+            ),
+        ),
         ("caches", Value::Array(caches)),
+    ]))
+}
+
+/// The poison-quarantine answer: a task whose analysis panicked a
+/// worker repeatedly is refused immediately with a structured
+/// `UNKNOWN` naming its fingerprint, instead of burning another
+/// worker on it.
+#[must_use]
+pub fn poisoned_response(task_name: &str, fingerprint: u64) -> String {
+    line(&object(vec![
+        ("status", Value::String("ok".to_owned())),
+        ("op", Value::String("analyze".to_owned())),
+        ("task", Value::String(task_name.to_owned())),
+        ("verdict", Value::String("UNKNOWN".to_owned())),
+        (
+            "reason",
+            Value::String(format!(
+                "poisoned: analysis of this task panicked repeatedly; \
+                 quarantined under fingerprint {fingerprint:016x}"
+            )),
+        ),
+        ("fingerprint", Value::String(format!("{fingerprint:016x}"))),
     ]))
 }
 
@@ -495,7 +575,8 @@ mod tests {
             pong_response(),
             shutdown_response(),
             persist_response(3, 6),
-            stats_response(1, 2, 3, 4, 5, vec![]),
+            stats_response(1, 2, 3, 4, 5, &HealthStats::default(), vec![]),
+            poisoned_response("t", 0xdead_beef),
             analyze_response(
                 "t",
                 &Verdict::Unknown { reason: "r".into() },
@@ -569,6 +650,84 @@ mod tests {
             assert!(overload_retry_hint(4, in_flight) > overload_retry_hint(4, in_flight - 1));
         }
         assert_eq!(overload_retry_hint(usize::MAX, usize::MAX), 5_000);
+    }
+
+    #[test]
+    fn retry_backoff_honors_the_hint_and_caps() {
+        // With a server hint: honored as-is, independent of attempt.
+        assert_eq!(retry_backoff_ms(0, Some(40)), 40);
+        assert_eq!(retry_backoff_ms(5, Some(40)), 40);
+        // Hints are capped like the server caps its own.
+        assert_eq!(retry_backoff_ms(0, Some(u64::MAX)), MAX_RETRY_HINT_MS);
+        // Without a hint: exponential from the base, monotone, capped.
+        let mut previous = 0;
+        for attempt in 0..12 {
+            let delay = retry_backoff_ms(attempt, None);
+            assert!(delay >= previous, "backoff must not shrink");
+            assert!(delay <= MAX_RETRY_HINT_MS);
+            previous = delay;
+        }
+        assert_eq!(retry_backoff_ms(0, None), OVERLOAD_RETRY_MS);
+        assert_eq!(retry_backoff_ms(1, None), OVERLOAD_RETRY_MS * 2);
+        assert_eq!(
+            retry_backoff_ms(63, None),
+            MAX_RETRY_HINT_MS,
+            "no shift overflow"
+        );
+    }
+
+    #[test]
+    fn overload_hint_extraction_spares_final_verdicts() {
+        // An admission reject is retryable.
+        let reject = overload_response("busy", 75);
+        assert_eq!(overload_retry_hint_of(&reject), Some(75));
+        // A budget-induced UNKNOWN also hints but carries a digest: it
+        // is a final verdict, not an invitation to spin.
+        let unknown = analyze_response(
+            "t",
+            &Verdict::Unknown {
+                reason: "budget".into(),
+            },
+            "budget",
+            0xfeed,
+            1.0,
+            Some(200),
+        );
+        assert_eq!(overload_retry_hint_of(&unknown), None);
+        // Plain errors and pongs carry no hint.
+        assert_eq!(overload_retry_hint_of(&error_response("nope")), None);
+        assert_eq!(overload_retry_hint_of(&pong_response()), None);
+        assert_eq!(overload_retry_hint_of("not json"), None);
+    }
+
+    #[test]
+    fn stats_response_lists_health_and_quarantined_fingerprints() {
+        let health = HealthStats {
+            persist_failures: 3,
+            read_through: true,
+            quarantined: vec![0xabcd],
+        };
+        let text = stats_response(9, 8, 7, 6, 5, &health, vec![]);
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(doc["persist_failures"], Value::Int(3));
+        assert_eq!(doc["read_through"], Value::Bool(true));
+        assert_eq!(
+            doc["quarantined"],
+            Value::Array(vec![Value::String("000000000000abcd".into())])
+        );
+    }
+
+    #[test]
+    fn poisoned_response_is_a_structured_unknown_with_a_fingerprint() {
+        let text = poisoned_response("bad-task", 0x1234);
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(doc["status"], Value::String("ok".into()));
+        assert_eq!(doc["verdict"], Value::String("UNKNOWN".into()));
+        assert_eq!(doc["fingerprint"], Value::String("0000000000001234".into()));
+        let Value::String(reason) = &doc["reason"] else {
+            panic!("expected a reason string");
+        };
+        assert!(reason.starts_with("poisoned:"), "{reason}");
     }
 
     #[test]

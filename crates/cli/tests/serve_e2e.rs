@@ -595,3 +595,104 @@ fn graceful_shutdown_persists_and_warm_restart_restores() {
     let _ = server.wait();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn shutdown_abandons_a_stalled_connection_within_the_drain_deadline() {
+    use chromata_cli::serve::SHUTDOWN_DRAIN_SECS;
+
+    let _guard = store_guard();
+    // A long idle timeout: a worker stuck reading this connection would
+    // otherwise block `wait` far past any reasonable shutdown.
+    let server = Server::start(ServeOptions {
+        idle_timeout_secs: 120,
+        ..options()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let ok = json_line(&request_line(&addr, r#"{"op":"ping"}"#, 30).unwrap());
+    assert_eq!(str_field(&ok, "op"), "ping");
+
+    // The stalled client: half a request line, then silence, holding
+    // the socket open across the entire shutdown.
+    let mut stalled = TcpStream::connect(&addr).expect("connect");
+    stalled.write_all(br#"{"op":"ana"#).expect("partial write");
+    stalled.flush().expect("flush");
+    // Give a worker time to pick the connection up and block in read.
+    std::thread::sleep(Duration::from_millis(200));
+
+    server.shutdown();
+    let begin = Instant::now();
+    let summary = server.wait();
+    let elapsed = begin.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(SHUTDOWN_DRAIN_SECS + 3),
+        "wait must give up on the stalled worker within the drain deadline, took {elapsed:?}"
+    );
+    assert!(
+        summary.contains("abandoned 1 stalled connection(s)"),
+        "{summary}"
+    );
+    drop(stalled);
+}
+
+#[test]
+fn sigterm_through_the_watcher_persists_and_warm_restart_matches() {
+    if !chromata_signal::supported() {
+        return; // no signal syscalls on this target; covered elsewhere
+    }
+    let _guard = store_guard();
+    let dir = scratch_dir("sigterm");
+
+    clear_stage_caches();
+    let server = Server::start(ServeOptions {
+        cache_dir: Some(dir.clone()),
+        persist_secs: 0,
+        ..options()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = server.shutdown_handle();
+    let watch =
+        chromata_signal::watch_termination(move |_sig| handle.request()).expect("watcher spawns");
+
+    let first = json_line(&request_line(&addr, r#"{"task":"hourglass"}"#, 60).unwrap());
+    assert_eq!(str_field(&first, "status"), "ok");
+    let digest = str_field(&first, "evidence_digest").to_owned();
+
+    // Thread-directed SIGTERM at the watcher — the production delivery
+    // path minus the process-wide fan-in (which would kill the test
+    // harness's unmasked threads).
+    let mut delivered = false;
+    for _ in 0..500 {
+        if watch.deliver(chromata_signal::SIGTERM) {
+            delivered = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(delivered, "watcher never published its thread id");
+    let summary = server.wait();
+    watch.stop();
+    assert!(summary.contains("persisted"), "{summary}");
+    assert!(dir.join("verdict.snap").exists(), "no verdict snapshot");
+
+    // The signal-driven persist must be a complete snapshot: a warm
+    // restart serves the byte-identical digest.
+    clear_stage_caches();
+    let server = Server::start(ServeOptions {
+        cache_dir: Some(dir.clone()),
+        persist_secs: 0,
+        ..options()
+    })
+    .unwrap();
+    assert!(
+        server.loaded().is_some_and(|l| l.restored > 0),
+        "warm start restored nothing"
+    );
+    let addr = server.local_addr().to_string();
+    let again = json_line(&request_line(&addr, r#"{"task":"hourglass"}"#, 60).unwrap());
+    assert_eq!(str_field(&again, "evidence_digest"), digest);
+    server.shutdown();
+    let _ = server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -80,9 +80,14 @@ pub use stages::cache::{
     clear_stage_caches, set_stage_cache_capacity, stage_cache_stats, ArtifactKind, ArtifactStore,
     SharedCache, StageCache,
 };
+pub use stages::chaos::{
+    parse_fault_kinds, ChaosShardIo, FaultKind, FaultSchedule, InProcessShards, NetFault,
+    PersistChaos, PersistFault, PlannedFault, ShardFault, ALL_FAULT_KINDS,
+};
 pub use stages::persist::{
-    audit_cache_dir, clear_cache_dir, load_cache_dir, persist_now, warm_start, CacheDirConfig,
-    LoadReport, PersistError, SaveReport, SnapshotAudit, SnapshotStatus, CACHE_DIR_ENV,
+    audit_cache_dir, clear_cache_dir, load_cache_dir, persist_failures, persist_now,
+    store_read_through, warm_start, CacheDirConfig, LoadReport, PersistError, SaveReport,
+    SnapshotAudit, SnapshotStatus, CACHE_DIR_ENV,
 };
 pub use stages::remote::{
     clear_remote, configure_remote, execute_stage_line, parse_stage_fields, remote_active,

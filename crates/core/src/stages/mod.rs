@@ -32,6 +32,7 @@
 
 pub mod artifacts;
 pub mod cache;
+pub mod chaos;
 pub mod persist;
 pub mod remote;
 

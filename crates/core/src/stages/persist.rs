@@ -51,7 +51,8 @@ use std::fmt;
 use std::hash::Hash;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 
 use chromata_task::Task;
 use chromata_topology::govern;
@@ -151,6 +152,68 @@ impl PersistIo for RealIo {
             Err(e) => Err(e),
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Injectable I/O + persist health
+// ---------------------------------------------------------------------------
+
+/// Process-global [`PersistIo`] override consulted by the snapshot
+/// entry points ([`persist_now`], [`warm_start`], [`load_cache_dir`]).
+/// The chaos layer (`super::chaos`) installs a fault-injecting
+/// implementation here; `None` means the real filesystem.
+fn io_override() -> &'static RwLock<Option<Arc<dyn PersistIo + Send + Sync>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<dyn PersistIo + Send + Sync>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Installs a process-wide [`PersistIo`] override for the snapshot
+/// entry points (chaos injection); replaced by any later call.
+pub(crate) fn set_persist_io(io: Arc<dyn PersistIo + Send + Sync>) {
+    *io_override()
+        .write()
+        .unwrap_or_else(PoisonError::into_inner) = Some(io);
+}
+
+/// Removes the [`PersistIo`] override; snapshots hit the real
+/// filesystem again.
+pub(crate) fn clear_persist_io() {
+    *io_override()
+        .write()
+        .unwrap_or_else(PoisonError::into_inner) = None;
+}
+
+/// The I/O implementation the entry points should use right now.
+fn current_io() -> Arc<dyn PersistIo + Send + Sync> {
+    io_override()
+        .read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+        .unwrap_or_else(|| Arc::new(RealIo))
+}
+
+/// Failed [`persist_now`] snapshots since process start (ENOSPC,
+/// permission loss, injected faults, …). A failure never wedges
+/// serving: the old snapshot stays intact on disk and the store keeps
+/// answering from memory (see [`store_read_through`]).
+static PERSIST_FAILURES: AtomicU64 = AtomicU64::new(0);
+
+/// Whether the store is currently *read-through*: the most recent
+/// snapshot attempt failed, so the in-memory caches are ahead of disk.
+/// Cleared by the next successful [`persist_now`].
+static READ_THROUGH: AtomicBool = AtomicBool::new(false);
+
+/// How many [`persist_now`] snapshots have failed in this process.
+#[must_use]
+pub fn persist_failures() -> u64 {
+    PERSIST_FAILURES.load(Ordering::Relaxed)
+}
+
+/// Whether the last snapshot attempt failed and the store is serving
+/// read-through (in-memory state ahead of the on-disk snapshot).
+#[must_use]
+pub fn store_read_through() -> bool {
+    READ_THROUGH.load(Ordering::Acquire)
 }
 
 // ---------------------------------------------------------------------------
@@ -728,7 +791,7 @@ pub fn warm_start(config: &CacheDirConfig) -> Option<LoadReport> {
     if !mark_warmed(dir) {
         return None;
     }
-    Some(load_store(store(), dir, &RealIo))
+    Some(load_store(store(), dir, current_io().as_ref()))
 }
 
 /// Unconditionally loads the configured cache directory into the
@@ -736,14 +799,27 @@ pub fn warm_start(config: &CacheDirConfig) -> Option<LoadReport> {
 pub fn load_cache_dir(config: &CacheDirConfig) -> Option<LoadReport> {
     let dir = config.dir()?;
     mark_warmed(dir);
-    Some(load_store(store(), dir, &RealIo))
+    Some(load_store(store(), dir, current_io().as_ref()))
 }
 
 /// Snapshots the process-wide store into the configured cache
 /// directory. `None` when persistence is disabled.
+///
+/// A failed save is counted in [`persist_failures`] and flips the store
+/// into read-through mode ([`store_read_through`]); the per-file atomic
+/// protocol guarantees the previous snapshot is still intact on disk,
+/// so serving continues unharmed and the next cadence retries.
 pub fn persist_now(config: &CacheDirConfig) -> Option<Result<SaveReport, PersistError>> {
     let dir = config.dir()?;
-    Some(save_store(store(), dir, &RealIo))
+    let result = save_store(store(), dir, current_io().as_ref());
+    match &result {
+        Ok(_) => READ_THROUGH.store(false, Ordering::Release),
+        Err(_) => {
+            PERSIST_FAILURES.fetch_add(1, Ordering::Relaxed);
+            READ_THROUGH.store(true, Ordering::Release);
+        }
+    }
+    Some(result)
 }
 
 // ---------------------------------------------------------------------------
@@ -1458,6 +1534,89 @@ mod tests {
         for d in [&old_dir, &new_dir, &work] {
             let _ = std::fs::remove_dir_all(d);
         }
+    }
+
+    #[test]
+    fn enospc_mid_snapshot_keeps_the_old_snapshot_at_every_op() {
+        // Disk-full at every possible point of the save protocol: the
+        // previous snapshot must stay wholly intact (old or complete
+        // new per file, never torn), a paranoid load must be clean, and
+        // the next cadence with space back must converge exactly.
+        let old_store = seeded_store_with(8, &[two_set_agreement()]);
+        let new_store = seeded_store_with(8, &[two_set_agreement(), identity_task(2)]);
+        let old_dir = test_dir("enospc-old");
+        let new_dir = test_dir("enospc-new");
+        save_store(&old_store, &old_dir, &RealIo).expect("baseline old");
+        save_store(&new_store, &new_dir, &RealIo).expect("baseline new");
+        let old_bytes = snapshot_bytes(&old_dir);
+        let new_bytes = snapshot_bytes(&new_dir);
+
+        let work = test_dir("enospc-work");
+        for trigger in 0..SAVE_OPS {
+            let _ = std::fs::remove_dir_all(&work);
+            save_store(&old_store, &work, &RealIo).expect("reset");
+
+            let io = FaultIo::new(trigger, IoFaultMode::Error(io::ErrorKind::StorageFull));
+            save_store(&new_store, &work, &io).expect_err("disk full must fail the save");
+
+            for (i, &(kind, ref old)) in old_bytes.iter().enumerate() {
+                let on_disk = std::fs::read(snapshot_path(&work, kind)).expect("snapshot survives");
+                let (_, ref new) = new_bytes[i];
+                assert!(
+                    &on_disk == old || &on_disk == new,
+                    "{kind} torn after ENOSPC at op {trigger}"
+                );
+            }
+            let fresh = ArtifactStore::with_capacity(8);
+            let report = load_store(&fresh, &work, &RealIo);
+            assert_eq!(report.recovery_events(), 0, "ENOSPC at op {trigger}");
+
+            // Space is back: the next cadence succeeds and converges.
+            save_store(&new_store, &work, &RealIo).expect("retry once space is back");
+            assert_eq!(snapshot_bytes(&work), new_bytes, "retry after op {trigger}");
+        }
+        for d in [&old_dir, &new_dir, &work] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn enospc_through_the_chaos_seam_degrades_and_heals_persist_now() {
+        use super::super::chaos::{PersistChaos, PersistFault};
+
+        let dir = test_dir("enospc-seam");
+        let config = CacheDirConfig::resolve(Some(dir.clone()));
+
+        // Baseline cadence with the seam installed but disarmed.
+        let chaos = PersistChaos::install();
+        persist_now(&config)
+            .expect("persistence is configured")
+            .expect("clean save");
+        let failures_before = persist_failures();
+        assert!(!store_read_through(), "clean save must not be read-through");
+
+        // Disk full mid-snapshot: the cadence fails, is counted, and
+        // flips the store to read-through — but never wedges.
+        chaos.arm(PersistFault::Enospc);
+        persist_now(&config)
+            .expect("persistence is configured")
+            .expect_err("armed ENOSPC must fail the save");
+        assert_eq!(chaos.fired(), 1, "the armed fault fired");
+        assert!(persist_failures() > failures_before, "failure is counted");
+        assert!(store_read_through(), "failed save flips read-through");
+
+        // The on-disk state is still a clean, loadable snapshot.
+        PersistChaos::uninstall();
+        for audit in audit_cache_dir(&dir) {
+            assert!(audit.is_clean(), "unclean after ENOSPC: {audit:?}");
+        }
+
+        // Fault cleared: the next cadence succeeds and clears the flag.
+        persist_now(&config)
+            .expect("persistence is configured")
+            .expect("save heals once the fault clears");
+        assert!(!store_read_through(), "healed save clears read-through");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

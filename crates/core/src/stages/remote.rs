@@ -56,6 +56,7 @@ use super::{
     CacheEvent, ExploreStage, HomologyStage, LinkStage, PresentationStage, SplitStage, Stage,
     StageEvidence, StageOrigin, StageOutcome,
 };
+use crate::continuous::ContinuousOutcome;
 
 /// The protocol version stage requests carry (`proto` field).
 ///
@@ -527,6 +528,18 @@ pub(crate) trait DistStage: Stage {
 
     /// Deserializes the checksum-verified artifact payload.
     fn decode(payload: &str) -> Result<Self::Artifact, String>;
+
+    /// Semantic re-validation of a decoded artifact against the stage's
+    /// own inputs. A checksum only proves the payload arrived as the
+    /// shard sent it; a buggy or adversarial shard can still send a
+    /// *well-formed but wrong* artifact — wrong branch count, a
+    /// non-canonical split task, an assignment over the wrong vertex
+    /// set. A rejection here is counted as `invalid_artifact` in the
+    /// fault taxonomy and the engine retries / falls back local; the
+    /// artifact is never accepted.
+    fn admissible(&self, _artifact: &Self::Artifact) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 fn decode_as<T: for<'de> serde::Deserialize<'de>>(
@@ -548,6 +561,30 @@ impl DistStage for SplitStage {
     fn decode(payload: &str) -> Result<Arc<SubdividedComplex>, String> {
         decode_as(payload, Self::NAME)
     }
+
+    fn admissible(&self, artifact: &Arc<SubdividedComplex>) -> Result<(), String> {
+        let split = &artifact.split;
+        if split.task.process_count() != self.canonical.process_count() {
+            return Err(format!(
+                "split task has {} processes, canonical input has {}",
+                split.task.process_count(),
+                self.canonical.process_count()
+            ));
+        }
+        // Splitting deforms the output complex and the carrier only;
+        // the input complex must survive untouched.
+        if split.task.input() != self.canonical.input() {
+            return Err("split task's input complex differs from the canonical task's".to_owned());
+        }
+        if let Some(witness) = &split.degenerate {
+            if !self.canonical.input().vertices().any(|v| v == witness) {
+                return Err(format!(
+                    "degenerate witness `{witness}` is not an input vertex"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl DistStage for LinkStage {
@@ -559,6 +596,30 @@ impl DistStage for LinkStage {
 
     fn decode(payload: &str) -> Result<Arc<LinkGraphs>, String> {
         decode_as(payload, Self::NAME)
+    }
+
+    fn admissible(&self, artifact: &Arc<LinkGraphs>) -> Result<(), String> {
+        let input = self.task.input();
+        if !artifact.vertices.iter().eq(input.vertices()) {
+            return Err("link-graph vertex list differs from the task's input vertices".to_owned());
+        }
+        if !artifact.edges.iter().eq(input.simplices_of_dim(1)) {
+            return Err("link-graph edge list differs from the task's input edges".to_owned());
+        }
+        if !artifact.triangles.iter().eq(input.simplices_of_dim(2)) {
+            return Err(format!(
+                "link-graph triangle list has {} branches, the task has {}",
+                artifact.triangles.len(),
+                input.simplices_of_dim(2).count()
+            ));
+        }
+        if artifact.domains.len() != artifact.vertices.len()
+            || artifact.edge_graphs.len() != artifact.edges.len()
+            || artifact.edge_cycles.len() != artifact.edges.len()
+        {
+            return Err("link-graph parallel arrays disagree in length".to_owned());
+        }
+        Ok(())
     }
 }
 
@@ -572,6 +633,18 @@ impl DistStage for PresentationStage {
     fn decode(payload: &str) -> Result<Arc<Presentations>, String> {
         decode_as(payload, Self::NAME)
     }
+
+    fn admissible(&self, artifact: &Arc<Presentations>) -> Result<(), String> {
+        let triangles = self.task.input().simplices_of_dim(2).count();
+        if artifact.per_triangle.len() != triangles {
+            return Err(format!(
+                "presentations cover {} triangles, the task has {}",
+                artifact.per_triangle.len(),
+                triangles
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl DistStage for HomologyStage {
@@ -583,6 +656,31 @@ impl DistStage for HomologyStage {
 
     fn decode(payload: &str) -> Result<Arc<HomologyReport>, String> {
         decode_as(payload, Self::NAME)
+    }
+
+    fn admissible(&self, artifact: &Arc<HomologyReport>) -> Result<(), String> {
+        if let ContinuousOutcome::Exists { assignment, .. } = &artifact.outcome {
+            let input = self.task.input();
+            let vertex_count = input.vertices().count();
+            if assignment.len() != vertex_count {
+                return Err(format!(
+                    "witness assigns {} vertices, the task's input has {}",
+                    assignment.len(),
+                    vertex_count
+                ));
+            }
+            for (x, g_x) in assignment {
+                if !input.vertices().any(|v| v == x) {
+                    return Err(format!("witness assigns non-input vertex `{x}`"));
+                }
+                if !self.task.output().vertices().any(|v| v == g_x) {
+                    return Err(format!(
+                        "witness maps `{x}` to `{g_x}`, which is not an output vertex"
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -610,6 +708,16 @@ impl DistStage for ExploreStage {
 
     fn decode(payload: &str) -> Result<Arc<ExplorationReport>, String> {
         decode_as(payload, Self::NAME)
+    }
+
+    fn admissible(&self, artifact: &Arc<ExplorationReport>) -> Result<(), String> {
+        if artifact.rounds_cap > self.configured_rounds {
+            return Err(format!(
+                "exploration reports a round cap of {}, beyond the configured {}",
+                artifact.rounds_cap, self.configured_rounds
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -680,6 +788,12 @@ pub struct RemoteStats {
     /// Faults at [`ShardStep::Decode`] (truncation, corruption,
     /// checksum mismatch, overload answers).
     pub decode_faults: u64,
+    /// Checksum-valid artifacts rejected by semantic re-validation
+    /// (wrong branch count, non-canonical split task, assignment over
+    /// the wrong vertex set, rank out of range). Also counted under
+    /// [`decode_faults`](Self::decode_faults) — re-validation is the
+    /// last step of decoding.
+    pub invalid_artifacts: u64,
     /// Faults whose error kind was a timeout (`TimedOut`/`WouldBlock`),
     /// across all steps.
     pub timeouts: u64,
@@ -704,6 +818,7 @@ struct Counters {
     send_faults: AtomicU64,
     recv_faults: AtomicU64,
     decode_faults: AtomicU64,
+    invalid_artifacts: AtomicU64,
     timeouts: AtomicU64,
     local_fallbacks: AtomicU64,
     ejections: AtomicU64,
@@ -723,6 +838,7 @@ impl Counters {
             send_faults: self.send_faults.load(Ordering::Relaxed),
             recv_faults: self.recv_faults.load(Ordering::Relaxed),
             decode_faults: self.decode_faults.load(Ordering::Relaxed),
+            invalid_artifacts: self.invalid_artifacts.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             local_fallbacks: self.local_fallbacks.load(Ordering::Relaxed),
             ejections: self.ejections.load(Ordering::Relaxed),
@@ -1014,6 +1130,7 @@ impl RemoteEngine {
     /// exhausted and the caller must recompute locally.
     fn fetch<S: DistStage>(
         &self,
+        stage: &S,
         job: &StageJob,
         budget: &Budget,
     ) -> Result<(S::Artifact, StageOrigin), ()> {
@@ -1043,7 +1160,21 @@ impl RemoteEngine {
             let deadline = self.attempt_deadline(budget);
             match self.exchange_hedged(shard, &line, deadline, pool) {
                 Ok((text, winner)) => {
-                    match artifact_payload(&text, S::NAME).and_then(|payload| S::decode(&payload)) {
+                    let decoded = artifact_payload(&text, S::NAME)
+                        .and_then(|payload| S::decode(&payload))
+                        .and_then(|artifact| match stage.admissible(&artifact) {
+                            Ok(()) => Ok(artifact),
+                            Err(why) => {
+                                // Checksum-valid but semantically wrong:
+                                // a distinct taxonomy entry on top of the
+                                // decode-fault count.
+                                self.counters
+                                    .invalid_artifacts
+                                    .fetch_add(1, Ordering::Relaxed);
+                                Err(format!("invalid_artifact: {why}"))
+                            }
+                        });
+                    match decoded {
                         Ok(artifact) => {
                             self.note_success(winner);
                             self.counters.fetched.fetch_add(1, Ordering::Relaxed);
@@ -1175,7 +1306,7 @@ pub(crate) fn run_distributed<S: DistStage>(
     }
     let fetched = stage
         .job(budget)
-        .and_then(|job| engine.fetch::<S>(&job, budget).ok());
+        .and_then(|job| engine.fetch::<S>(stage, &job, budget).ok());
     let (artifact, origin) = match fetched {
         Some((artifact, origin)) => (artifact, origin),
         None => {

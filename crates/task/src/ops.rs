@@ -207,12 +207,7 @@ fn rename_value(task: &Task, draw: u64, name: String) -> Option<Task> {
     let delta: CarrierMap = task
         .delta()
         .iter()
-        .map(|(s, img)| {
-            (
-                s.clone(),
-                Complex::from_facets(img.facets().map(&subst)),
-            )
-        })
+        .map(|(s, img)| (s.clone(), Complex::from_facets(img.facets().map(&subst))))
         .collect();
     Task::new(name, task.input().clone(), output, delta).ok()
 }

@@ -110,10 +110,16 @@ pub fn role_for(rel: &str) -> Option<Role> {
     Some(Role {
         verdict_path: VERDICT_PATH_CRATES.contains(&krate),
         library: LIBRARY_CRATES.contains(&krate),
-        clock_exempt: rel.ends_with("src/govern.rs"),
+        // The chaos campaign driver (`cli/src/chaos.rs`) times recovery
+        // deadlines and abuses real sockets by design, so it joins the
+        // clock and socket exemptions; the core fault-schedule module
+        // (`core/src/stages/chaos.rs`) stays fully confined.
+        clock_exempt: rel.ends_with("src/govern.rs") || rel == "crates/cli/src/chaos.rs",
         lock_exempt: rel == "crates/core/src/stages/cache.rs",
         fs_exempt: rel == "crates/core/src/stages/persist.rs",
-        net_exempt: rel == "crates/cli/src/serve.rs" || rel == "crates/cli/src/shard.rs",
+        net_exempt: rel == "crates/cli/src/serve.rs"
+            || rel == "crates/cli/src/shard.rs"
+            || rel == "crates/cli/src/chaos.rs",
     })
 }
 
@@ -425,8 +431,9 @@ fn rule_d2(code: &[&Tok], syms: &FileSymbols, role: Role, findings: &mut Vec<Fin
                 t.col,
                 t.text.chars().count(),
                 format!(
-                    "{what} outside `govern.rs`: pure decision code must not \
-                     observe the clock or the environment"
+                    "{what} outside `govern.rs`/`cli/src/chaos.rs`: pure \
+                     decision code must not observe the clock or the \
+                     environment"
                 ),
                 "route the read through `chromata_topology::govern` (budgets, \
                  env-derived configuration) or annotate \
@@ -498,13 +505,15 @@ fn rule_d3(code: &[&Tok], role: Role, findings: &mut Vec<Finding>) {
     }
 }
 
-/// D4: socket construction outside the verdict-service module. Network
+/// D4: socket construction outside the verdict-service modules. Network
 /// I/O — like clocks (D2) and the filesystem (D3) — is a nondeterminism
-/// source the decision pipeline must never observe directly. The one
-/// sanctioned home is `crates/cli/src/serve.rs`, where every request is
-/// framed, budgeted, and admission-controlled before it can reach
-/// `analyze_governed`. Naming a socket type (in a signature or a `use`)
-/// is fine; *constructing* one (`bind`, `connect`, …) is the access.
+/// source the decision pipeline must never observe directly. The
+/// sanctioned homes are `crates/cli/src/serve.rs` (every request framed,
+/// budgeted, and admission-controlled before it can reach
+/// `analyze_governed`), `crates/cli/src/shard.rs`, and
+/// `crates/cli/src/chaos.rs` (the fault campaign abuses sockets on
+/// purpose). Naming a socket type (in a signature or a `use`) is fine;
+/// *constructing* one (`bind`, `connect`, …) is the access.
 fn rule_d4(code: &[&Tok], role: Role, findings: &mut Vec<Finding>) {
     if role.net_exempt {
         return;
@@ -520,8 +529,9 @@ fn rule_d4(code: &[&Tok], role: Role, findings: &mut Vec<Finding>) {
                 t.col,
                 t.text.chars().count(),
                 format!(
-                    "`{}` constructor outside `cli/src/serve.rs`/`cli/src/shard.rs`: \
-                     sockets are confined to the verdict-service modules",
+                    "`{}` constructor outside `cli/src/serve.rs`/`cli/src/shard.rs`/\
+                     `cli/src/chaos.rs`: sockets are confined to the \
+                     verdict-service modules",
                     t.text
                 ),
                 "route network I/O through `chromata_cli::serve` (framed, \

@@ -215,6 +215,32 @@ fn d4_net_confinement_fixture() {
 }
 
 #[test]
+fn chaos_exemptions_are_path_exact() {
+    use chromata_xtask::role_for;
+    // The chaos campaign driver is exempt from clock (D2) and socket
+    // (D4) confinement — it times recoveries and abuses real sockets on
+    // purpose…
+    let driver = role_for("crates/cli/src/chaos.rs").unwrap();
+    assert!(driver.clock_exempt && driver.net_exempt);
+    // …but the exemption is path-exact: the core fault-schedule module
+    // and any other chaos-named file stay fully confined.
+    let core = role_for("crates/core/src/stages/chaos.rs").unwrap();
+    assert!(!core.clock_exempt && !core.net_exempt);
+    let src = "pub fn probe() {\n    \
+               let _ = std::net::TcpStream::connect(\"127.0.0.1:1\"); //~ D4\n}\n";
+    let diags = lint_source(
+        "crates/core/src/stages/chaos.rs",
+        src,
+        core,
+        &Config::default(),
+    );
+    let actual: Vec<(u32, &str)> = diags.iter().map(|d| (d.line, d.rule)).collect();
+    assert_eq!(actual, vec![(2, "D4")], "{diags:?}");
+    let stray = role_for("crates/task/src/chaos.rs").unwrap();
+    assert!(!stray.clock_exempt && !stray.net_exempt);
+}
+
+#[test]
 fn p1_panic_freedom_fixture() {
     let diags = check(
         "p1_panic_freedom",
